@@ -1,0 +1,93 @@
+// Command benchrunner regenerates the paper's evaluation artifacts: every
+// table and figure of §5, printed as aligned text or markdown.
+//
+// Usage:
+//
+//	benchrunner -exp all            # everything, quick scale
+//	benchrunner -exp fig12 -scale full
+//	benchrunner -exp table3 -format markdown -o table3.md
+//
+// Scales: quick (reduced cardinalities, minutes), full (Table 2 sizes,
+// Zillow capped at 50K — see DESIGN.md), tiny (smoke test, seconds).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point; it returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchrunner", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		exp    = fs.String("exp", "all", "experiment: all, fig10, fig11, table3, fig12, table4, fig13..fig18")
+		scale  = fs.String("scale", "quick", "scale: quick, full, tiny")
+		format = fs.String("format", "text", "output format: text, markdown")
+		out    = fs.String("o", "", "output file (default stdout)")
+		list   = fs.Bool("list", false, "list experiments and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, s := range experiments.All() {
+			fmt.Fprintf(stdout, "%-8s %s\n", s.Name, s.Paper)
+		}
+		return 0
+	}
+
+	sc, err := experiments.ParseScale(*scale)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchrunner:", err)
+		return 2
+	}
+
+	var specs []experiments.Spec
+	if *exp == "all" {
+		specs = experiments.All()
+	} else {
+		spec, ok := experiments.Lookup(*exp)
+		if !ok {
+			fmt.Fprintf(stderr, "benchrunner: unknown experiment %q (try -list)\n", *exp)
+			return 2
+		}
+		specs = []experiments.Spec{spec}
+	}
+
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(stderr, "benchrunner:", err)
+			return 1
+		}
+		defer f.Close()
+		w = f
+	}
+
+	for _, spec := range specs {
+		fmt.Fprintf(stderr, "benchrunner: running %s (%s scale)...\n", spec.Name, sc)
+		start := time.Now()
+		tables := spec.Run(sc)
+		fmt.Fprintf(stderr, "benchrunner: %s done in %.1fs\n", spec.Name, time.Since(start).Seconds())
+		for _, t := range tables {
+			if *format == "markdown" {
+				t.Markdown(w)
+			} else {
+				t.Format(w)
+			}
+		}
+	}
+	return 0
+}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, want := range []string{"fig10", "table3", "fig18"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("-list output lacks %s:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunSingleExperimentTiny(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-exp", "table3", "-scale", "tiny"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "Table 3") {
+		t.Fatalf("no table emitted:\n%s", out.String())
+	}
+	if !strings.Contains(errb.String(), "running table3") {
+		t.Fatalf("no progress log:\n%s", errb.String())
+	}
+}
+
+func TestRunMarkdownFormat(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-exp", "table3", "-scale", "tiny", "-format", "markdown"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "| --- |") {
+		t.Fatalf("not markdown:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-exp", "fig99"}, &out, &errb); code != 2 {
+		t.Fatalf("unknown experiment: exit %d", code)
+	}
+	if code := run([]string{"-scale", "galactic"}, &out, &errb); code != 2 {
+		t.Fatalf("unknown scale: exit %d", code)
+	}
+	if code := run([]string{"-exp", "table3", "-scale", "tiny", "-o", "/no/such/dir/x"}, &out, &errb); code != 1 {
+		t.Fatalf("bad output path: exit %d", code)
+	}
+}

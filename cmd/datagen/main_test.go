@@ -1,0 +1,77 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/data"
+)
+
+func TestRunGeneratesCSVToStdout(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-dist", "ind", "-n", "50", "-dim", "3", "-c", "8", "-sigma", "0.2", "-seed", "7"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	ds, err := data.ReadCSV(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 50 || ds.Dim() != 3 {
+		t.Fatalf("shape %dx%d", ds.Len(), ds.Dim())
+	}
+	if !strings.Contains(errb.String(), "wrote 50 objects") {
+		t.Fatalf("stderr: %s", errb.String())
+	}
+}
+
+func TestRunWritesFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.csv")
+	var out, errb bytes.Buffer
+	code := run([]string{"-dist", "ac", "-n", "20", "-dim", "2", "-c", "4", "-o", path}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ds, err := data.ReadCSV(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 20 {
+		t.Fatalf("Len = %d", ds.Len())
+	}
+}
+
+func TestRunRealSimulators(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-dist", "zillow", "-n", "30"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	ds, err := data.ReadCSV(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Dim() != 5 {
+		t.Fatalf("Zillow dim = %d", ds.Dim())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-dist", "bogus"}, &out, &errb); code != 2 {
+		t.Fatalf("bogus dist: exit %d", code)
+	}
+	if code := run([]string{"-badflag"}, &out, &errb); code != 2 {
+		t.Fatalf("bad flag: exit %d", code)
+	}
+	if code := run([]string{"-dist", "ind", "-n", "5", "-dim", "2", "-c", "3", "-o", "/nonexistent/dir/x.csv"}, &out, &errb); code != 1 {
+		t.Fatalf("bad path: exit %d", code)
+	}
+}

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// sampleCSV is the paper's Fig. 3 dataset in the CLI's input format.
+const sampleCSV = `id,v1,v2,v3,v4
+A1,-,3,1,3
+A2,-,1,2,1
+A3,-,1,3,4
+A4,-,7,4,5
+A5,-,4,8,3
+B1,-,-,1,2
+B2,-,-,3,1
+B3,-,-,4,9
+B4,-,-,3,7
+B5,-,-,7,4
+C1,2,-,-,3
+C2,2,-,-,1
+C3,3,-,-,2
+C4,3,-,-,3
+C5,3,-,-,4
+D1,3,5,-,2
+D2,2,1,-,4
+D3,2,4,-,1
+D4,4,4,-,5
+D5,5,5,-,4
+`
+
+func TestRunAnswersT2D(t *testing.T) {
+	for _, alg := range []string{"Naive", "ESB", "UBB", "BIG", "IBIG"} {
+		var out, errb bytes.Buffer
+		code := run([]string{"-k", "2", "-alg", alg, "-stats", "-"},
+			strings.NewReader(sampleCSV), &out, &errb)
+		if code != 0 {
+			t.Fatalf("%s: exit %d: %s", alg, code, errb.String())
+		}
+		s := out.String()
+		if !strings.Contains(s, ",16") {
+			t.Fatalf("%s output lacks score 16:\n%s", alg, s)
+		}
+		if !strings.Contains(s, "A2") || !strings.Contains(s, "C2") {
+			t.Fatalf("%s answer wrong:\n%s", alg, s)
+		}
+		if !strings.Contains(s, "# candidates=") {
+			t.Fatalf("%s: -stats produced no statistics line", alg)
+		}
+	}
+}
+
+func TestRunNegate(t *testing.T) {
+	csv := "id,v1,v2\nbad,1,1\ngood,5,5\n"
+	var out, errb bytes.Buffer
+	code := run([]string{"-k", "1", "-negate", "-"}, strings.NewReader(csv), &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "1,good,1") {
+		t.Fatalf("negated winner wrong:\n%s", out.String())
+	}
+}
+
+func TestRunCustomBins(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-k", "2", "-bins", "2", "-"}, strings.NewReader(sampleCSV), &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), ",16") {
+		t.Fatalf("binned answer wrong:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{}, strings.NewReader(""), &out, &errb); code != 2 {
+		t.Fatalf("missing arg: exit %d", code)
+	}
+	if code := run([]string{"-alg", "Quantum", "-"}, strings.NewReader(sampleCSV), &out, &errb); code != 2 {
+		t.Fatalf("bad algorithm: exit %d", code)
+	}
+	if code := run([]string{"-"}, strings.NewReader("not a csv"), &out, &errb); code != 1 {
+		t.Fatalf("bad csv: exit %d", code)
+	}
+	if code := run([]string{"/does/not/exist.csv"}, strings.NewReader(""), &out, &errb); code != 1 {
+		t.Fatalf("missing file: exit %d", code)
+	}
+}

@@ -1,0 +1,52 @@
+package bitmapidx
+
+import "repro/internal/data"
+
+// AssignBins partitions the distinct values of one dimension into at most
+// xi bins using the paper's adaptive equi-depth rule (§4.4, Eq. 3–4): each
+// bin greedily takes whole distinct values while its accumulated object
+// count stays within (remaining objects)/(remaining bins) — always taking at
+// least one value — and the last bin absorbs whatever is left (its upper
+// boundary is max_i). The returned slice maps value rank → bin id; bin ids
+// are dense, 0-based, and non-decreasing in rank.
+//
+// The rule adapts to skew automatically: on uniform data every bin holds the
+// same number of objects; on skewed data a heavy value gets a bin largely to
+// itself, which is what minimizes query-time fluctuation (§4.4).
+func AssignBins(st *data.DimStats, xi int) []int {
+	ci := len(st.CountPerValue)
+	if xi < 1 {
+		xi = 1
+	}
+	if xi > ci {
+		xi = ci
+	}
+	out := make([]int, ci)
+	remaining := 0
+	for _, c := range st.CountPerValue {
+		remaining += c
+	}
+	rank := 0
+	for b := 0; b < xi; b++ {
+		binsAfter := xi - b - 1
+		if binsAfter == 0 {
+			for ; rank < ci; rank++ {
+				out[rank] = b
+			}
+			break
+		}
+		capacity := remaining / (binsAfter + 1) // Eq. (3)/(4)
+		taken := 0
+		for rank < ci && ci-rank > binsAfter {
+			c := st.CountPerValue[rank]
+			if taken > 0 && taken+c > capacity {
+				break
+			}
+			out[rank] = b
+			taken += c
+			rank++
+		}
+		remaining -= taken
+	}
+	return out
+}

@@ -1,0 +1,417 @@
+// Package bitmapidx implements the bitmap index over incomplete data from
+// §4.3 of the TKD paper, and its binned variant from §4.4.
+//
+// Layout. For dimension i with Ci distinct observed values v_0 < … < v_{Ci-1}
+// the index holds Ci+1 range-encoded columns of N bits each (the vertical
+// transposition of the paper's per-object bit strings, Fig. 6):
+//
+//	col[0]   — all ones ("missing or any value");
+//	col[r]   — bit p set iff p[i] > v_{r-1} or p[i] is missing, r = 1..Ci.
+//
+// For an object o with o[i] observed at value rank r, the paper's per-
+// dimension candidate sets fall out of adjacent columns:
+//
+//	[Qi] = col[r]   = { p : p[i] ≥ o[i] or missing }
+//	[Pi] = col[r+1] = { p : p[i] > o[i] or missing }
+//
+// and both are all-ones when o[i] is missing, exactly as in Definition 4.
+// A missing value is encoded as all ones across the dimension, matching the
+// paper's "sub-string with all 1" rule.
+//
+// The binned variant replaces value ranks with bin ranks: dimension i gets
+// ξi+1 columns, bins are assigned by the adaptive equi-depth rule of
+// Eq. (3)–(4), and [Qi]/[Pi] become bin-granular (so Lemma 3 no longer
+// holds and the IBIG refinement of Algorithm 5 takes over).
+//
+// Columns can be stored raw (dense) or compressed with WAH or CONCISE; the
+// codec choice affects storage cost and per-query decompression work, which
+// is exactly the trade-off Figs. 10–11 of the paper measure.
+package bitmapidx
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bitvec"
+	"repro/internal/compress/concise"
+	"repro/internal/compress/wah"
+	"repro/internal/data"
+)
+
+// Codec selects the physical column representation.
+type Codec int
+
+const (
+	// Raw stores dense, uncompressed columns.
+	Raw Codec = iota
+	// WAH stores Word-Aligned-Hybrid-compressed columns.
+	WAH
+	// Concise stores CONCISE-compressed columns (the paper's pick for IBIG).
+	Concise
+)
+
+// String implements fmt.Stringer.
+func (c Codec) String() string {
+	switch c {
+	case Raw:
+		return "raw"
+	case WAH:
+		return "WAH"
+	case Concise:
+		return "CONCISE"
+	default:
+		return fmt.Sprintf("Codec(%d)", int(c))
+	}
+}
+
+// Options configures Build.
+type Options struct {
+	// Codec is the column storage format.
+	Codec Codec
+	// Bins, when non-nil, requests a binned index with Bins[i] value bins in
+	// dimension i (the paper's ξi; the +1 missing column is implicit). A
+	// single-element slice is broadcast to every dimension. Bin counts are
+	// clamped to [1, Ci].
+	Bins []int
+}
+
+// column abstracts one physical column.
+type column struct {
+	dense *bitvec.Vector
+	wah   *wah.Bitmap
+	conc  *concise.Bitmap
+}
+
+func (c *column) sizeBytes() int {
+	switch {
+	case c.dense != nil:
+		return c.dense.SizeBytes()
+	case c.wah != nil:
+		return c.wah.SizeBytes()
+	default:
+		return c.conc.SizeBytes()
+	}
+}
+
+type dimIndex struct {
+	cols []column // len = buckets+1; cols[0] is the shared all-ones column
+	// rankToBucket maps a value rank to its column bucket: identity for the
+	// unbinned index, the bin assignment for the binned one.
+	rankToBucket []int
+}
+
+// Index is a (possibly binned, possibly compressed) bitmap index over one
+// dataset.
+type Index struct {
+	ds     *data.Dataset
+	stats  []data.DimStats
+	dims   []dimIndex
+	codec  Codec
+	binned bool
+	// ranks[i] holds the value rank of object i in every dimension, -1 when
+	// missing; precomputed so Q/P lookups never search.
+	ranks [][]int32
+	ones  *bitvec.Vector // shared all-ones column
+}
+
+// Build constructs the index. Stats are recomputed from the dataset; pass
+// the same dataset to the query algorithms.
+func Build(ds *data.Dataset, opts Options) *Index {
+	return buildWithStats(ds, ds.Stats(), opts)
+}
+
+// BuildWithStats is Build for callers that already computed ds.Stats().
+func BuildWithStats(ds *data.Dataset, stats []data.DimStats, opts Options) *Index {
+	return buildWithStats(ds, stats, opts)
+}
+
+func buildWithStats(ds *data.Dataset, stats []data.DimStats, opts Options) *Index {
+	n, dim := ds.Len(), ds.Dim()
+	ix := &Index{
+		ds:     ds,
+		stats:  stats,
+		dims:   make([]dimIndex, dim),
+		codec:  opts.Codec,
+		binned: opts.Bins != nil,
+		ranks:  make([][]int32, n),
+		ones:   bitvec.NewOnes(n),
+	}
+	if err := ix.computeRanks(); err != nil {
+		panic(err)
+	}
+	for d := 0; d < dim; d++ {
+		ci := stats[d].Cardinality()
+		var r2b []int
+		if ix.binned {
+			xi := binsFor(opts.Bins, d)
+			r2b = AssignBins(&stats[d], xi)
+		} else {
+			r2b = make([]int, ci)
+			for r := range r2b {
+				r2b[r] = r
+			}
+		}
+		buckets := 0
+		if ci > 0 {
+			buckets = r2b[ci-1] + 1
+		}
+		ix.dims[d] = ix.buildDim(d, r2b, buckets)
+	}
+	return ix
+}
+
+// computeRanks fills the per-object value-rank table from the dataset and
+// the per-dimension stats.
+func (ix *Index) computeRanks() error {
+	n, dim := ix.ds.Len(), ix.ds.Dim()
+	if ix.ranks == nil {
+		ix.ranks = make([][]int32, n)
+	}
+	for i := 0; i < n; i++ {
+		r := make([]int32, dim)
+		o := ix.ds.Obj(i)
+		for d := 0; d < dim; d++ {
+			if o.Observed(d) {
+				rank := ix.stats[d].Rank(o.Values[d])
+				if rank < 0 {
+					return fmt.Errorf("bitmapidx: value %v of object %d absent from dimension %d stats", o.Values[d], i, d)
+				}
+				r[d] = int32(rank)
+			} else {
+				r[d] = -1
+			}
+		}
+		ix.ranks[i] = r
+	}
+	return nil
+}
+
+func binsFor(bins []int, d int) int {
+	if len(bins) == 1 {
+		return bins[0]
+	}
+	if d < len(bins) {
+		return bins[d]
+	}
+	panic(fmt.Sprintf("bitmapidx: no bin count for dimension %d", d))
+}
+
+// buildDim materializes the columns of one dimension. Column b (1-based
+// bucket) has bit p set iff bucket(p[d]) >= b or p[d] is missing; it is
+// produced by peeling objects off the previous column as their bucket is
+// passed, so the whole dimension costs O(N · buckets/64 + N) word work.
+func (ix *Index) buildDim(d int, rankToBucket []int, buckets int) dimIndex {
+	n := ix.ds.Len()
+	di := dimIndex{
+		cols:         make([]column, buckets+1),
+		rankToBucket: rankToBucket,
+	}
+	di.cols[0] = ix.encode(ix.ones)
+	// byBucket[b] lists objects whose value falls in bucket b.
+	byBucket := make([][]int32, buckets)
+	for i := 0; i < n; i++ {
+		if r := ix.ranks[i][d]; r >= 0 {
+			b := rankToBucket[r]
+			byBucket[b] = append(byBucket[b], int32(i))
+		}
+	}
+	cur := bitvec.NewOnes(n)
+	for b := 1; b <= buckets; b++ {
+		for _, id := range byBucket[b-1] {
+			cur.Clear(int(id))
+		}
+		di.cols[b] = ix.encode(cur)
+	}
+	return di
+}
+
+// encode stores a snapshot of v under the configured codec.
+func (ix *Index) encode(v *bitvec.Vector) column {
+	switch ix.codec {
+	case WAH:
+		return column{wah: wah.Compress(v)}
+	case Concise:
+		return column{conc: concise.Compress(v)}
+	default:
+		return column{dense: v.Clone()}
+	}
+}
+
+// Binned reports whether the index is bin-granular.
+func (ix *Index) Binned() bool { return ix.binned }
+
+// CodecUsed returns the configured codec.
+func (ix *Index) CodecUsed() Codec { return ix.codec }
+
+// Dataset returns the indexed dataset.
+func (ix *Index) Dataset() *data.Dataset { return ix.ds }
+
+// Stats returns the per-dimension statistics the index was built from.
+func (ix *Index) Stats() []data.DimStats { return ix.stats }
+
+// SizeBytes returns the total column payload — the paper's cost_s.
+func (ix *Index) SizeBytes() int {
+	total := 0
+	for d := range ix.dims {
+		for c := range ix.dims[d].cols {
+			total += ix.dims[d].cols[c].sizeBytes()
+		}
+	}
+	return total
+}
+
+// Columns returns the total number of physical columns; for tests.
+func (ix *Index) Columns() int {
+	total := 0
+	for d := range ix.dims {
+		total += len(ix.dims[d].cols)
+	}
+	return total
+}
+
+// ForEachDenseColumn visits every physical column of a Raw-codec index as a
+// dense bit vector (the visitor must not mutate it). The compression
+// experiments (Fig. 10) use this to feed the codecs the exact column
+// population of a real index. It panics on compressed indexes.
+func (ix *Index) ForEachDenseColumn(fn func(v *bitvec.Vector)) {
+	if ix.codec != Raw {
+		panic("bitmapidx: ForEachDenseColumn requires the Raw codec")
+	}
+	for d := range ix.dims {
+		for c := range ix.dims[d].cols {
+			fn(ix.dims[d].cols[c].dense)
+		}
+	}
+}
+
+// Bucket returns the column bucket of object obj in dimension d, or -1 when
+// the value is missing. For the unbinned index the bucket is the value rank.
+func (ix *Index) Bucket(obj, d int) int {
+	r := ix.ranks[obj][d]
+	if r < 0 {
+		return -1
+	}
+	return ix.dims[d].rankToBucket[r]
+}
+
+// Rank returns the value rank of object obj in dimension d, or -1.
+func (ix *Index) Rank(obj, d int) int { return int(ix.ranks[obj][d]) }
+
+// BucketMinValue returns the smallest observed value falling in bucket b of
+// dimension d — the bin's lower boundary, which the IBIG B+-tree refinement
+// seeks to before scanning the bin (§4.5: "traverse the B+-tree to locate
+// the minimum boundary of the bin where o is located").
+func (ix *Index) BucketMinValue(d, b int) float64 {
+	r2b := ix.dims[d].rankToBucket
+	// rankToBucket is monotone non-decreasing; find the first rank in b.
+	lo := sort.Search(len(r2b), func(r int) bool { return r2b[r] >= b })
+	if lo == len(r2b) || r2b[lo] != b {
+		panic(fmt.Sprintf("bitmapidx: empty bucket %d in dimension %d", b, d))
+	}
+	return ix.stats[d].Distinct[lo]
+}
+
+// CacheBudget bounds the per-cursor cache of decompressed columns (bytes).
+// A query over a compressed index touches the same columns for thousands of
+// candidate objects; decompressing each column once per query instead of
+// once per candidate is what keeps IBIG's query time comparable to BIG's
+// (the paper's §5.1 observation) while the index itself stays compressed.
+// The cache is transient query-working-memory, released with the cursor.
+const CacheBudget = 32 << 20
+
+// Cursor carries the per-query scratch state for Q/P computation. Cursors
+// are not safe for concurrent use; create one per goroutine.
+type Cursor struct {
+	ix      *Index
+	q, p    *bitvec.Vector
+	scratch *bitvec.Vector
+	// cache[d][b] holds the decompressed column b of dimension d, filled on
+	// first touch while the budget lasts; nil entries fall back to scratch.
+	cache       [][]*bitvec.Vector
+	cacheBudget int
+}
+
+// NewCursor returns a cursor over the index.
+func (ix *Index) NewCursor() *Cursor {
+	n := ix.ds.Len()
+	c := &Cursor{ix: ix, q: bitvec.New(n), p: bitvec.New(n), scratch: bitvec.New(n)}
+	if ix.codec != Raw {
+		c.cache = make([][]*bitvec.Vector, len(ix.dims))
+		for d := range ix.dims {
+			c.cache[d] = make([]*bitvec.Vector, len(ix.dims[d].cols))
+		}
+		c.cacheBudget = CacheBudget
+	}
+	return c
+}
+
+// dense returns column b of dimension d as a dense vector: the stored
+// vector for Raw indexes, a cached or scratch decompression otherwise. The
+// result is read-only and, when it aliases the scratch buffer, only valid
+// until the next dense call.
+func (c *Cursor) dense(d, b int) *bitvec.Vector {
+	col := &c.ix.dims[d].cols[b]
+	if col.dense != nil {
+		return col.dense
+	}
+	if c.cache != nil {
+		if v := c.cache[d][b]; v != nil {
+			return v
+		}
+		if sz := c.scratch.SizeBytes(); sz <= c.cacheBudget {
+			v := bitvec.New(c.ix.ds.Len())
+			c.decompressInto(col, v)
+			c.cache[d][b] = v
+			c.cacheBudget -= sz
+			return v
+		}
+	}
+	c.decompressInto(col, c.scratch)
+	return c.scratch
+}
+
+func (c *Cursor) decompressInto(col *column, dst *bitvec.Vector) {
+	if col.wah != nil {
+		col.wah.DecompressInto(dst)
+	} else {
+		col.conc.DecompressInto(dst)
+	}
+}
+
+// QP computes the paper's sets Q = ∩Qi − {o} and P = ∩Pi for object obj as
+// bit vectors (Definition 4). The returned vectors are owned by the cursor
+// and valid until the next QP call.
+func (c *Cursor) QP(obj int) (q, p *bitvec.Vector) {
+	ix := c.ix
+	c.q.SetAll()
+	c.p.SetAll()
+	for d := range ix.dims {
+		b := ix.Bucket(obj, d)
+		if b < 0 {
+			continue // missing: Qi = Pi = S, the all-ones column
+		}
+		c.q.And(c.dense(d, b))
+		// cols[b+1] always exists: the column one past the worst bucket is
+		// exactly the "missing in this dimension" set.
+		c.p.And(c.dense(d, b+1))
+	}
+	c.q.Clear(obj) // Q excludes o itself
+	return c.q, c.p
+}
+
+// MaxBitScore computes |Q| = |∩Qi − {o}| for object obj — the Heuristic 2
+// upper bound — via a dense word-wise AND cascade over the (cached) columns
+// without materializing P, the cheap half of Definition 4.
+func (c *Cursor) MaxBitScore(obj int) int {
+	ix := c.ix
+	c.q.SetAll()
+	for d := range ix.dims {
+		b := ix.Bucket(obj, d)
+		if b < 0 {
+			continue
+		}
+		c.q.And(c.dense(d, b))
+	}
+	// o always belongs to ∩Qi: its own bits pass every Qi column.
+	return c.q.Count() - 1
+}

@@ -1,0 +1,279 @@
+package bitmapidx
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"repro/internal/bitvec"
+	"repro/internal/compress/concise"
+	"repro/internal/compress/wah"
+	"repro/internal/data"
+)
+
+// Index persistence. The paper's Table 3 shows index construction is the
+// dominant preprocessing cost (the authors report 5,749 s for the full
+// Zillow bitmap), so a production deployment builds once and reloads. The
+// on-disk layout is a little-endian stream:
+//
+//	magic "TKDIX\x01" | codec | binned | dim | N
+//	per dimension: len(rankToBucket), rankToBucket..., #cols,
+//	               per column: payload kind + word count + words
+//	crc32 (IEEE) of everything before it
+//
+// Object ranks are not stored: Load recomputes them from the dataset, which
+// must be the exact dataset the index was built from (shape is verified;
+// values are trusted to the caller, as with any external index file).
+
+var persistMagic = [6]byte{'T', 'K', 'D', 'I', 'X', 1}
+
+type crcWriter struct {
+	w   io.Writer
+	crc uint32
+}
+
+func (c *crcWriter) Write(p []byte) (int, error) {
+	c.crc = crc32.Update(c.crc, crc32.IEEETable, p)
+	return c.w.Write(p)
+}
+
+type crcReader struct {
+	r   io.Reader
+	crc uint32
+}
+
+func (c *crcReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.crc = crc32.Update(c.crc, crc32.IEEETable, p[:n])
+	return n, err
+}
+
+func writeU32s(w io.Writer, xs []uint32) error {
+	if err := binary.Write(w, binary.LittleEndian, uint64(len(xs))); err != nil {
+		return err
+	}
+	return binary.Write(w, binary.LittleEndian, xs)
+}
+
+func readU32s(r io.Reader, limit uint64) ([]uint32, error) {
+	var n uint64
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	if n > limit {
+		return nil, fmt.Errorf("bitmapidx: implausible array length %d", n)
+	}
+	xs := make([]uint32, n)
+	if err := binary.Read(r, binary.LittleEndian, xs); err != nil {
+		return nil, err
+	}
+	return xs, nil
+}
+
+// Save serializes the index.
+func (ix *Index) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	cw := &crcWriter{w: bw}
+	if _, err := cw.Write(persistMagic[:]); err != nil {
+		return err
+	}
+	binned := uint8(0)
+	if ix.binned {
+		binned = 1
+	}
+	hdr := []uint64{uint64(ix.codec), uint64(binned), uint64(len(ix.dims)), uint64(ix.ds.Len())}
+	if err := binary.Write(cw, binary.LittleEndian, hdr); err != nil {
+		return err
+	}
+	for d := range ix.dims {
+		di := &ix.dims[d]
+		r2b := make([]uint32, len(di.rankToBucket))
+		for i, b := range di.rankToBucket {
+			r2b[i] = uint32(b)
+		}
+		if err := writeU32s(cw, r2b); err != nil {
+			return err
+		}
+		if err := binary.Write(cw, binary.LittleEndian, uint64(len(di.cols))); err != nil {
+			return err
+		}
+		for c := range di.cols {
+			if err := saveColumn(cw, &di.cols[c]); err != nil {
+				return err
+			}
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, cw.crc); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+const (
+	colDense   = uint8(0)
+	colWAH     = uint8(1)
+	colConcise = uint8(2)
+)
+
+func saveColumn(w io.Writer, c *column) error {
+	switch {
+	case c.dense != nil:
+		if err := binary.Write(w, binary.LittleEndian, colDense); err != nil {
+			return err
+		}
+		words := c.dense.Words()
+		if err := binary.Write(w, binary.LittleEndian, uint64(c.dense.Len())); err != nil {
+			return err
+		}
+		if err := binary.Write(w, binary.LittleEndian, uint64(len(words))); err != nil {
+			return err
+		}
+		return binary.Write(w, binary.LittleEndian, words)
+	case c.wah != nil:
+		if err := binary.Write(w, binary.LittleEndian, colWAH); err != nil {
+			return err
+		}
+		nbits, words := c.wah.Persist()
+		if err := binary.Write(w, binary.LittleEndian, uint64(nbits)); err != nil {
+			return err
+		}
+		return writeU32s(w, words)
+	default:
+		if err := binary.Write(w, binary.LittleEndian, colConcise); err != nil {
+			return err
+		}
+		nbits, words := c.conc.Persist()
+		if err := binary.Write(w, binary.LittleEndian, uint64(nbits)); err != nil {
+			return err
+		}
+		return writeU32s(w, words)
+	}
+}
+
+// Load deserializes an index previously written by Save and re-binds it to
+// ds, which must be the dataset the index was built from. The stored CRC is
+// verified; shape mismatches are rejected.
+func Load(r io.Reader, ds *data.Dataset) (*Index, error) {
+	br := bufio.NewReader(r)
+	cr := &crcReader{r: br}
+	var magic [6]byte
+	if _, err := io.ReadFull(cr, magic[:]); err != nil {
+		return nil, fmt.Errorf("bitmapidx: reading magic: %w", err)
+	}
+	if magic != persistMagic {
+		return nil, fmt.Errorf("bitmapidx: bad magic %q", magic[:])
+	}
+	hdr := make([]uint64, 4)
+	if err := binary.Read(cr, binary.LittleEndian, hdr); err != nil {
+		return nil, fmt.Errorf("bitmapidx: reading header: %w", err)
+	}
+	codec, binned, dim, n := Codec(hdr[0]), hdr[1] == 1, int(hdr[2]), int(hdr[3])
+	if codec < Raw || codec > Concise {
+		return nil, fmt.Errorf("bitmapidx: unknown codec %d", codec)
+	}
+	if dim != ds.Dim() || n != ds.Len() {
+		return nil, fmt.Errorf("bitmapidx: index is %dx%d, dataset is %dx%d", n, dim, ds.Len(), ds.Dim())
+	}
+
+	dims := make([]dimIndex, dim)
+	for d := 0; d < dim; d++ {
+		r2bRaw, err := readU32s(cr, uint64(n))
+		if err != nil {
+			return nil, fmt.Errorf("bitmapidx: dimension %d buckets: %w", d, err)
+		}
+		r2b := make([]int, len(r2bRaw))
+		for i, b := range r2bRaw {
+			r2b[i] = int(b)
+		}
+		var ncols uint64
+		if err := binary.Read(cr, binary.LittleEndian, &ncols); err != nil {
+			return nil, err
+		}
+		if ncols > uint64(n)+2 {
+			return nil, fmt.Errorf("bitmapidx: implausible column count %d", ncols)
+		}
+		cols := make([]column, ncols)
+		for c := range cols {
+			if err := loadColumn(cr, &cols[c], n); err != nil {
+				return nil, fmt.Errorf("bitmapidx: dimension %d column %d: %w", d, c, err)
+			}
+		}
+		dims[d] = dimIndex{cols: cols, rankToBucket: r2b}
+	}
+	sum := cr.crc
+	var stored uint32
+	if err := binary.Read(br, binary.LittleEndian, &stored); err != nil {
+		return nil, fmt.Errorf("bitmapidx: reading checksum: %w", err)
+	}
+	if stored != sum {
+		return nil, fmt.Errorf("bitmapidx: checksum mismatch (stored %08x, computed %08x)", stored, sum)
+	}
+
+	// Rebuild the derived in-memory state (stats, ranks) from the dataset
+	// and verify it matches what the index was built from.
+	stats := ds.Stats()
+	for d := range dims {
+		if len(dims[d].rankToBucket) != stats[d].Cardinality() {
+			return nil, fmt.Errorf("bitmapidx: dimension %d has %d distinct values, index was built over %d — wrong dataset",
+				d, stats[d].Cardinality(), len(dims[d].rankToBucket))
+		}
+	}
+	ix := &Index{
+		ds:     ds,
+		stats:  stats,
+		dims:   dims,
+		codec:  codec,
+		binned: binned,
+		ones:   bitvec.NewOnes(n),
+	}
+	if err := ix.computeRanks(); err != nil {
+		return nil, err
+	}
+	return ix, nil
+}
+
+func loadColumn(r io.Reader, c *column, n int) error {
+	var kind uint8
+	if err := binary.Read(r, binary.LittleEndian, &kind); err != nil {
+		return err
+	}
+	var nbits uint64
+	if err := binary.Read(r, binary.LittleEndian, &nbits); err != nil {
+		return err
+	}
+	if int(nbits) != n {
+		return fmt.Errorf("column has %d bits, dataset has %d objects", nbits, n)
+	}
+	switch kind {
+	case colDense:
+		var nwords uint64
+		if err := binary.Read(r, binary.LittleEndian, &nwords); err != nil {
+			return err
+		}
+		if nwords != uint64((n+63)/64) {
+			return fmt.Errorf("dense column has %d words, want %d", nwords, (n+63)/64)
+		}
+		v := bitvec.New(n)
+		if err := binary.Read(r, binary.LittleEndian, v.Words()); err != nil {
+			return err
+		}
+		c.dense = v
+	case colWAH:
+		words, err := readU32s(r, uint64(n)+2)
+		if err != nil {
+			return err
+		}
+		c.wah = wah.Restore(int(nbits), words)
+	case colConcise:
+		words, err := readU32s(r, uint64(n)+2)
+		if err != nil {
+			return err
+		}
+		c.conc = concise.Restore(int(nbits), words)
+	default:
+		return fmt.Errorf("unknown column kind %d", kind)
+	}
+	return nil
+}

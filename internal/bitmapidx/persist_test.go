@@ -1,0 +1,113 @@
+package bitmapidx_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/bitmapidx"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/paperdata"
+)
+
+func roundTrip(t *testing.T, opts bitmapidx.Options) {
+	t.Helper()
+	ds := gen.Synthetic(gen.Config{N: 500, Dim: 4, Cardinality: 16, MissingRate: 0.25, Dist: gen.IND, Seed: 81})
+	orig := bitmapidx.Build(ds, opts)
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := bitmapidx.Load(&buf, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Binned() != orig.Binned() || loaded.CodecUsed() != orig.CodecUsed() {
+		t.Fatal("metadata mismatch after load")
+	}
+	if loaded.SizeBytes() != orig.SizeBytes() {
+		t.Fatalf("size %d after load, want %d", loaded.SizeBytes(), orig.SizeBytes())
+	}
+	// The loaded index must answer queries identically.
+	oc, lc := orig.NewCursor(), loaded.NewCursor()
+	for i := 0; i < ds.Len(); i += 17 {
+		qo, po := oc.QP(i)
+		ql, pl := lc.QP(i)
+		if !qo.Equal(ql) || !po.Equal(pl) {
+			t.Fatalf("QP mismatch at object %d", i)
+		}
+	}
+}
+
+func TestSaveLoadRaw(t *testing.T) { roundTrip(t, bitmapidx.Options{Codec: bitmapidx.Raw}) }
+func TestSaveLoadWAH(t *testing.T) {
+	roundTrip(t, bitmapidx.Options{Codec: bitmapidx.WAH, Bins: []int{8}})
+}
+func TestSaveLoadConcise(t *testing.T) {
+	roundTrip(t, bitmapidx.Options{Codec: bitmapidx.Concise, Bins: []int{8}})
+}
+
+func TestLoadedIndexAnswersQueries(t *testing.T) {
+	ds := paperdata.Sample()
+	ix := bitmapidx.Build(ds, bitmapidx.Options{Codec: bitmapidx.Concise, Bins: []int{2, 2, 3, 3}})
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := bitmapidx.Load(&buf, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _ := core.IBIG(ds, 2, loaded, nil)
+	for _, it := range res.Items {
+		if it.Score != paperdata.T2DAnswerScore {
+			t.Fatalf("score(%s) = %d after reload, want %d", it.ID, it.Score, paperdata.T2DAnswerScore)
+		}
+	}
+}
+
+func TestLoadRejectsCorruption(t *testing.T) {
+	ds := paperdata.Sample()
+	ix := bitmapidx.Build(ds, bitmapidx.Options{Codec: bitmapidx.Concise, Bins: []int{2}})
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	// Flip one payload byte: the CRC must catch it.
+	bad := append([]byte(nil), good...)
+	bad[len(bad)/2] ^= 0x40
+	if _, err := bitmapidx.Load(bytes.NewReader(bad), ds); err == nil {
+		t.Fatal("corrupted stream accepted")
+	}
+
+	// Truncation.
+	if _, err := bitmapidx.Load(bytes.NewReader(good[:len(good)/3]), ds); err == nil {
+		t.Fatal("truncated stream accepted")
+	}
+
+	// Wrong magic.
+	if _, err := bitmapidx.Load(strings.NewReader("NOTANINDEX"), ds); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestLoadRejectsWrongDataset(t *testing.T) {
+	ds := paperdata.Sample()
+	ix := bitmapidx.Build(ds, bitmapidx.Options{})
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	other := gen.Synthetic(gen.Config{N: 30, Dim: 4, Cardinality: 5, MissingRate: 0.2, Dist: gen.IND, Seed: 82})
+	if _, err := bitmapidx.Load(bytes.NewReader(buf.Bytes()), other); err == nil {
+		t.Fatal("index bound to a dataset of different shape")
+	}
+	// Same shape, different values: rank reconstruction must fail loudly.
+	sameShape := gen.Synthetic(gen.Config{N: 20, Dim: 4, Cardinality: 50, MissingRate: 0.2, Dist: gen.IND, Seed: 83})
+	if _, err := bitmapidx.Load(bytes.NewReader(buf.Bytes()), sameShape); err == nil {
+		t.Fatal("index bound to a dataset with foreign values")
+	}
+}

@@ -1,0 +1,141 @@
+// Package codec holds the pieces shared by the WAH and CONCISE bitmap
+// compression codecs: both slice a bit vector into 31-bit groups and
+// represent runs of all-zero / all-one groups compactly, so the group
+// reader/writer and the run-level AND are implemented once here.
+package codec
+
+import "repro/internal/bitvec"
+
+// GroupBits is the payload width of one compressed group. Both WAH and
+// CONCISE use 31-bit groups inside 32-bit words.
+const GroupBits = 31
+
+// GroupMask selects the low GroupBits bits of a word.
+const GroupMask = uint32(1)<<GroupBits - 1
+
+// NumGroups returns how many 31-bit groups cover n bits.
+func NumGroups(n int) int {
+	return (n + GroupBits - 1) / GroupBits
+}
+
+// Slice reads the 31-bit group at index g (bits [g*31, g*31+31)) from the
+// vector. Bits beyond the vector's length read as zero.
+func Slice(v *bitvec.Vector, g int) uint32 {
+	words := v.Words()
+	start := g * GroupBits
+	wi := start / 64
+	off := uint(start % 64)
+	if wi >= len(words) {
+		return 0
+	}
+	x := words[wi] >> off
+	if off > 64-GroupBits && wi+1 < len(words) {
+		x |= words[wi+1] << (64 - off)
+	}
+	return uint32(x) & GroupMask
+}
+
+// Writer reassembles 31-bit groups into a bit vector of a known length,
+// writing whole words (not individual bits) so decompression stays cheap on
+// the BIG/IBIG hot path.
+type Writer struct {
+	v    *bitvec.Vector
+	next int // next group index
+}
+
+// NewWriter returns a Writer producing a vector with nbits bits.
+func NewWriter(nbits int) *Writer {
+	return &Writer{v: bitvec.New(nbits)}
+}
+
+// NewWriterInto returns a Writer that reassembles into dst, which is reset
+// to zero first.
+func NewWriterInto(dst *bitvec.Vector) *Writer {
+	dst.Reset()
+	return &Writer{v: dst}
+}
+
+// Emit appends `repeat` copies of the 31-bit group val. Bits beyond the
+// vector length are dropped.
+func (w *Writer) Emit(val uint32, repeat int) {
+	if val == 0 {
+		w.next += repeat
+		return
+	}
+	words := w.v.Words()
+	n := w.v.Len()
+	for r := 0; r < repeat; r++ {
+		off := w.next * GroupBits
+		w.next++
+		g := uint64(val)
+		if off+GroupBits > n {
+			if off >= n {
+				continue
+			}
+			g &= (uint64(1) << (n - off)) - 1
+		}
+		wi, sh := off/64, uint(off%64)
+		words[wi] |= g << sh
+		if sh > 64-GroupBits && wi+1 < len(words) {
+			words[wi+1] |= g >> (64 - sh)
+		}
+	}
+}
+
+// Vector returns the assembled vector.
+func (w *Writer) Vector() *bitvec.Vector { return w.v }
+
+// Iterator yields a compressed bitmap as a sequence of runs: `repeat`
+// consecutive groups whose 31-bit payload is `val`. Runs with repeat > 1
+// always carry val == 0 or val == GroupMask (pure fills), which lets the
+// consumer skip work.
+type Iterator interface {
+	// Next returns the next run. ok is false when the sequence is exhausted.
+	Next() (val uint32, repeat int, ok bool)
+}
+
+// AndRuns streams the intersection of two run sequences into emit. Both
+// sequences must describe the same number of groups.
+func AndRuns(a, b Iterator, emit func(val uint32, repeat int)) {
+	av, ar, aok := a.Next()
+	bv, br, bok := b.Next()
+	for aok && bok {
+		n := ar
+		if br < n {
+			n = br
+		}
+		switch {
+		case ar > 1 && br > 1:
+			// Both fills: emit the AND of the fill values for n groups.
+			emit(av&bv, n)
+		case ar > 1:
+			// a is a fill: 0-fill kills b's group, 1-fill passes it.
+			if av == 0 {
+				emit(0, 1)
+			} else {
+				emit(bv, 1)
+			}
+			n = 1
+		case br > 1:
+			if bv == 0 {
+				emit(0, 1)
+			} else {
+				emit(av, 1)
+			}
+			n = 1
+		default:
+			emit(av&bv, 1)
+		}
+		ar -= n
+		br -= n
+		if ar == 0 {
+			av, ar, aok = a.Next()
+		}
+		if br == 0 {
+			bv, br, bok = b.Next()
+		}
+	}
+	if aok != bok {
+		panic("codec: AndRuns length mismatch")
+	}
+}

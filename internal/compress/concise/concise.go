@@ -1,0 +1,281 @@
+// Package concise implements the CONCISE (Compressed 'n' Composable Integer
+// Set) bitmap compression scheme of Colantonio and Di Pietro (Information
+// Processing Letters 110(16), 2010). It is the codec the TKD paper selects
+// for IBIG after comparing it with WAH (Fig. 10): same 31-bit-group layout
+// as WAH, but sequence (fill) words may embed one "flipped" bit in their
+// first group, which lets CONCISE absorb near-uniform groups that WAH must
+// store as literals.
+//
+// Word layout (32-bit words):
+//
+//   - literal:     1 | 31 payload bits
+//   - 0-sequence:  00 | 5-bit position p | 25-bit counter n
+//   - 1-sequence:  01 | 5-bit position p | 25-bit counter n
+//
+// A sequence word covers n+1 consecutive 31-bit groups. If p > 0, bit p-1 of
+// the first group is flipped relative to the fill value.
+package concise
+
+import (
+	"math/bits"
+
+	"repro/internal/bitvec"
+	"repro/internal/compress/codec"
+)
+
+const (
+	literalFlag = uint32(1) << 31
+	seqOneFlag  = uint32(1) << 30
+	posShift    = 25
+	posMask     = uint32(31) << posShift
+	counterMask = uint32(1)<<posShift - 1
+	maxCounter  = counterMask
+)
+
+// Bitmap is a CONCISE-compressed bit vector.
+type Bitmap struct {
+	words []uint32
+	nbits int
+}
+
+// NBits returns the logical (uncompressed) length in bits.
+func (b *Bitmap) NBits() int { return b.nbits }
+
+// SizeBytes returns the compressed payload size in bytes.
+func (b *Bitmap) SizeBytes() int { return len(b.words) * 4 }
+
+// Words returns the number of compressed words; exposed for tests.
+func (b *Bitmap) Words() int { return len(b.words) }
+
+// Persist exposes the logical length and raw compressed words for
+// serialization.
+func (b *Bitmap) Persist() (nbits int, words []uint32) { return b.nbits, b.words }
+
+// Restore rebuilds a bitmap from Persist output. The words are adopted, not
+// copied.
+func Restore(nbits int, words []uint32) *Bitmap {
+	return &Bitmap{nbits: nbits, words: words}
+}
+
+// Compress encodes v.
+func Compress(v *bitvec.Vector) *Bitmap {
+	b := &Bitmap{nbits: v.Len()}
+	ng := codec.NumGroups(v.Len())
+	for g := 0; g < ng; g++ {
+		b.appendGroup(codec.Slice(v, g))
+	}
+	return b
+}
+
+func (b *Bitmap) appendGroup(g uint32) {
+	switch g {
+	case 0:
+		b.appendSeq(0)
+	case codec.GroupMask:
+		b.appendSeq(1)
+	default:
+		b.words = append(b.words, literalFlag|g)
+	}
+}
+
+// appendSeq extends the bitmap with one pure fill group of the given bit,
+// merging with a preceding compatible word where the format allows:
+//   - a preceding same-type sequence word absorbs the group by counter+1;
+//   - a preceding literal that is "dirty by one bit" relative to the fill
+//     becomes a mixed sequence word with its position field set.
+func (b *Bitmap) appendSeq(bit uint32) {
+	n := len(b.words)
+	if n > 0 {
+		last := b.words[n-1]
+		if last&literalFlag == 0 {
+			// Sequence word: extend when same fill type and counter not full.
+			if (last&seqOneFlag != 0) == (bit == 1) && last&counterMask < maxCounter {
+				b.words[n-1] = last + 1
+				return
+			}
+		} else {
+			payload := last & codec.GroupMask
+			if bit == 0 && bits.OnesCount32(payload) == 1 {
+				p := uint32(bits.TrailingZeros32(payload)) + 1
+				b.words[n-1] = p<<posShift | 1 // 0-seq, 2 groups
+				return
+			}
+			if bit == 0 && payload == 0 {
+				b.words[n-1] = 1 // pure 0-seq, 2 groups
+				return
+			}
+			if bit == 1 && payload == codec.GroupMask {
+				b.words[n-1] = seqOneFlag | 1
+				return
+			}
+			if bit == 1 && bits.OnesCount32(payload) == codec.GroupBits-1 {
+				p := uint32(bits.TrailingZeros32(^payload&codec.GroupMask)) + 1
+				b.words[n-1] = seqOneFlag | p<<posShift | 1
+				return
+			}
+		}
+	}
+	w := uint32(0) // counter 0 => covers one group
+	if bit == 1 {
+		w |= seqOneFlag
+	}
+	b.words = append(b.words, w)
+}
+
+// appendSeqN appends count pure fill groups at once, merging with the last
+// word where possible and spilling as counters saturate.
+func (b *Bitmap) appendSeqN(bit uint32, count int) {
+	if count <= 0 {
+		return
+	}
+	// Let appendSeq handle the first group's literal-merging subtleties.
+	b.appendSeq(bit)
+	count--
+	for count > 0 {
+		last := b.words[len(b.words)-1]
+		if last&literalFlag == 0 && (last&seqOneFlag != 0) == (bit == 1) {
+			room := int(maxCounter - last&counterMask)
+			take := count
+			if take > room {
+				take = room
+			}
+			b.words[len(b.words)-1] = last + uint32(take)
+			count -= take
+			if count == 0 {
+				return
+			}
+		}
+		w := uint32(0)
+		if bit == 1 {
+			w |= seqOneFlag
+		}
+		b.words = append(b.words, w)
+		count--
+	}
+}
+
+// iter yields runs. A mixed sequence is split into its first (flipped)
+// group followed by a pure fill run.
+type iter struct {
+	words []uint32
+	pos   int
+	// pending pure fill left over after emitting a mixed first group
+	pendVal uint32
+	pendRep int
+}
+
+func (b *Bitmap) iterator() *iter { return &iter{words: b.words} }
+
+func (it *iter) Next() (uint32, int, bool) {
+	if it.pendRep > 0 {
+		v, r := it.pendVal, it.pendRep
+		it.pendRep = 0
+		return v, r, true
+	}
+	if it.pos >= len(it.words) {
+		return 0, 0, false
+	}
+	w := it.words[it.pos]
+	it.pos++
+	if w&literalFlag != 0 {
+		return w & codec.GroupMask, 1, true
+	}
+	fill := uint32(0)
+	if w&seqOneFlag != 0 {
+		fill = codec.GroupMask
+	}
+	groups := int(w&counterMask) + 1
+	pos := (w & posMask) >> posShift
+	if pos == 0 {
+		return fill, groups, true
+	}
+	first := fill ^ (1 << (pos - 1))
+	if groups > 1 {
+		it.pendVal = fill
+		it.pendRep = groups - 1
+	}
+	return first, 1, true
+}
+
+// Decompress reconstructs the original bit vector.
+func (b *Bitmap) Decompress() *bitvec.Vector {
+	w := codec.NewWriter(b.nbits)
+	b.emitAll(w)
+	return w.Vector()
+}
+
+// DecompressInto reconstructs the original bit vector into dst (which must
+// have the bitmap's logical length), avoiding allocation on hot paths.
+func (b *Bitmap) DecompressInto(dst *bitvec.Vector) {
+	if dst.Len() != b.nbits {
+		panic("concise: DecompressInto length mismatch")
+	}
+	b.emitAll(codec.NewWriterInto(dst))
+}
+
+func (b *Bitmap) emitAll(w *codec.Writer) {
+	it := b.iterator()
+	for {
+		val, rep, ok := it.Next()
+		if !ok {
+			break
+		}
+		w.Emit(val, rep)
+	}
+}
+
+// And returns the compressed intersection of a and b without materializing
+// dense vectors. Both bitmaps must have the same logical length.
+func And(a, b *Bitmap) *Bitmap {
+	if a.nbits != b.nbits {
+		panic("concise: length mismatch")
+	}
+	out := &Bitmap{nbits: a.nbits}
+	codec.AndRuns(a.iterator(), b.iterator(), func(val uint32, repeat int) {
+		switch val {
+		case 0:
+			out.appendSeqN(0, repeat)
+		case codec.GroupMask:
+			out.appendSeqN(1, repeat)
+		default:
+			for r := 0; r < repeat; r++ {
+				out.appendGroup(val)
+			}
+		}
+	})
+	return out
+}
+
+// Count returns the number of set bits without decompressing.
+func (b *Bitmap) Count() int {
+	c := 0
+	groups := 0
+	ng := codec.NumGroups(b.nbits)
+	it := b.iterator()
+	for {
+		val, rep, ok := it.Next()
+		if !ok {
+			break
+		}
+		switch val {
+		case 0:
+		case codec.GroupMask:
+			full := rep
+			if groups+rep == ng {
+				if tail := b.nbits % codec.GroupBits; tail != 0 {
+					full--
+					c += tail
+				}
+			}
+			c += full * codec.GroupBits
+		default:
+			g := val
+			if base := groups * codec.GroupBits; base+codec.GroupBits > b.nbits {
+				g &= uint32(1)<<(b.nbits-base) - 1
+			}
+			c += bits.OnesCount32(g)
+		}
+		groups += rep
+	}
+	return c
+}

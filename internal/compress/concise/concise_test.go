@@ -1,0 +1,203 @@
+package concise
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitvec"
+	"repro/internal/compress/wah"
+)
+
+func randomVector(rng *rand.Rand, n int, density float64) *bitvec.Vector {
+	v := bitvec.New(n)
+	for i := 0; i < n; i++ {
+		if rng.Float64() < density {
+			v.Set(i)
+		}
+	}
+	return v
+}
+
+func TestRoundTripSmall(t *testing.T) {
+	cases := []string{
+		"",
+		"1",
+		"0",
+		"101",
+		"0000000000000000000000000000000",
+		"1111111111111111111111111111111",
+		"11111111111111111111111111111110",
+		"0000000000000000000000000000000" + "1000000000000000000000000000000",
+	}
+	for _, s := range cases {
+		v := bitvec.MustParse(s)
+		got := Compress(v).Decompress()
+		if !got.Equal(v) {
+			t.Errorf("round trip failed for %q: got %q", s, got.String())
+		}
+	}
+}
+
+func TestRoundTripDensities(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{0, 1, 31, 32, 62, 63, 100, 1000, 12345} {
+		for _, d := range []float64{0, 0.01, 0.5, 0.99, 1} {
+			v := randomVector(rng, n, d)
+			got := Compress(v).Decompress()
+			if !got.Equal(v) {
+				t.Fatalf("round trip failed n=%d d=%g", n, d)
+			}
+		}
+	}
+}
+
+func TestMixedSequenceAbsorbsLoneBit(t *testing.T) {
+	// A single set bit followed by a long run of zeros: CONCISE stores one
+	// mixed 0-sequence word; WAH needs a literal plus a fill.
+	v := bitvec.New(31 * 100)
+	v.Set(5)
+	c := Compress(v)
+	if c.Words() != 1 {
+		t.Fatalf("CONCISE words = %d, want 1", c.Words())
+	}
+	w := wah.Compress(v)
+	if w.Words() != 2 {
+		t.Fatalf("WAH words = %d, want 2", w.Words())
+	}
+	if !c.Decompress().Equal(v) {
+		t.Fatal("round trip failed")
+	}
+}
+
+func TestMixedOneSequence(t *testing.T) {
+	// All ones except a single zero bit, then all-ones groups.
+	v := bitvec.NewOnes(31 * 50)
+	v.Clear(7)
+	c := Compress(v)
+	if c.Words() != 1 {
+		t.Fatalf("words = %d, want 1", c.Words())
+	}
+	if !c.Decompress().Equal(v) {
+		t.Fatal("round trip failed")
+	}
+}
+
+func TestCompressionNoWorseThanWAHOnIndexColumns(t *testing.T) {
+	// Range-encoded columns are long 1-runs with sparse 0 prefixes; CONCISE
+	// must achieve a compression ratio at least as good as WAH, the paper's
+	// Fig. 10 finding.
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 20; trial++ {
+		v := bitvec.NewOnes(50_000)
+		// Sprinkle isolated zero bits, the pattern mixed sequences absorb.
+		for i := 0; i < 30; i++ {
+			v.Clear(rng.Intn(50_000))
+		}
+		c := Compress(v).SizeBytes()
+		w := wah.Compress(v).SizeBytes()
+		if c > w {
+			t.Fatalf("trial %d: CONCISE %dB > WAH %dB", trial, c, w)
+		}
+	}
+}
+
+func TestCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, n := range []int{0, 1, 31, 62, 100, 997, 4096} {
+		for _, d := range []float64{0, 0.1, 0.9, 1} {
+			v := randomVector(rng, n, d)
+			if got, want := Compress(v).Count(), v.Count(); got != want {
+				t.Fatalf("Count n=%d d=%g: got %d want %d", n, d, got, want)
+			}
+		}
+	}
+}
+
+func TestAndMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	for trial := 0; trial < 100; trial++ {
+		n := rng.Intn(700)
+		a := randomVector(rng, n, rng.Float64())
+		b := randomVector(rng, n, rng.Float64())
+		want := a.Clone().And(b)
+		got := And(Compress(a), Compress(b)).Decompress()
+		if !got.Equal(want) {
+			t.Fatalf("And mismatch n=%d trial=%d", n, trial)
+		}
+	}
+}
+
+func TestAndOnRunHeavyInputs(t *testing.T) {
+	// Exercise the fill×fill, fill×literal and mixed-word paths of AndRuns.
+	a := bitvec.NewOnes(31 * 40)
+	a.Clear(3) // mixed 1-seq
+	b := bitvec.New(31 * 40)
+	for i := 31 * 10; i < 31*30; i++ {
+		b.Set(i)
+	}
+	b.Set(0) // mixed 0-seq head
+	want := a.Clone().And(b)
+	got := And(Compress(a), Compress(b)).Decompress()
+	if !got.Equal(want) {
+		t.Fatal("And mismatch on run-heavy input")
+	}
+}
+
+func TestAndLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	And(Compress(bitvec.New(31)), Compress(bitvec.New(62)))
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(bits []bool) bool {
+		v := bitvec.FromBits(bits)
+		return Compress(v).Decompress().Equal(v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickAndAgreesWithWAH(t *testing.T) {
+	// Cross-codec property: both codecs' compressed ANDs agree with the
+	// dense AND, hence with each other.
+	f := func(ba, bb []bool) bool {
+		n := len(ba)
+		if len(bb) < n {
+			n = len(bb)
+		}
+		a := bitvec.FromBits(ba[:n])
+		b := bitvec.FromBits(bb[:n])
+		dense := a.Clone().And(b)
+		viaConcise := And(Compress(a), Compress(b)).Decompress()
+		viaWAH := wah.And(wah.Compress(a), wah.Compress(b)).Decompress()
+		return viaConcise.Equal(dense) && viaWAH.Equal(dense)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkCompressDense(b *testing.B) {
+	rng := rand.New(rand.NewSource(15))
+	v := randomVector(rng, 100_000, 0.9)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Compress(v)
+	}
+}
+
+func BenchmarkAndCompressed(b *testing.B) {
+	rng := rand.New(rand.NewSource(16))
+	x := Compress(randomVector(rng, 100_000, 0.95))
+	y := Compress(randomVector(rng, 100_000, 0.95))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		And(x, y)
+	}
+}

@@ -1,0 +1,61 @@
+package concise
+
+import (
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/compress/wah"
+)
+
+func fromBytes(data []byte) *bitvec.Vector {
+	v := bitvec.New(len(data) * 8)
+	for i, b := range data {
+		for j := 0; j < 8; j++ {
+			if b&(1<<j) != 0 {
+				v.Set(i*8 + j)
+			}
+		}
+	}
+	return v
+}
+
+// FuzzRoundTrip: Compress/Decompress identity, Count agreement, and the
+// Fig. 10 compression-ratio property (CONCISE no larger than WAH on the
+// same input plus one word of slack for the final partial group).
+func FuzzRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x01})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0x7F})
+	f.Add([]byte{0x00, 0x10, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v := fromBytes(data)
+		c := Compress(v)
+		if got := c.Decompress(); !got.Equal(v) {
+			t.Fatal("round trip mismatch")
+		}
+		if c.Count() != v.Count() {
+			t.Fatalf("Count %d, want %d", c.Count(), v.Count())
+		}
+		if w := wah.Compress(v); c.SizeBytes() > w.SizeBytes() {
+			t.Fatalf("CONCISE %dB > WAH %dB", c.SizeBytes(), w.SizeBytes())
+		}
+	})
+}
+
+// FuzzAnd: compressed AND agrees with dense AND.
+func FuzzAnd(f *testing.F) {
+	f.Add([]byte{0xF0}, []byte{0x0F})
+	f.Add([]byte{0xFF, 0x01}, []byte{0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, a, b []byte) {
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		va, vb := fromBytes(a[:n]), fromBytes(b[:n])
+		want := va.Clone().And(vb)
+		got := And(Compress(va), Compress(vb)).Decompress()
+		if !got.Equal(want) {
+			t.Fatal("And mismatch")
+		}
+	})
+}

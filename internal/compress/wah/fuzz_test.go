@@ -1,0 +1,58 @@
+package wah
+
+import (
+	"testing"
+
+	"repro/internal/bitvec"
+)
+
+// fromBytes expands fuzz bytes into a bit vector (8 bits per byte).
+func fromBytes(data []byte) *bitvec.Vector {
+	v := bitvec.New(len(data) * 8)
+	for i, b := range data {
+		for j := 0; j < 8; j++ {
+			if b&(1<<j) != 0 {
+				v.Set(i*8 + j)
+			}
+		}
+	}
+	return v
+}
+
+// FuzzRoundTrip: Compress/Decompress is the identity and Count matches, for
+// arbitrary bit patterns.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x00, 0x00, 0x00, 0x00, 0x00})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add([]byte{0x01, 0x00, 0x00, 0x80})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v := fromBytes(data)
+		c := Compress(v)
+		if got := c.Decompress(); !got.Equal(v) {
+			t.Fatal("round trip mismatch")
+		}
+		if c.Count() != v.Count() {
+			t.Fatalf("Count %d, want %d", c.Count(), v.Count())
+		}
+	})
+}
+
+// FuzzAnd: compressed AND agrees with dense AND on arbitrary pairs.
+func FuzzAnd(f *testing.F) {
+	f.Add([]byte{0xF0}, []byte{0x0F})
+	f.Add([]byte{}, []byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF}, []byte{0x00, 0x00, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, a, b []byte) {
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		va, vb := fromBytes(a[:n]), fromBytes(b[:n])
+		want := va.Clone().And(vb)
+		got := And(Compress(va), Compress(vb)).Decompress()
+		if !got.Equal(want) {
+			t.Fatal("And mismatch")
+		}
+	})
+}

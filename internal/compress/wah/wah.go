@@ -1,0 +1,210 @@
+// Package wah implements the 32-bit Word-Aligned Hybrid bitmap compression
+// scheme of Wu, Otoo and Shoshani (SSDBM 2002), one of the two codecs the
+// TKD paper evaluates for compressing the columns of its bitmap index
+// (Fig. 10). A WAH-compressed bitmap is a sequence of 32-bit words:
+//
+//   - literal word:  MSB = 0, low 31 bits hold one group verbatim;
+//   - fill word:     MSB = 1, bit 30 is the fill bit, low 30 bits count how
+//     many consecutive 31-bit groups equal that fill.
+package wah
+
+import (
+	"math/bits"
+
+	"repro/internal/bitvec"
+	"repro/internal/compress/codec"
+)
+
+const (
+	fillFlag    = uint32(1) << 31
+	fillBitFlag = uint32(1) << 30
+	maxFill     = fillBitFlag - 1 // 2^30 - 1 groups per fill word
+)
+
+// Bitmap is a WAH-compressed bit vector.
+type Bitmap struct {
+	words []uint32
+	nbits int
+}
+
+// NBits returns the logical (uncompressed) length in bits.
+func (b *Bitmap) NBits() int { return b.nbits }
+
+// SizeBytes returns the compressed payload size in bytes.
+func (b *Bitmap) SizeBytes() int { return len(b.words) * 4 }
+
+// Words returns the number of compressed words; exposed for tests.
+func (b *Bitmap) Words() int { return len(b.words) }
+
+// Persist exposes the logical length and raw compressed words for
+// serialization.
+func (b *Bitmap) Persist() (nbits int, words []uint32) { return b.nbits, b.words }
+
+// Restore rebuilds a bitmap from Persist output. The words are adopted, not
+// copied.
+func Restore(nbits int, words []uint32) *Bitmap {
+	return &Bitmap{nbits: nbits, words: words}
+}
+
+// Compress encodes v.
+func Compress(v *bitvec.Vector) *Bitmap {
+	b := &Bitmap{nbits: v.Len()}
+	ng := codec.NumGroups(v.Len())
+	for g := 0; g < ng; g++ {
+		b.appendGroup(codec.Slice(v, g))
+	}
+	return b
+}
+
+func (b *Bitmap) appendGroup(g uint32) {
+	switch g {
+	case 0:
+		b.appendFill(0)
+	case codec.GroupMask:
+		b.appendFill(1)
+	default:
+		b.words = append(b.words, g)
+	}
+}
+
+func (b *Bitmap) appendFill(bit uint32) { b.appendFillN(bit, 1) }
+
+// appendFillN appends count fill groups at once, merging with a trailing
+// compatible fill word and spilling into fresh fill words as counters
+// saturate.
+func (b *Bitmap) appendFillN(bit uint32, count int) {
+	if count <= 0 {
+		return
+	}
+	if n := len(b.words); n > 0 {
+		last := b.words[n-1]
+		if last&fillFlag != 0 && (last&fillBitFlag != 0) == (bit == 1) {
+			room := int(maxFill - last&maxFill)
+			take := count
+			if take > room {
+				take = room
+			}
+			b.words[n-1] = last + uint32(take)
+			count -= take
+		}
+	}
+	for count > 0 {
+		take := count
+		if take > int(maxFill) {
+			take = int(maxFill)
+		}
+		w := fillFlag | uint32(take)
+		if bit == 1 {
+			w |= fillBitFlag
+		}
+		b.words = append(b.words, w)
+		count -= take
+	}
+}
+
+// Decompress reconstructs the original bit vector.
+func (b *Bitmap) Decompress() *bitvec.Vector {
+	w := codec.NewWriter(b.nbits)
+	b.emitAll(w)
+	return w.Vector()
+}
+
+// DecompressInto reconstructs the original bit vector into dst (which must
+// have the bitmap's logical length), avoiding allocation on hot paths.
+func (b *Bitmap) DecompressInto(dst *bitvec.Vector) {
+	if dst.Len() != b.nbits {
+		panic("wah: DecompressInto length mismatch")
+	}
+	b.emitAll(codec.NewWriterInto(dst))
+}
+
+func (b *Bitmap) emitAll(w *codec.Writer) {
+	it := b.iterator()
+	for {
+		val, rep, ok := it.Next()
+		if !ok {
+			break
+		}
+		w.Emit(val, rep)
+	}
+}
+
+type iter struct {
+	words []uint32
+	pos   int
+}
+
+func (b *Bitmap) iterator() *iter { return &iter{words: b.words} }
+
+func (it *iter) Next() (uint32, int, bool) {
+	if it.pos >= len(it.words) {
+		return 0, 0, false
+	}
+	w := it.words[it.pos]
+	it.pos++
+	if w&fillFlag == 0 {
+		return w & codec.GroupMask, 1, true
+	}
+	val := uint32(0)
+	if w&fillBitFlag != 0 {
+		val = codec.GroupMask
+	}
+	return val, int(w & maxFill), true
+}
+
+// And returns the compressed intersection of a and b without decompressing
+// to a dense vector. Both bitmaps must have the same logical length.
+func And(a, b *Bitmap) *Bitmap {
+	if a.nbits != b.nbits {
+		panic("wah: length mismatch")
+	}
+	out := &Bitmap{nbits: a.nbits}
+	codec.AndRuns(a.iterator(), b.iterator(), func(val uint32, repeat int) {
+		switch val {
+		case 0:
+			out.appendFillN(0, repeat)
+		case codec.GroupMask:
+			out.appendFillN(1, repeat)
+		default:
+			for r := 0; r < repeat; r++ {
+				out.appendGroup(val)
+			}
+		}
+	})
+	return out
+}
+
+// Count returns the number of set bits without decompressing.
+func (b *Bitmap) Count() int {
+	c := 0
+	groups := 0
+	ng := codec.NumGroups(b.nbits)
+	it := b.iterator()
+	for {
+		val, rep, ok := it.Next()
+		if !ok {
+			break
+		}
+		switch val {
+		case 0:
+		case codec.GroupMask:
+			full := rep
+			// The final group may be partial; clamp its contribution.
+			if groups+rep == ng {
+				if tail := b.nbits % codec.GroupBits; tail != 0 {
+					full--
+					c += tail
+				}
+			}
+			c += full * codec.GroupBits
+		default:
+			g := val
+			if base := groups * codec.GroupBits; base+codec.GroupBits > b.nbits {
+				g &= uint32(1)<<(b.nbits-base) - 1
+			}
+			c += bits.OnesCount32(g)
+		}
+		groups += rep
+	}
+	return c
+}

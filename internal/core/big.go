@@ -1,0 +1,217 @@
+package core
+
+import (
+	"math/bits"
+
+	"repro/internal/bitmapidx"
+	"repro/internal/btree"
+	"repro/internal/data"
+)
+
+// bigState carries the shared machinery of the BIG and IBIG algorithms: the
+// bitmap index cursor and the |F(o)| cache used by Heuristic 3.
+type bigState struct {
+	ds     *data.Dataset
+	ix     *bitmapidx.Index
+	cursor *bitmapidx.Cursor
+	// bucketSizes maps each distinct observed-dimension mask to its object
+	// count; fCount derives |F(o)| (incomparable objects) from it.
+	bucketSizes map[uint64]int
+	fCache      map[uint64]int
+	// B+-tree refinement state (RefineBTree only).
+	trees []*btree.Tree
+	tags  *epochTags
+}
+
+func newBigState(ds *data.Dataset, ix *bitmapidx.Index) *bigState {
+	sizes := make(map[uint64]int)
+	for mask, ids := range ds.Buckets() {
+		sizes[mask] = len(ids)
+	}
+	return &bigState{
+		ds:          ds,
+		ix:          ix,
+		cursor:      ix.NewCursor(),
+		bucketSizes: sizes,
+		fCache:      make(map[uint64]int),
+	}
+}
+
+// fCount returns |F(o)| — the number of objects sharing no observed
+// dimension with mask — computed once per distinct mask from the bucket
+// sizes (there are far fewer distinct masks than objects).
+func (s *bigState) fCount(mask uint64) int {
+	if c, ok := s.fCache[mask]; ok {
+		return c
+	}
+	c := 0
+	for m, n := range s.bucketSizes {
+		if m&mask == 0 {
+			c += n
+		}
+	}
+	s.fCache[mask] = c
+	return c
+}
+
+// scoreResult tells the caller how bigScore ended.
+type scoreResult int
+
+const (
+	scored   scoreResult = iota // exact score computed
+	prunedH2                    // dropped by bitmap pruning (Heuristic 2)
+	prunedH3                    // dropped by partial score pruning (Heuristic 3)
+)
+
+// bigScore computes score(o) through the bitmap index — Algorithm 3
+// (BIG-Score) when the index is value-granular and Algorithm 5 (IBIG-Score)
+// when it is binned; the two differ only in whether Q−P candidates need
+// value refinement and whether Heuristic 3 applies.
+//
+// The paper materializes G(o) = P − F(o) and nonD(o) as sets; equivalently
+// (and cheaper) we stream over the members of Q once. Note that every
+// object incomparable to o sits in P (it carries the all-ones missing
+// encoding in each of o's observed dimensions), so F(o) ⊆ P ⊆ Q and the
+// classification of a member p of Q is:
+//
+//	p incomparable to o            → in F(o): skip, never dominated
+//	p ∈ P, comparable              → in G(o): strictly worse on all common dims
+//	p ∈ Q−P (always comparable)    → refine: p[i] < o[i] on a common dim ⇒
+//	                                  nonD (possible only under binning);
+//	                                  all common dims equal ⇒ nonD;
+//	                                  otherwise dominated (in L(o))
+//
+// giving score(o) = |G(o)| + |L(o)| = |Q| − |F(o)| − |nonD(o)|.
+func (s *bigState) bigScore(o int, tau int, full bool, st *Stats) (int, scoreResult) {
+	var maxBit int
+	if s.ix.CodecUsed() != bitmapidx.Raw {
+		// Compressed index: evaluate the Heuristic 2 bound entirely in the
+		// compressed domain first; the dense Q/P vectors are only
+		// materialized for objects that survive the filter.
+		maxBit = s.cursor.MaxBitScore(o)
+		if full && maxBit <= tau {
+			return 0, prunedH2
+		}
+	}
+	q, p := s.cursor.QP(o)
+	if s.ix.CodecUsed() == bitmapidx.Raw {
+		maxBit = q.Count()
+		if full && maxBit <= tau {
+			return 0, prunedH2 // Heuristic 2
+		}
+	}
+	obj := s.ds.Obj(o)
+	// Heuristic 3 (Algorithm 5, lines 11-12): once |nonD| exceeds
+	// |Q| − |F(o)| − τ the final score cannot beat τ. The paper enables it
+	// for the binned index, where Q−P refinement is the dominant cost.
+	useH3 := full && s.ix.Binned()
+	nonDBudget := maxBit - s.fCount(obj.Mask) - tau
+	nonD := 0
+	score := 0
+	pruned := false
+	q.ForEach(func(pi int) bool {
+		po := s.ds.Obj(pi)
+		common := obj.Mask & po.Mask
+		if common == 0 {
+			return true // member of F(o)
+		}
+		st.Comparisons++
+		if p.Get(pi) {
+			score++ // member of G(o)
+			return true
+		}
+		// Q−P candidate: compare on the common observed dimensions (the
+		// paper's tagT counting, lines 7-8 of Algorithms 3 and 5).
+		equal := 0
+		worse := false
+		for d, m := 0, common; m != 0; d, m = d+1, m>>1 {
+			if m&1 == 0 {
+				continue
+			}
+			switch {
+			case po.Values[d] == obj.Values[d]:
+				equal++
+			case po.Values[d] < obj.Values[d]:
+				// Only possible under a binned index (same bin, smaller
+				// value); with value-granular columns Q−P members are ≥ o
+				// everywhere.
+				worse = true
+			}
+		}
+		if worse || equal == bits.OnesCount64(common) {
+			nonD++
+			if useH3 && nonD > nonDBudget {
+				pruned = true // Heuristic 3
+				return false
+			}
+			return true
+		}
+		score++ // member of L(o)
+		return true
+	})
+	if pruned {
+		return 0, prunedH3
+	}
+	return score, scored
+}
+
+// BIG is the bitmap index guided algorithm (Algorithm 4): the UBB main loop
+// with Heuristic 1 on the MaxScore queue, plus per-object bitmap pruning
+// (Heuristic 2) and bitwise score computation through the bitmap index.
+// The index must be value-granular (unbinned); IBIG handles binned indexes.
+func BIG(ds *data.Dataset, k int, ix *bitmapidx.Index, queue *MaxScoreQueue) (Result, Stats) {
+	if ix.Binned() {
+		panic("core: BIG requires an unbinned index; use IBIG")
+	}
+	return bitmapRun(ds, k, ix, queue)
+}
+
+// IBIG is the improved BIG algorithm (§4.4): identical framework, but over
+// a binned (and typically compressed) bitmap index, with the Q−P value
+// refinement and partial-score pruning (Heuristic 3) of Algorithm 5.
+func IBIG(ds *data.Dataset, k int, ix *bitmapidx.Index, queue *MaxScoreQueue) (Result, Stats) {
+	return bitmapRun(ds, k, ix, queue)
+}
+
+func bitmapRun(ds *data.Dataset, k int, ix *bitmapidx.Index, queue *MaxScoreQueue) (Result, Stats) {
+	return bitmapRunRefine(ds, k, ix, queue, RefineDirect, nil)
+}
+
+func bitmapRunRefine(ds *data.Dataset, k int, ix *bitmapidx.Index, queue *MaxScoreQueue, refine Refinement, trees []*btree.Tree) (Result, Stats) {
+	if queue == nil {
+		queue = BuildMaxScoreQueue(ds)
+	}
+	var st Stats
+	state := newBigState(ds, ix)
+	if refine == RefineBTree {
+		state.trees = trees
+		state.tags = newEpochTags(ds.Len())
+	}
+	sc := newCandidateHeap(k)
+	for pos, idx := range queue.Order {
+		tau := sc.tau()
+		if tau >= 0 && queue.MaxScore[idx] <= tau {
+			st.PrunedH1 += len(queue.Order) - pos // Heuristic 1: early stop
+			break
+		}
+		st.Candidates++
+		var score int
+		var how scoreResult
+		if refine == RefineBTree {
+			score, how = state.bigScoreBTree(int(idx), tau, tau >= 0, &st)
+		} else {
+			score, how = state.bigScore(int(idx), tau, tau >= 0, &st)
+		}
+		switch how {
+		case prunedH2:
+			st.PrunedH2++
+			continue
+		case prunedH3:
+			st.PrunedH3++
+			continue
+		}
+		st.Scored++
+		sc.offer(Item{Index: int(idx), ID: ds.Obj(int(idx)).ID, Score: score})
+	}
+	return sc.result(), st
+}

@@ -1,0 +1,32 @@
+// Package core implements the TKD paper's query algorithms over incomplete
+// data: the exhaustive Naive baseline and the paper's four contributions —
+// ESB (extended skyband, §4.1), UBB (upper-bound based, §4.2), BIG (bitmap
+// index guided, §4.3) and IBIG (improved BIG with compression, binning and
+// partial-score pruning, §4.4–4.5) — together with the three pruning
+// heuristics, the MaxScore/MaxBitScore upper bounds, and the MFD weighted
+// scoring extension of §3.
+package core
+
+import "repro/internal/data"
+
+// Dominates reports o ≺ p under Definition 1 (smaller is better): o is no
+// larger than p on every common observed dimension and strictly smaller on
+// at least one. Objects without a common observed dimension are
+// incomparable. The relation is NOT transitive on incomplete data (§3,
+// Fig. 2) and may even be cyclic, which is why none of the complete-data
+// TKD machinery applies.
+func Dominates(o, p *data.Object) bool { return o.Dominates(p) }
+
+// Score computes score(o) per Definition 2 — the number of objects of ds
+// dominated by object i — by exhaustive pairwise comparison (the paper's
+// Get-Score).
+func Score(ds *data.Dataset, i int) int {
+	o := ds.Obj(i)
+	s := 0
+	for j := 0; j < ds.Len(); j++ {
+		if j != i && Dominates(o, ds.Obj(j)) {
+			s++
+		}
+	}
+	return s
+}

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"repro/internal/data"
+	"repro/internal/skyband"
+)
+
+// Naive answers the TKD query by exhaustive pairwise score computation over
+// the whole dataset (§4.1's strawman): every object is scored against every
+// other, then the k best are returned.
+func Naive(ds *data.Dataset, k int) (Result, Stats) {
+	var st Stats
+	candidates := make([]int32, ds.Len())
+	for i := range candidates {
+		candidates[i] = int32(i)
+	}
+	st.Candidates = len(candidates)
+	return topKOf(ds, candidates, k, &st), st
+}
+
+// ESB is the extended skyband based algorithm (Algorithm 1): objects are
+// partitioned into buckets by observed-dimension bit vector; a local
+// k-skyband query inside each bucket prunes objects that provably cannot be
+// answers (Lemma 1, sound because dominance is transitive within a bucket);
+// the surviving candidates are scored exactly and the top k returned.
+func ESB(ds *data.Dataset, k int) (Result, Stats) {
+	var st Stats
+	var candidates []int32
+	for _, ids := range ds.Buckets() {
+		sb := skyband.KSkyband(ds, ids, k)
+		// Local k-skyband costs at most k dominance tests per object.
+		st.Comparisons += int64(len(ids)) * int64(min(k, len(ids)))
+		st.PrunedSkyband += len(ids) - len(sb)
+		candidates = append(candidates, sb...)
+	}
+	st.Candidates = len(candidates)
+	return topKOf(ds, candidates, k, &st), st
+}
+
+// UBB is the upper bound based algorithm (Algorithm 2). It walks the
+// MaxScore priority queue F in descending bound order, scoring objects
+// exactly, and stops as soon as the next bound cannot beat τ — the k-th
+// best score found so far (Heuristic 1). Everything after the cut-off is
+// pruned without being scored.
+func UBB(ds *data.Dataset, k int, queue *MaxScoreQueue) (Result, Stats) {
+	if queue == nil {
+		queue = BuildMaxScoreQueue(ds)
+	}
+	var st Stats
+	sc := newCandidateHeap(k)
+	for pos, idx := range queue.Order {
+		if tau := sc.tau(); tau >= 0 && queue.MaxScore[idx] <= tau {
+			st.PrunedH1 += len(queue.Order) - pos // Heuristic 1: early stop
+			break
+		}
+		st.Candidates++
+		st.Scored++
+		st.Comparisons += int64(ds.Len() - 1)
+		sc.offer(Item{Index: int(idx), ID: ds.Obj(int(idx)).ID, Score: Score(ds, int(idx))})
+	}
+	return sc.result(), st
+}

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/data"
+)
+
+// ParallelNaive is a documented extension beyond the paper: the exhaustive
+// scorer sharded across workers goroutines (<=0 selects GOMAXPROCS). Exact
+// scoring is embarrassingly parallel — each object's score touches the
+// dataset read-only — so this serves both as a modern baseline for the
+// ablation benchmarks and as a stress test of the library's read-path
+// thread-safety. The answer is identical to Naive's (same tie-breaking by
+// score, then index).
+func ParallelNaive(ds *data.Dataset, k int, workers int) (Result, Stats) {
+	if k <= 0 || ds.Len() == 0 {
+		return Result{}, Stats{}
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > ds.Len() {
+		workers = ds.Len()
+	}
+
+	var st Stats
+	st.Candidates = ds.Len()
+	heaps := make([]*candidateHeap, workers)
+	var wg sync.WaitGroup
+	chunk := (ds.Len() + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > ds.Len() {
+			hi = ds.Len()
+		}
+		heaps[w] = newCandidateHeap(k)
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			h := heaps[w]
+			for i := lo; i < hi; i++ {
+				h.offer(Item{Index: i, ID: ds.Obj(i).ID, Score: Score(ds, i)})
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+
+	// Merge the per-worker heaps.
+	merged := newCandidateHeap(k)
+	for _, h := range heaps {
+		for _, it := range h.items {
+			merged.offer(it)
+		}
+	}
+	st.Scored = ds.Len()
+	st.Comparisons = int64(ds.Len()) * int64(ds.Len()-1)
+	return merged.result(), st
+}

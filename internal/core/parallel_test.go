@@ -1,0 +1,62 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+)
+
+func TestParallelNaiveMatchesNaive(t *testing.T) {
+	for _, cfg := range randomConfigs(400)[:4] {
+		ds := gen.Synthetic(cfg)
+		for _, k := range []int{1, 7, 33} {
+			want, _ := core.Naive(ds, k)
+			for _, workers := range []int{0, 1, 3, 16} {
+				got, _ := core.ParallelNaive(ds, k, workers)
+				w, g := want.Scores(), got.Scores()
+				if len(w) != len(g) {
+					t.Fatalf("cfg=%+v k=%d workers=%d: %d items, want %d", cfg, k, workers, len(g), len(w))
+				}
+				for i := range w {
+					if w[i] != g[i] {
+						t.Fatalf("cfg=%+v k=%d workers=%d: %v vs %v", cfg, k, workers, g, w)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestParallelNaiveDegenerateInputs(t *testing.T) {
+	ds := gen.Synthetic(gen.Config{N: 5, Dim: 2, Cardinality: 3, MissingRate: 0.2, Dist: gen.IND, Seed: 61})
+	if res, _ := core.ParallelNaive(ds, 0, 4); len(res.Items) != 0 {
+		t.Fatal("k=0 returned items")
+	}
+	// More workers than objects.
+	res, _ := core.ParallelNaive(ds, 3, 64)
+	if len(res.Items) != 3 {
+		t.Fatalf("got %d items", len(res.Items))
+	}
+}
+
+// TestParallelNaiveRace exercises concurrent read-path access under the
+// race detector (go test -race).
+func TestParallelNaiveRace(t *testing.T) {
+	ds := gen.Synthetic(gen.Config{N: 500, Dim: 4, Cardinality: 10, MissingRate: 0.3, Dist: gen.AC, Seed: 62})
+	for trial := 0; trial < 3; trial++ {
+		core.ParallelNaive(ds, 8, 8)
+	}
+}
+
+func BenchmarkParallelNaive(b *testing.B) {
+	ds := gen.Synthetic(gen.Config{N: 2000, Dim: 6, Cardinality: 50, MissingRate: 0.2, Dist: gen.IND, Seed: 63})
+	for _, workers := range []int{1, 4} {
+		b.Run(map[int]string{1: "serial", 4: "workers4"}[workers], func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				core.ParallelNaive(ds, 16, workers)
+			}
+		})
+	}
+}

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"math/bits"
+
+	"repro/internal/bitmapidx"
+	"repro/internal/btree"
+	"repro/internal/data"
+)
+
+// Refinement selects how IBIG resolves the Q−P rim of Algorithm 5.
+type Refinement int
+
+const (
+	// RefineDirect compares each Q−P candidate's values against o on the
+	// common observed dimensions — the default.
+	RefineDirect Refinement = iota
+	// RefineBTree follows §4.5's implementation note: one B+-tree per
+	// dimension locates o's bin boundary and sequentially scans only the
+	// in-bin keys below o[i] (the nonD members) and equal to o[i] (the tagT
+	// increments), avoiding value checks against candidates outside the bin.
+	RefineBTree
+)
+
+// String implements fmt.Stringer.
+func (r Refinement) String() string {
+	if r == RefineBTree {
+		return "btree"
+	}
+	return "direct"
+}
+
+// BuildDimTrees constructs one B+-tree per dimension over the observed
+// values (value → object ids), the preprocessing artifact RefineBTree
+// consumes. The same trees back the MaxScore computation conceptually; they
+// are built separately here so each preprocessing cost is measurable on its
+// own.
+func BuildDimTrees(ds *data.Dataset) []*btree.Tree {
+	trees := make([]*btree.Tree, ds.Dim())
+	for d := range trees {
+		trees[d] = btree.NewDefault()
+	}
+	for i := 0; i < ds.Len(); i++ {
+		o := ds.Obj(i)
+		for d := 0; d < ds.Dim(); d++ {
+			if o.Observed(d) {
+				trees[d].Insert(o.Values[d], int32(i))
+			}
+		}
+	}
+	return trees
+}
+
+// epochTags provides O(1)-reset per-object counters for the B+-tree
+// refinement: tag counts value-equalities, mark flags nonD membership.
+type epochTags struct {
+	tag     []int32
+	tagE    []int32
+	mark    []int32
+	epoch   int32
+	touched []int32
+}
+
+func newEpochTags(n int) *epochTags {
+	return &epochTags{tag: make([]int32, n), tagE: make([]int32, n), mark: make([]int32, n)}
+}
+
+func (e *epochTags) reset() {
+	e.epoch++
+	e.touched = e.touched[:0]
+}
+
+func (e *epochTags) bump(id int32) {
+	if e.tagE[id] != e.epoch {
+		e.tagE[id] = e.epoch
+		e.tag[id] = 0
+		e.touched = append(e.touched, id)
+	}
+	e.tag[id]++
+}
+
+func (e *epochTags) count(id int32) int32 {
+	if e.tagE[id] != e.epoch {
+		return 0
+	}
+	return e.tag[id]
+}
+
+func (e *epochTags) setMark(id int32) bool {
+	if e.mark[id] == e.epoch {
+		return false
+	}
+	e.mark[id] = e.epoch
+	return true
+}
+
+func (e *epochTags) marked(id int32) bool { return e.mark[id] == e.epoch }
+
+// bigScoreBTree is the RefineBTree flavour of IBIG-Score. It classifies the
+// Q−P rim without touching per-candidate values: for every observed
+// dimension of o it scans the B+-tree over [bin start, o[i]] — keys strictly
+// below o[i] identify nonD members directly (possible only for same-bin
+// smaller values), keys equal to o[i] feed the tagT counters — and then the
+// all-common-dims-equal candidates are read off the counters. Because
+// F(o) ⊆ P and every comparable member of P is dominated,
+// |G(o)| = |P| − |F(o)| needs no iteration at all.
+func (s *bigState) bigScoreBTree(o int, tau int, full bool, st *Stats) (int, scoreResult) {
+	maxBit := s.cursor.MaxBitScore(o)
+	if full && maxBit <= tau {
+		return 0, prunedH2 // Heuristic 2
+	}
+	q, p := s.cursor.QP(o)
+	obj := s.ds.Obj(o)
+	g := p.Count() - s.fCount(obj.Mask)
+	rim := maxBit - p.Count() // |Q−P|
+	useH3 := full && s.ix.Binned()
+	nonDBudget := maxBit - s.fCount(obj.Mask) - tau
+	nonD := 0
+
+	s.tags.reset()
+	for d := 0; d < s.ds.Dim(); d++ {
+		if !obj.Observed(d) {
+			continue
+		}
+		b := s.ix.Bucket(o, d)
+		lo := s.ix.BucketMinValue(d, b)
+		ov := obj.Values[d]
+		pruned := false
+		s.trees[d].AscendRange(lo, ov, func(key float64, ids []int32) bool {
+			if key < ov {
+				for _, id := range ids {
+					st.Comparisons++
+					if q.Get(int(id)) && !p.Get(int(id)) && s.tags.setMark(id) {
+						nonD++
+						if useH3 && nonD > nonDBudget {
+							pruned = true
+							return false
+						}
+					}
+				}
+				return true
+			}
+			// key == ov: tagT increments for Q−P members.
+			for _, id := range ids {
+				if int(id) != o && q.Get(int(id)) && !p.Get(int(id)) {
+					st.Comparisons++
+					s.tags.bump(id)
+				}
+			}
+			return true
+		})
+		if pruned {
+			return 0, prunedH3
+		}
+	}
+	// All-equal candidates: tagT == |bp & bo|.
+	for _, id := range s.tags.touched {
+		if s.tags.marked(id) {
+			continue
+		}
+		po := s.ds.Obj(int(id))
+		if s.tags.count(id) == int32(bits.OnesCount64(po.Mask&obj.Mask)) {
+			nonD++
+			if useH3 && nonD > nonDBudget {
+				return 0, prunedH3
+			}
+		}
+	}
+	return g + rim - nonD, scored
+}
+
+// IBIGBTree is IBIG with the B+-tree-backed Q−P refinement of §4.5. trees
+// may be nil, in which case they are built on the fly (pass pre-built trees
+// to measure pure query time, as the experiments do).
+func IBIGBTree(ds *data.Dataset, k int, ix *bitmapidx.Index, queue *MaxScoreQueue, trees []*btree.Tree) (Result, Stats) {
+	if trees == nil {
+		trees = BuildDimTrees(ds)
+	}
+	return bitmapRunRefine(ds, k, ix, queue, RefineBTree, trees)
+}

@@ -1,0 +1,81 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/bitmapidx"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/paperdata"
+)
+
+// TestIBIGBTreeMatchesDirect: the two refinement strategies of Algorithm 5
+// must produce identical top-k score multisets across regimes and bin
+// layouts.
+func TestIBIGBTreeMatchesDirect(t *testing.T) {
+	configs := []gen.Config{
+		{N: 400, Dim: 4, Cardinality: 16, MissingRate: 0.25, Dist: gen.IND, Seed: 51},
+		{N: 300, Dim: 5, Cardinality: 6, MissingRate: 0.5, Dist: gen.AC, Seed: 52},
+		{N: 350, Dim: 3, Cardinality: 64, MissingRate: 0.1, Dist: gen.IND, Seed: 53},
+		{N: 250, Dim: 4, Cardinality: 32, MissingRate: 0, Dist: gen.AC, Seed: 54},
+	}
+	for _, cfg := range configs {
+		ds := gen.Synthetic(cfg)
+		queue := core.BuildMaxScoreQueue(ds)
+		trees := core.BuildDimTrees(ds)
+		for _, bins := range []int{2, 5, 16} {
+			ix := bitmapidx.Build(ds, bitmapidx.Options{Codec: bitmapidx.Concise, Bins: []int{bins}})
+			for _, k := range []int{1, 8, 32} {
+				direct, _ := core.IBIG(ds, k, ix, queue)
+				viaTree, _ := core.IBIGBTree(ds, k, ix, queue, trees)
+				dw, tw := direct.Scores(), viaTree.Scores()
+				if len(dw) != len(tw) {
+					t.Fatalf("cfg=%+v bins=%d k=%d: size %d vs %d", cfg, bins, k, len(dw), len(tw))
+				}
+				for i := range dw {
+					if dw[i] != tw[i] {
+						t.Fatalf("cfg=%+v bins=%d k=%d: scores %v vs %v", cfg, bins, k, tw, dw)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestIBIGBTreeOnPaperSample replays the golden T2D answer through the
+// B+-tree refinement with the Fig. 9 bin layout.
+func TestIBIGBTreeOnPaperSample(t *testing.T) {
+	ds := paperdata.Sample()
+	ix := bitmapidx.Build(ds, bitmapidx.Options{Codec: bitmapidx.Concise, Bins: []int{2, 2, 3, 3}})
+	res, _ := core.IBIGBTree(ds, 2, ix, nil, nil) // build queue and trees on the fly
+	for _, it := range res.Items {
+		if it.Score != paperdata.T2DAnswerScore {
+			t.Fatalf("score(%s) = %d, want %d", it.ID, it.Score, paperdata.T2DAnswerScore)
+		}
+	}
+	ids := map[string]bool{res.Items[0].ID: true, res.Items[1].ID: true}
+	if !ids["C2"] || !ids["A2"] {
+		t.Fatalf("answer %v, want {C2, A2}", res.IDs())
+	}
+}
+
+// TestIBIGBTreeReportsHeuristics: the B+-tree flavour still exercises
+// Heuristics 1–3 and its counters stay consistent.
+func TestIBIGBTreeReportsHeuristics(t *testing.T) {
+	ds := gen.Synthetic(gen.Config{N: 800, Dim: 4, Cardinality: 16, MissingRate: 0.3, Dist: gen.IND, Seed: 55})
+	ix := bitmapidx.Build(ds, bitmapidx.Options{Codec: bitmapidx.Concise, Bins: []int{4}})
+	_, st := core.IBIGBTree(ds, 10, ix, nil, nil)
+	if st.Candidates+st.PrunedH1 != ds.Len() {
+		t.Fatalf("candidates %d + H1 %d != N %d", st.Candidates, st.PrunedH1, ds.Len())
+	}
+	if st.Scored+st.PrunedH2+st.PrunedH3 != st.Candidates {
+		t.Fatalf("scored %d + H2 %d + H3 %d != candidates %d",
+			st.Scored, st.PrunedH2, st.PrunedH3, st.Candidates)
+	}
+}
+
+func TestRefinementString(t *testing.T) {
+	if core.RefineDirect.String() != "direct" || core.RefineBTree.String() != "btree" {
+		t.Fatal("Stringer wrong")
+	}
+}

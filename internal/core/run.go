@@ -1,0 +1,124 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bitmapidx"
+	"repro/internal/data"
+)
+
+// Algorithm identifies one of the paper's TKD algorithms.
+type Algorithm int
+
+const (
+	// AlgNaive is the exhaustive baseline of §4.1.
+	AlgNaive Algorithm = iota
+	// AlgESB is the extended skyband based algorithm (Algorithm 1).
+	AlgESB
+	// AlgUBB is the upper bound based algorithm (Algorithm 2).
+	AlgUBB
+	// AlgBIG is the bitmap index guided algorithm (Algorithm 4).
+	AlgBIG
+	// AlgIBIG is the improved BIG algorithm (§4.4).
+	AlgIBIG
+)
+
+// Algorithms lists every algorithm in the paper's presentation order.
+var Algorithms = []Algorithm{AlgNaive, AlgESB, AlgUBB, AlgBIG, AlgIBIG}
+
+// String implements fmt.Stringer.
+func (a Algorithm) String() string {
+	switch a {
+	case AlgNaive:
+		return "Naive"
+	case AlgESB:
+		return "ESB"
+	case AlgUBB:
+		return "UBB"
+	case AlgBIG:
+		return "BIG"
+	case AlgIBIG:
+		return "IBIG"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// ParseAlgorithm resolves a case-sensitive algorithm name.
+func ParseAlgorithm(s string) (Algorithm, error) {
+	for _, a := range Algorithms {
+		if a.String() == s {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown algorithm %q", s)
+}
+
+// Pre bundles the preprocessing artifacts the algorithms consume. Table 3 of
+// the paper measures exactly these three build steps.
+type Pre struct {
+	// Queue is the MaxScore priority queue F (UBB, BIG, IBIG).
+	Queue *MaxScoreQueue
+	// Bitmap is the value-granular bitmap index (BIG).
+	Bitmap *bitmapidx.Index
+	// Binned is the binned, compressed bitmap index (IBIG).
+	Binned *bitmapidx.Index
+}
+
+// Preprocess builds every artifact an algorithm set needs. bins follows
+// bitmapidx.Options.Bins semantics; when nil, the paper's Eq. (8) optimum is
+// used for every dimension. The binned index is CONCISE-compressed, the
+// paper's choice for IBIG.
+func Preprocess(ds *data.Dataset, bins []int) *Pre {
+	if bins == nil {
+		bins = []int{OptimalBins(ds.Len(), ds.MissingRate())}
+	}
+	stats := ds.Stats()
+	return &Pre{
+		Queue:  BuildMaxScoreQueue(ds),
+		Bitmap: bitmapidx.BuildWithStats(ds, stats, bitmapidx.Options{Codec: bitmapidx.Raw}),
+		Binned: bitmapidx.BuildWithStats(ds, stats, bitmapidx.Options{Codec: bitmapidx.Concise, Bins: bins}),
+	}
+}
+
+// Run dispatches a TKD query to the chosen algorithm, building any missing
+// preprocessing artifact on the fly (pass a shared Pre to amortize them, as
+// the experiments do).
+func Run(a Algorithm, ds *data.Dataset, k int, pre *Pre) (Result, Stats) {
+	if k <= 0 {
+		return Result{}, Stats{}
+	}
+	if pre == nil {
+		pre = &Pre{}
+	}
+	switch a {
+	case AlgNaive:
+		return Naive(ds, k)
+	case AlgESB:
+		return ESB(ds, k)
+	case AlgUBB:
+		if pre.Queue == nil {
+			pre.Queue = BuildMaxScoreQueue(ds)
+		}
+		return UBB(ds, k, pre.Queue)
+	case AlgBIG:
+		if pre.Queue == nil {
+			pre.Queue = BuildMaxScoreQueue(ds)
+		}
+		if pre.Bitmap == nil {
+			pre.Bitmap = bitmapidx.Build(ds, bitmapidx.Options{Codec: bitmapidx.Raw})
+		}
+		return BIG(ds, k, pre.Bitmap, pre.Queue)
+	case AlgIBIG:
+		if pre.Queue == nil {
+			pre.Queue = BuildMaxScoreQueue(ds)
+		}
+		if pre.Binned == nil {
+			bins := []int{OptimalBins(ds.Len(), ds.MissingRate())}
+			pre.Binned = bitmapidx.Build(ds, bitmapidx.Options{Codec: bitmapidx.Concise, Bins: bins})
+		}
+		return IBIG(ds, k, pre.Binned, pre.Queue)
+	default:
+		panic(fmt.Sprintf("core: unknown algorithm %d", int(a)))
+	}
+}

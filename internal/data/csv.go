@@ -1,0 +1,87 @@
+package data
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// CSV layout: a header row "id,v1,...,vd", then one row per object. Missing
+// values are written as "-" (the paper's notation) and read back as either
+// "-" or the empty string.
+
+// WriteCSV serializes the dataset.
+func (ds *Dataset) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, ds.dim+1)
+	header[0] = "id"
+	for d := 0; d < ds.dim; d++ {
+		header[d+1] = fmt.Sprintf("v%d", d+1)
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, ds.dim+1)
+	for i := range ds.objs {
+		o := &ds.objs[i]
+		row[0] = o.ID
+		for d := 0; d < ds.dim; d++ {
+			if o.Observed(d) {
+				row[d+1] = strconv.FormatFloat(o.Values[d], 'g', -1, 64)
+			} else {
+				row[d+1] = "-"
+			}
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a dataset written by WriteCSV (or hand-authored in the same
+// layout). Objects with no observed dimension are rejected, matching the
+// paper's model assumption.
+func ReadCSV(r io.Reader) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("data: reading CSV header: %w", err)
+	}
+	if len(header) < 2 || header[0] != "id" {
+		return nil, fmt.Errorf("data: malformed CSV header %v", header)
+	}
+	ds := New(len(header) - 1)
+	values := make([]float64, ds.dim)
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("data: reading CSV line %d: %w", line, err)
+		}
+		if len(rec) != ds.dim+1 {
+			return nil, fmt.Errorf("data: CSV line %d has %d fields, want %d", line, len(rec), ds.dim+1)
+		}
+		for d := 0; d < ds.dim; d++ {
+			cell := strings.TrimSpace(rec[d+1])
+			if cell == "-" || cell == "" {
+				values[d] = Missing()
+				continue
+			}
+			v, err := strconv.ParseFloat(cell, 64)
+			if err != nil {
+				return nil, fmt.Errorf("data: CSV line %d dim %d: %w", line, d+1, err)
+			}
+			values[d] = v
+		}
+		if _, err := ds.Append(rec[0], values); err != nil {
+			return nil, fmt.Errorf("data: CSV line %d: %w", line, err)
+		}
+	}
+	return ds, nil
+}

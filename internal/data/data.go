@@ -1,0 +1,268 @@
+// Package data defines the incomplete-data model of the TKD paper (§3):
+// d-dimensional objects in which any dimensional value may be missing, with
+// missingness tracked by an explicit per-object bit vector (the paper's bo).
+// No prior knowledge about a missing value is assumed — missingness is a
+// static state, not a probability distribution.
+//
+// The convention throughout the library is smaller-is-better, matching the
+// paper's Definition 1 and Fig. 2. Rating-style data where larger is better
+// (e.g. MovieLens) should be loaded through Negate.
+package data
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+)
+
+// MaxDim is the largest supported dimensionality. Observed-dimension masks
+// are packed into a single uint64 so that the comparability test of §3
+// (bo & bo' != 0) is one machine instruction; 64 dimensions covers every
+// dataset in the paper (the widest, MovieLens, has 60).
+const MaxDim = 64
+
+// Object is one d-dimensional incomplete data object. Values[i] is only
+// meaningful when bit i of Mask is set; by convention unobserved entries are
+// stored as NaN.
+type Object struct {
+	ID     string
+	Values []float64
+	Mask   uint64
+}
+
+// Observed reports whether dimension i of the object is observed.
+func (o *Object) Observed(i int) bool { return o.Mask&(1<<uint(i)) != 0 }
+
+// ObservedCount returns |Iset(o)|, the number of observed dimensions.
+func (o *Object) ObservedCount() int { return bits.OnesCount64(o.Mask) }
+
+// ComparableWith reports whether o and p share at least one common observed
+// dimension (bo & bp != 0), the precondition for dominance in Definition 1.
+func (o *Object) ComparableWith(p *Object) bool { return o.Mask&p.Mask != 0 }
+
+// CommonDims returns |Iset(o) ∩ Iset(p)|.
+func (o *Object) CommonDims(p *Object) int { return bits.OnesCount64(o.Mask & p.Mask) }
+
+// Dominates reports o ≺ p under the incomplete-data dominance relation of
+// Khalefa et al. (Definition 1 of the TKD paper; smaller is better): o is no
+// larger than p on every common observed dimension and strictly smaller on
+// at least one. Objects without a common observed dimension are
+// incomparable. The relation is NOT transitive on incomplete data and may
+// even be cyclic.
+func (o *Object) Dominates(p *Object) bool {
+	m := o.Mask & p.Mask
+	if m == 0 {
+		return false
+	}
+	strict := false
+	for d := 0; m != 0; d, m = d+1, m>>1 {
+		if m&1 == 0 {
+			continue
+		}
+		ov, pv := o.Values[d], p.Values[d]
+		if ov > pv {
+			return false
+		}
+		if ov < pv {
+			strict = true
+		}
+	}
+	return strict
+}
+
+// Dataset is an ordered collection of incomplete objects sharing one
+// dimensionality. Object identity within the library is positional (the
+// int32 index), matching the bit positions of the vertical bitmap columns.
+type Dataset struct {
+	dim  int
+	objs []Object
+}
+
+// New returns an empty dataset of the given dimensionality.
+func New(dim int) *Dataset {
+	if dim <= 0 || dim > MaxDim {
+		panic(fmt.Sprintf("data: dimensionality %d out of range [1,%d]", dim, MaxDim))
+	}
+	return &Dataset{dim: dim}
+}
+
+// Dim returns the dimensionality d.
+func (ds *Dataset) Dim() int { return ds.dim }
+
+// Len returns the number of objects N.
+func (ds *Dataset) Len() int { return len(ds.objs) }
+
+// Obj returns a pointer to the i-th object. The pointer stays valid until
+// the next Append reallocates; callers must not hold it across mutation.
+func (ds *Dataset) Obj(i int) *Object { return &ds.objs[i] }
+
+// Append adds an object built from values, where NaN marks a missing entry.
+// It returns the object's index. Objects with no observed dimension are
+// rejected, per the paper's standing assumption ("we only consider the
+// objects with at least one observed dimensional value").
+func (ds *Dataset) Append(id string, values []float64) (int, error) {
+	if len(values) != ds.dim {
+		return 0, fmt.Errorf("data: object %q has %d values, want %d", id, len(values), ds.dim)
+	}
+	o := Object{ID: id, Values: make([]float64, ds.dim)}
+	for i, v := range values {
+		if math.IsNaN(v) {
+			o.Values[i] = math.NaN()
+			continue
+		}
+		o.Values[i] = v
+		o.Mask |= 1 << uint(i)
+	}
+	if o.Mask == 0 {
+		return 0, fmt.Errorf("data: object %q has no observed dimension", id)
+	}
+	ds.objs = append(ds.objs, o)
+	return len(ds.objs) - 1, nil
+}
+
+// MustAppend is Append that panics on error; for fixtures and generators.
+func (ds *Dataset) MustAppend(id string, values []float64) int {
+	i, err := ds.Append(id, values)
+	if err != nil {
+		panic(err)
+	}
+	return i
+}
+
+// Missing is the NaN sentinel for missing values in Append rows.
+func Missing() float64 { return math.NaN() }
+
+// Negate flips the sign of every observed value in place, converting
+// larger-is-better data (ratings) to the library's smaller-is-better
+// convention.
+func (ds *Dataset) Negate() {
+	for i := range ds.objs {
+		o := &ds.objs[i]
+		for d := 0; d < ds.dim; d++ {
+			if o.Observed(d) {
+				o.Values[d] = -o.Values[d]
+			}
+		}
+	}
+}
+
+// Clone returns a deep copy of the dataset.
+func (ds *Dataset) Clone() *Dataset {
+	out := New(ds.dim)
+	out.objs = make([]Object, len(ds.objs))
+	for i, o := range ds.objs {
+		out.objs[i] = Object{ID: o.ID, Values: append([]float64(nil), o.Values...), Mask: o.Mask}
+	}
+	return out
+}
+
+// MissingRate returns the fraction of (object, dimension) cells that are
+// missing — the paper's σ.
+func (ds *Dataset) MissingRate() float64 {
+	if len(ds.objs) == 0 {
+		return 0
+	}
+	missing := 0
+	for i := range ds.objs {
+		missing += ds.dim - ds.objs[i].ObservedCount()
+	}
+	return float64(missing) / float64(len(ds.objs)*ds.dim)
+}
+
+// DimStats summarizes one dimension of a dataset: the sorted distinct
+// observed values (the paper's value domain, |Distinct| = Ci) and the number
+// of objects missing that dimension (|Si|).
+type DimStats struct {
+	Distinct     []float64
+	MissingCount int
+	// CountPerValue[r] is the number of objects whose value in this
+	// dimension is Distinct[r] (the paper's N_ik).
+	CountPerValue []int
+}
+
+// Cardinality returns Ci, the number of distinct observed values.
+func (s *DimStats) Cardinality() int { return len(s.Distinct) }
+
+// Rank returns the rank (index into Distinct) of v, or -1 if v is not an
+// observed value of this dimension.
+func (s *DimStats) Rank(v float64) int {
+	i := sort.SearchFloat64s(s.Distinct, v)
+	if i < len(s.Distinct) && s.Distinct[i] == v {
+		return i
+	}
+	return -1
+}
+
+// RankGE returns the rank of the smallest distinct value >= v
+// (len(Distinct) if none).
+func (s *DimStats) RankGE(v float64) int {
+	return sort.SearchFloat64s(s.Distinct, v)
+}
+
+// Stats computes per-dimension statistics in one pass over the dataset.
+func (ds *Dataset) Stats() []DimStats {
+	out := make([]DimStats, ds.dim)
+	for d := 0; d < ds.dim; d++ {
+		vals := make([]float64, 0, len(ds.objs))
+		missing := 0
+		for i := range ds.objs {
+			o := &ds.objs[i]
+			if o.Observed(d) {
+				vals = append(vals, o.Values[d])
+			} else {
+				missing++
+			}
+		}
+		sort.Float64s(vals)
+		st := DimStats{MissingCount: missing}
+		for i := 0; i < len(vals); {
+			j := i
+			for j < len(vals) && vals[j] == vals[i] {
+				j++
+			}
+			st.Distinct = append(st.Distinct, vals[i])
+			st.CountPerValue = append(st.CountPerValue, j-i)
+			i = j
+		}
+		out[d] = st
+	}
+	return out
+}
+
+// Buckets groups object indices by their observed-dimension mask — the
+// bucketing step of the ESB algorithm (§4.1): objects within one bucket form
+// a complete dataset over their shared observed dimensions, so dominance is
+// transitive inside it.
+func (ds *Dataset) Buckets() map[uint64][]int32 {
+	out := make(map[uint64][]int32)
+	for i := range ds.objs {
+		m := ds.objs[i].Mask
+		out[m] = append(out[m], int32(i))
+	}
+	return out
+}
+
+// Validate re-checks the dataset invariants: value slices sized to Dim, NaN
+// exactly on unobserved entries, and at least one observed dimension per
+// object. Generators and loaders call it after construction.
+func (ds *Dataset) Validate() error {
+	for i := range ds.objs {
+		o := &ds.objs[i]
+		if len(o.Values) != ds.dim {
+			return fmt.Errorf("data: object %d has %d values, want %d", i, len(o.Values), ds.dim)
+		}
+		if o.Mask == 0 {
+			return fmt.Errorf("data: object %d has no observed dimension", i)
+		}
+		if ds.dim < 64 && o.Mask>>uint(ds.dim) != 0 {
+			return fmt.Errorf("data: object %d mask has bits beyond dim", i)
+		}
+		for d := 0; d < ds.dim; d++ {
+			if o.Observed(d) != !math.IsNaN(o.Values[d]) {
+				return fmt.Errorf("data: object %d dim %d mask/NaN disagree", i, d)
+			}
+		}
+	}
+	return nil
+}

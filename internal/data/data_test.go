@@ -1,0 +1,226 @@
+package data_test
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/paperdata"
+)
+
+func TestAppendAndAccessors(t *testing.T) {
+	ds := data.New(3)
+	i, err := ds.Append("x", []float64{1, data.Missing(), 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := ds.Obj(i)
+	if !o.Observed(0) || o.Observed(1) || !o.Observed(2) {
+		t.Fatal("mask wrong")
+	}
+	if o.ObservedCount() != 2 {
+		t.Fatalf("ObservedCount = %d", o.ObservedCount())
+	}
+	if !math.IsNaN(o.Values[1]) {
+		t.Fatal("missing value not NaN")
+	}
+	if ds.Len() != 1 || ds.Dim() != 3 {
+		t.Fatal("Len/Dim wrong")
+	}
+}
+
+func TestAppendRejectsAllMissing(t *testing.T) {
+	ds := data.New(2)
+	if _, err := ds.Append("bad", []float64{data.Missing(), data.Missing()}); err == nil {
+		t.Fatal("expected error for fully-missing object")
+	}
+}
+
+func TestAppendRejectsWrongWidth(t *testing.T) {
+	ds := data.New(2)
+	if _, err := ds.Append("bad", []float64{1}); err == nil {
+		t.Fatal("expected error for wrong width")
+	}
+}
+
+func TestNewPanicsOnBadDim(t *testing.T) {
+	for _, dim := range []int{0, -1, 65} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d) did not panic", dim)
+				}
+			}()
+			data.New(dim)
+		}()
+	}
+}
+
+func TestComparableWith(t *testing.T) {
+	ds := paperdata.Sample()
+	c := ds.Obj(paperdata.Index("C2")) // dims 1,4
+	e := ds.Obj(paperdata.Index("A2")) // dims 2,3,4
+	b := ds.Obj(paperdata.Index("B3")) // dims 3,4
+	if !c.ComparableWith(e) {
+		t.Fatal("C2 and A2 share dim 4")
+	}
+	if got := c.CommonDims(e); got != 1 {
+		t.Fatalf("CommonDims = %d", got)
+	}
+	if got := e.CommonDims(b); got != 2 {
+		t.Fatalf("CommonDims = %d", got)
+	}
+}
+
+func TestIncomparableObjects(t *testing.T) {
+	ds := data.New(2)
+	a := ds.MustAppend("a", []float64{5, data.Missing()})
+	b := ds.MustAppend("b", []float64{data.Missing(), 4})
+	if ds.Obj(a).ComparableWith(ds.Obj(b)) {
+		t.Fatal("objects with disjoint masks must be incomparable (Fig. 2 c vs e)")
+	}
+}
+
+func TestMissingRate(t *testing.T) {
+	ds := paperdata.Sample()
+	// Fig. 3: 20 objects x 4 dims; each object misses exactly 1 dim,
+	// except the A and B buckets... count: A misses 1 each (5), B misses
+	// 2 each (10), C misses 2 each (10), D misses 1 each (5) = 30/80.
+	if got, want := ds.MissingRate(), 30.0/80.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("MissingRate = %v, want %v", got, want)
+	}
+	if data.New(2).MissingRate() != 0 {
+		t.Fatal("MissingRate of empty dataset")
+	}
+}
+
+func TestStats(t *testing.T) {
+	ds := paperdata.Sample()
+	st := ds.Stats()
+	// §4.3: dimension 1 has four distinct values {2,3,4,5} and 10 missing.
+	if st[0].Cardinality() != 4 {
+		t.Fatalf("dim1 cardinality = %d, want 4", st[0].Cardinality())
+	}
+	if st[0].MissingCount != 10 {
+		t.Fatalf("dim1 missing = %d, want 10", st[0].MissingCount)
+	}
+	// §4.4: N11=4, N12=4, N13=1, N14=1.
+	want := []int{4, 4, 1, 1}
+	for i, w := range want {
+		if st[0].CountPerValue[i] != w {
+			t.Fatalf("dim1 CountPerValue = %v, want %v", st[0].CountPerValue, want)
+		}
+	}
+	if st[0].Rank(3) != 1 || st[0].Rank(2.5) != -1 {
+		t.Fatal("Rank wrong")
+	}
+	if st[0].RankGE(2.5) != 1 || st[0].RankGE(2) != 0 || st[0].RankGE(6) != 4 {
+		t.Fatal("RankGE wrong")
+	}
+	// Dimension 4 is fully observed (S4 = ∅, used for MaxScore(B3)).
+	if st[3].MissingCount != 0 {
+		t.Fatalf("dim4 missing = %d, want 0", st[3].MissingCount)
+	}
+}
+
+func TestBuckets(t *testing.T) {
+	ds := paperdata.Sample()
+	buckets := ds.Buckets()
+	if len(buckets) != 4 {
+		t.Fatalf("bucket count = %d, want 4 (Fig. 4)", len(buckets))
+	}
+	for mask, ids := range buckets {
+		if len(ids) != 5 {
+			t.Fatalf("bucket %b has %d objects, want 5", mask, len(ids))
+		}
+	}
+}
+
+func TestNegate(t *testing.T) {
+	ds := data.New(2)
+	ds.MustAppend("a", []float64{1, data.Missing()})
+	ds.Negate()
+	if ds.Obj(0).Values[0] != -1 {
+		t.Fatal("Negate did not flip observed value")
+	}
+	if !math.IsNaN(ds.Obj(0).Values[1]) {
+		t.Fatal("Negate touched missing value")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	ds := paperdata.Sample()
+	cp := ds.Clone()
+	cp.Obj(0).Values[1] = 99
+	if ds.Obj(0).Values[1] == 99 {
+		t.Fatal("Clone shares value storage")
+	}
+	if err := cp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	ds := paperdata.Sample()
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Break an invariant by hand.
+	ds.Obj(0).Mask = 0
+	if err := ds.Validate(); err == nil {
+		t.Fatal("Validate accepted zero mask")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	ds := paperdata.Sample()
+	var buf bytes.Buffer
+	if err := ds.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := data.ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != ds.Len() || got.Dim() != ds.Dim() {
+		t.Fatalf("shape mismatch: %dx%d", got.Len(), got.Dim())
+	}
+	for i := 0; i < ds.Len(); i++ {
+		a, b := ds.Obj(i), got.Obj(i)
+		if a.ID != b.ID || a.Mask != b.Mask {
+			t.Fatalf("object %d id/mask mismatch", i)
+		}
+		for d := 0; d < ds.Dim(); d++ {
+			if a.Observed(d) && a.Values[d] != b.Values[d] {
+				t.Fatalf("object %d dim %d: %v vs %v", i, d, a.Values[d], b.Values[d])
+			}
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"",                    // no header
+		"x,v1\na,1\n",         // bad header
+		"id,v1,v2\na,1\n",     // short row is a csv error
+		"id,v1,v2\na,zap,1\n", // unparseable number
+		"id,v1,v2\na,-,-\n",   // fully missing object
+	}
+	for _, c := range cases {
+		if _, err := data.ReadCSV(strings.NewReader(c)); err == nil {
+			t.Errorf("ReadCSV(%q) succeeded, want error", c)
+		}
+	}
+}
+
+func TestReadCSVAcceptsEmptyCellAsMissing(t *testing.T) {
+	ds, err := data.ReadCSV(strings.NewReader("id,v1,v2\na,1,\nb,-,2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Obj(0).Observed(1) || ds.Obj(1).Observed(0) {
+		t.Fatal("empty or dash cell should be missing")
+	}
+}

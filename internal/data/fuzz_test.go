@@ -1,0 +1,46 @@
+package data_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/data"
+)
+
+// FuzzReadCSV checks that arbitrary input never panics the loader and that
+// anything it accepts survives a write/read round trip with identical
+// masks.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("id,v1,v2\na,1,2\n")
+	f.Add("id,v1,v2\na,-,2\nb,3,-\n")
+	f.Add("id,v1\nx,1e300\n")
+	f.Add("id,v1,v2,v3\np,-1.5,,0\n")
+	f.Add("")
+	f.Add("id,v1\n\"quoted,name\",7\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		ds, err := data.ReadCSV(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if err := ds.Validate(); err != nil {
+			t.Fatalf("accepted dataset fails validation: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := ds.WriteCSV(&buf); err != nil {
+			t.Fatalf("cannot re-serialize accepted dataset: %v", err)
+		}
+		back, err := data.ReadCSV(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if back.Len() != ds.Len() || back.Dim() != ds.Dim() {
+			t.Fatal("round trip changed shape")
+		}
+		for i := 0; i < ds.Len(); i++ {
+			if back.Obj(i).Mask != ds.Obj(i).Mask {
+				t.Fatalf("round trip changed mask of object %d", i)
+			}
+		}
+	})
+}

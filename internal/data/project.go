@@ -1,0 +1,46 @@
+package data
+
+import "fmt"
+
+// Project returns a new dataset restricted to the given dimensions (in the
+// given order) — the substrate for subspace dominating queries (the TKD
+// variant of Tiakas et al. the paper surveys in §2.1). Objects that lose
+// every observed value under the projection are dropped, per the model's
+// standing assumption; the second return value maps each projected object
+// back to its index in the source dataset.
+func (ds *Dataset) Project(dims []int) (*Dataset, []int32, error) {
+	if len(dims) == 0 {
+		return nil, nil, fmt.Errorf("data: Project needs at least one dimension")
+	}
+	seen := make(map[int]bool, len(dims))
+	for _, d := range dims {
+		if d < 0 || d >= ds.dim {
+			return nil, nil, fmt.Errorf("data: Project dimension %d out of range [0,%d)", d, ds.dim)
+		}
+		if seen[d] {
+			return nil, nil, fmt.Errorf("data: Project dimension %d repeated", d)
+		}
+		seen[d] = true
+	}
+	out := New(len(dims))
+	var origin []int32
+	row := make([]float64, len(dims))
+	for i := range ds.objs {
+		o := &ds.objs[i]
+		any := false
+		for j, d := range dims {
+			if o.Observed(d) {
+				row[j] = o.Values[d]
+				any = true
+			} else {
+				row[j] = Missing()
+			}
+		}
+		if !any {
+			continue
+		}
+		out.MustAppend(o.ID, row)
+		origin = append(origin, int32(i))
+	}
+	return out, origin, nil
+}

@@ -1,0 +1,110 @@
+package data_test
+
+import (
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/paperdata"
+)
+
+func TestProjectBasics(t *testing.T) {
+	ds := paperdata.Sample()
+	sub, origin, err := ds.Project([]int{3, 0}) // dims 4 and 1, reordered
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Dim() != 2 {
+		t.Fatalf("Dim = %d", sub.Dim())
+	}
+	// Every object observes dimension 4 in the sample, so nothing drops.
+	if sub.Len() != ds.Len() {
+		t.Fatalf("Len = %d, want %d", sub.Len(), ds.Len())
+	}
+	if err := sub.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Spot-check value remapping: C2 = (2,-,-,1) becomes (1, 2).
+	c2 := int(-1)
+	for i, o := range origin {
+		if int(o) == paperdata.Index("C2") {
+			c2 = i
+		}
+	}
+	if c2 < 0 {
+		t.Fatal("C2 lost")
+	}
+	if sub.Obj(c2).Values[0] != 1 || sub.Obj(c2).Values[1] != 2 {
+		t.Fatalf("C2 projected to %v", sub.Obj(c2).Values)
+	}
+}
+
+func TestProjectDropsFullyMissing(t *testing.T) {
+	ds := paperdata.Sample()
+	// Dimension 3 (index 2) is observed only by buckets A and B.
+	sub, origin, err := ds.Project([]int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Len() != 10 {
+		t.Fatalf("Len = %d, want 10 (buckets A and B)", sub.Len())
+	}
+	for _, o := range origin {
+		name := paperdata.Names[o]
+		if name[0] != 'A' && name[0] != 'B' {
+			t.Fatalf("unexpected survivor %s", name)
+		}
+	}
+}
+
+func TestProjectErrors(t *testing.T) {
+	ds := paperdata.Sample()
+	if _, _, err := ds.Project(nil); err == nil {
+		t.Fatal("empty projection accepted")
+	}
+	if _, _, err := ds.Project([]int{4}); err == nil {
+		t.Fatal("out-of-range dimension accepted")
+	}
+	if _, _, err := ds.Project([]int{-1}); err == nil {
+		t.Fatal("negative dimension accepted")
+	}
+	if _, _, err := ds.Project([]int{1, 1}); err == nil {
+		t.Fatal("repeated dimension accepted")
+	}
+}
+
+func TestProjectIdentityPreservesDominance(t *testing.T) {
+	ds := paperdata.Sample()
+	sub, origin, err := ds.Project([]int{0, 1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Len() != ds.Len() {
+		t.Fatal("identity projection dropped objects")
+	}
+	for i := 0; i < sub.Len(); i++ {
+		for j := 0; j < sub.Len(); j++ {
+			if sub.Obj(i).Dominates(sub.Obj(j)) !=
+				ds.Obj(int(origin[i])).Dominates(ds.Obj(int(origin[j]))) {
+				t.Fatalf("dominance changed under identity projection (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestSubspaceDominanceIsSubspaceLocal(t *testing.T) {
+	ds := data.New(3)
+	a := ds.MustAppend("a", []float64{1, 9, 5})
+	b := ds.MustAppend("b", []float64{2, 1, 5})
+	// In full space, neither dominates (a better on d1, b better on d2).
+	if ds.Obj(a).Dominates(ds.Obj(b)) || ds.Obj(b).Dominates(ds.Obj(a)) {
+		t.Fatal("unexpected full-space dominance")
+	}
+	// Projected onto d1 alone, a dominates b.
+	sub, _, err := ds.Project([]int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sub.Obj(0).Dominates(sub.Obj(1)) {
+		t.Fatal("subspace dominance missing")
+	}
+}

@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/bitmapidx"
+	"repro/internal/core"
+)
+
+// Ablation is not a paper artifact: it isolates the design choices DESIGN.md
+// calls out — the Q−P refinement strategy of §4.5 (direct value comparison
+// vs B+-tree bin scanning) and the column-store codec (raw vs WAH vs
+// CONCISE) — on the default synthetic workloads.
+func Ablation(s Scale) []Table {
+	var out []Table
+	for _, nd := range syntheticPair(s, nil) {
+		queue := core.BuildMaxScoreQueue(nd.ds)
+		trees := core.BuildDimTrees(nd.ds)
+		stats := nd.ds.Stats()
+		bins := defaultBins(nd.name)
+
+		refineTab := Table{
+			Title:  fmt.Sprintf("Ablation — %s: IBIG Q−P refinement strategy (k=%d)", nd.name, defaultK),
+			Header: []string{"refinement", "time (s)", "comparisons"},
+		}
+		binned := bitmapidx.BuildWithStats(nd.ds, stats, bitmapidx.Options{Codec: bitmapidx.Concise, Bins: bins})
+		dDirect, stDirect := runAlgo(core.AlgIBIG, nd.ds, defaultK, &core.Pre{Queue: queue, Binned: binned})
+		dTree := measure(func() {
+			_, _ = core.IBIGBTree(nd.ds, defaultK, binned, queue, trees)
+		})
+		_, stTree := core.IBIGBTree(nd.ds, defaultK, binned, queue, trees)
+		refineTab.Rows = append(refineTab.Rows,
+			[]string{core.RefineDirect.String(), seconds(dDirect), fmt.Sprintf("%d", stDirect.Comparisons)},
+			[]string{core.RefineBTree.String(), seconds(dTree), fmt.Sprintf("%d", stTree.Comparisons)},
+		)
+		out = append(out, refineTab)
+
+		codecTab := Table{
+			Title:  fmt.Sprintf("Ablation — %s: column-store codec for the binned index (k=%d)", nd.name, defaultK),
+			Header: []string{"codec", "time (s)", "index (KB)"},
+		}
+		for _, codec := range []bitmapidx.Codec{bitmapidx.Raw, bitmapidx.WAH, bitmapidx.Concise} {
+			ix := bitmapidx.BuildWithStats(nd.ds, stats, bitmapidx.Options{Codec: codec, Bins: bins})
+			d, _ := runAlgo(core.AlgIBIG, nd.ds, defaultK, &core.Pre{Queue: queue, Binned: ix})
+			codecTab.Rows = append(codecTab.Rows,
+				[]string{codec.String(), seconds(d), fmt.Sprintf("%d", ix.SizeBytes()/1024)})
+		}
+		out = append(out, codecTab)
+	}
+	return out
+}

@@ -1,0 +1,242 @@
+package gen
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/data"
+)
+
+func TestSyntheticShape(t *testing.T) {
+	cfg := Config{N: 500, Dim: 6, Cardinality: 50, MissingRate: 0.2, Dist: IND, Seed: 1}
+	ds := Synthetic(cfg)
+	if ds.Len() != 500 || ds.Dim() != 6 {
+		t.Fatalf("shape %dx%d", ds.Len(), ds.Dim())
+	}
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSyntheticCardinalityBound(t *testing.T) {
+	ds := Synthetic(Config{N: 2000, Dim: 4, Cardinality: 10, MissingRate: 0, Dist: IND, Seed: 2})
+	for _, st := range ds.Stats() {
+		if st.Cardinality() > 10 {
+			t.Fatalf("cardinality %d exceeds c=10", st.Cardinality())
+		}
+		for _, v := range st.Distinct {
+			if v < 0 || v > 9 {
+				t.Fatalf("value %v out of domain", v)
+			}
+		}
+	}
+}
+
+func TestSyntheticMissingRate(t *testing.T) {
+	for _, sigma := range []float64{0, 0.1, 0.4} {
+		ds := Synthetic(Config{N: 5000, Dim: 10, Cardinality: 200, MissingRate: sigma, Dist: IND, Seed: 3})
+		got := ds.MissingRate()
+		// The keep-one-dimension guarantee shaves a little off high rates.
+		if math.Abs(got-sigma) > 0.05 {
+			t.Errorf("sigma=%v: observed missing rate %v", sigma, got)
+		}
+	}
+}
+
+func TestSyntheticEveryObjectHasObservedDim(t *testing.T) {
+	ds := Synthetic(Config{N: 3000, Dim: 5, Cardinality: 50, MissingRate: 0.4, Dist: AC, Seed: 4})
+	for i := 0; i < ds.Len(); i++ {
+		if ds.Obj(i).ObservedCount() == 0 {
+			t.Fatalf("object %d fully missing", i)
+		}
+	}
+}
+
+func TestSyntheticDeterministic(t *testing.T) {
+	cfg := Config{N: 200, Dim: 5, Cardinality: 30, MissingRate: 0.2, Dist: AC, Seed: 42}
+	a, b := Synthetic(cfg), Synthetic(cfg)
+	for i := 0; i < a.Len(); i++ {
+		if a.Obj(i).Mask != b.Obj(i).Mask {
+			t.Fatal("same seed produced different masks")
+		}
+		for d := 0; d < a.Dim(); d++ {
+			if a.Obj(i).Observed(d) && a.Obj(i).Values[d] != b.Obj(i).Values[d] {
+				t.Fatal("same seed produced different values")
+			}
+		}
+	}
+	c := Synthetic(Config{N: 200, Dim: 5, Cardinality: 30, MissingRate: 0.2, Dist: AC, Seed: 43})
+	same := true
+	for i := 0; i < a.Len() && same; i++ {
+		for d := 0; d < a.Dim(); d++ {
+			av, bv := a.Obj(i).Values[d], c.Obj(i).Values[d]
+			if av != bv && !(math.IsNaN(av) && math.IsNaN(bv)) {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical datasets")
+	}
+}
+
+func TestAntiCorrelatedIsAntiCorrelated(t *testing.T) {
+	// Pearson correlation between two dimensions should be clearly negative
+	// for AC and near zero for IND.
+	corr := func(dist Distribution) float64 {
+		ds := Synthetic(Config{N: 4000, Dim: 2, Cardinality: 1000, MissingRate: 0, Dist: dist, Seed: 5})
+		var sx, sy, sxx, syy, sxy float64
+		n := float64(ds.Len())
+		for i := 0; i < ds.Len(); i++ {
+			x, y := ds.Obj(i).Values[0], ds.Obj(i).Values[1]
+			sx += x
+			sy += y
+			sxx += x * x
+			syy += y * y
+			sxy += x * y
+		}
+		return (n*sxy - sx*sy) / math.Sqrt((n*sxx-sx*sx)*(n*syy-sy*sy))
+	}
+	if c := corr(AC); c > -0.5 {
+		t.Errorf("AC correlation = %v, want strongly negative", c)
+	}
+	if c := corr(IND); math.Abs(c) > 0.1 {
+		t.Errorf("IND correlation = %v, want near zero", c)
+	}
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	bad := []Config{
+		{N: 0, Dim: 1, Cardinality: 1},
+		{N: 1, Dim: 0, Cardinality: 1},
+		{N: 1, Dim: 1, Cardinality: 0},
+		{N: 1, Dim: 1, Cardinality: 1, MissingRate: 1},
+		{N: 1, Dim: 1, Cardinality: 1, MissingRate: -0.1},
+	}
+	for _, cfg := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %+v did not panic", cfg)
+				}
+			}()
+			Synthetic(cfg)
+		}()
+	}
+}
+
+func TestMovieLensShape(t *testing.T) {
+	ds := MovieLens(1)
+	if ds.Len() != 3700 || ds.Dim() != 60 {
+		t.Fatalf("shape %dx%d", ds.Len(), ds.Dim())
+	}
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := ds.MissingRate(); math.Abs(got-0.95) > 0.02 {
+		t.Fatalf("missing rate %v, want ~0.95", got)
+	}
+	// Negated 1..5 ratings: domain per dimension at most 5, values in [-5,-1].
+	for d, st := range ds.Stats() {
+		if st.Cardinality() > 5 {
+			t.Fatalf("dim %d cardinality %d > 5", d, st.Cardinality())
+		}
+		for _, v := range st.Distinct {
+			if v < -5 || v > -1 {
+				t.Fatalf("dim %d value %v outside negated rating domain", d, v)
+			}
+		}
+	}
+}
+
+func TestNBAShape(t *testing.T) {
+	ds := NBA(1)
+	if ds.Len() != 16000 || ds.Dim() != 4 {
+		t.Fatalf("shape %dx%d", ds.Len(), ds.Dim())
+	}
+	if got := ds.MissingRate(); math.Abs(got-0.20) > 0.02 {
+		t.Fatalf("missing rate %v, want ~0.20", got)
+	}
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNBACorrelation(t *testing.T) {
+	// Minutes and points must be strongly positively correlated in the
+	// negated data too — that is what makes MaxScore tight on NBA.
+	ds := NBA(2)
+	var sx, sy, sxx, syy, sxy float64
+	n := 0.0
+	for i := 0; i < ds.Len(); i++ {
+		o := ds.Obj(i)
+		if !o.Observed(1) || !o.Observed(2) {
+			continue
+		}
+		x, y := o.Values[1], o.Values[2]
+		sx += x
+		sy += y
+		sxx += x * x
+		syy += y * y
+		sxy += x * y
+		n++
+	}
+	r := (n*sxy - sx*sy) / math.Sqrt((n*sxx-sx*sx)*(n*syy-sy*sy))
+	if r < 0.8 {
+		t.Fatalf("minutes/points correlation = %v, want > 0.8", r)
+	}
+}
+
+func TestZillowShape(t *testing.T) {
+	ds := Zillow(1, 20000)
+	if ds.Len() != 20000 || ds.Dim() != 5 {
+		t.Fatalf("shape %dx%d", ds.Len(), ds.Dim())
+	}
+	if got := ds.MissingRate(); math.Abs(got-0.142) > 0.02 {
+		t.Fatalf("missing rate %v, want ~0.142", got)
+	}
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Heterogeneous domains: bedrooms tiny, price huge.
+	st := ds.Stats()
+	if st[0].Cardinality() > 8 {
+		t.Fatalf("bedrooms cardinality %d, want <= 8", st[0].Cardinality())
+	}
+	if st[4].Cardinality() < 1000 {
+		t.Fatalf("price cardinality %d, want >= 1000", st[4].Cardinality())
+	}
+	if st[0].Cardinality()*100 > st[4].Cardinality() {
+		t.Fatal("domains not heterogeneous enough")
+	}
+}
+
+func TestZillowDefaultSize(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size Zillow in -short mode")
+	}
+	ds := Zillow(3, 0)
+	if ds.Len() != ZillowSize {
+		t.Fatalf("len %d, want %d", ds.Len(), ZillowSize)
+	}
+}
+
+func TestDistributionString(t *testing.T) {
+	if IND.String() != "IND" || AC.String() != "AC" {
+		t.Fatal("Stringer wrong")
+	}
+	if Distribution(9).String() == "" {
+		t.Fatal("unknown distribution must still print")
+	}
+}
+
+var sink *data.Dataset
+
+func BenchmarkSyntheticIND(b *testing.B) {
+	cfg := Config{N: 10000, Dim: 10, Cardinality: 200, MissingRate: 0.1, Dist: IND, Seed: 7}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sink = Synthetic(cfg)
+	}
+}

@@ -1,0 +1,94 @@
+// Package paperdata holds the running example of the TKD paper as test
+// fixtures: the 20-object, 4-dimensional sample dataset of Fig. 3 together
+// with the numbers the paper derives from it (the MaxScore queue of Fig. 5,
+// the MaxBitScore column of Fig. 8, the ESB candidate set of Fig. 4, and the
+// T2D answer {C2, A2}). Golden tests across the library assert against
+// these values verbatim.
+package paperdata
+
+import "repro/internal/data"
+
+// M marks a missing value in the tables below.
+var M = data.Missing()
+
+// Names lists the object IDs in bitmap-row order (Fig. 6: "the first bit
+// w.r.t. A1, the second bit w.r.t. A2, and so on").
+var Names = []string{
+	"A1", "A2", "A3", "A4", "A5",
+	"B1", "B2", "B3", "B4", "B5",
+	"C1", "C2", "C3", "C4", "C5",
+	"D1", "D2", "D3", "D4", "D5",
+}
+
+// rows transcribes Fig. 3.
+var rows = [][]float64{
+	{M, 3, 1, 3}, // A1
+	{M, 1, 2, 1}, // A2
+	{M, 1, 3, 4}, // A3
+	{M, 7, 4, 5}, // A4
+	{M, 4, 8, 3}, // A5
+	{M, M, 1, 2}, // B1
+	{M, M, 3, 1}, // B2
+	{M, M, 4, 9}, // B3
+	{M, M, 3, 7}, // B4
+	{M, M, 7, 4}, // B5
+	{2, M, M, 3}, // C1
+	{2, M, M, 1}, // C2
+	{3, M, M, 2}, // C3
+	{3, M, M, 3}, // C4
+	{3, M, M, 4}, // C5
+	{3, 5, M, 2}, // D1
+	{2, 1, M, 4}, // D2
+	{2, 4, M, 1}, // D3
+	{4, 4, M, 5}, // D4
+	{5, 5, M, 4}, // D5
+}
+
+// Sample builds the Fig. 3 dataset.
+func Sample() *data.Dataset {
+	ds := data.New(4)
+	for i, name := range Names {
+		ds.MustAppend(name, rows[i])
+	}
+	return ds
+}
+
+// Index returns the row index of the named object.
+func Index(name string) int {
+	for i, n := range Names {
+		if n == name {
+			return i
+		}
+	}
+	panic("paperdata: unknown object " + name)
+}
+
+// MaxScore transcribes Fig. 5 / the MaxScore row of Fig. 8.
+var MaxScore = map[string]int{
+	"C2": 19, "A2": 17, "B2": 16, "B1": 15, "C3": 15, "D3": 15,
+	"A1": 12, "C1": 12, "C4": 12, "D1": 12, "A5": 10,
+	"A3": 8, "B5": 8, "C5": 8, "D2": 8, "D5": 8,
+	"A4": 3, "D4": 3, "B4": 1, "B3": 0,
+}
+
+// MaxBitScore transcribes the MaxBitScore row of Fig. 8 (same object order
+// as Fig. 5).
+var MaxBitScore = map[string]int{
+	"C2": 19, "A2": 17, "B2": 16, "B1": 15, "C3": 13, "D3": 15,
+	"A1": 10, "C1": 12, "C4": 10, "D1": 9, "A5": 5,
+	"A3": 8, "B5": 4, "C5": 7, "D2": 8, "D5": 4,
+	"A4": 1, "D4": 3, "B4": 1, "B3": 0,
+}
+
+// ESBCandidates is the candidate set SC of the ESB walk-through for a T2D
+// query (Fig. 4): the union of the per-bucket local 2-skybands.
+var ESBCandidates = []string{
+	"A1", "A2", "A3", "B1", "B2", "C1", "C2", "C3", "D1", "D2", "D3",
+}
+
+// T2DAnswer is the paper's answer set for k=2 on the sample dataset; both
+// answers have score 16.
+var T2DAnswer = []string{"C2", "A2"}
+
+// T2DAnswerScore is the score shared by the two answer objects.
+const T2DAnswerScore = 16

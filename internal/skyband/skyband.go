@@ -1,0 +1,68 @@
+// Package skyband computes k-skybands over ESB buckets.
+//
+// A k-skyband query returns the objects dominated by fewer than k others.
+// ESB (§4.1 of the TKD paper) exploits the fact that objects sharing one
+// observed-dimension bit vector form a *complete* dataset over those
+// dimensions — dominance is transitive inside the bucket — so the local
+// k-skyband of every bucket is a sound candidate set for the global TKD
+// query (Lemma 1).
+package skyband
+
+import "repro/internal/data"
+
+// DominatesSameMask reports whether object a dominates object b when both
+// share the same observed-dimension mask: a <= b on every observed dimension
+// with at least one strict inequality. Callers guarantee equal masks.
+func DominatesSameMask(a, b *data.Object, mask uint64) bool {
+	strict := false
+	for d := 0; mask != 0; d, mask = d+1, mask>>1 {
+		if mask&1 == 0 {
+			continue
+		}
+		av, bv := a.Values[d], b.Values[d]
+		if av > bv {
+			return false
+		}
+		if av < bv {
+			strict = true
+		}
+	}
+	return strict
+}
+
+// KSkyband returns the subset of ids whose objects are dominated by fewer
+// than k objects from ids, preserving input order. All listed objects must
+// share the same observed-dimension mask (one ESB bucket). The scan stops
+// counting an object's dominators at k, so pruned objects cost at most k
+// hits each.
+func KSkyband(ds *data.Dataset, ids []int32, k int) []int32 {
+	if k <= 0 {
+		return nil
+	}
+	out := make([]int32, 0, len(ids))
+	for _, id := range ids {
+		o := ds.Obj(int(id))
+		dominators := 0
+		for _, other := range ids {
+			if other == id {
+				continue
+			}
+			if DominatesSameMask(ds.Obj(int(other)), o, o.Mask) {
+				dominators++
+				if dominators >= k {
+					break
+				}
+			}
+		}
+		if dominators < k {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Skyline returns the 1-skyband: objects dominated by no other object in
+// the bucket.
+func Skyline(ds *data.Dataset, ids []int32) []int32 {
+	return KSkyband(ds, ids, 1)
+}

@@ -1,0 +1,173 @@
+package skyband_test
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/gen"
+	"repro/internal/paperdata"
+	"repro/internal/skyband"
+)
+
+func names(ds *data.Dataset, ids []int32) []string {
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = ds.Obj(int(id)).ID
+	}
+	sort.Strings(out)
+	return out
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestFig4LocalSkybands reproduces the per-bucket local 2-skybands of the
+// paper's ESB walk-through (Fig. 4).
+func TestFig4LocalSkybands(t *testing.T) {
+	ds := paperdata.Sample()
+	want := map[string][]string{
+		"A": {"A1", "A2", "A3"},
+		"B": {"B1", "B2"},
+		"C": {"C1", "C2", "C3"},
+		"D": {"D1", "D2", "D3"},
+	}
+	got := map[string][]string{}
+	for _, ids := range ds.Buckets() {
+		sb := skyband.KSkyband(ds, ids, 2)
+		if len(sb) == 0 {
+			t.Fatal("empty skyband")
+		}
+		bucketName := ds.Obj(int(ids[0])).ID[:1]
+		got[bucketName] = names(ds, sb)
+	}
+	for b, w := range want {
+		if !equalStrings(got[b], w) {
+			t.Errorf("bucket %s skyband = %v, want %v", b, got[b], w)
+		}
+	}
+}
+
+func TestDominatesSameMask(t *testing.T) {
+	ds := paperdata.Sample()
+	a2 := ds.Obj(paperdata.Index("A2"))
+	a4 := ds.Obj(paperdata.Index("A4"))
+	if !skyband.DominatesSameMask(a2, a4, a2.Mask) {
+		t.Fatal("A2 must dominate A4 inside bucket A")
+	}
+	if skyband.DominatesSameMask(a4, a2, a2.Mask) {
+		t.Fatal("A4 must not dominate A2")
+	}
+	// Equal objects do not dominate each other (no strict dimension).
+	if skyband.DominatesSameMask(a2, a2, a2.Mask) {
+		t.Fatal("object dominating itself")
+	}
+}
+
+func TestSkylineIsKSkybandOne(t *testing.T) {
+	ds := paperdata.Sample()
+	for _, ids := range ds.Buckets() {
+		a := skyband.Skyline(ds, ids)
+		b := skyband.KSkyband(ds, ids, 1)
+		if !equalStrings(names(ds, a), names(ds, b)) {
+			t.Fatal("Skyline != KSkyband(1)")
+		}
+	}
+}
+
+func TestKSkybandZeroK(t *testing.T) {
+	ds := paperdata.Sample()
+	for _, ids := range ds.Buckets() {
+		if got := skyband.KSkyband(ds, ids, 0); got != nil {
+			t.Fatalf("k=0 returned %v", got)
+		}
+	}
+}
+
+func TestKSkybandLargeKKeepsAll(t *testing.T) {
+	ds := paperdata.Sample()
+	for _, ids := range ds.Buckets() {
+		if got := skyband.KSkyband(ds, ids, len(ids)+1); len(got) != len(ids) {
+			t.Fatalf("huge k dropped objects: %d of %d", len(got), len(ids))
+		}
+	}
+}
+
+func TestKSkybandMonotoneInK(t *testing.T) {
+	// k-skyband ⊆ (k+1)-skyband.
+	ds := gen.Synthetic(gen.Config{N: 400, Dim: 3, Cardinality: 20, MissingRate: 0, Dist: gen.IND, Seed: 9})
+	ids := make([]int32, ds.Len())
+	for i := range ids {
+		ids[i] = int32(i)
+	}
+	prev := map[int32]bool{}
+	for k := 1; k <= 5; k++ {
+		cur := skyband.KSkyband(ds, ids, k)
+		set := map[int32]bool{}
+		for _, id := range cur {
+			set[id] = true
+		}
+		for id := range prev {
+			if !set[id] {
+				t.Fatalf("k=%d lost object %d present at k=%d", k, id, k-1)
+			}
+		}
+		prev = set
+	}
+}
+
+// TestKSkybandAgainstBruteForce cross-checks membership against the O(n²)
+// definition on random single-bucket datasets.
+func TestKSkybandAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 20; trial++ {
+		n := 50 + rng.Intn(150)
+		dim := 2 + rng.Intn(3)
+		ds := gen.Synthetic(gen.Config{N: n, Dim: dim, Cardinality: 8, MissingRate: 0, Dist: gen.IND, Seed: int64(trial)})
+		ids := make([]int32, n)
+		for i := range ids {
+			ids[i] = int32(i)
+		}
+		k := 1 + rng.Intn(4)
+		got := map[int32]bool{}
+		for _, id := range skyband.KSkyband(ds, ids, k) {
+			got[id] = true
+		}
+		for i := 0; i < n; i++ {
+			dominators := 0
+			for j := 0; j < n; j++ {
+				if i != j && skyband.DominatesSameMask(ds.Obj(j), ds.Obj(i), ds.Obj(i).Mask) {
+					dominators++
+				}
+			}
+			want := dominators < k
+			if got[int32(i)] != want {
+				t.Fatalf("trial %d k=%d object %d: in=%v want %v (dominators=%d)",
+					trial, k, i, got[int32(i)], want, dominators)
+			}
+		}
+	}
+}
+
+func BenchmarkKSkyband(b *testing.B) {
+	ds := gen.Synthetic(gen.Config{N: 2000, Dim: 4, Cardinality: 100, MissingRate: 0, Dist: gen.IND, Seed: 11})
+	ids := make([]int32, ds.Len())
+	for i := range ids {
+		ids[i] = int32(i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		skyband.KSkyband(ds, ids, 16)
+	}
+}

@@ -1,0 +1,370 @@
+package tkd_test
+
+import (
+	"bytes"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/tkd"
+)
+
+// paperSample rebuilds the Fig. 3 running example through the public API.
+func paperSample(t *testing.T) *tkd.Dataset {
+	t.Helper()
+	M := tkd.Missing
+	ds := tkd.NewDataset(4)
+	rows := []struct {
+		id string
+		v  []float64
+	}{
+		{"A1", []float64{M, 3, 1, 3}}, {"A2", []float64{M, 1, 2, 1}},
+		{"A3", []float64{M, 1, 3, 4}}, {"A4", []float64{M, 7, 4, 5}},
+		{"A5", []float64{M, 4, 8, 3}}, {"B1", []float64{M, M, 1, 2}},
+		{"B2", []float64{M, M, 3, 1}}, {"B3", []float64{M, M, 4, 9}},
+		{"B4", []float64{M, M, 3, 7}}, {"B5", []float64{M, M, 7, 4}},
+		{"C1", []float64{2, M, M, 3}}, {"C2", []float64{2, M, M, 1}},
+		{"C3", []float64{3, M, M, 2}}, {"C4", []float64{3, M, M, 3}},
+		{"C5", []float64{3, M, M, 4}}, {"D1", []float64{3, 5, M, 2}},
+		{"D2", []float64{2, 1, M, 4}}, {"D3", []float64{2, 4, M, 1}},
+		{"D4", []float64{4, 4, M, 5}}, {"D5", []float64{5, 5, M, 4}},
+	}
+	for _, r := range rows {
+		if err := ds.Append(r.id, r.v...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ds
+}
+
+func TestQuickstartFlow(t *testing.T) {
+	ds := paperSample(t)
+	if ds.Len() != 20 || ds.Dim() != 4 {
+		t.Fatalf("shape %dx%d", ds.Len(), ds.Dim())
+	}
+	res, err := ds.TopK(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := res.IDs()
+	sort.Strings(ids)
+	if ids[0] != "A2" || ids[1] != "C2" {
+		t.Fatalf("T2D = %v, want [A2 C2]", res.IDs())
+	}
+	if res.Items[0].Score != 16 {
+		t.Fatalf("score = %d, want 16", res.Items[0].Score)
+	}
+}
+
+func TestAllPublicAlgorithmsAgree(t *testing.T) {
+	ds := paperSample(t)
+	ds.Prepare()
+	for _, alg := range []tkd.Algorithm{tkd.Naive, tkd.ESB, tkd.UBB, tkd.BIG, tkd.IBIG} {
+		res, err := ds.TopK(2, tkd.WithAlgorithm(alg))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids := res.IDs()
+		sort.Strings(ids)
+		if ids[0] != "A2" || ids[1] != "C2" {
+			t.Fatalf("%v answered %v", alg, res.IDs())
+		}
+	}
+}
+
+func TestWithStats(t *testing.T) {
+	ds := paperSample(t)
+	var st tkd.Stats
+	if _, err := ds.TopK(2, tkd.WithAlgorithm(tkd.UBB), tkd.WithStats(&st)); err != nil {
+		t.Fatal(err)
+	}
+	if st.Scored != 2 || st.PrunedH1 != 18 {
+		t.Fatalf("stats = %+v, want 2 scored / 18 pruned (Example 2)", st)
+	}
+}
+
+func TestWithBins(t *testing.T) {
+	ds := paperSample(t)
+	res, err := ds.TopK(2, tkd.WithBins(2, 2, 3, 3)) // the Fig. 9 layout
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := res.IDs()
+	sort.Strings(ids)
+	if ids[0] != "A2" || ids[1] != "C2" {
+		t.Fatalf("binned T2D = %v", res.IDs())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	ds := tkd.NewDataset(3)
+	if _, err := ds.TopK(1); err == nil {
+		t.Fatal("empty dataset accepted")
+	}
+	if err := ds.Append("x", 1, 2); err == nil {
+		t.Fatal("short row accepted")
+	}
+	if err := ds.Append("x", tkd.Missing, tkd.Missing, tkd.Missing); err == nil {
+		t.Fatal("all-missing object accepted")
+	}
+	if err := ds.Append("ok", 1, 2, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ds.TopK(0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+func TestAppendInvalidatesCache(t *testing.T) {
+	ds := tkd.NewDataset(2)
+	if err := ds.Append("a", 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Append("b", 2, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ds.TopK(1); err != nil {
+		t.Fatal(err)
+	}
+	// A new strictly-better object must win after cache invalidation.
+	if err := ds.Append("c", 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	res, err := ds.TopK(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Items[0].ID != "c" {
+		t.Fatalf("stale index: winner %s, want c", res.Items[0].ID)
+	}
+}
+
+func TestDominatesAndScore(t *testing.T) {
+	ds := paperSample(t)
+	// f-style check: C2 dominates C1 (2≤2, 1<3).
+	if !ds.Dominates(11, 10) {
+		t.Fatal("C2 must dominate C1")
+	}
+	if ds.Score(11) != 16 {
+		t.Fatalf("Score(C2) = %d", ds.Score(11))
+	}
+}
+
+func TestValueAccessor(t *testing.T) {
+	ds := paperSample(t)
+	if v, ok := ds.Value(10, 0); !ok || v != 2 {
+		t.Fatalf("Value(C1, 0) = %v,%v", v, ok)
+	}
+	if _, ok := ds.Value(0, 0); ok {
+		t.Fatal("A1 dim 1 should be missing")
+	}
+	if ds.ID(10) != "C1" {
+		t.Fatalf("ID(10) = %s", ds.ID(10))
+	}
+}
+
+func TestCSVRoundTripPublic(t *testing.T) {
+	ds := paperSample(t)
+	var buf bytes.Buffer
+	if err := ds.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := tkd.ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := back.TopK(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := res.IDs()
+	sort.Strings(ids)
+	if ids[0] != "A2" || ids[1] != "C2" {
+		t.Fatalf("after round trip: %v", res.IDs())
+	}
+	if _, err := tkd.ReadCSV(strings.NewReader("garbage")); err == nil {
+		t.Fatal("garbage CSV accepted")
+	}
+}
+
+func TestNegate(t *testing.T) {
+	// Ratings where higher is better: after Negate, the 5-star object wins.
+	ds := tkd.NewDataset(2)
+	_ = ds.Append("bad", 1, 1)
+	_ = ds.Append("good", 5, 5)
+	ds.Negate()
+	res, err := ds.TopK(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Items[0].ID != "good" {
+		t.Fatalf("winner %s", res.Items[0].ID)
+	}
+}
+
+func TestGenerators(t *testing.T) {
+	ind := tkd.GenerateIND(200, 4, 10, 0.2, 1)
+	if ind.Len() != 200 || ind.Dim() != 4 {
+		t.Fatal("IND shape")
+	}
+	ac := tkd.GenerateAC(100, 3, 10, 0.1, 2)
+	if _, err := ac.TopK(4); err != nil {
+		t.Fatal(err)
+	}
+	z := tkd.SimulateZillow(3, 500)
+	if z.Len() != 500 {
+		t.Fatal("Zillow size")
+	}
+}
+
+func TestImputeAndJaccard(t *testing.T) {
+	ds := tkd.GenerateIND(150, 4, 8, 0.3, 4)
+	complete := ds.Impute(4, 10, 1)
+	if complete.MissingRate() != 0 {
+		t.Fatal("imputation left missing values")
+	}
+	a, err := ds.TopK(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := complete.TopK(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dj := tkd.JaccardDistance(a, b)
+	if dj < 0 || dj > 1 {
+		t.Fatalf("DJ = %v", dj)
+	}
+}
+
+func TestTopKMFD(t *testing.T) {
+	ds := paperSample(t)
+	items, err := ds.TopKMFD(3, []float64{1, 1, 1, 1}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 3 {
+		t.Fatalf("MFD items = %d", len(items))
+	}
+	if _, err := ds.TopKMFD(3, []float64{1}, 0.5); err == nil {
+		t.Fatal("bad weights accepted")
+	}
+}
+
+func TestOptimalBinsPublic(t *testing.T) {
+	if tkd.OptimalBins(100_000, 0.1) != 29 {
+		t.Fatal("Eq. 8 mismatch")
+	}
+}
+
+func TestSkylineAndKSkyband(t *testing.T) {
+	ds := paperSample(t)
+	sky := ds.Skyline()
+	if len(sky) == 0 {
+		t.Fatal("empty skyline")
+	}
+	// Every skyline member is undominated; every non-member is dominated.
+	inSky := map[int]bool{}
+	for _, i := range sky {
+		inSky[i] = true
+	}
+	for i := 0; i < ds.Len(); i++ {
+		dominated := false
+		for j := 0; j < ds.Len(); j++ {
+			if i != j && ds.Dominates(j, i) {
+				dominated = true
+				break
+			}
+		}
+		if dominated == inSky[i] {
+			t.Fatalf("object %s: dominated=%v inSkyline=%v", ds.ID(i), dominated, inSky[i])
+		}
+	}
+	// k-skyband grows with k and reaches the full dataset.
+	if len(ds.KSkyband(2)) < len(sky) {
+		t.Fatal("2-skyband smaller than skyline")
+	}
+	if got := len(ds.KSkyband(ds.Len())); got != ds.Len() {
+		t.Fatalf("N-skyband has %d members, want all %d", got, ds.Len())
+	}
+}
+
+func TestProjectPublic(t *testing.T) {
+	ds := paperSample(t)
+	// Subspace query on dimensions 3 and 4 only (buckets A and B observe
+	// them).
+	sub, origin, err := ds.Project(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Dim() != 2 {
+		t.Fatalf("Dim = %d", sub.Dim())
+	}
+	res, err := sub.TopK(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Map the winner back to the original dataset.
+	winner := origin[res.Items[0].Index]
+	if ds.ID(winner) != res.Items[0].ID {
+		t.Fatal("origin mapping broken")
+	}
+	if _, _, err := ds.Project(9); err == nil {
+		t.Fatal("bad dimension accepted")
+	}
+}
+
+func TestSaveLoadIndexPublic(t *testing.T) {
+	ds := paperSample(t)
+	var buf bytes.Buffer
+	if err := ds.SaveIndex(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh dataset object (same content) loads the index and answers.
+	fresh := paperSample(t)
+	if err := fresh.LoadIndex(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	res, err := fresh.TopK(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := res.IDs()
+	sort.Strings(ids)
+	if ids[0] != "A2" || ids[1] != "C2" {
+		t.Fatalf("answer after LoadIndex: %v", res.IDs())
+	}
+	if err := fresh.LoadIndex(strings.NewReader("junk")); err == nil {
+		t.Fatal("junk index accepted")
+	}
+}
+
+func TestWithBTreeRefinement(t *testing.T) {
+	ds := paperSample(t)
+	var st tkd.Stats
+	res, err := ds.TopK(2, tkd.WithBTreeRefinement(), tkd.WithStats(&st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := res.IDs()
+	sort.Strings(ids)
+	if ids[0] != "A2" || ids[1] != "C2" {
+		t.Fatalf("btree-refined T2D = %v", res.IDs())
+	}
+	// Larger random dataset: must match the direct refinement exactly.
+	big := tkd.GenerateAC(600, 4, 20, 0.3, 99)
+	a, err := big.TopK(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := big.TopK(10, tkd.WithBTreeRefinement())
+	if err != nil {
+		t.Fatal(err)
+	}
+	as, bs := a.Scores(), b.Scores()
+	for i := range as {
+		if as[i] != bs[i] {
+			t.Fatalf("refinements disagree: %v vs %v", as, bs)
+		}
+	}
+}
