@@ -268,6 +268,98 @@ func BenchmarkFig18_Pruning(b *testing.B) {
 	b.ReportMetric(float64(st.PrunedH3), "prunedH3")
 }
 
+// BenchmarkParallelIBIG compares the serial loop against the batch-windowed
+// parallel engine on IBIG at n ∈ {10k, 100k}, d = 6, for both synthetic
+// distributions — the headline numbers of the parallel engine. The speedup
+// ceiling is GOMAXPROCS; on a single-core host every worker count collapses
+// onto the serial path's time plus a small fan-out overhead.
+func BenchmarkParallelIBIG(b *testing.B) {
+	for _, dist := range []gen.Distribution{gen.IND, gen.AC} {
+		for _, n := range []int{10_000, 100_000} {
+			cfg := gen.Default(dist, 77)
+			cfg.N = n
+			cfg.Dim = 6
+			ds := gen.Synthetic(cfg)
+			queue := core.BuildMaxScoreQueue(ds)
+			binned := bitmapidx.Build(ds, bitmapidx.Options{
+				Codec: bitmapidx.Concise,
+				Bins:  []int{core.OptimalBins(n, ds.MissingRate())},
+			})
+			pre := &core.Pre{Queue: queue, Binned: binned}
+			for _, workers := range []int{1, 2, 4, 8} {
+				b.Run(fmt.Sprintf("%s/n%d/w%d", dist, n, workers), func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						core.RunWorkers(core.AlgIBIG, ds, 16, pre, workers)
+					}
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkFusedKernels isolates the word-level bitvec kernels the serial
+// and parallel engines sit on: the multi-way popcount cascade vs the
+// materializing AND chain, the threshold-aware early exit, and the fused
+// Q/P computation through the index cursor.
+func BenchmarkFusedKernels(b *testing.B) {
+	const nbits = 100_000
+	cols := make([]*bitvec.Vector, 6)
+	for i := range cols {
+		cols[i] = bitvec.New(nbits)
+		for j := i; j < nbits; j += 2 + i {
+			cols[i].Set(j)
+		}
+	}
+	b.Run("IntersectAllCount", func(b *testing.B) { // materializing baseline
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			bitvec.IntersectAll(cols...).Count()
+		}
+	})
+	b.Run("IntersectCount", func(b *testing.B) { // fused cascade
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			bitvec.IntersectCount(cols...)
+		}
+	})
+	b.Run("IntersectCountAbove/highTau", func(b *testing.B) { // early exit path
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			bitvec.IntersectCountAbove(nbits, cols...)
+		}
+	})
+	b.Run("And2Into", func(b *testing.B) {
+		dst := bitvec.New(nbits)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			bitvec.And2Into(dst, cols[0], cols[1])
+		}
+	})
+
+	ds := gen.Synthetic(gen.Config{N: 20_000, Dim: 6, Cardinality: 100, MissingRate: 0.2, Dist: gen.IND, Seed: 9})
+	ix := bitmapidx.Build(ds, bitmapidx.Options{Codec: bitmapidx.Concise, Bins: []int{16}})
+	cur := ix.NewCursor()
+	b.Run("Cursor/QP", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cur.QP(i % ds.Len())
+		}
+	})
+	b.Run("Cursor/MaxBitScore", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cur.MaxBitScore(i % ds.Len())
+		}
+	})
+	b.Run("Cursor/MaxBitScoreAbove", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cur.MaxBitScoreAbove(i%ds.Len(), ds.Len()/2)
+		}
+	})
+}
+
 // BenchmarkAblationMFD times the MFD-weighted scoring extension (not in the
 // paper's evaluation; included as a documented ablation).
 func BenchmarkAblationMFD(b *testing.B) {

@@ -30,11 +30,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("benchrunner", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		exp    = fs.String("exp", "all", "experiment: all, fig10, fig11, table3, fig12, table4, fig13..fig18")
-		scale  = fs.String("scale", "quick", "scale: quick, full, tiny")
-		format = fs.String("format", "text", "output format: text, markdown")
-		out    = fs.String("o", "", "output file (default stdout)")
-		list   = fs.Bool("list", false, "list experiments and exit")
+		exp     = fs.String("exp", "all", "experiment: all, fig10, fig11, table3, fig12, table4, fig13..fig18, ablation, parallel")
+		scale   = fs.String("scale", "quick", "scale: quick, full, tiny")
+		format  = fs.String("format", "text", "output format: text, markdown")
+		out     = fs.String("o", "", "output file (default stdout)")
+		list    = fs.Bool("list", false, "list experiments and exit")
+		workers = fs.Int("workers", 0, "worker count for the parallel experiment (0 = GOMAXPROCS)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -79,7 +80,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	for _, spec := range specs {
 		fmt.Fprintf(stderr, "benchrunner: running %s (%s scale)...\n", spec.Name, sc)
 		start := time.Now()
-		tables := spec.Run(sc)
+		var tables []experiments.Table
+		if spec.Name == "parallel" {
+			// The only experiment parameterized beyond scale: honour -workers.
+			tables = experiments.ParallelSweep(sc, *workers)
+		} else {
+			tables = spec.Run(sc)
+		}
 		fmt.Fprintf(stderr, "benchrunner: %s done in %.1fs\n", spec.Name, time.Since(start).Seconds())
 		for _, t := range tables {
 			if *format == "markdown" {

@@ -2,8 +2,9 @@
 // Queries on Incomplete Data" (Miao, Gao, Zheng, Chen, Cui — IEEE TKDE
 // 28(1), 2016): the ESB, UBB, BIG and IBIG query algorithms, the
 // incomplete-data bitmap index with WAH/CONCISE compression and adaptive
-// binning, and a benchmark harness regenerating every table and figure of
-// the paper's evaluation.
+// binning, a batch-windowed parallel query engine over fused word-level
+// bit kernels (tkd.WithWorkers), and a benchmark harness regenerating
+// every table and figure of the paper's evaluation.
 //
 // Use the public API in package repro/tkd; see README.md for a tour and
 // DESIGN.md for the system inventory. The benchmarks in bench_test.go are

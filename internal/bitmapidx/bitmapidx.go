@@ -31,6 +31,8 @@ package bitmapidx
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/bitvec"
 	"repro/internal/compress/concise"
@@ -70,8 +72,9 @@ type Options struct {
 	Codec Codec
 	// Bins, when non-nil, requests a binned index with Bins[i] value bins in
 	// dimension i (the paper's ξi; the +1 missing column is implicit). A
-	// single-element slice is broadcast to every dimension. Bin counts are
-	// clamped to [1, Ci].
+	// single-element slice is broadcast to every dimension; a non-nil empty
+	// slice falls back to the Eq. (8) optimum for every dimension. Bin counts
+	// are clamped to [1, Ci].
 	Bins []int
 }
 
@@ -112,6 +115,50 @@ type Index struct {
 	// missing; precomputed so Q/P lookups never search.
 	ranks [][]int32
 	ones  *bitvec.Vector // shared all-ones column
+	// colCache lazily holds decompressed columns of a compressed index,
+	// shared by every cursor (nil for Raw indexes). A query touches the same
+	// columns for thousands of candidates, and a parallel query touches them
+	// from N workers — the sync.Once per column means each is decompressed
+	// exactly once per index, not once per cursor.
+	colCache   [][]sharedCol
+	cacheSpent atomic.Int64 // bytes of colCache populated so far
+}
+
+// sharedCol is one slot of the shared decompressed-column cache. v stays nil
+// when the budget ran out; readers then fall back to per-cursor scratch.
+type sharedCol struct {
+	once sync.Once
+	v    *bitvec.Vector
+}
+
+// initColCache allocates the shared cache slots for a compressed index.
+func (ix *Index) initColCache() {
+	if ix.codec == Raw {
+		return
+	}
+	ix.colCache = make([][]sharedCol, len(ix.dims))
+	for d := range ix.dims {
+		ix.colCache[d] = make([]sharedCol, len(ix.dims[d].cols))
+	}
+}
+
+// sharedDense returns the decompressed column from the shared cache,
+// populating it on first touch while the CacheBudget lasts; nil when the
+// budget is exhausted (callers fall back to scratch). Safe for concurrent
+// use by many cursors.
+func (ix *Index) sharedDense(d, b int) *bitvec.Vector {
+	sc := &ix.colCache[d][b]
+	sc.once.Do(func() {
+		sz := int64(8 * ((ix.ds.Len() + 63) / 64))
+		if ix.cacheSpent.Add(sz) <= CacheBudget {
+			v := bitvec.New(ix.ds.Len())
+			decompressInto(&ix.dims[d].cols[b], v)
+			sc.v = v
+		} else {
+			ix.cacheSpent.Add(-sz)
+		}
+	})
+	return sc.v
 }
 
 // Build constructs the index. Stats are recomputed from the dataset; pass
@@ -127,6 +174,11 @@ func BuildWithStats(ds *data.Dataset, stats []data.DimStats, opts Options) *Inde
 
 func buildWithStats(ds *data.Dataset, stats []data.DimStats, opts Options) *Index {
 	n, dim := ds.Len(), ds.Dim()
+	if opts.Bins != nil && len(opts.Bins) == 0 {
+		// A binned index was requested with no counts: use the Eq. (8)
+		// optimum everywhere rather than panicking in binsFor.
+		opts.Bins = []int{OptimalBins(n, ds.MissingRate())}
+	}
 	ix := &Index{
 		ds:     ds,
 		stats:  stats,
@@ -157,6 +209,7 @@ func buildWithStats(ds *data.Dataset, stats []data.DimStats, opts Options) *Inde
 		}
 		ix.dims[d] = ix.buildDim(d, r2b, buckets)
 	}
+	ix.initColCache()
 	return ix
 }
 
@@ -311,66 +364,63 @@ func (ix *Index) BucketMinValue(d, b int) float64 {
 	return ix.stats[d].Distinct[lo]
 }
 
-// CacheBudget bounds the per-cursor cache of decompressed columns (bytes).
-// A query over a compressed index touches the same columns for thousands of
-// candidate objects; decompressing each column once per query instead of
-// once per candidate is what keeps IBIG's query time comparable to BIG's
-// (the paper's §5.1 observation) while the index itself stays compressed.
-// The cache is transient query-working-memory, released with the cursor.
+// CacheBudget bounds the shared per-index cache of decompressed columns
+// (bytes). A query over a compressed index touches the same columns for
+// thousands of candidate objects; decompressing each column once per index
+// instead of once per candidate is what keeps IBIG's query time comparable
+// to BIG's (the paper's §5.1 observation) while the index itself stays
+// compressed. Because the cache hangs off the Index, N parallel workers
+// share one decompression of each column instead of paying N.
 const CacheBudget = 32 << 20
 
 // Cursor carries the per-query scratch state for Q/P computation. Cursors
-// are not safe for concurrent use; create one per goroutine.
+// are not safe for concurrent use; create one per goroutine — all cursors of
+// one index share its decompressed-column cache, so extra cursors are cheap.
 type Cursor struct {
-	ix      *Index
-	q, p    *bitvec.Vector
-	scratch *bitvec.Vector
-	// cache[d][b] holds the decompressed column b of dimension d, filled on
-	// first touch while the budget lasts; nil entries fall back to scratch.
-	cache       [][]*bitvec.Vector
-	cacheBudget int
+	ix   *Index
+	q, p *bitvec.Vector
+	// scratchQ/scratchP are per-dimension decompression fallbacks used only
+	// when the shared cache budget is exhausted; two per dimension because
+	// the fused QP pass needs a dimension's Q- and P-columns alive at once.
+	// Lazily allocated: they cost nothing while the cache holds.
+	scratchQ, scratchP []*bitvec.Vector
+	cols               []*bitvec.Vector // reusable column-pointer buffer
 }
 
 // NewCursor returns a cursor over the index.
 func (ix *Index) NewCursor() *Cursor {
 	n := ix.ds.Len()
-	c := &Cursor{ix: ix, q: bitvec.New(n), p: bitvec.New(n), scratch: bitvec.New(n)}
-	if ix.codec != Raw {
-		c.cache = make([][]*bitvec.Vector, len(ix.dims))
-		for d := range ix.dims {
-			c.cache[d] = make([]*bitvec.Vector, len(ix.dims[d].cols))
-		}
-		c.cacheBudget = CacheBudget
+	c := &Cursor{
+		ix:       ix,
+		q:        bitvec.New(n),
+		p:        bitvec.New(n),
+		scratchQ: make([]*bitvec.Vector, len(ix.dims)),
+		scratchP: make([]*bitvec.Vector, len(ix.dims)),
+		cols:     make([]*bitvec.Vector, 0, len(ix.dims)),
 	}
 	return c
 }
 
 // dense returns column b of dimension d as a dense vector: the stored
-// vector for Raw indexes, a cached or scratch decompression otherwise. The
-// result is read-only and, when it aliases the scratch buffer, only valid
-// until the next dense call.
-func (c *Cursor) dense(d, b int) *bitvec.Vector {
+// vector for Raw indexes, the shared cache entry otherwise, or — when the
+// cache budget is exhausted — a decompression into *scratch. The result is
+// read-only and stays valid until *scratch is reused for the same dimension.
+func (c *Cursor) dense(d, b int, scratch **bitvec.Vector) *bitvec.Vector {
 	col := &c.ix.dims[d].cols[b]
 	if col.dense != nil {
 		return col.dense
 	}
-	if c.cache != nil {
-		if v := c.cache[d][b]; v != nil {
-			return v
-		}
-		if sz := c.scratch.SizeBytes(); sz <= c.cacheBudget {
-			v := bitvec.New(c.ix.ds.Len())
-			c.decompressInto(col, v)
-			c.cache[d][b] = v
-			c.cacheBudget -= sz
-			return v
-		}
+	if v := c.ix.sharedDense(d, b); v != nil {
+		return v
 	}
-	c.decompressInto(col, c.scratch)
-	return c.scratch
+	if *scratch == nil {
+		*scratch = bitvec.New(c.ix.ds.Len())
+	}
+	decompressInto(col, *scratch)
+	return *scratch
 }
 
-func (c *Cursor) decompressInto(col *column, dst *bitvec.Vector) {
+func decompressInto(col *column, dst *bitvec.Vector) {
 	if col.wah != nil {
 		col.wah.DecompressInto(dst)
 	} else {
@@ -379,39 +429,91 @@ func (c *Cursor) decompressInto(col *column, dst *bitvec.Vector) {
 }
 
 // QP computes the paper's sets Q = ∩Qi − {o} and P = ∩Pi for object obj as
-// bit vectors (Definition 4). The returned vectors are owned by the cursor
-// and valid until the next QP call.
+// bit vectors (Definition 4). Each dimension's Q- and P-columns — adjacent
+// columns cols[b] and cols[b+1] of the index — are intersected in a single
+// fused pass, and the first observed dimension seeds both accumulators
+// directly so no SetAll pass is paid. The returned vectors are owned by the
+// cursor and valid until the next QP call.
 func (c *Cursor) QP(obj int) (q, p *bitvec.Vector) {
 	ix := c.ix
-	c.q.SetAll()
-	c.p.SetAll()
+	var cq0, cp0 *bitvec.Vector
+	seen := 0
 	for d := range ix.dims {
 		b := ix.Bucket(obj, d)
 		if b < 0 {
 			continue // missing: Qi = Pi = S, the all-ones column
 		}
-		c.q.And(c.dense(d, b))
+		cq := c.dense(d, b, &c.scratchQ[d])
 		// cols[b+1] always exists: the column one past the worst bucket is
 		// exactly the "missing in this dimension" set.
-		c.p.And(c.dense(d, b+1))
+		cp := c.dense(d, b+1, &c.scratchP[d])
+		seen++
+		switch seen {
+		case 1:
+			cq0, cp0 = cq, cp
+		case 2:
+			bitvec.And2Into(c.q, cq0, cq)
+			bitvec.And2Into(c.p, cp0, cp)
+		default:
+			bitvec.AndPairInto(c.q, c.p, cq, cp)
+		}
+	}
+	switch seen {
+	case 0:
+		c.q.SetAll()
+		c.p.SetAll()
+	case 1:
+		c.q.CopyFrom(cq0)
+		c.p.CopyFrom(cp0)
 	}
 	c.q.Clear(obj) // Q excludes o itself
 	return c.q, c.p
 }
 
-// MaxBitScore computes |Q| = |∩Qi − {o}| for object obj — the Heuristic 2
-// upper bound — via a dense word-wise AND cascade over the (cached) columns
-// without materializing P, the cheap half of Definition 4.
-func (c *Cursor) MaxBitScore(obj int) int {
+// qCols collects the Q-columns of obj's observed dimensions into the
+// cursor's reusable buffer.
+func (c *Cursor) qCols(obj int) []*bitvec.Vector {
 	ix := c.ix
-	c.q.SetAll()
+	cols := c.cols[:0]
 	for d := range ix.dims {
 		b := ix.Bucket(obj, d)
 		if b < 0 {
 			continue
 		}
-		c.q.And(c.dense(d, b))
+		cols = append(cols, c.dense(d, b, &c.scratchQ[d]))
+	}
+	c.cols = cols
+	return cols
+}
+
+// MaxBitScore computes |Q| = |∩Qi − {o}| for object obj — the Heuristic 2
+// upper bound — via one fused multi-way popcount cascade over the (cached)
+// columns, materializing neither the intersection nor P.
+func (c *Cursor) MaxBitScore(obj int) int {
+	cols := c.qCols(obj)
+	if len(cols) == 0 {
+		return c.ix.ds.Len() - 1
 	}
 	// o always belongs to ∩Qi: its own bits pass every Qi column.
-	return c.q.Count() - 1
+	return bitvec.IntersectCount(cols...) - 1
+}
+
+// MaxBitScoreAbove is the threshold-aware MaxBitScore: it reports whether
+// the Heuristic 2 bound exceeds tau, returning the exact bound when it does.
+// The underlying cascade bails out of a word walk as soon as the remaining
+// words cannot lift the count past tau, so pruned candidates (the common
+// case late in a query) cost a fraction of a full popcount.
+func (c *Cursor) MaxBitScoreAbove(obj, tau int) (int, bool) {
+	cols := c.qCols(obj)
+	if len(cols) == 0 {
+		mb := c.ix.ds.Len() - 1
+		return mb, mb > tau
+	}
+	// maxBit = |∩Qi| − 1 (o passes every column), so maxBit > tau ⇔
+	// |∩Qi| > tau+1.
+	cnt, above := bitvec.IntersectCountAbove(tau+1, cols...)
+	if !above {
+		return 0, false
+	}
+	return cnt - 1, true
 }

@@ -1,0 +1,50 @@
+package bitmapidx_test
+
+import (
+	"testing"
+
+	"repro/internal/bitmapidx"
+	"repro/internal/gen"
+)
+
+// TestEmptyBinsFallsBackToDefault pins the fixed behaviour of a non-nil,
+// empty Bins slice: the index must come up binned with the Eq. (8) bin
+// count instead of panicking in the per-dimension bin lookup.
+func TestEmptyBinsFallsBackToDefault(t *testing.T) {
+	ds := gen.Synthetic(gen.Config{N: 300, Dim: 4, Cardinality: 30, MissingRate: 0.2, Dist: gen.IND, Seed: 5})
+	empty := bitmapidx.Build(ds, bitmapidx.Options{Bins: []int{}})
+	if !empty.Binned() {
+		t.Fatal("empty Bins slice should still request a binned index")
+	}
+	def := bitmapidx.Build(ds, bitmapidx.Options{Bins: []int{bitmapidx.OptimalBins(ds.Len(), ds.MissingRate())}})
+	if got, want := empty.Columns(), def.Columns(); got != want {
+		t.Fatalf("empty-bins index has %d columns, Eq. (8) default has %d", got, want)
+	}
+}
+
+// TestMaxBitScoreAbove checks the threshold-aware bound against the plain
+// one across every object and a sweep of thresholds, on both a raw and a
+// compressed binned index.
+func TestMaxBitScoreAbove(t *testing.T) {
+	ds := gen.Synthetic(gen.Config{N: 400, Dim: 5, Cardinality: 25, MissingRate: 0.3, Dist: gen.AC, Seed: 6})
+	stats := ds.Stats()
+	for _, opts := range []bitmapidx.Options{
+		{Codec: bitmapidx.Raw},
+		{Codec: bitmapidx.Concise, Bins: []int{8}},
+	} {
+		ix := bitmapidx.BuildWithStats(ds, stats, opts)
+		c := ix.NewCursor()
+		for o := 0; o < ds.Len(); o += 7 {
+			exact := c.MaxBitScore(o)
+			for _, tau := range []int{-1, 0, exact - 1, exact, exact + 1, ds.Len()} {
+				got, above := c.MaxBitScoreAbove(o, tau)
+				if wantAbove := exact > tau; above != wantAbove {
+					t.Fatalf("%v obj=%d tau=%d: above=%v, want %v", opts.Codec, o, tau, above, wantAbove)
+				}
+				if above && got != exact {
+					t.Fatalf("%v obj=%d tau=%d: bound=%d, want %d", opts.Codec, o, tau, got, exact)
+				}
+			}
+		}
+	}
+}

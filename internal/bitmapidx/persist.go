@@ -231,6 +231,7 @@ func Load(r io.Reader, ds *data.Dataset) (*Index, error) {
 	if err := ix.computeRanks(); err != nil {
 		return nil, err
 	}
+	ix.initColCache()
 	return ix, nil
 }
 

@@ -298,6 +298,106 @@ func (v *Vector) AndCount(o *Vector) int {
 	return c
 }
 
+// And2Into sets dst = a & b in a single fused pass and returns dst, without
+// reading dst's previous contents — the seed step of an AND cascade, saving
+// the SetAll pass a Clone-then-And cascade would pay. dst may alias a or b.
+func And2Into(dst, a, b *Vector) *Vector {
+	dst.mustMatch(a)
+	dst.mustMatch(b)
+	dw, aw, bw := dst.words, a.words, b.words
+	for i := range dw {
+		dw[i] = aw[i] & bw[i]
+	}
+	return dst
+}
+
+// AndPairInto fuses two in-place intersections into one loop: q &= cq and
+// p &= cp. The BIG/IBIG hot path intersects the Q-column and P-column of
+// every dimension — adjacent columns of the index — so fusing the two
+// cascades halves the number of passes over q/p and keeps both column reads
+// in the same cache window.
+func AndPairInto(q, p, cq, cp *Vector) {
+	q.mustMatch(cq)
+	p.mustMatch(cp)
+	qw, pw := q.words, p.words
+	cqw, cpw := cq.words, cp.words
+	for i := range qw {
+		qw[i] &= cqw[i]
+		pw[i] &= cpw[i]
+	}
+}
+
+// IntersectCount returns |v0 & v1 & …| via a word-level cascade without
+// materializing the intersection. It panics if vs is empty or lengths
+// differ.
+func IntersectCount(vs ...*Vector) int {
+	if len(vs) == 0 {
+		panic("bitvec: IntersectCount of nothing")
+	}
+	switch len(vs) {
+	case 1:
+		return vs[0].Count()
+	case 2:
+		return vs[0].AndCount(vs[1])
+	}
+	for _, v := range vs[1:] {
+		vs[0].mustMatch(v)
+	}
+	c := 0
+	for i := range vs[0].words {
+		w := vs[0].words[i]
+		for _, v := range vs[1:] {
+			w &= v.words[i]
+		}
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// IntersectCountAbove reports whether |v0 & v1 & …| > tau, returning the
+// exact count when it is. It walks the word cascade with a per-word early
+// exit: as soon as the running count plus every remaining word's 64 bits can
+// no longer beat tau, it bails with (0, false). Heuristic 2 of the paper
+// only needs the bound-vs-τ verdict, so most pruned candidates stop after a
+// fraction of the words.
+func IntersectCountAbove(tau int, vs ...*Vector) (count int, above bool) {
+	if len(vs) == 0 {
+		panic("bitvec: IntersectCountAbove of nothing")
+	}
+	for _, v := range vs[1:] {
+		vs[0].mustMatch(v)
+	}
+	nw := len(vs[0].words)
+	c := 0
+	for i := 0; i < nw; i++ {
+		w := vs[0].words[i]
+		for _, v := range vs[1:] {
+			w &= v.words[i]
+		}
+		c += bits.OnesCount64(w)
+		if c+(nw-i-1)*wordBits <= tau {
+			return 0, false
+		}
+	}
+	return c, c > tau
+}
+
+// AndNotForEachWord streams the nonzero words of a &^ b to fn along with the
+// bit index of each word's first bit — set-difference iteration without a
+// per-bit callback, for callers that only need the difference. (The BIG/IBIG
+// scoring loop needs both a∧b and a∧¬b per word, so it streams the raw words
+// itself; see bigScore.) fn returning false stops the iteration.
+func AndNotForEachWord(a, b *Vector, fn func(base int, w uint64) bool) {
+	a.mustMatch(b)
+	for i := range a.words {
+		if w := a.words[i] &^ b.words[i]; w != 0 {
+			if !fn(i*wordBits, w) {
+				return
+			}
+		}
+	}
+}
+
 // String renders the vector as a '0'/'1' string, bit 0 first.
 func (v *Vector) String() string {
 	var sb strings.Builder

@@ -1,0 +1,116 @@
+package bitvec
+
+import (
+	"math/bits"
+	"math/rand"
+	"testing"
+)
+
+// randVec returns a vector of n bits with the given set-bit density.
+func randVec(rng *rand.Rand, n int, density float64) *Vector {
+	v := New(n)
+	for i := 0; i < n; i++ {
+		if rng.Float64() < density {
+			v.Set(i)
+		}
+	}
+	return v
+}
+
+func TestAnd2Into(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 63, 64, 65, 200, 1000} {
+		a := randVec(rng, n, 0.5)
+		b := randVec(rng, n, 0.5)
+		want := a.Clone().And(b)
+		dst := randVec(rng, n, 0.5) // stale contents must be ignored
+		if got := And2Into(dst, a, b); !got.Equal(want) {
+			t.Errorf("n=%d: And2Into mismatch", n)
+		}
+		// Aliasing dst with an input must work.
+		aa := a.Clone()
+		if got := And2Into(aa, aa, b); !got.Equal(want) {
+			t.Errorf("n=%d: aliased And2Into mismatch", n)
+		}
+	}
+}
+
+func TestAndPairInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{1, 64, 129, 777} {
+		q, p := randVec(rng, n, 0.7), randVec(rng, n, 0.7)
+		cq, cp := randVec(rng, n, 0.5), randVec(rng, n, 0.5)
+		wantQ := q.Clone().And(cq)
+		wantP := p.Clone().And(cp)
+		AndPairInto(q, p, cq, cp)
+		if !q.Equal(wantQ) || !p.Equal(wantP) {
+			t.Errorf("n=%d: AndPairInto mismatch", n)
+		}
+	}
+}
+
+func TestIntersectCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{1, 64, 100, 500} {
+		for _, ways := range []int{1, 2, 3, 5} {
+			vs := make([]*Vector, ways)
+			for i := range vs {
+				vs[i] = randVec(rng, n, 0.6)
+			}
+			want := IntersectAll(vs...).Count()
+			if got := IntersectCount(vs...); got != want {
+				t.Errorf("n=%d ways=%d: IntersectCount = %d, want %d", n, ways, got, want)
+			}
+		}
+	}
+}
+
+func TestIntersectCountAbove(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, n := range []int{1, 64, 200, 1000} {
+		vs := []*Vector{randVec(rng, n, 0.8), randVec(rng, n, 0.8), randVec(rng, n, 0.8)}
+		exact := IntersectAll(vs...).Count()
+		for _, tau := range []int{-1, 0, exact - 1, exact, exact + 1, n} {
+			count, above := IntersectCountAbove(tau, vs...)
+			if wantAbove := exact > tau; above != wantAbove {
+				t.Errorf("n=%d tau=%d: above = %v, want %v", n, tau, above, wantAbove)
+			}
+			if above && count != exact {
+				t.Errorf("n=%d tau=%d: count = %d, want %d", n, tau, count, exact)
+			}
+		}
+	}
+}
+
+func TestAndNotForEachWord(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, n := range []int{1, 64, 130, 999} {
+		a := randVec(rng, n, 0.6)
+		b := randVec(rng, n, 0.4)
+		want := a.Clone().AndNot(b).Indices()
+		var got []int
+		AndNotForEachWord(a, b, func(base int, w uint64) bool {
+			for ; w != 0; w &= w - 1 {
+				got = append(got, base+bits.TrailingZeros64(w))
+			}
+			return true
+		})
+		if len(got) != len(want) {
+			t.Fatalf("n=%d: %d indices, want %d", n, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d: index %d = %d, want %d", n, i, got[i], want[i])
+			}
+		}
+		// Early stop after the first word.
+		calls := 0
+		AndNotForEachWord(a, b, func(base int, w uint64) bool {
+			calls++
+			return false
+		})
+		if calls > 1 {
+			t.Errorf("n=%d: early stop ignored, %d calls", n, calls)
+		}
+	}
+}

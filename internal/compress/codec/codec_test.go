@@ -1,0 +1,133 @@
+package codec_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/compress/codec"
+	"repro/internal/compress/concise"
+	"repro/internal/compress/wah"
+)
+
+// vectors returns a spread of bit populations that exercise the group
+// reader/writer: empty, full, sparse, dense, run-heavy and word-misaligned
+// lengths (31-bit groups never line up with 64-bit words).
+func vectors(t *testing.T) []*bitvec.Vector {
+	t.Helper()
+	rng := rand.New(rand.NewSource(42))
+	var out []*bitvec.Vector
+	for _, n := range []int{1, 30, 31, 32, 62, 63, 64, 100, 1000, 4096} {
+		out = append(out, bitvec.New(n), bitvec.NewOnes(n))
+		sparse := bitvec.New(n)
+		for i := 0; i < n; i += 37 {
+			sparse.Set(i)
+		}
+		out = append(out, sparse)
+		random := bitvec.New(n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				random.Set(i)
+			}
+		}
+		out = append(out, random)
+		runs := bitvec.New(n)
+		for i := 0; i < n; i++ {
+			if (i/93)%2 == 0 {
+				runs.Set(i)
+			}
+		}
+		out = append(out, runs)
+	}
+	return out
+}
+
+// TestSliceWriterRoundTrip drives the shared group reader/writer directly:
+// slicing a vector into 31-bit groups and re-emitting them must reproduce
+// the vector bit for bit.
+func TestSliceWriterRoundTrip(t *testing.T) {
+	for vi, v := range vectors(t) {
+		w := codec.NewWriter(v.Len())
+		for g := 0; g < codec.NumGroups(v.Len()); g++ {
+			w.Emit(codec.Slice(v, g), 1)
+		}
+		if !w.Vector().Equal(v) {
+			t.Fatalf("vector %d (len %d): Slice/Emit round trip mismatch", vi, v.Len())
+		}
+	}
+}
+
+// TestWriterInto checks NewWriterInto resets stale destination contents.
+func TestWriterInto(t *testing.T) {
+	v := bitvec.MustParse("1011001110001")
+	dst := bitvec.NewOnes(v.Len())
+	w := codec.NewWriterInto(dst)
+	for g := 0; g < codec.NumGroups(v.Len()); g++ {
+		w.Emit(codec.Slice(v, g), 1)
+	}
+	if !dst.Equal(v) {
+		t.Fatalf("NewWriterInto left stale bits: got %v want %v", dst, v)
+	}
+}
+
+// TestCodecRoundTrip compresses and decompresses every fixture through both
+// codecs.
+func TestCodecRoundTrip(t *testing.T) {
+	for vi, v := range vectors(t) {
+		if got := wah.Compress(v).Decompress(); !got.Equal(v) {
+			t.Fatalf("vector %d (len %d): WAH round trip mismatch", vi, v.Len())
+		}
+		if got := concise.Compress(v).Decompress(); !got.Equal(v) {
+			t.Fatalf("vector %d (len %d): CONCISE round trip mismatch", vi, v.Len())
+		}
+	}
+}
+
+// TestCrossCodecEquivalence checks the two codecs agree with each other and
+// with the dense reference on Count and compressed AND.
+func TestCrossCodecEquivalence(t *testing.T) {
+	vs := vectors(t)
+	for i := 0; i+1 < len(vs); i += 2 {
+		a, b := vs[i], vs[i+1]
+		if a.Len() != b.Len() {
+			continue
+		}
+		want := a.Clone().And(b)
+		wa, wb := wah.Compress(a), wah.Compress(b)
+		ca, cb := concise.Compress(a), concise.Compress(b)
+		if got := wah.And(wa, wb).Decompress(); !got.Equal(want) {
+			t.Fatalf("pair %d: WAH And mismatch", i)
+		}
+		if got := concise.And(ca, cb).Decompress(); !got.Equal(want) {
+			t.Fatalf("pair %d: CONCISE And mismatch", i)
+		}
+		if wa.Count() != a.Count() || ca.Count() != a.Count() {
+			t.Fatalf("pair %d: Count disagrees with dense (wah=%d concise=%d dense=%d)",
+				i, wa.Count(), ca.Count(), a.Count())
+		}
+	}
+}
+
+// TestDecompressIntoReuse checks DecompressInto overwrites stale buffers —
+// the contract the index's shared column cache and cursor scratch rely on.
+func TestDecompressIntoReuse(t *testing.T) {
+	vs := vectors(t)
+	for _, n := range []int{64, 1000} {
+		dst := bitvec.NewOnes(n)
+		for _, v := range vs {
+			if v.Len() != n {
+				continue
+			}
+			wah.Compress(v).DecompressInto(dst)
+			if !dst.Equal(v) {
+				t.Fatalf("len %d: WAH DecompressInto left stale bits", n)
+			}
+			dst.Not() // poison
+			concise.Compress(v).DecompressInto(dst)
+			if !dst.Equal(v) {
+				t.Fatalf("len %d: CONCISE DecompressInto left stale bits", n)
+			}
+			dst.Not()
+		}
+	}
+}

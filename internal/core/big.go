@@ -24,10 +24,12 @@ type bigState struct {
 }
 
 func newBigState(ds *data.Dataset, ix *bitmapidx.Index) *bigState {
-	sizes := make(map[uint64]int)
-	for mask, ids := range ds.Buckets() {
-		sizes[mask] = len(ids)
-	}
+	return newBigStateSized(ds, ix, bucketSizesOf(ds))
+}
+
+// newBigStateSized builds a bigState around precomputed bucket sizes so the
+// parallel engine can share one map (read-only) across all worker states.
+func newBigStateSized(ds *data.Dataset, ix *bitmapidx.Index, sizes map[uint64]int) *bigState {
 	return &bigState{
 		ds:          ds,
 		ix:          ix,
@@ -35,6 +37,16 @@ func newBigState(ds *data.Dataset, ix *bitmapidx.Index) *bigState {
 		bucketSizes: sizes,
 		fCache:      make(map[uint64]int),
 	}
+}
+
+// bucketSizesOf maps each distinct observed-dimension mask to its object
+// count, the input of the |F(o)| derivation.
+func bucketSizesOf(ds *data.Dataset) map[uint64]int {
+	sizes := make(map[uint64]int)
+	for mask, ids := range ds.Buckets() {
+		sizes[mask] = len(ids)
+	}
+	return sizes
 }
 
 // fCount returns |F(o)| — the number of objects sharing no observed
@@ -85,12 +97,18 @@ const (
 func (s *bigState) bigScore(o int, tau int, full bool, st *Stats) (int, scoreResult) {
 	var maxBit int
 	if s.ix.CodecUsed() != bitmapidx.Raw {
-		// Compressed index: evaluate the Heuristic 2 bound entirely in the
-		// compressed domain first; the dense Q/P vectors are only
-		// materialized for objects that survive the filter.
-		maxBit = s.cursor.MaxBitScore(o)
-		if full && maxBit <= tau {
-			return 0, prunedH2
+		// Compressed index: evaluate the Heuristic 2 bound entirely over the
+		// (cached) columns first; the dense Q/P vectors are only
+		// materialized for objects that survive the filter. With a live τ
+		// the threshold-aware cascade bails out mid-walk on pruned objects.
+		if full {
+			mb, above := s.cursor.MaxBitScoreAbove(o, tau)
+			if !above {
+				return 0, prunedH2
+			}
+			maxBit = mb
+		} else {
+			maxBit = s.cursor.MaxBitScore(o)
 		}
 	}
 	q, p := s.cursor.QP(o)
@@ -108,49 +126,56 @@ func (s *bigState) bigScore(o int, tau int, full bool, st *Stats) (int, scoreRes
 	nonDBudget := maxBit - s.fCount(obj.Mask) - tau
 	nonD := 0
 	score := 0
-	pruned := false
-	q.ForEach(func(pi int) bool {
-		po := s.ds.Obj(pi)
-		common := obj.Mask & po.Mask
-		if common == 0 {
-			return true // member of F(o)
+	// Stream the members of Q a word at a time, classifying against the
+	// matching P word — no per-bit callback, no per-bit bounds-checked
+	// p.Get. Members of P need only the F(o)-vs-G(o) mask test; only the
+	// Q−P rim compares values.
+	qw, pw := q.Words(), p.Words()
+	for wi, w := range qw {
+		if w == 0 {
+			continue
 		}
-		st.Comparisons++
-		if p.Get(pi) {
-			score++ // member of G(o)
-			return true
-		}
-		// Q−P candidate: compare on the common observed dimensions (the
-		// paper's tagT counting, lines 7-8 of Algorithms 3 and 5).
-		equal := 0
-		worse := false
-		for d, m := 0, common; m != 0; d, m = d+1, m>>1 {
-			if m&1 == 0 {
+		pword := pw[wi]
+		base := wi * 64
+		for ; w != 0; w &= w - 1 {
+			bit := bits.TrailingZeros64(w)
+			po := s.ds.Obj(base + bit)
+			common := obj.Mask & po.Mask
+			if common == 0 {
+				continue // member of F(o)
+			}
+			st.Comparisons++
+			if pword&(1<<bit) != 0 {
+				score++ // member of G(o)
 				continue
 			}
-			switch {
-			case po.Values[d] == obj.Values[d]:
-				equal++
-			case po.Values[d] < obj.Values[d]:
-				// Only possible under a binned index (same bin, smaller
-				// value); with value-granular columns Q−P members are ≥ o
-				// everywhere.
-				worse = true
+			// Q−P candidate: compare on the common observed dimensions (the
+			// paper's tagT counting, lines 7-8 of Algorithms 3 and 5).
+			equal := 0
+			worse := false
+			for d, m := 0, common; m != 0; d, m = d+1, m>>1 {
+				if m&1 == 0 {
+					continue
+				}
+				switch {
+				case po.Values[d] == obj.Values[d]:
+					equal++
+				case po.Values[d] < obj.Values[d]:
+					// Only possible under a binned index (same bin, smaller
+					// value); with value-granular columns Q−P members are ≥ o
+					// everywhere.
+					worse = true
+				}
 			}
-		}
-		if worse || equal == bits.OnesCount64(common) {
-			nonD++
-			if useH3 && nonD > nonDBudget {
-				pruned = true // Heuristic 3
-				return false
+			if worse || equal == bits.OnesCount64(common) {
+				nonD++
+				if useH3 && nonD > nonDBudget {
+					return 0, prunedH3 // Heuristic 3
+				}
+				continue
 			}
-			return true
+			score++ // member of L(o)
 		}
-		score++ // member of L(o)
-		return true
-	})
-	if pruned {
-		return 0, prunedH3
 	}
 	return score, scored
 }

@@ -1,0 +1,289 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/bitmapidx"
+	"repro/internal/btree"
+	"repro/internal/data"
+)
+
+// The parallel query engine. The UBB/BIG/IBIG main loop walks the MaxScore
+// queue in descending bound order, scoring candidates against a monotone
+// threshold τ; candidate scoring is read-only and independent, so the engine
+// pulls candidates off the queue in batch windows and fans each window
+// across a worker pool:
+//
+//   - every worker owns its scoring state (bitmap cursor, epoch tags,
+//     |F(o)| cache) — only the dataset, the index (including its shared
+//     decompressed-column cache) and the B+-trees are shared, all read-only;
+//   - finished candidates are committed to the candidate heap in queue
+//     order as workers complete them (a commit frontier under a light
+//     mutex), replaying exactly the offer sequence the serial loop would
+//     have produced. The live τ is republished through an atomic after
+//     every commit, so a worker reads a τ that is at most "in-flight
+//     candidates" stale — and a stale τ is only ever lower than the live
+//     one, so Heuristics 1/2/3 prune conservatively, never incorrectly;
+//   - candidates a stale τ let through that the serial loop would have
+//     pruned always carry a score ≤ the replayed τ at their position, so
+//     their offers are no-ops and the heap — hence the answer set, IDs and
+//     scores — is byte-identical to the serial run's. (Which candidates
+//     get H2/H3-pruned versus scored-then-rejected does depend on timing,
+//     so the pruning counters in Stats may vary run to run; the answer
+//     never does.)
+//   - Heuristic 1's early stop is preserved twice over: workers skip
+//     candidates whose bound cannot beat the τ they observe, and a window
+//     whose first (highest-bound) candidate cannot beat τ ends the query.
+//
+// The window size bounds the slot buffer and the H1 stop granularity; 256
+// candidates amortizes the fan-out cost while keeping the tail overshoot
+// negligible.
+
+// WindowSize is the number of MaxScore-queue candidates one parallel batch
+// window covers.
+const WindowSize = 256
+
+// scorer computes one candidate's exact score, or prunes it against tau
+// (full reports whether the candidate heap is full, i.e. tau is live).
+// Implementations are confined to a single worker; st accumulates that
+// worker's counters.
+type scorer interface {
+	score(o int, tau int, full bool, st *Stats) (int, scoreResult)
+}
+
+// bigScorer adapts bigState to the scorer interface, dispatching on the
+// refinement strategy.
+type bigScorer struct {
+	state  *bigState
+	refine Refinement
+}
+
+func (b bigScorer) score(o, tau int, full bool, st *Stats) (int, scoreResult) {
+	if b.refine == RefineBTree {
+		return b.state.bigScoreBTree(o, tau, full, st)
+	}
+	return b.state.bigScore(o, tau, full, st)
+}
+
+// ubbScorer scores candidates exhaustively (Algorithm 2 has no per-object
+// pruning beyond Heuristic 1, which the engine applies at the queue level).
+type ubbScorer struct{ ds *data.Dataset }
+
+func (u ubbScorer) score(o, tau int, full bool, st *Stats) (int, scoreResult) {
+	st.Comparisons += int64(u.ds.Len() - 1)
+	return Score(u.ds, o), scored
+}
+
+// clampWorkers resolves the public workers knob: <=0 selects GOMAXPROCS,
+// and no query needs more workers than it has candidates.
+func clampWorkers(workers, candidates int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > candidates {
+		workers = candidates
+	}
+	return workers
+}
+
+// skippedH1 marks a candidate a worker skipped because its MaxScore bound
+// could not beat the τ it observed — the worker-side Heuristic 1.
+const skippedH1 scoreResult = -1
+
+// engineRun is the batch-windowed parallel main loop shared by UBB, BIG and
+// IBIG. One scorer per worker; len(scorers) is the worker count.
+func engineRun(ds *data.Dataset, k int, queue *MaxScoreQueue, scorers []scorer) (Result, Stats) {
+	workers := len(scorers)
+	var st Stats
+	st.Workers = workers
+	wstats := make([]Stats, workers)
+	sc := newCandidateHeap(k)
+	var sharedTau atomic.Int64
+	var next atomic.Int64
+	order := queue.Order
+
+	type slot struct {
+		score int
+		how   scoreResult
+		done  bool
+	}
+	slots := make([]slot, WindowSize)
+
+	// commit folds finished slots into the heap in queue order — the commit
+	// frontier only advances over contiguous done slots, so offers replay
+	// the serial sequence exactly no matter which worker finishes first.
+	var mu sync.Mutex
+	frontier := 0
+	commit := func(start, end, i int, sl slot) {
+		mu.Lock()
+		slots[i-start] = sl
+		if i == frontier {
+			for frontier < end && slots[frontier-start].done {
+				fsl := slots[frontier-start]
+				switch fsl.how {
+				case skippedH1:
+					st.PrunedH1++
+				case prunedH2:
+					st.Candidates++
+					st.PrunedH2++
+				case prunedH3:
+					st.Candidates++
+					st.PrunedH3++
+				default:
+					st.Candidates++
+					st.Scored++
+					idx := int(order[frontier])
+					sc.offer(Item{Index: idx, ID: ds.Obj(idx).ID, Score: fsl.score})
+				}
+				frontier++
+			}
+			sharedTau.Store(int64(sc.tau()))
+		}
+		mu.Unlock()
+	}
+
+	for start := 0; start < len(order); start += WindowSize {
+		tau := sc.tau()
+		if tau >= 0 && queue.MaxScore[order[start]] <= tau {
+			// Heuristic 1 at window granularity: the queue is sorted by
+			// descending bound, so nothing after this point can beat τ.
+			st.PrunedH1 += len(order) - start
+			break
+		}
+		end := min(start+WindowSize, len(order))
+		st.Windows++
+		for i := range slots {
+			slots[i] = slot{}
+		}
+		frontier = start
+		sharedTau.Store(int64(tau))
+		next.Store(int64(start))
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				s := scorers[w]
+				ws := &wstats[w]
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= end {
+						return
+					}
+					t := int(sharedTau.Load())
+					if t >= 0 && queue.MaxScore[order[i]] <= t {
+						// Worker-side Heuristic 1: the serial loop would
+						// have stopped at or before this candidate.
+						commit(start, end, i, slot{how: skippedH1, done: true})
+						continue
+					}
+					got, how := s.score(int(order[i]), t, t >= 0, ws)
+					commit(start, end, i, slot{score: got, how: how, done: true})
+					// When workers oversubscribe the cores, yield after each
+					// candidate so claims and commits round-robin tightly;
+					// otherwise a preempted worker parks its claimed slot for
+					// a whole timeslice and the τ frontier stalls behind it.
+					// With enough cores this is a no-op reschedule.
+					runtime.Gosched()
+				}
+			}(w)
+		}
+		wg.Wait()
+	}
+	for w := range wstats {
+		st.Comparisons += wstats[w].Comparisons
+	}
+	return sc.result(), st
+}
+
+// bitmapRunParallel runs BIG/IBIG across workers goroutines (<=0 selects
+// GOMAXPROCS; 1 falls back to the serial loop). The answer set is
+// byte-identical to the serial path's.
+func bitmapRunParallel(ds *data.Dataset, k int, ix *bitmapidx.Index, queue *MaxScoreQueue, refine Refinement, trees []*btree.Tree, workers int) (Result, Stats) {
+	if queue == nil {
+		queue = BuildMaxScoreQueue(ds)
+	}
+	workers = clampWorkers(workers, len(queue.Order))
+	if workers <= 1 {
+		return bitmapRunRefine(ds, k, ix, queue, refine, trees)
+	}
+	if refine == RefineBTree && trees == nil {
+		trees = BuildDimTrees(ds)
+	}
+	sizes := bucketSizesOf(ds)
+	scorers := make([]scorer, workers)
+	for w := range scorers {
+		state := newBigStateSized(ds, ix, sizes)
+		if refine == RefineBTree {
+			state.trees = trees
+			state.tags = newEpochTags(ds.Len())
+		}
+		scorers[w] = bigScorer{state: state, refine: refine}
+	}
+	return engineRun(ds, k, queue, scorers)
+}
+
+// BIGWorkers is BIG across a worker pool. workers <= 0 selects GOMAXPROCS;
+// workers == 1 is the serial path.
+func BIGWorkers(ds *data.Dataset, k int, ix *bitmapidx.Index, queue *MaxScoreQueue, workers int) (Result, Stats) {
+	if ix.Binned() {
+		panic("core: BIG requires an unbinned index; use IBIG")
+	}
+	return bitmapRunParallel(ds, k, ix, queue, RefineDirect, nil, workers)
+}
+
+// IBIGWorkers is IBIG across a worker pool.
+func IBIGWorkers(ds *data.Dataset, k int, ix *bitmapidx.Index, queue *MaxScoreQueue, workers int) (Result, Stats) {
+	return bitmapRunParallel(ds, k, ix, queue, RefineDirect, nil, workers)
+}
+
+// IBIGBTreeWorkers is IBIG with the B+-tree Q−P refinement across a worker
+// pool. trees may be nil (built on the fly); the trees are shared read-only
+// by every worker.
+func IBIGBTreeWorkers(ds *data.Dataset, k int, ix *bitmapidx.Index, queue *MaxScoreQueue, trees []*btree.Tree, workers int) (Result, Stats) {
+	return bitmapRunParallel(ds, k, ix, queue, RefineBTree, trees, workers)
+}
+
+// NaiveWorkers is the exhaustive baseline across a worker pool, built on the
+// batch-windowed engine: every object is scored, windows walk the dataset in
+// index order, and the in-order merge makes the answer byte-identical to
+// Naive's — including rank-k tie-breaks, which the shard-heap ParallelNaive
+// cannot guarantee.
+func NaiveWorkers(ds *data.Dataset, k int, workers int) (Result, Stats) {
+	workers = clampWorkers(workers, ds.Len())
+	if workers <= 1 {
+		return Naive(ds, k)
+	}
+	n := ds.Len()
+	// A trivial full-scan queue: dataset order, bounds that never trip the
+	// Heuristic 1 cut (no score reaches n).
+	queue := &MaxScoreQueue{Order: make([]int32, n), MaxScore: make([]int, n)}
+	for i := 0; i < n; i++ {
+		queue.Order[i] = int32(i)
+		queue.MaxScore[i] = n
+	}
+	scorers := make([]scorer, workers)
+	for w := range scorers {
+		scorers[w] = ubbScorer{ds: ds}
+	}
+	return engineRun(ds, k, queue, scorers)
+}
+
+// UBBWorkers is UBB across a worker pool: exhaustive per-candidate scoring
+// under the engine's windowed Heuristic 1.
+func UBBWorkers(ds *data.Dataset, k int, queue *MaxScoreQueue, workers int) (Result, Stats) {
+	if queue == nil {
+		queue = BuildMaxScoreQueue(ds)
+	}
+	workers = clampWorkers(workers, len(queue.Order))
+	if workers <= 1 {
+		return UBB(ds, k, queue)
+	}
+	scorers := make([]scorer, workers)
+	for w := range scorers {
+		scorers[w] = ubbScorer{ds: ds}
+	}
+	return engineRun(ds, k, queue, scorers)
+}

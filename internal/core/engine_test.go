@@ -1,0 +1,116 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/bitmapidx"
+	"repro/internal/gen"
+)
+
+// TestParallelMatchesSerial asserts the engine's determinism guarantee: the
+// parallel path returns a byte-identical answer set — same objects, same
+// order, same scores — as the serial path, for every algorithm, worker
+// count and seed. Run under -race this doubles as the engine's data-race
+// test.
+func TestParallelMatchesSerial(t *testing.T) {
+	for _, seed := range []int64{7, 21} {
+		for _, dist := range []gen.Distribution{gen.IND, gen.AC} {
+			cfg := gen.Default(dist, seed)
+			cfg.N = 1200
+			ds := gen.Synthetic(cfg)
+			pre := Preprocess(ds, nil)
+			for _, alg := range []Algorithm{AlgNaive, AlgUBB, AlgBIG, AlgIBIG} {
+				want, _ := RunWorkers(alg, ds, 16, pre, 1)
+				for _, workers := range []int{0, 2, 3, 8} {
+					got, st := RunWorkers(alg, ds, 16, pre, workers)
+					if len(got.Items) != len(want.Items) {
+						t.Fatalf("%v/%v seed=%d workers=%d: %d items, want %d",
+							alg, dist, seed, workers, len(got.Items), len(want.Items))
+					}
+					for i := range got.Items {
+						if got.Items[i] != want.Items[i] {
+							t.Fatalf("%v/%v seed=%d workers=%d: item %d = %+v, want %+v",
+								alg, dist, seed, workers, i, got.Items[i], want.Items[i])
+						}
+					}
+					// workers == 0 resolves to GOMAXPROCS, which may be 1.
+					if alg != AlgNaive && workers >= 2 && st.Workers < 2 {
+						t.Fatalf("%v workers=%d: engine reported Workers=%d", alg, workers, st.Workers)
+					}
+				}
+			}
+			// The B+-tree refinement goes through the same engine.
+			trees := BuildDimTrees(ds)
+			want, _ := IBIGBTree(ds, 16, pre.Binned, pre.Queue, trees)
+			got, _ := IBIGBTreeWorkers(ds, 16, pre.Binned, pre.Queue, trees, 4)
+			if len(got.Items) != len(want.Items) {
+				t.Fatalf("btree/%v seed=%d: %d items, want %d", dist, seed, len(got.Items), len(want.Items))
+			}
+			for i := range got.Items {
+				if got.Items[i] != want.Items[i] {
+					t.Fatalf("btree/%v seed=%d: item %d = %+v, want %+v", dist, seed, i, got.Items[i], want.Items[i])
+				}
+			}
+		}
+	}
+}
+
+// TestUBBWorkersMatchesSerial pins the windowed Heuristic 1 behaviour on a
+// dataset small enough that several windows stay partially filled.
+func TestUBBWorkersMatchesSerial(t *testing.T) {
+	cfg := gen.Default(gen.IND, 5)
+	cfg.N = 300
+	ds := gen.Synthetic(cfg)
+	queue := BuildMaxScoreQueue(ds)
+	for _, k := range []int{1, 4, 300} {
+		want, _ := UBB(ds, k, queue)
+		got, _ := UBBWorkers(ds, k, queue, 4)
+		if len(got.Items) != len(want.Items) {
+			t.Fatalf("k=%d: %d items, want %d", k, len(got.Items), len(want.Items))
+		}
+		for i := range got.Items {
+			if got.Items[i] != want.Items[i] {
+				t.Fatalf("k=%d: item %d = %+v, want %+v", k, i, got.Items[i], want.Items[i])
+			}
+		}
+	}
+}
+
+// TestSharedColumnCache exercises many cursors of one compressed index
+// concurrently (the decompressed-column cache is per-index, not per-cursor)
+// and checks Q/P agreement with a Raw index over the same data.
+func TestSharedColumnCache(t *testing.T) {
+	cfg := gen.Default(gen.IND, 11)
+	cfg.N = 500
+	ds := gen.Synthetic(cfg)
+	stats := ds.Stats()
+	raw := bitmapidx.BuildWithStats(ds, stats, bitmapidx.Options{Codec: bitmapidx.Raw, Bins: []int{8}})
+	conc := bitmapidx.BuildWithStats(ds, stats, bitmapidx.Options{Codec: bitmapidx.Concise, Bins: []int{8}})
+	done := make(chan error, 4)
+	for w := 0; w < 4; w++ {
+		go func() {
+			rc, cc := raw.NewCursor(), conc.NewCursor()
+			for o := 0; o < ds.Len(); o++ {
+				rq, rp := rc.QP(o)
+				q, p := cc.QP(o)
+				if !q.Equal(rq) || !p.Equal(rp) {
+					done <- errAt(o)
+					return
+				}
+				if rc.MaxBitScore(o) != cc.MaxBitScore(o) {
+					done <- errAt(o)
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for w := 0; w < 4; w++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func errAt(o int) error { return fmt.Errorf("Q/P mismatch at object %d", o) }

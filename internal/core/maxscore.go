@@ -1,9 +1,9 @@
 package core
 
 import (
-	"math"
 	"sort"
 
+	"repro/internal/bitmapidx"
 	"repro/internal/btree"
 	"repro/internal/data"
 )
@@ -73,22 +73,7 @@ func BuildMaxScoreQueue(ds *data.Dataset) *MaxScoreQueue {
 }
 
 // OptimalBins evaluates the paper's Eq. (8): the bin count ξ minimizing the
-// product of index space cost (Eq. 5) and query cost (Eq. 6),
-//
-//	ξ* = sqrt( σN / (log2(σN) − 1) ),
-//
-// rounded to the nearest integer and floored at 1. The paper's own examples
-// fix the log base: ξ*(N=100K, σ=0.1) = 29 and ξ*(N=16K, σ=0.2) = 17 hold
-// with log2.
-func OptimalBins(n int, sigma float64) int {
-	sn := sigma * float64(n)
-	if sn <= 2 {
-		return 1
-	}
-	x := math.Sqrt(sn / (math.Log2(sn) - 1))
-	xi := int(math.Round(x))
-	if xi < 1 {
-		xi = 1
-	}
-	return xi
-}
+// space×time product for n objects at missing rate sigma. The formula lives
+// in bitmapidx (so Build can default to it); this re-export keeps the core
+// API stable.
+func OptimalBins(n int, sigma float64) int { return bitmapidx.OptimalBins(n, sigma) }

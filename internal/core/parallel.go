@@ -2,6 +2,7 @@ package core
 
 import (
 	"runtime"
+	"sort"
 	"sync"
 
 	"repro/internal/data"
@@ -12,8 +13,10 @@ import (
 // scoring is embarrassingly parallel — each object's score touches the
 // dataset read-only — so this serves both as a modern baseline for the
 // ablation benchmarks and as a stress test of the library's read-path
-// thread-safety. The answer is identical to Naive's (same tie-breaking by
-// score, then index).
+// thread-safety. The answer carries the same score multiset as Naive's, but
+// a rank-k score tie may resolve to a different equal-scoring object (each
+// shard heap evicts an arbitrary victim among ties); NaiveWorkers provides
+// the byte-identical guarantee through the windowed engine.
 func ParallelNaive(ds *data.Dataset, k int, workers int) (Result, Stats) {
 	if k <= 0 || ds.Len() == 0 {
 		return Result{}, Stats{}
@@ -27,6 +30,7 @@ func ParallelNaive(ds *data.Dataset, k int, workers int) (Result, Stats) {
 
 	var st Stats
 	st.Candidates = ds.Len()
+	st.Workers = workers
 	heaps := make([]*candidateHeap, workers)
 	var wg sync.WaitGroup
 	chunk := (ds.Len() + workers - 1) / workers
@@ -48,12 +52,20 @@ func ParallelNaive(ds *data.Dataset, k int, workers int) (Result, Stats) {
 	}
 	wg.Wait()
 
-	// Merge the per-worker heaps.
-	merged := newCandidateHeap(k)
+	// Merge the per-worker heaps, replaying offers in dataset order. Each
+	// worker's heap retains the top-k scores of its shard, so the union
+	// always yields Naive's score multiset; membership can still differ at
+	// a rank-k score tie, because a shard heap may have evicted a tied item
+	// the serial heap happened to retain (eviction picks the heap root
+	// among equal scores, which depends on insertion history).
+	var all []Item
 	for _, h := range heaps {
-		for _, it := range h.items {
-			merged.offer(it)
-		}
+		all = append(all, h.items...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Index < all[j].Index })
+	merged := newCandidateHeap(k)
+	for _, it := range all {
+		merged.offer(it)
 	}
 	st.Scored = ds.Len()
 	st.Comparisons = int64(ds.Len()) * int64(ds.Len()-1)

@@ -105,9 +105,15 @@ func (e *epochTags) marked(id int32) bool { return e.mark[id] == e.epoch }
 // F(o) ⊆ P and every comparable member of P is dominated,
 // |G(o)| = |P| − |F(o)| needs no iteration at all.
 func (s *bigState) bigScoreBTree(o int, tau int, full bool, st *Stats) (int, scoreResult) {
-	maxBit := s.cursor.MaxBitScore(o)
-	if full && maxBit <= tau {
-		return 0, prunedH2 // Heuristic 2
+	var maxBit int
+	if full {
+		mb, above := s.cursor.MaxBitScoreAbove(o, tau)
+		if !above {
+			return 0, prunedH2 // Heuristic 2, threshold-aware cascade
+		}
+		maxBit = mb
+	} else {
+		maxBit = s.cursor.MaxBitScore(o)
 	}
 	q, p := s.cursor.QP(o)
 	obj := s.ds.Obj(o)

@@ -61,6 +61,11 @@ type Stats struct {
 	PrunedSkyband int
 	// Comparisons counts pairwise object comparisons (dominance tests).
 	Comparisons int64
+	// Workers is the goroutine count a parallel run used (0 for the serial
+	// paths).
+	Workers int
+	// Windows is the number of batch windows the parallel engine processed.
+	Windows int
 }
 
 // candidateHeap is the candidate set SC of Algorithms 2/4: a min-heap of at

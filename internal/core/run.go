@@ -85,22 +85,35 @@ func Preprocess(ds *data.Dataset, bins []int) *Pre {
 // preprocessing artifact on the fly (pass a shared Pre to amortize them, as
 // the experiments do).
 func Run(a Algorithm, ds *data.Dataset, k int, pre *Pre) (Result, Stats) {
+	return RunWorkers(a, ds, k, pre, 1)
+}
+
+// RunWorkers is Run with a worker count: 1 is the serial path, 0 selects
+// GOMAXPROCS, and n > 1 fans candidate scoring across n goroutines through
+// the batch-windowed engine (UBB/BIG/IBIG) or the sharded exhaustive scorer
+// (Naive). The answer set is identical to the serial run's; ESB has no
+// parallel path and ignores the knob.
+func RunWorkers(a Algorithm, ds *data.Dataset, k int, pre *Pre, workers int) (Result, Stats) {
 	if k <= 0 {
 		return Result{}, Stats{}
 	}
 	if pre == nil {
 		pre = &Pre{}
 	}
+	serial := workers == 1
 	switch a {
 	case AlgNaive:
-		return Naive(ds, k)
+		if serial {
+			return Naive(ds, k)
+		}
+		return NaiveWorkers(ds, k, workers)
 	case AlgESB:
 		return ESB(ds, k)
 	case AlgUBB:
 		if pre.Queue == nil {
 			pre.Queue = BuildMaxScoreQueue(ds)
 		}
-		return UBB(ds, k, pre.Queue)
+		return UBBWorkers(ds, k, pre.Queue, workers)
 	case AlgBIG:
 		if pre.Queue == nil {
 			pre.Queue = BuildMaxScoreQueue(ds)
@@ -108,7 +121,7 @@ func Run(a Algorithm, ds *data.Dataset, k int, pre *Pre) (Result, Stats) {
 		if pre.Bitmap == nil {
 			pre.Bitmap = bitmapidx.Build(ds, bitmapidx.Options{Codec: bitmapidx.Raw})
 		}
-		return BIG(ds, k, pre.Bitmap, pre.Queue)
+		return BIGWorkers(ds, k, pre.Bitmap, pre.Queue, workers)
 	case AlgIBIG:
 		if pre.Queue == nil {
 			pre.Queue = BuildMaxScoreQueue(ds)
@@ -117,7 +130,7 @@ func Run(a Algorithm, ds *data.Dataset, k int, pre *Pre) (Result, Stats) {
 			bins := []int{OptimalBins(ds.Len(), ds.MissingRate())}
 			pre.Binned = bitmapidx.Build(ds, bitmapidx.Options{Codec: bitmapidx.Concise, Bins: bins})
 		}
-		return IBIG(ds, k, pre.Binned, pre.Queue)
+		return IBIGWorkers(ds, k, pre.Binned, pre.Queue, workers)
 	default:
 		panic(fmt.Sprintf("core: unknown algorithm %d", int(a)))
 	}

@@ -149,6 +149,7 @@ func All() []Spec {
 		{"fig17", "TKD cost on synthetic data vs dimensional cardinality c", Fig17},
 		{"fig18", "Objects pruned by Heuristics 1/2/3 vs k", Fig18},
 		{"ablation", "Design-choice ablations: refinement strategy, column codec (not in the paper)", Ablation},
+		{"parallel", "Parallel engine: serial vs worker-pool query time and speedup (not in the paper)", Parallel},
 	}
 }
 

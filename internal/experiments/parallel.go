@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+
+	"repro/internal/core"
+)
+
+// ParallelSweep measures the batch-windowed parallel engine against the
+// serial loop — one row per (dataset, algorithm), reporting wall-clock time
+// for both paths and the speedup. Not a paper artifact: the paper's
+// evaluation is single-threaded, and this table tracks the perf trajectory
+// of the engine added on top of it. workers <= 0 selects GOMAXPROCS.
+func ParallelSweep(s Scale, workers int) []Table {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	t := Table{
+		Title:  fmt.Sprintf("Parallel engine: serial vs %d workers (k=%d)", workers, defaultK),
+		Header: []string{"dataset", "algorithm", "serial(s)", "parallel(s)", "speedup"},
+	}
+	for _, d := range syntheticPair(s, nil) {
+		pre := core.Preprocess(d.ds, nil)
+		for _, alg := range []core.Algorithm{core.AlgUBB, core.AlgBIG, core.AlgIBIG} {
+			// Warm the shared column cache so both paths measure query work.
+			core.Run(alg, d.ds, defaultK, pre)
+			serial := measure(func() { core.Run(alg, d.ds, defaultK, pre) })
+			par := measure(func() { core.RunWorkers(alg, d.ds, defaultK, pre, workers) })
+			t.Rows = append(t.Rows, []string{
+				d.name, alg.String(),
+				seconds(serial), seconds(par),
+				fmt.Sprintf("%.2fx", serial.Seconds()/par.Seconds()),
+			})
+		}
+	}
+	return []Table{t}
+}
+
+// Parallel is the Spec entry point: the sweep at GOMAXPROCS workers.
+func Parallel(s Scale) []Table { return ParallelSweep(s, 0) }

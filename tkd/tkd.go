@@ -18,6 +18,11 @@
 // Preprocessing artifacts (the MaxScore queue of §4.2 and the bitmap
 // indexes of §4.3–4.4) are built lazily on first use and cached until the
 // dataset changes; call Prepare to pay the cost up front.
+//
+// Queries are serial by default; WithWorkers(n) fans candidate scoring
+// across a worker pool (0 = GOMAXPROCS) without changing the answer:
+//
+//	res, err = ds.TopK(2, tkd.WithWorkers(0))      // parallel IBIG
 package tkd
 
 import (
@@ -131,11 +136,12 @@ func (d *Dataset) Score(i int) int { return core.Score(d.ds, i) }
 type Option func(*queryConfig)
 
 type queryConfig struct {
-	alg    Algorithm
-	algSet bool
-	bins   []int
-	stats  *Stats
-	btree  bool
+	alg     Algorithm
+	algSet  bool
+	bins    []int
+	stats   *Stats
+	btree   bool
+	workers int
 }
 
 // WithAlgorithm forces a specific algorithm (default IBIG).
@@ -145,9 +151,33 @@ func WithAlgorithm(a Algorithm) Option {
 
 // WithBins overrides the bin counts of the binned bitmap index used by
 // IBIG: one entry per dimension, or a single entry broadcast to all. The
-// default is the paper's space×time optimum, Eq. (8).
+// default is the paper's space×time optimum, Eq. (8); calling WithBins with
+// no arguments keeps that default rather than requesting an empty layout.
 func WithBins(bins ...int) Option {
-	return func(c *queryConfig) { c.bins = bins }
+	return func(c *queryConfig) {
+		if len(bins) == 0 {
+			// No counts given: leave the Eq. (8) default in force instead of
+			// handing the index builder an empty (and formerly panicking)
+			// bin list.
+			return
+		}
+		c.bins = bins
+	}
+}
+
+// WithWorkers fans candidate scoring across n goroutines: 0 selects
+// GOMAXPROCS, 1 (the default) is the serial path. UBB, BIG, IBIG and the
+// B+-tree refinement run through the batch-windowed parallel engine; Naive
+// through the sharded exhaustive scorer; ESB ignores the knob.
+//
+// Determinism: a parallel query returns the same answer set — identical
+// objects, ranks and scores — as the serial run over the same dataset.
+// Rank-k ties are broken arbitrarily but identically in both paths (worker
+// results are committed to the answer heap in queue order, replaying the
+// serial heap's offer sequence exactly), so WithWorkers never changes a
+// query's answer, only its wall-clock time.
+func WithWorkers(n int) Option {
+	return func(c *queryConfig) { c.workers = n }
 }
 
 // WithStats captures the query's work counters into st.
@@ -181,7 +211,7 @@ func (d *Dataset) TopK(k int, opts ...Option) (Result, error) {
 	if k <= 0 {
 		return Result{}, fmt.Errorf("tkd: k must be positive, got %d", k)
 	}
-	cfg := queryConfig{alg: IBIG}
+	cfg := queryConfig{alg: IBIG, workers: 1}
 	for _, o := range opts {
 		o(&cfg)
 	}
@@ -211,9 +241,9 @@ func (d *Dataset) TopK(k int, opts ...Option) (Result, error) {
 		if d.pre.Queue == nil {
 			d.pre.Queue = core.BuildMaxScoreQueue(d.ds)
 		}
-		res, st = core.IBIGBTree(d.ds, k, d.pre.Binned, d.pre.Queue, d.trees)
+		res, st = core.IBIGBTreeWorkers(d.ds, k, d.pre.Binned, d.pre.Queue, d.trees, cfg.workers)
 	} else {
-		res, st = core.Run(cfg.alg, d.ds, k, d.pre)
+		res, st = core.RunWorkers(cfg.alg, d.ds, k, d.pre, cfg.workers)
 	}
 	if cfg.stats != nil {
 		*cfg.stats = st

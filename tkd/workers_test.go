@@ -1,0 +1,75 @@
+package tkd_test
+
+import (
+	"testing"
+
+	"repro/tkd"
+)
+
+// TestWithWorkersDeterminism asserts the public determinism guarantee:
+// TopK(… WithWorkers(n)) returns the same ID set and scores as the serial
+// path for every algorithm, on several seeds. Run under -race this also
+// exercises the engine's concurrency through the public API.
+func TestWithWorkersDeterminism(t *testing.T) {
+	algos := []tkd.Algorithm{tkd.Naive, tkd.ESB, tkd.UBB, tkd.BIG, tkd.IBIG}
+	for _, seed := range []int64{3, 17} {
+		ds := tkd.GenerateAC(900, 5, 40, 0.25, seed)
+		ds.Prepare()
+		for _, alg := range algos {
+			want, err := ds.TopK(12, tkd.WithAlgorithm(alg))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{0, 2, 5} {
+				got, err := ds.TopK(12, tkd.WithAlgorithm(alg), tkd.WithWorkers(workers))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(got.Items) != len(want.Items) {
+					t.Fatalf("alg=%v seed=%d workers=%d: %d items, want %d",
+						alg, seed, workers, len(got.Items), len(want.Items))
+				}
+				for i := range got.Items {
+					if got.Items[i] != want.Items[i] {
+						t.Fatalf("alg=%v seed=%d workers=%d: item %d = %+v, want %+v",
+							alg, seed, workers, i, got.Items[i], want.Items[i])
+					}
+				}
+			}
+		}
+		// The B+-tree refinement path takes the same knob.
+		want, err := ds.TopK(12, tkd.WithBTreeRefinement())
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ds.TopK(12, tkd.WithBTreeRefinement(), tkd.WithWorkers(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range got.Items {
+			if got.Items[i] != want.Items[i] {
+				t.Fatalf("btree seed=%d: item %d = %+v, want %+v", seed, i, got.Items[i], want.Items[i])
+			}
+		}
+	}
+}
+
+// TestWithBinsNoArgs pins the fixed empty-bin-list behaviour: WithBins()
+// with no arguments keeps the Eq. (8) default instead of panicking during
+// index construction.
+func TestWithBinsNoArgs(t *testing.T) {
+	ds := tkd.GenerateIND(200, 4, 20, 0.2, 9)
+	want, err := ds.TopK(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ds.TopK(5, tkd.WithBins())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got.Items {
+		if got.Items[i] != want.Items[i] {
+			t.Fatalf("item %d = %+v, want %+v", i, got.Items[i], want.Items[i])
+		}
+	}
+}
