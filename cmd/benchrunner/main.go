@@ -12,14 +12,59 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/experiments"
 )
+
+// hostInfo records where a benchmark ran. Parallel speedups are meaningless
+// without it: a container pinned to one core shows 1x no matter how good the
+// engine is, so every emitted JSON carries the core count and GOMAXPROCS
+// alongside the numbers.
+type hostInfo struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Hostname   string `json:"hostname,omitempty"`
+}
+
+func currentHost() hostInfo {
+	h := hostInfo{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	if name, err := os.Hostname(); err == nil {
+		h.Hostname = name
+	}
+	return h
+}
+
+// benchExperiment is one experiment's results in the JSON report.
+type benchExperiment struct {
+	Name    string              `json:"name"`
+	Paper   string              `json:"paper"`
+	Seconds float64             `json:"seconds"`
+	Tables  []experiments.Table `json:"tables"`
+}
+
+// benchReport is the -json output: host context plus every table produced.
+type benchReport struct {
+	Host        hostInfo          `json:"host"`
+	Scale       string            `json:"scale"`
+	Workers     int               `json:"workers,omitempty"`
+	Experiments []benchExperiment `json:"experiments"`
+}
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
@@ -36,6 +81,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		out     = fs.String("o", "", "output file (default stdout)")
 		list    = fs.Bool("list", false, "list experiments and exit")
 		workers = fs.Int("workers", 0, "worker count for the parallel experiment (0 = GOMAXPROCS)")
+		jsonOut = fs.String("json", "", "also write results as JSON with host/runtime info to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -77,6 +123,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		w = f
 	}
 
+	report := benchReport{Host: currentHost(), Scale: sc.String(), Workers: *workers}
 	for _, spec := range specs {
 		fmt.Fprintf(stderr, "benchrunner: running %s (%s scale)...\n", spec.Name, sc)
 		start := time.Now()
@@ -87,7 +134,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		} else {
 			tables = spec.Run(sc)
 		}
-		fmt.Fprintf(stderr, "benchrunner: %s done in %.1fs\n", spec.Name, time.Since(start).Seconds())
+		elapsed := time.Since(start)
+		fmt.Fprintf(stderr, "benchrunner: %s done in %.1fs\n", spec.Name, elapsed.Seconds())
+		report.Experiments = append(report.Experiments, benchExperiment{
+			Name:    spec.Name,
+			Paper:   spec.Paper,
+			Seconds: elapsed.Seconds(),
+			Tables:  tables,
+		})
 		for _, t := range tables {
 			if *format == "markdown" {
 				t.Markdown(w)
@@ -95,6 +149,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 				t.Format(w)
 			}
 		}
+	}
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fmt.Fprintln(stderr, "benchrunner:", err)
+			return 1
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			f.Close()
+			fmt.Fprintln(stderr, "benchrunner:", err)
+			return 1
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(stderr, "benchrunner:", err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "benchrunner: wrote JSON report to %s\n", *jsonOut)
 	}
 	return 0
 }

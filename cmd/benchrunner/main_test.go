@@ -2,6 +2,10 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"runtime"
 	"strings"
 	"testing"
 )
@@ -38,6 +42,46 @@ func TestRunMarkdownFormat(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "| --- |") {
 		t.Fatalf("not markdown:\n%s", out.String())
+	}
+}
+
+// TestRunJSONReport checks the -json output: host/runtime context (core
+// count, GOMAXPROCS — without which parallel numbers are uninterpretable)
+// plus the experiment tables.
+func TestRunJSONReport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "report.json")
+	var out, errb bytes.Buffer
+	if code := run([]string{"-exp", "table3", "-scale", "tiny", "-json", path}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report benchReport
+	if err := json.Unmarshal(raw, &report); err != nil {
+		t.Fatalf("invalid JSON report: %v", err)
+	}
+	if report.Host.GOMAXPROCS != runtime.GOMAXPROCS(0) {
+		t.Errorf("gomaxprocs = %d, want %d", report.Host.GOMAXPROCS, runtime.GOMAXPROCS(0))
+	}
+	if report.Host.NumCPU != runtime.NumCPU() {
+		t.Errorf("num_cpu = %d, want %d", report.Host.NumCPU, runtime.NumCPU())
+	}
+	if report.Host.GoVersion != runtime.Version() || report.Host.GOOS != runtime.GOOS {
+		t.Errorf("host info = %+v", report.Host)
+	}
+	if report.Scale != "tiny" {
+		t.Errorf("scale = %q, want tiny", report.Scale)
+	}
+	if len(report.Experiments) != 1 || report.Experiments[0].Name != "table3" {
+		t.Fatalf("experiments = %+v", report.Experiments)
+	}
+	if len(report.Experiments[0].Tables) == 0 || report.Experiments[0].Seconds < 0 {
+		t.Errorf("experiment missing tables or timing: %+v", report.Experiments[0])
+	}
+	if code := run([]string{"-exp", "table3", "-scale", "tiny", "-json", "/no/such/dir/x.json"}, &out, &errb); code != 1 {
+		t.Fatalf("bad -json path: exit %d", code)
 	}
 }
 

@@ -7,6 +7,7 @@
 // Usage:
 //
 //	tkdcli -k 5 -alg IBIG data.csv
+//	tkdcli -k 5 -alg IBIG -workers 0 data.csv      # parallel scoring
 //	datagen -dist nba | tkdcli -k 10 -alg UBB -stats -negate=false -
 package main
 
@@ -30,11 +31,12 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("tkdcli", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		k      = fs.Int("k", 10, "number of answers")
-		algStr = fs.String("alg", "IBIG", "algorithm: Naive, ESB, UBB, BIG, IBIG")
-		stats  = fs.Bool("stats", false, "print pruning statistics")
-		negate = fs.Bool("negate", false, "negate values (use when larger is better)")
-		bins   = fs.Int("bins", 0, "bins per dimension for IBIG (0 = Eq. 8 optimum)")
+		k       = fs.Int("k", 10, "number of answers")
+		algStr  = fs.String("alg", "IBIG", "algorithm: Naive, ESB, UBB, BIG, IBIG")
+		stats   = fs.Bool("stats", false, "print pruning statistics")
+		negate  = fs.Bool("negate", false, "negate values (use when larger is better)")
+		bins    = fs.Int("bins", 0, "bins per dimension for IBIG (0 = Eq. 8 optimum)")
+		workers = fs.Int("workers", 1, "parallel scoring goroutines (1 = serial, 0 = GOMAXPROCS)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -48,6 +50,10 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	alg, err := core.ParseAlgorithm(*algStr)
 	if err != nil {
 		fmt.Fprintln(stderr, "tkdcli:", err)
+		return 2
+	}
+	if *workers < 0 {
+		fmt.Fprintf(stderr, "tkdcli: -workers must be >= 0, got %d\n", *workers)
 		return 2
 	}
 
@@ -79,7 +85,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	prepTime := time.Since(prepStart)
 
 	queryStart := time.Now()
-	res, st := core.Run(alg, ds, *k, pre)
+	res, st := core.RunWorkers(alg, ds, *k, pre, *workers)
 	queryTime := time.Since(queryStart)
 
 	fmt.Fprintf(stdout, "# %s on %d objects x %d dims (missing rate %.1f%%)\n",

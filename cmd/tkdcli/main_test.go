@@ -51,6 +51,41 @@ func TestRunAnswersT2D(t *testing.T) {
 	}
 }
 
+// TestRunWorkersMatchesSerial exercises the -workers flag: the parallel
+// engine must produce the exact ranked answer the serial run prints, for
+// every algorithm.
+func TestRunWorkersMatchesSerial(t *testing.T) {
+	for _, alg := range []string{"Naive", "ESB", "UBB", "BIG", "IBIG"} {
+		var serial, parallel, errb bytes.Buffer
+		if code := run([]string{"-k", "2", "-alg", alg, "-"},
+			strings.NewReader(sampleCSV), &serial, &errb); code != 0 {
+			t.Fatalf("%s serial: exit %d: %s", alg, code, errb.String())
+		}
+		if code := run([]string{"-k", "2", "-alg", alg, "-workers", "3", "-"},
+			strings.NewReader(sampleCSV), &parallel, &errb); code != 0 {
+			t.Fatalf("%s parallel: exit %d: %s", alg, code, errb.String())
+		}
+		// Strip the timing line (wall-clock differs); answer rows must match.
+		strip := func(s string) string {
+			var keep []string
+			for _, line := range strings.Split(s, "\n") {
+				if !strings.HasPrefix(line, "# preprocessing") {
+					keep = append(keep, line)
+				}
+			}
+			return strings.Join(keep, "\n")
+		}
+		if strip(serial.String()) != strip(parallel.String()) {
+			t.Fatalf("%s: parallel output differs:\nserial:\n%s\nparallel:\n%s",
+				alg, serial.String(), parallel.String())
+		}
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{"-workers", "-2", "-"}, strings.NewReader(sampleCSV), &out, &errb); code != 2 {
+		t.Fatalf("negative -workers: exit %d", code)
+	}
+}
+
 func TestRunNegate(t *testing.T) {
 	csv := "id,v1,v2\nbad,1,1\ngood,5,5\n"
 	var out, errb bytes.Buffer

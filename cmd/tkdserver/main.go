@@ -1,0 +1,113 @@
+// Command tkdserver serves top-k dominating queries over multiple resident
+// datasets through an HTTP/JSON API. Each dataset is loaded once (datagen
+// CSV format), prepared once, and queried from warm indexes; concurrent
+// queries against one dataset are coalesced into batch scheduling windows
+// and the total worker fan-out is bounded by an admission controller.
+//
+// Usage:
+//
+//	tkdserver -dataset nba=nba.csv -dataset movies=movies.csv
+//	tkdserver -addr :9000 -dataset d=data.csv -cache-budget 4194304
+//
+// Endpoints: POST /v1/query, GET /v1/datasets, GET /healthz, GET /metrics.
+// See the README's tkdserver section for an example curl session and the
+// metrics glossary.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/server"
+)
+
+// datasetFlag collects repeated -dataset name=path mappings.
+type datasetFlag []string
+
+func (d *datasetFlag) String() string { return strings.Join(*d, ",") }
+
+func (d *datasetFlag) Set(v string) error {
+	if !strings.Contains(v, "=") {
+		return fmt.Errorf("want name=path, got %q", v)
+	}
+	*d = append(*d, v)
+	return nil
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point; it returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tkdserver", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var datasets datasetFlag
+	fs.Var(&datasets, "dataset", "name=path of a datagen-format CSV to serve (repeatable)")
+	var (
+		addr        = fs.String("addr", ":8080", "listen address")
+		negate      = fs.Bool("negate", false, "negate loaded values (use when larger is better)")
+		window      = fs.Duration("window", 2*time.Millisecond, "batch coalescing window (0 = serve immediately)")
+		maxWorkers  = fs.Int("max-workers", 0, "total in-flight worker goroutines across queries (0 = GOMAXPROCS)")
+		maxBatch    = fs.Int("max-batch", 64, "max queries per scheduling window")
+		cacheBudget = fs.Int64("cache-budget", 0, "per-dataset decompressed-column cache bytes (0 = 32 MiB default)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if len(datasets) == 0 {
+		fmt.Fprintln(stderr, "tkdserver: at least one -dataset name=path is required")
+		fs.PrintDefaults()
+		return 2
+	}
+
+	srv, err := buildServer(datasets, *negate, server.Config{
+		MaxWorkers:  *maxWorkers,
+		BatchWindow: *window,
+		MaxBatch:    *maxBatch,
+		CacheBudget: *cacheBudget,
+	}, stdout)
+	if err != nil {
+		fmt.Fprintln(stderr, "tkdserver:", err)
+		return 1
+	}
+	defer srv.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(stderr, "tkdserver:", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "tkdserver: listening on %s\n", ln.Addr())
+	if err := http.Serve(ln, srv); err != nil {
+		fmt.Fprintln(stderr, "tkdserver:", err)
+		return 1
+	}
+	return 0
+}
+
+// buildServer loads every -dataset mapping into a fresh server, logging each
+// load (index construction dominates startup, so the feedback matters).
+func buildServer(datasets []string, negate bool, cfg server.Config, stdout io.Writer) (*server.Server, error) {
+	srv := server.New(cfg)
+	for _, spec := range datasets {
+		name, path, _ := strings.Cut(spec, "=")
+		if name == "" || path == "" {
+			srv.Close()
+			return nil, fmt.Errorf("bad -dataset %q: want name=path", spec)
+		}
+		start := time.Now()
+		if err := srv.LoadCSVFile(name, path, negate); err != nil {
+			srv.Close()
+			return nil, err
+		}
+		fmt.Fprintf(stdout, "tkdserver: loaded %s from %s in %.2fs\n", name, path, time.Since(start).Seconds())
+	}
+	return srv, nil
+}

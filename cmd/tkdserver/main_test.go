@@ -1,0 +1,102 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/server"
+	"repro/tkd"
+)
+
+// writeTempCSV materializes a generated dataset as a datagen-format CSV.
+func writeTempCSV(t *testing.T, ds *tkd.Dataset) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "data.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.WriteCSV(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestBuildServerServesLoadedCSV boots the server exactly as run() does and
+// drives one query through the HTTP stack, checking the answer against the
+// library on the same data.
+func TestBuildServerServesLoadedCSV(t *testing.T) {
+	ds := tkd.GenerateIND(300, 4, 20, 0.2, 5)
+	path := writeTempCSV(t, ds)
+	var out bytes.Buffer
+	srv, err := buildServer([]string{"d1=" + path}, false, server.Config{}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if !strings.Contains(out.String(), "loaded d1") {
+		t.Fatalf("no load log:\n%s", out.String())
+	}
+
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	body := strings.NewReader(`{"dataset":"d1","k":5,"algorithm":"IBIG"}`)
+	resp, err := http.Post(ts.URL+"/v1/query", "application/json", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("HTTP %d", resp.StatusCode)
+	}
+	var qr server.QueryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		t.Fatal(err)
+	}
+	want, err := ds.TopK(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qr.Items) != len(want.Items) {
+		t.Fatalf("%d items, want %d", len(qr.Items), len(want.Items))
+	}
+	for i, it := range qr.Items {
+		if it.ID != want.Items[i].ID || it.Score != want.Items[i].Score {
+			t.Fatalf("item %d = %+v, want %+v", i, it, want.Items[i])
+		}
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-bogus"}, &out, &errb); code != 2 {
+		t.Fatalf("bad flag: exit %d", code)
+	}
+	if code := run([]string{}, &out, &errb); code != 2 {
+		t.Fatalf("no datasets: exit %d", code)
+	}
+	if code := run([]string{"-dataset", "nopath"}, &out, &errb); code != 2 {
+		t.Fatalf("malformed -dataset: exit %d", code)
+	}
+	if code := run([]string{"-dataset", "x=/no/such/file.csv"}, &out, &errb); code != 1 {
+		t.Fatalf("missing file: exit %d", code)
+	}
+}
+
+func TestBuildServerRejectsEmptyName(t *testing.T) {
+	ds := tkd.GenerateIND(50, 3, 10, 0.1, 1)
+	path := writeTempCSV(t, ds)
+	var out bytes.Buffer
+	if _, err := buildServer([]string{"=" + path}, false, server.Config{}, &out); err == nil {
+		t.Fatal("empty dataset name accepted")
+	}
+}

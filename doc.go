@@ -3,8 +3,10 @@
 // 28(1), 2016): the ESB, UBB, BIG and IBIG query algorithms, the
 // incomplete-data bitmap index with WAH/CONCISE compression and adaptive
 // binning, a batch-windowed parallel query engine over fused word-level
-// bit kernels (tkd.WithWorkers), and a benchmark harness regenerating
-// every table and figure of the paper's evaluation.
+// bit kernels (tkd.WithWorkers), a multi-dataset HTTP query service with a
+// batch scheduler and CLOCK-evicted column cache (cmd/tkdserver), and a
+// benchmark harness regenerating every table and figure of the paper's
+// evaluation.
 //
 // Use the public API in package repro/tkd; see README.md for a tour and
 // DESIGN.md for the system inventory. The benchmarks in bench_test.go are

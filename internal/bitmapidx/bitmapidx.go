@@ -118,17 +118,75 @@ type Index struct {
 	// colCache lazily holds decompressed columns of a compressed index,
 	// shared by every cursor (nil for Raw indexes). A query touches the same
 	// columns for thousands of candidates, and a parallel query touches them
-	// from N workers — the sync.Once per column means each is decompressed
-	// exactly once per index, not once per cursor.
-	colCache   [][]sharedCol
-	cacheSpent atomic.Int64 // bytes of colCache populated so far
+	// from N workers — caching the decompression means a hot column is
+	// decompressed once per index, not once per cursor. The cache is bounded
+	// by a CLOCK eviction policy (see sharedDense / evictToBudget) instead of
+	// a hard first-come cut-off, so a long-lived serving process keeps the
+	// columns the current query mix actually touches resident.
+	colCache [][]sharedCol
+	clock    []*sharedCol // colCache flattened in sweep order
+	colSize  int64        // bytes of one decompressed column
+	cache    cacheState
 }
 
-// sharedCol is one slot of the shared decompressed-column cache. v stays nil
-// when the budget ran out; readers then fall back to per-cursor scratch.
+// sharedCol is one slot of the shared decompressed-column cache. v is nil
+// while the column is not resident; ref is the CLOCK reference bit, set on
+// every hit and cleared (then evicted on the next pass) by the sweep hand.
 type sharedCol struct {
-	once sync.Once
-	v    *bitvec.Vector
+	v   atomic.Pointer[bitvec.Vector]
+	ref atomic.Bool
+}
+
+// cacheState carries the cache's accounting: the configurable byte budget,
+// the resident byte count, the hit/miss/evicted counters surfaced by
+// CacheStats, and the CLOCK hand (guarded by mu; sweeps are serialized, the
+// hit/miss fast paths are not).
+type cacheState struct {
+	budget  atomic.Int64
+	bytes   atomic.Int64
+	hits    atomic.Int64
+	misses  atomic.Int64
+	evicted atomic.Int64
+	mu      sync.Mutex
+	hand    int
+}
+
+// CacheStats is a point-in-time snapshot of the decompressed-column cache
+// counters. Hits and Misses count sharedDense lookups (a miss pays one
+// decompression), Evicted counts columns dropped by the CLOCK sweep, Bytes is
+// the resident payload and Budget the configured bound.
+type CacheStats struct {
+	Hits    int64
+	Misses  int64
+	Evicted int64
+	Bytes   int64
+	Budget  int64
+}
+
+// CacheStats returns the current cache counters; all zero for Raw indexes,
+// which store dense columns and need no cache.
+func (ix *Index) CacheStats() CacheStats {
+	return CacheStats{
+		Hits:    ix.cache.hits.Load(),
+		Misses:  ix.cache.misses.Load(),
+		Evicted: ix.cache.evicted.Load(),
+		Bytes:   ix.cache.bytes.Load(),
+		Budget:  ix.cache.budget.Load(),
+	}
+}
+
+// SetCacheBudget rebounds the decompressed-column cache to at most bytes
+// (minimum one column; the default is DefaultCacheBudget) and evicts down to
+// the new bound immediately. Safe to call while queries are running: evicted
+// columns are immutable, so cursors holding one simply keep reading it.
+func (ix *Index) SetCacheBudget(bytes int64) {
+	if ix.codec == Raw {
+		return
+	}
+	ix.cache.budget.Store(bytes)
+	if ix.cache.bytes.Load() > bytes {
+		ix.evictToBudget()
+	}
 }
 
 // initColCache allocates the shared cache slots for a compressed index.
@@ -136,29 +194,111 @@ func (ix *Index) initColCache() {
 	if ix.codec == Raw {
 		return
 	}
+	ix.colSize = int64(8 * ((ix.ds.Len() + 63) / 64))
+	ix.cache.budget.Store(DefaultCacheBudget)
 	ix.colCache = make([][]sharedCol, len(ix.dims))
 	for d := range ix.dims {
 		ix.colCache[d] = make([]sharedCol, len(ix.dims[d].cols))
+		for b := range ix.colCache[d] {
+			ix.clock = append(ix.clock, &ix.colCache[d][b])
+		}
 	}
 }
 
 // sharedDense returns the decompressed column from the shared cache,
-// populating it on first touch while the CacheBudget lasts; nil when the
-// budget is exhausted (callers fall back to scratch). Safe for concurrent
-// use by many cursors.
+// populating it on a miss when the budget has room (evicting colder columns
+// to make some), or nil when the cache is full of recently referenced
+// columns — callers then decompress into per-cursor scratch, so a budget
+// below the working set degrades to scratch reuse instead of allocating a
+// fresh vector per touch. Safe for concurrent use by many cursors. A
+// returned vector stays valid indefinitely: eviction only drops the cache's
+// reference, never mutates the column.
 func (ix *Index) sharedDense(d, b int) *bitvec.Vector {
 	sc := &ix.colCache[d][b]
-	sc.once.Do(func() {
-		sz := int64(8 * ((ix.ds.Len() + 63) / 64))
-		if ix.cacheSpent.Add(sz) <= CacheBudget {
-			v := bitvec.New(ix.ds.Len())
-			decompressInto(&ix.dims[d].cols[b], v)
-			sc.v = v
-		} else {
-			ix.cacheSpent.Add(-sz)
+	if v := sc.v.Load(); v != nil {
+		if !sc.ref.Load() {
+			sc.ref.Store(true)
 		}
-	})
-	return sc.v
+		ix.cache.hits.Add(1)
+		return v
+	}
+	ix.cache.misses.Add(1)
+	if !ix.reserve() {
+		return nil
+	}
+	v := bitvec.New(ix.ds.Len())
+	decompressInto(&ix.dims[d].cols[b], v)
+	if sc.v.CompareAndSwap(nil, v) {
+		sc.ref.Store(true)
+	} else {
+		// A concurrent miss raced us in; return the reservation and use its
+		// copy (or ours, correct either way, if it was already evicted).
+		ix.cache.bytes.Add(-ix.colSize)
+		if cached := sc.v.Load(); cached != nil {
+			return cached
+		}
+	}
+	return v
+}
+
+// reserve books one column's bytes against the budget, running at most one
+// CLOCK revolution to make room: the hand clears reference bits of recently
+// hit columns (one revolution of grace) and drops unreferenced ones. It
+// reports false — and returns the reservation — when the sweep could not
+// make the column fit, which is what keeps a hot working set resident while
+// overflow traffic reads through scratch.
+func (ix *Index) reserve() bool {
+	c := &ix.cache
+	if c.bytes.Add(ix.colSize) <= c.budget.Load() {
+		return true
+	}
+	c.mu.Lock()
+	budget := c.budget.Load()
+	for step := 0; step < len(ix.clock) && c.bytes.Load() > budget; step++ {
+		sc := ix.clock[c.hand]
+		c.hand = (c.hand + 1) % len(ix.clock)
+		if sc.v.Load() == nil {
+			continue
+		}
+		if sc.ref.Load() {
+			sc.ref.Store(false)
+			continue
+		}
+		sc.v.Store(nil)
+		c.bytes.Add(-ix.colSize)
+		c.evicted.Add(1)
+	}
+	ok := c.bytes.Load() <= budget
+	if !ok {
+		c.bytes.Add(-ix.colSize)
+	}
+	c.mu.Unlock()
+	return ok
+}
+
+// evictToBudget force-shrinks the resident set to the current budget (used
+// by SetCacheBudget): up to two full CLOCK revolutions, so even columns
+// whose reference bit was set get stripped on the first pass and dropped on
+// the second.
+func (ix *Index) evictToBudget() {
+	c := &ix.cache
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	budget := c.budget.Load()
+	for step := 0; step < 2*len(ix.clock) && c.bytes.Load() > budget; step++ {
+		sc := ix.clock[c.hand]
+		c.hand = (c.hand + 1) % len(ix.clock)
+		if sc.v.Load() == nil {
+			continue
+		}
+		if sc.ref.Load() {
+			sc.ref.Store(false)
+			continue
+		}
+		sc.v.Store(nil)
+		c.bytes.Add(-ix.colSize)
+		c.evicted.Add(1)
+	}
 }
 
 // Build constructs the index. Stats are recomputed from the dataset; pass
@@ -364,14 +504,15 @@ func (ix *Index) BucketMinValue(d, b int) float64 {
 	return ix.stats[d].Distinct[lo]
 }
 
-// CacheBudget bounds the shared per-index cache of decompressed columns
-// (bytes). A query over a compressed index touches the same columns for
-// thousands of candidate objects; decompressing each column once per index
-// instead of once per candidate is what keeps IBIG's query time comparable
-// to BIG's (the paper's §5.1 observation) while the index itself stays
-// compressed. Because the cache hangs off the Index, N parallel workers
-// share one decompression of each column instead of paying N.
-const CacheBudget = 32 << 20
+// DefaultCacheBudget bounds the shared per-index cache of decompressed
+// columns (bytes) unless SetCacheBudget overrides it. A query over a
+// compressed index touches the same columns for thousands of candidate
+// objects; decompressing each column once per index instead of once per
+// candidate is what keeps IBIG's query time comparable to BIG's (the paper's
+// §5.1 observation) while the index itself stays compressed. Because the
+// cache hangs off the Index, N parallel workers share one decompression of
+// each column instead of paying N.
+const DefaultCacheBudget = 32 << 20
 
 // Cursor carries the per-query scratch state for Q/P computation. Cursors
 // are not safe for concurrent use; create one per goroutine — all cursors of
@@ -380,9 +521,9 @@ type Cursor struct {
 	ix   *Index
 	q, p *bitvec.Vector
 	// scratchQ/scratchP are per-dimension decompression fallbacks used only
-	// when the shared cache budget is exhausted; two per dimension because
-	// the fused QP pass needs a dimension's Q- and P-columns alive at once.
-	// Lazily allocated: they cost nothing while the cache holds.
+	// when the shared cache is full of hotter columns; two per dimension
+	// because the fused QP pass needs a dimension's Q- and P-columns alive
+	// at once. Lazily allocated: they cost nothing while the cache holds.
 	scratchQ, scratchP []*bitvec.Vector
 	cols               []*bitvec.Vector // reusable column-pointer buffer
 }
@@ -403,8 +544,9 @@ func (ix *Index) NewCursor() *Cursor {
 
 // dense returns column b of dimension d as a dense vector: the stored
 // vector for Raw indexes, the shared cache entry otherwise, or — when the
-// cache budget is exhausted — a decompression into *scratch. The result is
-// read-only and stays valid until *scratch is reused for the same dimension.
+// cache is full of hotter columns — a decompression into *scratch. A cached
+// result stays valid for the caller even if evicted meanwhile; a scratch
+// result is valid until *scratch is reused for the same dimension.
 func (c *Cursor) dense(d, b int, scratch **bitvec.Vector) *bitvec.Vector {
 	col := &c.ix.dims[d].cols[b]
 	if col.dense != nil {

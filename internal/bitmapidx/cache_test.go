@@ -1,0 +1,129 @@
+package bitmapidx_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/bitmapidx"
+	"repro/internal/gen"
+)
+
+// cacheTestIndexes builds a Raw reference index and a Concise index over the
+// same synthetic dataset, so cache behaviour can be checked against the
+// uncached ground truth.
+func cacheTestIndexes(t *testing.T) (raw, conc *bitmapidx.Index) {
+	t.Helper()
+	ds := gen.Synthetic(gen.Config{N: 700, Dim: 5, Cardinality: 30, MissingRate: 0.2, Dist: gen.IND, Seed: 11})
+	raw = bitmapidx.Build(ds, bitmapidx.Options{Codec: bitmapidx.Raw})
+	conc = bitmapidx.Build(ds, bitmapidx.Options{Codec: bitmapidx.Concise})
+	return raw, conc
+}
+
+// TestCacheCounters checks the hit/miss accounting of the decompressed-
+// column cache: a cold pass pays misses, a warm repeat of the same objects
+// is all hits, and the resident bytes stay within the budget.
+func TestCacheCounters(t *testing.T) {
+	_, ix := cacheTestIndexes(t)
+	cur := ix.NewCursor()
+	for o := 0; o < 50; o++ {
+		cur.QP(o)
+	}
+	st := ix.CacheStats()
+	if st.Misses == 0 {
+		t.Fatal("cold pass recorded no cache misses")
+	}
+	if st.Bytes <= 0 || st.Bytes > st.Budget {
+		t.Fatalf("resident bytes %d outside (0, budget %d]", st.Bytes, st.Budget)
+	}
+	if st.Evicted != 0 {
+		t.Fatalf("evictions %d under the default budget, want 0", st.Evicted)
+	}
+	before := ix.CacheStats()
+	for o := 0; o < 50; o++ {
+		cur.QP(o)
+	}
+	after := ix.CacheStats()
+	if after.Misses != before.Misses {
+		t.Fatalf("warm repeat paid %d extra misses", after.Misses-before.Misses)
+	}
+	if after.Hits <= before.Hits {
+		t.Fatal("warm repeat recorded no cache hits")
+	}
+}
+
+// TestCacheEviction forces the CLOCK policy with a budget far below the
+// column population and checks that eviction keeps the cache bounded while
+// answers stay identical to the uncached Raw index.
+func TestCacheEviction(t *testing.T) {
+	raw, ix := cacheTestIndexes(t)
+	colSize := int64(8 * ((raw.Dataset().Len() + 63) / 64))
+	budget := 4 * colSize
+	ix.SetCacheBudget(budget)
+	cur, ref := ix.NewCursor(), raw.NewCursor()
+	for o := 0; o < raw.Dataset().Len(); o += 7 {
+		q, p := cur.QP(o)
+		wantQ, wantP := ref.QP(o)
+		if !q.Equal(wantQ) || !p.Equal(wantP) {
+			t.Fatalf("object %d: Q/P under eviction diverge from Raw index", o)
+		}
+	}
+	st := ix.CacheStats()
+	if st.Evicted == 0 {
+		t.Fatalf("no evictions under budget %d (misses %d)", budget, st.Misses)
+	}
+	if st.Bytes > budget {
+		t.Fatalf("resident bytes %d exceed budget %d after eviction", st.Bytes, budget)
+	}
+	if st.Budget != budget {
+		t.Fatalf("budget reads %d, want %d", st.Budget, budget)
+	}
+}
+
+// TestCacheShrinkEvictsImmediately checks that SetCacheBudget below the
+// current residency evicts synchronously rather than waiting for the next
+// miss.
+func TestCacheShrinkEvictsImmediately(t *testing.T) {
+	_, ix := cacheTestIndexes(t)
+	cur := ix.NewCursor()
+	for o := 0; o < 80; o++ {
+		cur.QP(o)
+	}
+	st := ix.CacheStats()
+	if st.Bytes == 0 {
+		t.Fatal("warmup left nothing resident")
+	}
+	target := st.Bytes / 2
+	ix.SetCacheBudget(target)
+	if got := ix.CacheStats(); got.Bytes > target {
+		t.Fatalf("resident bytes %d after shrink to %d", got.Bytes, target)
+	}
+}
+
+// TestCacheConcurrentEviction hammers one small-budget cache from many
+// goroutines; under -race this pins the lock-free hit path against the
+// eviction sweep, and every goroutine re-checks answers against Raw.
+func TestCacheConcurrentEviction(t *testing.T) {
+	raw, ix := cacheTestIndexes(t)
+	n := raw.Dataset().Len()
+	ix.SetCacheBudget(3 * int64(8*((n+63)/64)))
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			cur, ref := ix.NewCursor(), raw.NewCursor()
+			for o := g; o < n; o += 11 {
+				q, p := cur.QP(o)
+				wantQ, wantP := ref.QP(o)
+				if !q.Equal(wantQ) || !p.Equal(wantP) {
+					t.Errorf("goroutine %d object %d: Q/P diverge", g, o)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if st := ix.CacheStats(); st.Evicted == 0 {
+		t.Fatal("concurrent run under a tiny budget evicted nothing")
+	}
+}

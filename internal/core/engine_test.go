@@ -20,7 +20,7 @@ func TestParallelMatchesSerial(t *testing.T) {
 			cfg.N = 1200
 			ds := gen.Synthetic(cfg)
 			pre := Preprocess(ds, nil)
-			for _, alg := range []Algorithm{AlgNaive, AlgUBB, AlgBIG, AlgIBIG} {
+			for _, alg := range []Algorithm{AlgNaive, AlgESB, AlgUBB, AlgBIG, AlgIBIG} {
 				want, _ := RunWorkers(alg, ds, 16, pre, 1)
 				for _, workers := range []int{0, 2, 3, 8} {
 					got, st := RunWorkers(alg, ds, 16, pre, workers)
@@ -51,6 +51,37 @@ func TestParallelMatchesSerial(t *testing.T) {
 				if got.Items[i] != want.Items[i] {
 					t.Fatalf("btree/%v seed=%d: item %d = %+v, want %+v", dist, seed, i, got.Items[i], want.Items[i])
 				}
+			}
+		}
+	}
+}
+
+// TestESBWorkersMatchesSerial pins the parallel ESB path beyond the answer
+// set: the bucket fan-out must reproduce the serial run's candidate count
+// and skyband pruning exactly, since both enumerate the same sorted buckets.
+func TestESBWorkersMatchesSerial(t *testing.T) {
+	for _, seed := range []int64{5, 29} {
+		cfg := gen.Default(gen.AC, seed)
+		cfg.N = 900
+		cfg.MissingRate = 0.3
+		ds := gen.Synthetic(cfg)
+		want, wantSt := ESB(ds, 10)
+		for _, workers := range []int{2, 4, 7} {
+			got, st := ESBWorkers(ds, 10, workers)
+			for i := range want.Items {
+				if got.Items[i] != want.Items[i] {
+					t.Fatalf("seed=%d workers=%d: item %d = %+v, want %+v",
+						seed, workers, i, got.Items[i], want.Items[i])
+				}
+			}
+			if st.Candidates != wantSt.Candidates || st.PrunedSkyband != wantSt.PrunedSkyband {
+				t.Fatalf("seed=%d workers=%d: candidates/pruned = %d/%d, want %d/%d",
+					seed, workers, st.Candidates, st.PrunedSkyband,
+					wantSt.Candidates, wantSt.PrunedSkyband)
+			}
+			if st.Scored != wantSt.Scored || st.Comparisons != wantSt.Comparisons {
+				t.Fatalf("seed=%d workers=%d: scored/comparisons = %d/%d, want %d/%d",
+					seed, workers, st.Scored, st.Comparisons, wantSt.Scored, wantSt.Comparisons)
 			}
 		}
 	}

@@ -1,6 +1,10 @@
 package core
 
 import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
 	"repro/internal/data"
 	"repro/internal/skyband"
 )
@@ -18,6 +22,26 @@ func Naive(ds *data.Dataset, k int) (Result, Stats) {
 	return topKOf(ds, candidates, k, &st), st
 }
 
+// maskBucket is one observed-dimension bucket in the deterministic
+// (ascending-mask) enumeration order shared by the serial and parallel ESB
+// paths, so both produce the same candidate sequence — and hence identical
+// rank-k tie-breaks.
+type maskBucket struct {
+	mask uint64
+	ids  []int32
+}
+
+// sortedBuckets returns the dataset's observed-mask buckets sorted by mask.
+func sortedBuckets(ds *data.Dataset) []maskBucket {
+	m := ds.Buckets()
+	out := make([]maskBucket, 0, len(m))
+	for mask, ids := range m {
+		out = append(out, maskBucket{mask: mask, ids: ids})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].mask < out[j].mask })
+	return out
+}
+
 // ESB is the extended skyband based algorithm (Algorithm 1): objects are
 // partitioned into buckets by observed-dimension bit vector; a local
 // k-skyband query inside each bucket prunes objects that provably cannot be
@@ -26,15 +50,71 @@ func Naive(ds *data.Dataset, k int) (Result, Stats) {
 func ESB(ds *data.Dataset, k int) (Result, Stats) {
 	var st Stats
 	var candidates []int32
-	for _, ids := range ds.Buckets() {
-		sb := skyband.KSkyband(ds, ids, k)
+	for _, b := range sortedBuckets(ds) {
+		sb := skyband.KSkyband(ds, b.ids, k)
 		// Local k-skyband costs at most k dominance tests per object.
-		st.Comparisons += int64(len(ids)) * int64(min(k, len(ids)))
-		st.PrunedSkyband += len(ids) - len(sb)
+		st.Comparisons += int64(len(b.ids)) * int64(min(k, len(b.ids)))
+		st.PrunedSkyband += len(b.ids) - len(sb)
 		candidates = append(candidates, sb...)
 	}
 	st.Candidates = len(candidates)
 	return topKOf(ds, candidates, k, &st), st
+}
+
+// ESBWorkers is ESB across a worker pool: the per-bucket local k-skyband
+// queries are independent, so buckets fan out across workers; the surviving
+// candidates are then scored through the batch-windowed engine in the same
+// bucket-major order the serial loop uses, replaying its heap offers exactly
+// — the answer set is byte-identical to ESB's, including rank-k tie-breaks.
+func ESBWorkers(ds *data.Dataset, k int, workers int) (Result, Stats) {
+	buckets := sortedBuckets(ds)
+	workers = clampWorkers(workers, ds.Len())
+	if workers <= 1 {
+		return ESB(ds, k)
+	}
+
+	// Phase 1: local skybands, one bucket per task.
+	skybands := make([][]int32, len(buckets))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(buckets) {
+					return
+				}
+				skybands[i] = skyband.KSkyband(ds, buckets[i].ids, k)
+			}
+		}()
+	}
+	wg.Wait()
+
+	var st Stats
+	var candidates []int32
+	for i, b := range buckets {
+		st.Comparisons += int64(len(b.ids)) * int64(min(k, len(b.ids)))
+		st.PrunedSkyband += len(b.ids) - len(skybands[i])
+		candidates = append(candidates, skybands[i]...)
+	}
+
+	// Phase 2: exact scoring through the engine. A full-scan queue in
+	// candidate order with bounds no score can reach keeps Heuristic 1 out of
+	// the way, so every candidate is scored just as topKOf would.
+	queue := &MaxScoreQueue{Order: candidates, MaxScore: make([]int, ds.Len())}
+	for i := range queue.MaxScore {
+		queue.MaxScore[i] = ds.Len()
+	}
+	scorers := make([]scorer, clampWorkers(workers, len(candidates)))
+	for w := range scorers {
+		scorers[w] = ubbScorer{ds: ds}
+	}
+	res, est := engineRun(ds, k, queue, scorers)
+	est.Comparisons += st.Comparisons
+	est.PrunedSkyband = st.PrunedSkyband
+	return res, est
 }
 
 // UBB is the upper bound based algorithm (Algorithm 2). It walks the

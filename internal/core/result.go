@@ -68,6 +68,22 @@ type Stats struct {
 	Windows int
 }
 
+// Add accumulates another query's counters into st — the aggregation the
+// serving layer's per-dataset metrics are built on. Workers and Windows are
+// summed like the rest; aggregate consumers read them as totals (e.g.
+// worker-seconds proxies), not as a single query's configuration.
+func (st *Stats) Add(o Stats) {
+	st.Candidates += o.Candidates
+	st.Scored += o.Scored
+	st.PrunedH1 += o.PrunedH1
+	st.PrunedH2 += o.PrunedH2
+	st.PrunedH3 += o.PrunedH3
+	st.PrunedSkyband += o.PrunedSkyband
+	st.Comparisons += o.Comparisons
+	st.Workers += o.Workers
+	st.Windows += o.Windows
+}
+
 // candidateHeap is the candidate set SC of Algorithms 2/4: a min-heap of at
 // most k items keyed by score, exposing τ (the k-th highest score so far).
 type candidateHeap struct {

@@ -90,9 +90,8 @@ func Run(a Algorithm, ds *data.Dataset, k int, pre *Pre) (Result, Stats) {
 
 // RunWorkers is Run with a worker count: 1 is the serial path, 0 selects
 // GOMAXPROCS, and n > 1 fans candidate scoring across n goroutines through
-// the batch-windowed engine (UBB/BIG/IBIG) or the sharded exhaustive scorer
-// (Naive). The answer set is identical to the serial run's; ESB has no
-// parallel path and ignores the knob.
+// the batch-windowed engine (UBB/BIG/IBIG/Naive) or ESB's bucket fan-out.
+// The answer set is identical to the serial run's.
 func RunWorkers(a Algorithm, ds *data.Dataset, k int, pre *Pre, workers int) (Result, Stats) {
 	if k <= 0 {
 		return Result{}, Stats{}
@@ -108,7 +107,10 @@ func RunWorkers(a Algorithm, ds *data.Dataset, k int, pre *Pre, workers int) (Re
 		}
 		return NaiveWorkers(ds, k, workers)
 	case AlgESB:
-		return ESB(ds, k)
+		if serial {
+			return ESB(ds, k)
+		}
+		return ESBWorkers(ds, k, workers)
 	case AlgUBB:
 		if pre.Queue == nil {
 			pre.Queue = BuildMaxScoreQueue(ds)

@@ -1,0 +1,212 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+)
+
+// latencyBuckets are the upper bounds (seconds) of the query latency
+// histogram, Prometheus-style cumulative; the implicit +Inf bucket is the
+// total count.
+var latencyBuckets = [...]float64{0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5}
+
+// histogram is a fixed-bucket latency histogram safe for concurrent
+// observation.
+type histogram struct {
+	counts   [len(latencyBuckets)]atomic.Int64 // per-bucket (non-cumulative) counts
+	total    atomic.Int64
+	sumNanos atomic.Int64
+}
+
+func (h *histogram) observe(d time.Duration) {
+	// total first: a concurrent scrape then renders the in-flight
+	// observation in +Inf only, which keeps the cumulative buckets monotone
+	// (bucket > +Inf would be invalid exposition).
+	h.total.Add(1)
+	h.sumNanos.Add(int64(d))
+	s := d.Seconds()
+	for i, ub := range latencyBuckets {
+		if s <= ub {
+			h.counts[i].Add(1)
+			break
+		}
+	}
+}
+
+// write renders the histogram in Prometheus text form under name with a
+// dataset label.
+func (h *histogram) write(w io.Writer, name, dataset string) {
+	cum := int64(0)
+	for i, ub := range latencyBuckets {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket{dataset=%q,le=%q} %d\n", name, dataset, formatBound(ub), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{dataset=%q,le=\"+Inf\"} %d\n", name, dataset, h.total.Load())
+	fmt.Fprintf(w, "%s_sum{dataset=%q} %g\n", name, dataset, float64(h.sumNanos.Load())/float64(time.Second))
+	fmt.Fprintf(w, "%s_count{dataset=%q} %d\n", name, dataset, h.total.Load())
+}
+
+func formatBound(ub float64) string {
+	if math.IsInf(ub, 1) {
+		return "+Inf"
+	}
+	return fmt.Sprintf("%g", ub)
+}
+
+// datasetMetrics aggregates one dataset's serving counters. Query counts are
+// per algorithm; the pruning counters accumulate each query's core.Stats via
+// Stats.Add under a light mutex (queries are milliseconds, the add is
+// nanoseconds).
+// numAlgorithms sizes the per-algorithm counters; IBIG is the last entry of
+// core's algorithm enumeration.
+const numAlgorithms = int(core.AlgIBIG) + 1
+
+type datasetMetrics struct {
+	queries   [numAlgorithms]atomic.Int64
+	errors    atomic.Int64 // failed client queries
+	batches   atomic.Int64 // scheduling windows served
+	coalesced atomic.Int64 // queries answered by sharing an identical query's run
+	latency   histogram
+
+	mu  sync.Mutex
+	agg core.Stats
+}
+
+// record folds one finished execution into the counters. served is the
+// number of client queries the execution answered (> 1 when the scheduler
+// coalesced identical queries onto it); the latency and work counters are
+// recorded once per execution, the query counter once per client.
+func (m *datasetMetrics) record(alg core.Algorithm, st core.Stats, elapsed time.Duration, served int, err error) {
+	if err != nil {
+		m.errors.Add(int64(served))
+		return
+	}
+	m.queries[int(alg)].Add(int64(served))
+	m.latency.observe(elapsed)
+	m.mu.Lock()
+	m.agg.Add(st)
+	m.mu.Unlock()
+}
+
+// aggStats snapshots the accumulated work counters.
+func (m *datasetMetrics) aggStats() core.Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.agg
+}
+
+// queryTotal sums the per-algorithm query counters.
+func (m *datasetMetrics) queryTotal() int64 {
+	var t int64
+	for i := range m.queries {
+		t += m.queries[i].Load()
+	}
+	return t
+}
+
+// writeMetrics renders the whole server state in Prometheus text exposition
+// format (also human-readable enough to double as the expvar-style dump).
+func (s *Server) writeMetrics(w io.Writer) {
+	entries := s.reg.list()
+
+	fmt.Fprintf(w, "# HELP tkd_datasets Number of datasets resident in the registry.\n")
+	fmt.Fprintf(w, "# TYPE tkd_datasets gauge\n")
+	fmt.Fprintf(w, "tkd_datasets %d\n", len(entries))
+
+	capacity, inflight, waits := s.adm.snapshot()
+	fmt.Fprintf(w, "# HELP tkd_admission_worker_capacity Total worker goroutines the admission controller allows in flight.\n")
+	fmt.Fprintf(w, "# TYPE tkd_admission_worker_capacity gauge\n")
+	fmt.Fprintf(w, "tkd_admission_worker_capacity %d\n", capacity)
+	fmt.Fprintf(w, "# HELP tkd_admission_inflight_workers Worker goroutines currently admitted.\n")
+	fmt.Fprintf(w, "# TYPE tkd_admission_inflight_workers gauge\n")
+	fmt.Fprintf(w, "tkd_admission_inflight_workers %d\n", inflight)
+	fmt.Fprintf(w, "# HELP tkd_admission_waits_total Query admissions that had to queue for worker slots.\n")
+	fmt.Fprintf(w, "# TYPE tkd_admission_waits_total counter\n")
+	fmt.Fprintf(w, "tkd_admission_waits_total %d\n", waits)
+
+	fmt.Fprintf(w, "# HELP tkd_queries_total Queries served, by dataset and algorithm.\n")
+	fmt.Fprintf(w, "# TYPE tkd_queries_total counter\n")
+	for _, e := range entries {
+		for i, alg := range core.Algorithms {
+			if n := e.met.queries[i].Load(); n > 0 {
+				fmt.Fprintf(w, "tkd_queries_total{dataset=%q,algorithm=%q} %d\n", e.name, alg, n)
+			}
+		}
+	}
+	fmt.Fprintf(w, "# HELP tkd_query_errors_total Queries that failed, by dataset.\n")
+	fmt.Fprintf(w, "# TYPE tkd_query_errors_total counter\n")
+	for _, e := range entries {
+		fmt.Fprintf(w, "tkd_query_errors_total{dataset=%q} %d\n", e.name, e.met.errors.Load())
+	}
+
+	fmt.Fprintf(w, "# HELP tkd_batches_total Scheduling windows the batch scheduler served, by dataset.\n")
+	fmt.Fprintf(w, "# TYPE tkd_batches_total counter\n")
+	for _, e := range entries {
+		fmt.Fprintf(w, "tkd_batches_total{dataset=%q} %d\n", e.name, e.met.batches.Load())
+	}
+	fmt.Fprintf(w, "# HELP tkd_coalesced_queries_total Queries answered by sharing an identical in-window query's execution.\n")
+	fmt.Fprintf(w, "# TYPE tkd_coalesced_queries_total counter\n")
+	for _, e := range entries {
+		fmt.Fprintf(w, "tkd_coalesced_queries_total{dataset=%q} %d\n", e.name, e.met.coalesced.Load())
+	}
+
+	fmt.Fprintf(w, "# HELP tkd_query_latency_seconds Query latency histogram, by dataset.\n")
+	fmt.Fprintf(w, "# TYPE tkd_query_latency_seconds histogram\n")
+	for _, e := range entries {
+		e.met.latency.write(w, "tkd_query_latency_seconds", e.name)
+	}
+
+	// Per-query work counters (the paper's pruning heuristics), aggregated.
+	fmt.Fprintf(w, "# HELP tkd_pruned_objects_total Objects pruned before exact scoring, by dataset and heuristic.\n")
+	fmt.Fprintf(w, "# TYPE tkd_pruned_objects_total counter\n")
+	for _, e := range entries {
+		st := e.met.aggStats()
+		fmt.Fprintf(w, "tkd_pruned_objects_total{dataset=%q,heuristic=\"h1\"} %d\n", e.name, st.PrunedH1)
+		fmt.Fprintf(w, "tkd_pruned_objects_total{dataset=%q,heuristic=\"h2\"} %d\n", e.name, st.PrunedH2)
+		fmt.Fprintf(w, "tkd_pruned_objects_total{dataset=%q,heuristic=\"h3\"} %d\n", e.name, st.PrunedH3)
+		fmt.Fprintf(w, "tkd_pruned_objects_total{dataset=%q,heuristic=\"skyband\"} %d\n", e.name, st.PrunedSkyband)
+	}
+	fmt.Fprintf(w, "# HELP tkd_scored_objects_total Exact score computations, by dataset.\n")
+	fmt.Fprintf(w, "# TYPE tkd_scored_objects_total counter\n")
+	for _, e := range entries {
+		fmt.Fprintf(w, "tkd_scored_objects_total{dataset=%q} %d\n", e.name, e.met.aggStats().Scored)
+	}
+	fmt.Fprintf(w, "# HELP tkd_comparisons_total Pairwise dominance comparisons, by dataset.\n")
+	fmt.Fprintf(w, "# TYPE tkd_comparisons_total counter\n")
+	for _, e := range entries {
+		fmt.Fprintf(w, "tkd_comparisons_total{dataset=%q} %d\n", e.name, e.met.aggStats().Comparisons)
+	}
+
+	// Decompressed-column cache, read live from each dataset's index.
+	fmt.Fprintf(w, "# HELP tkd_cache_hits_total Decompressed-column cache hits, by dataset.\n")
+	fmt.Fprintf(w, "# TYPE tkd_cache_hits_total counter\n")
+	for _, e := range entries {
+		fmt.Fprintf(w, "tkd_cache_hits_total{dataset=%q} %d\n", e.name, e.ds.CacheStats().Hits)
+	}
+	fmt.Fprintf(w, "# HELP tkd_cache_misses_total Decompressed-column cache misses (each pays one decompression), by dataset.\n")
+	fmt.Fprintf(w, "# TYPE tkd_cache_misses_total counter\n")
+	for _, e := range entries {
+		fmt.Fprintf(w, "tkd_cache_misses_total{dataset=%q} %d\n", e.name, e.ds.CacheStats().Misses)
+	}
+	fmt.Fprintf(w, "# HELP tkd_cache_evictions_total Columns evicted by the CLOCK policy, by dataset.\n")
+	fmt.Fprintf(w, "# TYPE tkd_cache_evictions_total counter\n")
+	for _, e := range entries {
+		fmt.Fprintf(w, "tkd_cache_evictions_total{dataset=%q} %d\n", e.name, e.ds.CacheStats().Evicted)
+	}
+	fmt.Fprintf(w, "# HELP tkd_cache_resident_bytes Decompressed columns currently resident, by dataset.\n")
+	fmt.Fprintf(w, "# TYPE tkd_cache_resident_bytes gauge\n")
+	for _, e := range entries {
+		fmt.Fprintf(w, "tkd_cache_resident_bytes{dataset=%q} %d\n", e.name, e.ds.CacheStats().Bytes)
+	}
+	fmt.Fprintf(w, "# HELP tkd_cache_budget_bytes Configured decompressed-column cache bound, by dataset.\n")
+	fmt.Fprintf(w, "# TYPE tkd_cache_budget_bytes gauge\n")
+	for _, e := range entries {
+		fmt.Fprintf(w, "tkd_cache_budget_bytes{dataset=%q} %d\n", e.name, e.ds.CacheStats().Budget)
+	}
+}

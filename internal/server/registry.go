@@ -1,0 +1,82 @@
+package server
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+
+	"repro/tkd"
+)
+
+// entry is one resident dataset: the warm tkd.Dataset, its batch scheduler
+// and its metrics.
+type entry struct {
+	name string
+	ds   *tkd.Dataset
+	sch  *scheduler
+	met  *datasetMetrics
+
+	// Shape facts, captured at load time for /v1/datasets.
+	objects     int
+	dims        int
+	missingRate float64
+}
+
+// registry holds the named datasets. Registration happens at startup (or
+// from tests) and lookups happen per request, so a plain RWMutex suffices.
+type registry struct {
+	mu      sync.RWMutex
+	entries map[string]*entry
+}
+
+func newRegistry() *registry {
+	return &registry{entries: make(map[string]*entry)}
+}
+
+func (r *registry) add(e *entry) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.entries[e.name]; ok {
+		return fmt.Errorf("server: dataset %q already registered", e.name)
+	}
+	r.entries[e.name] = e
+	return nil
+}
+
+func (r *registry) get(name string) (*entry, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.entries[name]
+	return e, ok
+}
+
+// list returns the entries sorted by name, for stable /v1/datasets and
+// /metrics output.
+func (r *registry) list() []*entry {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*entry, 0, len(r.entries))
+	for _, e := range r.entries {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// loadCSV reads a datagen-format CSV from path into a tkd.Dataset.
+func loadCSV(path string, negate bool) (*tkd.Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	ds, err := tkd.ReadCSV(f)
+	if err != nil {
+		return nil, fmt.Errorf("loading %s: %w", path, err)
+	}
+	if negate {
+		ds.Negate()
+	}
+	return ds, nil
+}

@@ -1,0 +1,196 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/tkd"
+)
+
+// The batch scheduler. Each resident dataset owns one scheduler goroutine;
+// concurrent requests against that dataset are coalesced into scheduling
+// windows. A window forms when the first request arrives: the scheduler
+// keeps collecting until the batch window elapses (or maxBatch requests are
+// in hand), then serves the window group by group — identical queries
+// (same k, algorithm, workers) execute once and fan the answer out to every
+// waiter, and distinct queries run back to back over the same warm core.Pre
+// and decompressed-column cache, which is exactly the reuse the window
+// exists to create. The admission controller gates each group's worker
+// fan-out, so windows on different datasets proceed concurrently without
+// oversubscribing the machine.
+
+// queryKey identifies one executable query shape; requests with equal keys
+// inside a window share one execution.
+type queryKey struct {
+	K       int
+	Alg     core.Algorithm
+	Workers int
+}
+
+// reply is what a waiter gets back.
+type reply struct {
+	res       tkd.Result
+	st        tkd.Stats
+	err       error
+	coalesced bool // answered by another identical query's execution
+	batch     int  // size of the scheduling window the query rode in
+	granted   int  // worker goroutines the admission controller granted
+}
+
+type request struct {
+	key   queryKey
+	reply chan reply // buffered(1); the scheduler never blocks on it
+}
+
+type scheduler struct {
+	ds       *tkd.Dataset
+	adm      *admission
+	met      *datasetMetrics
+	in       chan *request
+	done     chan struct{} // server-wide shutdown
+	quit     chan struct{} // this scheduler only (failed registration)
+	quitOnce sync.Once
+	window   time.Duration
+	maxBatch int
+}
+
+func newScheduler(ds *tkd.Dataset, adm *admission, met *datasetMetrics, window time.Duration, maxBatch int, done chan struct{}) *scheduler {
+	if maxBatch <= 0 {
+		maxBatch = 64
+	}
+	s := &scheduler{
+		ds:       ds,
+		adm:      adm,
+		met:      met,
+		in:       make(chan *request, maxBatch),
+		done:     done,
+		quit:     make(chan struct{}),
+		window:   window,
+		maxBatch: maxBatch,
+	}
+	go s.loop()
+	return s
+}
+
+// stop terminates this scheduler's goroutine without touching the rest of
+// the server; used when a registration loses the name to a concurrent one.
+func (s *scheduler) stop() {
+	s.quitOnce.Do(func() { close(s.quit) })
+}
+
+// submit enqueues one query and waits for its reply; ctx cancellation (or
+// server shutdown) abandons the wait — the scheduler still finishes the
+// query for its window-mates and the buffered reply channel is collected by
+// the garbage collector.
+func (s *scheduler) submit(ctx context.Context, key queryKey) (reply, error) {
+	req := &request{key: key, reply: make(chan reply, 1)}
+	select {
+	case s.in <- req:
+	case <-ctx.Done():
+		return reply{}, ctx.Err()
+	case <-s.done:
+		return reply{}, fmt.Errorf("server: shutting down")
+	}
+	select {
+	case r := <-req.reply:
+		return r, nil
+	case <-ctx.Done():
+		return reply{}, ctx.Err()
+	case <-s.done:
+		return reply{}, fmt.Errorf("server: shutting down")
+	}
+}
+
+// loop is the scheduler goroutine: collect a window, serve it, repeat.
+func (s *scheduler) loop() {
+	for {
+		var first *request
+		select {
+		case first = <-s.in:
+		case <-s.done:
+			return
+		case <-s.quit:
+			return
+		}
+		batch := []*request{first}
+		if s.window > 0 {
+			timer := time.NewTimer(s.window)
+		collect:
+			for len(batch) < s.maxBatch {
+				select {
+				case r := <-s.in:
+					batch = append(batch, r)
+				case <-timer.C:
+					break collect
+				case <-s.done:
+					timer.Stop()
+					return
+				case <-s.quit:
+					timer.Stop()
+					return
+				}
+			}
+			timer.Stop()
+		}
+		// Opportunistic drain: anything that arrived while the window closed
+		// rides along rather than waiting a full extra window.
+	drain:
+		for len(batch) < s.maxBatch {
+			select {
+			case r := <-s.in:
+				batch = append(batch, r)
+			default:
+				break drain
+			}
+		}
+		s.serve(batch)
+	}
+}
+
+// serve executes one scheduling window: group identical queries, run each
+// group once under admission control, fan answers out.
+func (s *scheduler) serve(batch []*request) {
+	s.met.batches.Add(1)
+	var order []queryKey
+	groups := make(map[queryKey][]*request, len(batch))
+	for _, r := range batch {
+		if _, ok := groups[r.key]; !ok {
+			order = append(order, r.key)
+		}
+		groups[r.key] = append(groups[r.key], r)
+	}
+	for _, key := range order {
+		reqs := groups[key]
+		want := key.Workers
+		if want <= 0 {
+			want = runtime.GOMAXPROCS(0)
+		}
+		granted := s.adm.acquire(want)
+		start := time.Now()
+		var st tkd.Stats
+		res, err := s.ds.TopK(key.K,
+			tkd.WithAlgorithm(key.Alg),
+			tkd.WithWorkers(granted),
+			tkd.WithStats(&st))
+		elapsed := time.Since(start)
+		s.adm.release(granted)
+		s.met.record(key.Alg, st, elapsed, len(reqs), err)
+		if n := len(reqs) - 1; n > 0 {
+			s.met.coalesced.Add(int64(n))
+		}
+		for i, r := range reqs {
+			r.reply <- reply{
+				res:       res,
+				st:        st,
+				err:       err,
+				coalesced: i > 0,
+				batch:     len(batch),
+				granted:   granted,
+			}
+		}
+	}
+}

@@ -1,0 +1,323 @@
+// Package server is the TKD serving subsystem: a registry of named,
+// permanently resident datasets (each loaded once, Prepared once, queried
+// from warm indexes ever after) behind an HTTP/JSON API.
+//
+// Endpoints:
+//
+//	POST /v1/query    — {"dataset","k","algorithm","workers"} → ranked answer
+//	GET  /v1/datasets — resident datasets and their shapes
+//	GET  /healthz     — liveness
+//	GET  /metrics     — Prometheus text: query/latency/pruning/cache counters
+//
+// Concurrent requests against one dataset are coalesced by a per-dataset
+// batch scheduler (see scheduler.go) that shares the warm core.Pre and the
+// decompressed-column cache across a scheduling window, deduplicates
+// identical queries, and admits worker fan-out through a global semaphore.
+// The paper's determinism guarantee (WithWorkers never changes an answer)
+// is what makes both the dedup and the admission clamp transparent to
+// clients.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/tkd"
+)
+
+// Config tunes the server.
+type Config struct {
+	// MaxWorkers caps the total worker goroutines in flight across all
+	// queries (the admission controller's capacity); <= 0 selects GOMAXPROCS.
+	MaxWorkers int
+	// BatchWindow is how long a scheduling window stays open to coalesce
+	// concurrent queries after the first one arrives; 0 serves whatever has
+	// already queued without waiting.
+	BatchWindow time.Duration
+	// MaxBatch bounds the queries one scheduling window may hold; <= 0
+	// defaults to 64.
+	MaxBatch int
+	// CacheBudget bounds each dataset's decompressed-column cache in bytes;
+	// <= 0 keeps the bitmapidx default (32 MiB).
+	CacheBudget int64
+	// MaxBodyBytes bounds a request body; <= 0 defaults to 1 MiB.
+	MaxBodyBytes int64
+}
+
+// Server is the HTTP query service. Create with New, register datasets with
+// AddDataset or LoadCSVFile, then serve it (it implements http.Handler).
+type Server struct {
+	cfg       Config
+	adm       *admission
+	reg       *registry
+	mux       *http.ServeMux
+	done      chan struct{}
+	closeOnce sync.Once
+}
+
+// New returns an empty server.
+func New(cfg Config) *Server {
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 64
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 1 << 20
+	}
+	s := &Server{
+		cfg:  cfg,
+		adm:  newAdmission(cfg.MaxWorkers),
+		reg:  newRegistry(),
+		mux:  http.NewServeMux(),
+		done: make(chan struct{}),
+	}
+	s.mux.HandleFunc("/v1/query", s.handleQuery)
+	s.mux.HandleFunc("/v1/datasets", s.handleDatasets)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	return s
+}
+
+// AddDataset registers ds under name, applies the cache budget, eagerly
+// Prepares it (so the first query is as fast as the thousandth) and starts
+// its batch scheduler.
+func (s *Server) AddDataset(name string, ds *tkd.Dataset) error {
+	if name == "" {
+		return fmt.Errorf("server: empty dataset name")
+	}
+	if ds.Len() == 0 {
+		return fmt.Errorf("server: dataset %q is empty", name)
+	}
+	// Fail the common duplicate before paying index construction; the
+	// registry's add re-checks under its lock for the racing case.
+	if _, ok := s.reg.get(name); ok {
+		return fmt.Errorf("server: dataset %q already registered", name)
+	}
+	if s.cfg.CacheBudget > 0 {
+		ds.SetCacheBudget(s.cfg.CacheBudget)
+	}
+	ds.Prepare()
+	met := &datasetMetrics{}
+	sch := newScheduler(ds, s.adm, met, s.cfg.BatchWindow, s.cfg.MaxBatch, s.done)
+	e := &entry{
+		name:        name,
+		ds:          ds,
+		met:         met,
+		sch:         sch,
+		objects:     ds.Len(),
+		dims:        ds.Dim(),
+		missingRate: ds.MissingRate(),
+	}
+	if err := s.reg.add(e); err != nil {
+		sch.stop() // lost a registration race; don't leak the goroutine
+		return err
+	}
+	return nil
+}
+
+// LoadCSVFile reads a datagen-format CSV and registers it under name.
+// negate flips values for larger-is-better data.
+func (s *Server) LoadCSVFile(name, path string, negate bool) error {
+	ds, err := loadCSV(path, negate)
+	if err != nil {
+		return err
+	}
+	return s.AddDataset(name, ds)
+}
+
+// Close stops the schedulers; in-flight submits return a shutdown error.
+// Safe to call multiple times, concurrently.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() { close(s.done) })
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// ---- wire types ----
+
+// QueryRequest is the POST /v1/query body.
+type QueryRequest struct {
+	Dataset string `json:"dataset"`
+	K       int    `json:"k"`
+	// Algorithm is one of Naive, ESB, UBB, BIG, IBIG; empty selects IBIG.
+	Algorithm string `json:"algorithm,omitempty"`
+	// Workers fans candidate scoring across that many goroutines: 1 (the
+	// default) is serial, 0 asks for GOMAXPROCS; the admission controller
+	// may grant fewer under load.
+	Workers int `json:"workers,omitempty"`
+}
+
+// QueryItem is one ranked answer object.
+type QueryItem struct {
+	Rank  int    `json:"rank"`
+	Index int    `json:"index"`
+	ID    string `json:"id"`
+	Score int    `json:"score"`
+}
+
+// QueryStats mirrors core.Stats on the wire.
+type QueryStats struct {
+	Candidates    int   `json:"candidates"`
+	Scored        int   `json:"scored"`
+	PrunedH1      int   `json:"pruned_h1"`
+	PrunedH2      int   `json:"pruned_h2"`
+	PrunedH3      int   `json:"pruned_h3"`
+	PrunedSkyband int   `json:"pruned_skyband"`
+	Comparisons   int64 `json:"comparisons"`
+	Workers       int   `json:"workers"`
+	Windows       int   `json:"windows"`
+}
+
+// QueryResponse is the POST /v1/query answer.
+type QueryResponse struct {
+	Dataset   string `json:"dataset"`
+	K         int    `json:"k"`
+	Algorithm string `json:"algorithm"`
+	// Workers is the worker count the admission controller actually granted.
+	Workers int         `json:"workers"`
+	Items   []QueryItem `json:"items"`
+	Stats   QueryStats  `json:"stats"`
+	// Coalesced marks an answer shared from an identical query in the same
+	// scheduling window; BatchSize is that window's query count.
+	Coalesced bool    `json:"coalesced"`
+	BatchSize int     `json:"batch_size"`
+	LatencyMS float64 `json:"latency_ms"`
+}
+
+// DatasetInfo is one GET /v1/datasets row.
+type DatasetInfo struct {
+	Name        string  `json:"name"`
+	Objects     int     `json:"objects"`
+	Dims        int     `json:"dims"`
+	MissingRate float64 `json:"missing_rate"`
+	Queries     int64   `json:"queries"`
+	CacheBytes  int64   `json:"cache_bytes"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// ---- handlers ----
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST only"})
+		return
+	}
+	var req QueryRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("bad request body: %v", err)})
+		return
+	}
+	if req.K <= 0 {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "k must be positive"})
+		return
+	}
+	if req.Workers < 0 {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "workers must be >= 0"})
+		return
+	}
+	alg := core.AlgIBIG
+	if req.Algorithm != "" {
+		var err error
+		alg, err = core.ParseAlgorithm(req.Algorithm)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+			return
+		}
+	}
+	e, ok := s.reg.get(req.Dataset)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("unknown dataset %q", req.Dataset)})
+		return
+	}
+
+	start := time.Now()
+	rep, err := e.sch.submit(r.Context(), queryKey{K: req.K, Alg: alg, Workers: req.Workers})
+	if err != nil {
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
+		return
+	}
+	if rep.err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: rep.err.Error()})
+		return
+	}
+	items := make([]QueryItem, len(rep.res.Items))
+	for i, it := range rep.res.Items {
+		items[i] = QueryItem{Rank: i + 1, Index: it.Index, ID: it.ID, Score: it.Score}
+	}
+	writeJSON(w, http.StatusOK, QueryResponse{
+		Dataset:   req.Dataset,
+		K:         req.K,
+		Algorithm: alg.String(),
+		Workers:   rep.granted,
+		Items:     items,
+		Stats: QueryStats{
+			Candidates:    rep.st.Candidates,
+			Scored:        rep.st.Scored,
+			PrunedH1:      rep.st.PrunedH1,
+			PrunedH2:      rep.st.PrunedH2,
+			PrunedH3:      rep.st.PrunedH3,
+			PrunedSkyband: rep.st.PrunedSkyband,
+			Comparisons:   rep.st.Comparisons,
+			Workers:       rep.st.Workers,
+			Windows:       rep.st.Windows,
+		},
+		Coalesced: rep.coalesced,
+		BatchSize: rep.batch,
+		LatencyMS: float64(time.Since(start).Microseconds()) / 1000,
+	})
+}
+
+func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "GET only"})
+		return
+	}
+	entries := s.reg.list()
+	infos := make([]DatasetInfo, len(entries))
+	for i, e := range entries {
+		infos[i] = DatasetInfo{
+			Name:        e.name,
+			Objects:     e.objects,
+			Dims:        e.dims,
+			MissingRate: e.missingRate,
+			Queries:     e.met.queryTotal(),
+			CacheBytes:  e.ds.CacheStats().Bytes,
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"datasets": infos})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":     "ok",
+		"datasets":   len(s.reg.list()),
+		"gomaxprocs": runtime.GOMAXPROCS(0),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.writeMetrics(w)
+}

@@ -1,0 +1,316 @@
+package server_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+	"repro/tkd"
+)
+
+// testDatasets builds the two workloads the end-to-end test serves, plus an
+// independent identically generated copy of each for serial ground truth.
+func testDatasets() (serve, ref map[string]*tkd.Dataset) {
+	mk := func() map[string]*tkd.Dataset {
+		return map[string]*tkd.Dataset{
+			"ac":  tkd.GenerateAC(1200, 4, 40, 0.25, 3),
+			"ind": tkd.GenerateIND(900, 5, 30, 0.15, 9),
+		}
+	}
+	return mk(), mk()
+}
+
+func newTestServer(t *testing.T, cfg server.Config) (*server.Server, *httptest.Server, map[string]*tkd.Dataset) {
+	t.Helper()
+	serve, ref := testDatasets()
+	s := server.New(cfg)
+	for name, ds := range serve {
+		if err := s.AddDataset(name, ds); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ts := httptest.NewServer(s)
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts, ref
+}
+
+func postQuery(t *testing.T, url string, req server.QueryRequest) (server.QueryResponse, int) {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(url+"/v1/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/query: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return server.QueryResponse{}, resp.StatusCode
+	}
+	var qr server.QueryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	return qr, resp.StatusCode
+}
+
+// TestEndToEnd is the acceptance test of the serving subsystem: two resident
+// datasets, 40 concurrent queries with mixed k/algorithm/worker settings,
+// every response byte-identical to a serial tkd.TopK over the same data, and
+// /metrics reporting non-zero cache hits plus evictions under a deliberately
+// small cache budget.
+func TestEndToEnd(t *testing.T) {
+	// A cache budget far below the compressed column population, so the
+	// CLOCK policy must evict while repeated queries still hit.
+	_, ts, ref := newTestServer(t, server.Config{
+		MaxWorkers:  4,
+		BatchWindow: 2 * time.Millisecond,
+		CacheBudget: 1 << 10, // fewer columns than one Q/P pass touches
+	})
+
+	type tq struct {
+		dataset string
+		k       int
+		alg     string
+		workers int
+	}
+	shapes := []tq{
+		{"ac", 3, "IBIG", 1}, {"ac", 5, "IBIG", 2}, {"ac", 8, "IBIG", 0},
+		{"ac", 5, "BIG", 1}, {"ac", 7, "UBB", 2}, {"ac", 4, "ESB", 3},
+		{"ac", 6, "Naive", 2}, {"ac", 5, "", 1}, // empty algorithm = IBIG
+		{"ind", 4, "IBIG", 1}, {"ind", 9, "IBIG", 3}, {"ind", 2, "IBIG", 0},
+		{"ind", 6, "BIG", 2}, {"ind", 3, "UBB", 1}, {"ind", 5, "ESB", 0},
+		{"ind", 7, "Naive", 1}, {"ind", 12, "", 2},
+	}
+	// Serial ground truth from untouched copies of the same data.
+	want := make(map[tq]tkd.Result)
+	for _, q := range shapes {
+		alg := q.alg
+		if alg == "" {
+			alg = "IBIG"
+		}
+		var opt tkd.Algorithm
+		switch alg {
+		case "Naive":
+			opt = tkd.Naive
+		case "ESB":
+			opt = tkd.ESB
+		case "UBB":
+			opt = tkd.UBB
+		case "BIG":
+			opt = tkd.BIG
+		default:
+			opt = tkd.IBIG
+		}
+		res, err := ref[q.dataset].TopK(q.k, tkd.WithAlgorithm(opt))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[q] = res
+	}
+
+	const rounds = 3 // 16 shapes x 3 rounds = 48 concurrent queries
+	var wg sync.WaitGroup
+	for g := 0; g < len(shapes)*rounds; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			q := shapes[g%len(shapes)]
+			qr, code := postQuery(t, ts.URL, server.QueryRequest{
+				Dataset: q.dataset, K: q.k, Algorithm: q.alg, Workers: q.workers,
+			})
+			if code != http.StatusOK {
+				t.Errorf("query %+v: HTTP %d", q, code)
+				return
+			}
+			exp := want[q]
+			if len(qr.Items) != len(exp.Items) {
+				t.Errorf("query %+v: %d items, want %d", q, len(qr.Items), len(exp.Items))
+				return
+			}
+			for i, it := range qr.Items {
+				w := exp.Items[i]
+				if it.Rank != i+1 || it.Index != w.Index || it.ID != w.ID || it.Score != w.Score {
+					t.Errorf("query %+v: item %d = %+v, want index=%d id=%s score=%d",
+						q, i, it, w.Index, w.ID, w.Score)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// /metrics: the small cache budget must have produced both hits and
+	// evictions, and the query counters must cover both datasets.
+	metrics := getBody(t, ts.URL+"/metrics")
+	for _, counter := range []string{"tkd_cache_hits_total", "tkd_cache_evictions_total"} {
+		if sumMetric(t, metrics, counter) == 0 {
+			t.Errorf("%s is zero under a deliberately small cache budget:\n%s",
+				counter, grepMetric(metrics, counter))
+		}
+	}
+	if got := sumMetric(t, metrics, "tkd_queries_total"); got != int64(len(shapes)*rounds) {
+		t.Errorf("tkd_queries_total = %d, want %d", got, len(shapes)*rounds)
+	}
+	if sumMetric(t, metrics, "tkd_query_errors_total") != 0 {
+		t.Error("query errors recorded")
+	}
+
+	// /v1/datasets lists both datasets with their true shapes.
+	var dl struct {
+		Datasets []server.DatasetInfo `json:"datasets"`
+	}
+	if err := json.Unmarshal([]byte(getBody(t, ts.URL+"/v1/datasets")), &dl); err != nil {
+		t.Fatal(err)
+	}
+	if len(dl.Datasets) != 2 {
+		t.Fatalf("/v1/datasets listed %d datasets, want 2", len(dl.Datasets))
+	}
+	for _, d := range dl.Datasets {
+		if d.Objects != ref[d.Name].Len() || d.Dims != ref[d.Name].Dim() {
+			t.Errorf("dataset %s listed as %dx%d, want %dx%d",
+				d.Name, d.Objects, d.Dims, ref[d.Name].Len(), ref[d.Name].Dim())
+		}
+		if d.Queries == 0 {
+			t.Errorf("dataset %s reports zero queries after the storm", d.Name)
+		}
+	}
+
+	// /healthz answers.
+	if body := getBody(t, ts.URL+"/healthz"); !bytes.Contains([]byte(body), []byte(`"ok"`)) {
+		t.Errorf("healthz = %s", body)
+	}
+}
+
+func getBody(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: HTTP %d: %s", url, resp.StatusCode, b)
+	}
+	return string(b)
+}
+
+// sumMetric adds up every sample of a counter across its label sets.
+func sumMetric(t *testing.T, metrics, name string) int64 {
+	t.Helper()
+	re := regexp.MustCompile(`(?m)^` + regexp.QuoteMeta(name) + `(?:\{[^}]*\})? (\d+)$`)
+	var total int64
+	for _, m := range re.FindAllStringSubmatch(metrics, -1) {
+		v, err := strconv.ParseInt(m[1], 10, 64)
+		if err != nil {
+			t.Fatalf("parsing %s sample %q: %v", name, m[1], err)
+		}
+		total += v
+	}
+	return total
+}
+
+func grepMetric(metrics, name string) string {
+	re := regexp.MustCompile(`(?m)^` + regexp.QuoteMeta(name) + `.*$`)
+	return fmt.Sprint(re.FindAllString(metrics, -1))
+}
+
+// TestCoalescing pins the batch scheduler's dedup: a burst of identical
+// queries inside one window runs once and fans out, with the coalesced flag
+// and counter reflecting it.
+func TestCoalescing(t *testing.T) {
+	_, ts, _ := newTestServer(t, server.Config{
+		MaxWorkers:  2,
+		BatchWindow: 20 * time.Millisecond,
+	})
+	const burst = 12
+	var wg sync.WaitGroup
+	responses := make([]server.QueryResponse, burst)
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			qr, code := postQuery(t, ts.URL, server.QueryRequest{Dataset: "ac", K: 5, Algorithm: "IBIG"})
+			if code != http.StatusOK {
+				t.Errorf("HTTP %d", code)
+				return
+			}
+			responses[i] = qr
+		}(i)
+	}
+	wg.Wait()
+	coalesced := 0
+	for _, qr := range responses {
+		if qr.Coalesced {
+			coalesced++
+		}
+	}
+	if coalesced == 0 {
+		t.Error("no query in a 12-wide identical burst was coalesced")
+	}
+	metrics := getBody(t, ts.URL+"/metrics")
+	if sumMetric(t, metrics, "tkd_coalesced_queries_total") != int64(coalesced) {
+		t.Errorf("coalesced counter = %d, responses said %d",
+			sumMetric(t, metrics, "tkd_coalesced_queries_total"), coalesced)
+	}
+	// Batches < queries proves windows carried more than one query each.
+	if b := sumMetric(t, metrics, "tkd_batches_total"); b >= burst {
+		t.Errorf("batches = %d for %d queries; scheduler never coalesced a window", b, burst)
+	}
+}
+
+// TestValidation covers the API's error paths.
+func TestValidation(t *testing.T) {
+	_, ts, _ := newTestServer(t, server.Config{})
+	cases := []struct {
+		req  server.QueryRequest
+		code int
+	}{
+		{server.QueryRequest{Dataset: "nope", K: 3}, http.StatusNotFound},
+		{server.QueryRequest{Dataset: "ac", K: 0}, http.StatusBadRequest},
+		{server.QueryRequest{Dataset: "ac", K: 3, Algorithm: "QUICKSORT"}, http.StatusBadRequest},
+		{server.QueryRequest{Dataset: "ac", K: 3, Workers: -1}, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		if _, code := postQuery(t, ts.URL, c.req); code != c.code {
+			t.Errorf("%+v: HTTP %d, want %d", c.req, code, c.code)
+		}
+	}
+	// GET on the query endpoint is rejected.
+	resp, err := http.Get(ts.URL + "/v1/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/query: HTTP %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestDuplicateRegistration pins the registry's name uniqueness.
+func TestDuplicateRegistration(t *testing.T) {
+	s := server.New(server.Config{})
+	defer s.Close()
+	ds := tkd.GenerateIND(50, 3, 10, 0.1, 1)
+	if err := s.AddDataset("x", ds); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddDataset("x", tkd.GenerateIND(50, 3, 10, 0.1, 2)); err == nil {
+		t.Fatal("duplicate name registered without error")
+	}
+}

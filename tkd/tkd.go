@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
 
 	"repro/internal/bitmapidx"
 	"repro/internal/btree"
@@ -67,11 +68,23 @@ type (
 )
 
 // Dataset is an incomplete dataset plus cached query acceleration state.
+//
+// Concurrency: concurrent TopK (and the other read-only queries) on one
+// Dataset are safe — the lazy index construction is mutex-guarded and the
+// built artifacts are immutable, so a server can share one warm Dataset
+// across many request goroutines. Mutations (Append, Negate, LoadIndex) must
+// not race with queries; they are for the load phase.
 type Dataset struct {
-	ds    *data.Dataset
-	pre   *core.Pre
-	bins  []int
-	trees []*btree.Tree // per-dimension trees for WithBTreeRefinement
+	ds *data.Dataset
+
+	// mu guards the lazily built acceleration state below. Queries snapshot
+	// the artifacts they need under the lock and run on the immutable
+	// snapshot outside it.
+	mu          sync.Mutex
+	pre         *core.Pre
+	bins        []int
+	trees       []*btree.Tree // per-dimension trees for WithBTreeRefinement
+	cacheBudget int64         // SetCacheBudget value; 0 = bitmapidx default
 }
 
 // NewDataset returns an empty dataset with the given dimensionality
@@ -87,8 +100,10 @@ func wrap(ds *data.Dataset) *Dataset { return &Dataset{ds: ds} }
 // must have at least one observed value.
 func (d *Dataset) Append(id string, values ...float64) error {
 	_, err := d.ds.Append(id, values)
+	d.mu.Lock()
 	d.pre = nil // invalidate cached indexes
 	d.trees = nil
+	d.mu.Unlock()
 	return err
 }
 
@@ -106,8 +121,10 @@ func (d *Dataset) MissingRate() float64 { return d.ds.MissingRate() }
 // invalidated.
 func (d *Dataset) Negate() {
 	d.ds.Negate()
+	d.mu.Lock()
 	d.pre = nil
 	d.trees = nil
+	d.mu.Unlock()
 }
 
 // ID returns the identifier of the i-th object.
@@ -168,7 +185,8 @@ func WithBins(bins ...int) Option {
 // WithWorkers fans candidate scoring across n goroutines: 0 selects
 // GOMAXPROCS, 1 (the default) is the serial path. UBB, BIG, IBIG and the
 // B+-tree refinement run through the batch-windowed parallel engine; Naive
-// through the sharded exhaustive scorer; ESB ignores the knob.
+// through the sharded exhaustive scorer; ESB fans its per-bucket skyband
+// queries across the pool and scores the survivors through the engine.
 //
 // Determinism: a parallel query returns the same answer set — identical
 // objects, ranks and scores — as the serial run over the same dataset.
@@ -194,16 +212,130 @@ func WithBTreeRefinement() Option {
 
 // Prepare eagerly builds the preprocessing artifacts (MaxScore queue,
 // bitmap index, binned bitmap index) so that subsequent TopK calls measure
-// pure query time. It is idempotent.
+// pure query time. It is idempotent and safe to call concurrently.
 func (d *Dataset) Prepare() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if d.pre == nil {
-		d.pre = core.Preprocess(d.ds, d.bins)
+		d.pre = &core.Pre{}
+	}
+	// Fill in only what is missing, preserving artifacts installed by
+	// earlier queries or LoadIndex.
+	d.ensureQueueLocked()
+	stats := d.ds.Stats()
+	if d.pre.Bitmap == nil {
+		d.pre.Bitmap = bitmapidx.BuildWithStats(d.ds, stats, bitmapidx.Options{Codec: bitmapidx.Raw})
+	}
+	if d.pre.Binned == nil {
+		bins := d.bins
+		if bins == nil {
+			bins = []int{core.OptimalBins(d.ds.Len(), d.ds.MissingRate())}
+		}
+		d.pre.Binned = bitmapidx.BuildWithStats(d.ds, stats, bitmapidx.Options{Codec: bitmapidx.Concise, Bins: bins})
+		d.applyCacheBudgetLocked()
+	}
+}
+
+// SetCacheBudget bounds the decompressed-column cache of the compressed
+// bitmap index to at most bytes (0 restores the bitmapidx default), taking
+// effect immediately on an already-built index. Long-lived servers use this
+// together with CacheStats to size the per-dataset memory footprint.
+func (d *Dataset) SetCacheBudget(bytes int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.cacheBudget = bytes
+	d.applyCacheBudgetLocked()
+}
+
+// applyCacheBudgetLocked pushes the configured budget onto any compressed
+// index already built; 0 restores the bitmapidx default. Callers hold d.mu.
+func (d *Dataset) applyCacheBudgetLocked() {
+	if d.pre == nil || d.pre.Binned == nil {
+		return
+	}
+	budget := d.cacheBudget
+	if budget <= 0 {
+		budget = bitmapidx.DefaultCacheBudget
+	}
+	d.pre.Binned.SetCacheBudget(budget)
+}
+
+// CacheStats reports the decompressed-column cache counters of the
+// compressed bitmap index: lookup hits and misses, columns evicted by the
+// CLOCK policy, resident bytes and the configured budget. All zero until an
+// IBIG query (or Prepare) builds the index.
+type CacheStats struct {
+	Hits    int64
+	Misses  int64
+	Evicted int64
+	Bytes   int64
+	Budget  int64
+}
+
+// CacheStats snapshots the column-cache counters; see the CacheStats type.
+func (d *Dataset) CacheStats() CacheStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.pre == nil || d.pre.Binned == nil {
+		return CacheStats{}
+	}
+	st := d.pre.Binned.CacheStats()
+	return CacheStats{Hits: st.Hits, Misses: st.Misses, Evicted: st.Evicted, Bytes: st.Bytes, Budget: st.Budget}
+}
+
+// ensure builds, under the lock, every preprocessing artifact the configured
+// query needs, and returns an immutable snapshot for the query to run on.
+// RunWorkers never mutates a Pre whose artifacts are present, so concurrent
+// TopK calls race neither on construction nor on use.
+func (d *Dataset) ensure(cfg *queryConfig) (*core.Pre, []*btree.Tree) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if cfg.bins != nil {
+		// A custom bin layout invalidates any cached binned index. In-flight
+		// queries keep the Pre snapshot they already took.
+		if d.pre != nil {
+			d.pre = &core.Pre{Queue: d.pre.Queue, Bitmap: d.pre.Bitmap}
+		}
+		d.bins = cfg.bins
+	}
+	if d.pre == nil {
+		d.pre = &core.Pre{}
+	}
+	switch cfg.alg {
+	case UBB:
+		d.ensureQueueLocked()
+	case BIG:
+		d.ensureQueueLocked()
+		if d.pre.Bitmap == nil {
+			d.pre.Bitmap = bitmapidx.Build(d.ds, bitmapidx.Options{Codec: bitmapidx.Raw})
+		}
+	case IBIG:
+		d.ensureQueueLocked()
+		if d.pre.Binned == nil {
+			bins := d.bins
+			if bins == nil {
+				bins = []int{core.OptimalBins(d.ds.Len(), d.ds.MissingRate())}
+			}
+			d.pre.Binned = bitmapidx.Build(d.ds, bitmapidx.Options{Codec: bitmapidx.Concise, Bins: bins})
+			d.applyCacheBudgetLocked()
+		}
+		if cfg.btree && d.trees == nil {
+			d.trees = core.BuildDimTrees(d.ds)
+		}
+	}
+	return d.pre, d.trees
+}
+
+func (d *Dataset) ensureQueueLocked() {
+	if d.pre.Queue == nil {
+		d.pre.Queue = core.BuildMaxScoreQueue(d.ds)
 	}
 }
 
 // TopK answers the TKD query: the k objects with the highest scores, in
 // descending score order. Rank-k ties are broken arbitrarily, as in the
-// paper.
+// paper. Safe for concurrent use: any number of goroutines may query one
+// Dataset, sharing its warm indexes and column cache.
 func (d *Dataset) TopK(k int, opts ...Option) (Result, error) {
 	if d.ds.Len() == 0 {
 		return Result{}, fmt.Errorf("tkd: empty dataset")
@@ -215,35 +347,13 @@ func (d *Dataset) TopK(k int, opts ...Option) (Result, error) {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	if cfg.bins != nil {
-		// A custom bin layout invalidates any cached binned index.
-		if d.pre != nil {
-			d.pre = &core.Pre{Queue: d.pre.Queue, Bitmap: d.pre.Bitmap}
-		}
-		d.bins = cfg.bins
-	}
-	if d.pre == nil {
-		d.pre = &core.Pre{}
-	}
-	if cfg.alg == IBIG && d.pre.Binned == nil {
-		bins := d.bins
-		if bins == nil {
-			bins = []int{core.OptimalBins(d.ds.Len(), d.ds.MissingRate())}
-		}
-		d.pre.Binned = bitmapidx.Build(d.ds, bitmapidx.Options{Codec: bitmapidx.Concise, Bins: bins})
-	}
+	pre, trees := d.ensure(&cfg)
 	var res Result
 	var st Stats
 	if cfg.alg == IBIG && cfg.btree {
-		if d.trees == nil {
-			d.trees = core.BuildDimTrees(d.ds)
-		}
-		if d.pre.Queue == nil {
-			d.pre.Queue = core.BuildMaxScoreQueue(d.ds)
-		}
-		res, st = core.IBIGBTreeWorkers(d.ds, k, d.pre.Binned, d.pre.Queue, d.trees, cfg.workers)
+		res, st = core.IBIGBTreeWorkers(d.ds, k, pre.Binned, pre.Queue, trees, cfg.workers)
 	} else {
-		res, st = core.RunWorkers(cfg.alg, d.ds, k, d.pre, cfg.workers)
+		res, st = core.RunWorkers(cfg.alg, d.ds, k, pre, cfg.workers)
 	}
 	if cfg.stats != nil {
 		*cfg.stats = st
@@ -272,6 +382,7 @@ func (d *Dataset) Project(dims ...int) (*Dataset, []int, error) {
 // index, the dominant preprocessing artifact. LoadIndex restores it against
 // the same dataset, skipping the rebuild.
 func (d *Dataset) SaveIndex(w io.Writer) error {
+	d.mu.Lock()
 	if d.pre == nil || d.pre.Binned == nil {
 		bins := d.bins
 		if bins == nil {
@@ -281,8 +392,11 @@ func (d *Dataset) SaveIndex(w io.Writer) error {
 			d.pre = &core.Pre{}
 		}
 		d.pre.Binned = bitmapidx.Build(d.ds, bitmapidx.Options{Codec: bitmapidx.Concise, Bins: bins})
+		d.applyCacheBudgetLocked()
 	}
-	return d.pre.Binned.Save(w)
+	ix := d.pre.Binned
+	d.mu.Unlock()
+	return ix.Save(w)
 }
 
 // LoadIndex restores an index written by SaveIndex. The dataset must be
@@ -293,10 +407,13 @@ func (d *Dataset) LoadIndex(r io.Reader) error {
 	if err != nil {
 		return err
 	}
+	d.mu.Lock()
 	if d.pre == nil {
 		d.pre = &core.Pre{}
 	}
 	d.pre.Binned = ix
+	d.applyCacheBudgetLocked()
+	d.mu.Unlock()
 	return nil
 }
 
