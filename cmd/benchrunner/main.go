@@ -75,7 +75,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("benchrunner", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		exp     = fs.String("exp", "all", "experiment: all, fig10, fig11, table3, fig12, table4, fig13..fig18, ablation, parallel")
+		exp     = fs.String("exp", "all", "experiment: all, fig10, fig11, table3, fig12, table4, fig13..fig18, ablation, parallel, serve")
 		scale   = fs.String("scale", "quick", "scale: quick, full, tiny")
 		format  = fs.String("format", "text", "output format: text, markdown")
 		out     = fs.String("o", "", "output file (default stdout)")

@@ -1,27 +1,39 @@
 // Command tkdserver serves top-k dominating queries over multiple resident
 // datasets through an HTTP/JSON API. Each dataset is loaded once (datagen
-// CSV format), prepared once, and queried from warm indexes; concurrent
+// CSV format), indexed once, and queried from warm indexes; concurrent
 // queries against one dataset are coalesced into batch scheduling windows
 // and the total worker fan-out is bounded by an admission controller.
+//
+// The dataset lifecycle is live: datasets can be registered, hot-reloaded
+// (zero downtime — in-flight queries finish on the old epoch) and evicted
+// through the /v1/datasets admin endpoints, and -indexdir persists built
+// indexes so warm restarts and reloads of unchanged files skip the paper's
+// dominant preprocessing cost. SIGINT/SIGTERM drain gracefully: queued
+// scheduling windows finish, new queries get 503.
 //
 // Usage:
 //
 //	tkdserver -dataset nba=nba.csv -dataset movies=movies.csv
-//	tkdserver -addr :9000 -dataset d=data.csv -cache-budget 4194304
+//	tkdserver -addr :9000 -dataset d=data.csv -cache-budget 4194304 -indexdir /var/cache/tkd
 //
-// Endpoints: POST /v1/query, GET /v1/datasets, GET /healthz, GET /metrics.
-// See the README's tkdserver section for an example curl session and the
-// metrics glossary.
+// Endpoints: POST /v1/query, GET/POST /v1/datasets, POST
+// /v1/datasets/{name}/reload, DELETE /v1/datasets/{name}, GET /healthz,
+// GET /metrics. See the README's "Operating tkdserver" section for an
+// example curl session and the metrics glossary.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/server"
@@ -57,6 +69,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		maxWorkers  = fs.Int("max-workers", 0, "total in-flight worker goroutines across queries (0 = GOMAXPROCS)")
 		maxBatch    = fs.Int("max-batch", 64, "max queries per scheduling window")
 		cacheBudget = fs.Int64("cache-budget", 0, "per-dataset decompressed-column cache bytes (0 = 32 MiB default)")
+		indexDir    = fs.String("indexdir", "", "directory for persisted indexes; warm restarts skip index construction (empty = rebuild at boot)")
+		drainWait   = fs.Duration("drain-timeout", 10*time.Second, "max time to wait for in-flight requests on SIGTERM/SIGINT")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -72,6 +86,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		BatchWindow: *window,
 		MaxBatch:    *maxBatch,
 		CacheBudget: *cacheBudget,
+		IndexDir:    *indexDir,
 	}, stdout)
 	if err != nil {
 		fmt.Fprintln(stderr, "tkdserver:", err)
@@ -85,15 +100,55 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	fmt.Fprintf(stdout, "tkdserver: listening on %s\n", ln.Addr())
-	if err := http.Serve(ln, srv); err != nil {
-		fmt.Fprintln(stderr, "tkdserver:", err)
-		return 1
+
+	// Serve until a termination signal, then drain: the query service stops
+	// accepting (503) and finishes every queued scheduling window before
+	// the HTTP server closes its connections — SIGTERM never drops work
+	// that was already accepted.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	httpSrv := &http.Server{Handler: srv}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(stderr, "tkdserver:", err)
+			return 1
+		}
+		return 0
+	case <-ctx.Done():
 	}
+	// Restore default signal handling immediately: a second SIGINT/SIGTERM
+	// during a slow drain kills the process instead of being swallowed.
+	stop()
+	fmt.Fprintln(stdout, "tkdserver: draining (signal received)")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	// Drain the schedulers (refuse new queries, finish queued windows)
+	// under the same deadline that bounds the HTTP teardown.
+	drained := make(chan struct{})
+	go func() {
+		srv.Shutdown()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+	case <-shutdownCtx.Done():
+		fmt.Fprintln(stderr, "tkdserver: drain timeout; abandoning queued work")
+		srv.Close()
+	}
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintln(stderr, "tkdserver: forced close:", err)
+		_ = httpSrv.Close()
+	}
+	fmt.Fprintln(stdout, "tkdserver: drained, bye")
 	return 0
 }
 
 // buildServer loads every -dataset mapping into a fresh server, logging each
-// load (index construction dominates startup, so the feedback matters).
+// load (index construction dominates startup when no persisted index is
+// available, so the feedback matters).
 func buildServer(datasets []string, negate bool, cfg server.Config, stdout io.Writer) (*server.Server, error) {
 	srv := server.New(cfg)
 	for _, spec := range datasets {

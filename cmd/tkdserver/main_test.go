@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -74,6 +75,84 @@ func TestBuildServerServesLoadedCSV(t *testing.T) {
 			t.Fatalf("item %d = %+v, want %+v", i, it, want.Items[i])
 		}
 	}
+}
+
+// TestIndexDirWarmRestart boots twice with -indexdir semantics: the second
+// buildServer over the same CSV must warm-load the persisted index (zero
+// rebuilds, visible on /metrics) and serve identical answers.
+func TestIndexDirWarmRestart(t *testing.T) {
+	ds := tkd.GenerateIND(400, 4, 25, 0.2, 8)
+	path := writeTempCSV(t, ds)
+	ixdir := filepath.Join(t.TempDir(), "ix")
+	cfg := server.Config{IndexDir: ixdir}
+
+	srv1, err := buildServer([]string{"d=" + path}, false, cfg, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv1.Close()
+
+	var out bytes.Buffer
+	srv2, err := buildServer([]string{"d=" + path}, false, cfg, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	ts := httptest.NewServer(srv2)
+	defer ts.Close()
+	metrics := getURL(t, ts.URL+"/metrics")
+	if !strings.Contains(metrics, "tkd_index_warm_loads_total 1") {
+		t.Errorf("warm restart did not load the persisted index:\n%s", grepLine(metrics, "tkd_index_"))
+	}
+	if !strings.Contains(metrics, "tkd_index_builds_total 0") {
+		t.Errorf("warm restart rebuilt the index:\n%s", grepLine(metrics, "tkd_index_"))
+	}
+	resp, err := http.Post(ts.URL+"/v1/query", "application/json",
+		strings.NewReader(`{"dataset":"d","k":4}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("HTTP %d", resp.StatusCode)
+	}
+	var qr server.QueryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		t.Fatal(err)
+	}
+	want, err := ds.TopK(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, it := range qr.Items {
+		if it.ID != want.Items[i].ID || it.Score != want.Items[i].Score {
+			t.Fatalf("warm answer item %d = %+v, want %+v", i, it, want.Items[i])
+		}
+	}
+}
+
+func getURL(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func grepLine(s, substr string) string {
+	var out []string
+	for _, l := range strings.Split(s, "\n") {
+		if strings.Contains(l, substr) {
+			out = append(out, l)
+		}
+	}
+	return strings.Join(out, "\n")
 }
 
 func TestRunFlagErrors(t *testing.T) {

@@ -276,6 +276,30 @@ func (ix *Index) reserve() bool {
 	return ok
 }
 
+// DropCache evicts every resident decompressed column immediately,
+// returning the cache's bytes without waiting for the next GC cycle. It is
+// the retirement hook for epoch swaps: when a serving layer replaces a
+// dataset, the superseded index's cache budget frees right away while
+// queries still draining on the old epoch stay correct — a cursor holding
+// an evicted column keeps reading it (eviction never mutates the vector)
+// and further touches simply decompress again.
+func (ix *Index) DropCache() {
+	if ix.codec == Raw || len(ix.clock) == 0 {
+		return
+	}
+	c := &ix.cache
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, sc := range ix.clock {
+		if sc.v.Load() != nil {
+			sc.v.Store(nil)
+			c.bytes.Add(-ix.colSize)
+			c.evicted.Add(1)
+		}
+		sc.ref.Store(false)
+	}
+}
+
 // evictToBudget force-shrinks the resident set to the current budget (used
 // by SetCacheBudget): up to two full CLOCK revolutions, so even columns
 // whose reference bit was set get stripped on the first pass and dropped on

@@ -2,6 +2,7 @@ package bitmapidx
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
@@ -18,16 +19,18 @@ import (
 // Zillow bitmap), so a production deployment builds once and reloads. The
 // on-disk layout is a little-endian stream:
 //
-//	magic "TKDIX\x01" | codec | binned | dim | N
+//	magic "TKDIX\x02" | codec | binned | dim | N | dataset fingerprint
 //	per dimension: len(rankToBucket), rankToBucket..., #cols,
 //	               per column: payload kind + word count + words
 //	crc32 (IEEE) of everything before it
 //
 // Object ranks are not stored: Load recomputes them from the dataset, which
-// must be the exact dataset the index was built from (shape is verified;
-// values are trusted to the caller, as with any external index file).
+// must be the exact dataset the index was built from — shape AND the full
+// content fingerprint (data.Dataset.Fingerprint) are verified, so an index
+// file cannot silently bind to the wrong data. Version 1 files (no
+// fingerprint) are rejected as a version mismatch; callers rebuild.
 
-var persistMagic = [6]byte{'T', 'K', 'D', 'I', 'X', 1}
+var persistMagic = [6]byte{'T', 'K', 'D', 'I', 'X', 2}
 
 type crcWriter struct {
 	w   io.Writer
@@ -83,7 +86,7 @@ func (ix *Index) Save(w io.Writer) error {
 	if ix.binned {
 		binned = 1
 	}
-	hdr := []uint64{uint64(ix.codec), uint64(binned), uint64(len(ix.dims)), uint64(ix.ds.Len())}
+	hdr := []uint64{uint64(ix.codec), uint64(binned), uint64(len(ix.dims)), uint64(ix.ds.Len()), ix.ds.Fingerprint()}
 	if err := binary.Write(cw, binary.LittleEndian, hdr); err != nil {
 		return err
 	}
@@ -163,9 +166,12 @@ func Load(r io.Reader, ds *data.Dataset) (*Index, error) {
 		return nil, fmt.Errorf("bitmapidx: reading magic: %w", err)
 	}
 	if magic != persistMagic {
+		if bytes.Equal(magic[:5], persistMagic[:5]) {
+			return nil, fmt.Errorf("bitmapidx: index version %d, want %d — rebuild", magic[5], persistMagic[5])
+		}
 		return nil, fmt.Errorf("bitmapidx: bad magic %q", magic[:])
 	}
-	hdr := make([]uint64, 4)
+	hdr := make([]uint64, 5)
 	if err := binary.Read(cr, binary.LittleEndian, hdr); err != nil {
 		return nil, fmt.Errorf("bitmapidx: reading header: %w", err)
 	}
@@ -175,6 +181,9 @@ func Load(r io.Reader, ds *data.Dataset) (*Index, error) {
 	}
 	if dim != ds.Dim() || n != ds.Len() {
 		return nil, fmt.Errorf("bitmapidx: index is %dx%d, dataset is %dx%d", n, dim, ds.Len(), ds.Dim())
+	}
+	if fp := ds.Fingerprint(); hdr[4] != fp {
+		return nil, fmt.Errorf("bitmapidx: index fingerprint %016x does not match dataset %016x — wrong or changed data", hdr[4], fp)
 	}
 
 	dims := make([]dimIndex, dim)

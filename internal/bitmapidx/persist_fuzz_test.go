@@ -1,0 +1,124 @@
+package bitmapidx
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/gen"
+)
+
+// fuzzDataset is the fixed dataset every fuzz execution loads against; the
+// corpus seeds are indexes saved from it (plus corruptions thereof).
+func fuzzDataset() *data.Dataset {
+	return gen.Synthetic(gen.Config{N: 120, Dim: 3, Cardinality: 10, MissingRate: 0.2, Dist: gen.IND, Seed: 42})
+}
+
+// savedIndex serializes one index of the fuzz dataset.
+func savedIndex(tb testing.TB, opts Options) []byte {
+	tb.Helper()
+	ds := fuzzDataset()
+	ix := Build(ds, opts)
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzLoadIndex feeds arbitrary bytes to Load. The contract under test: a
+// corrupt stream returns an error — it never panics, never OOMs on
+// implausible lengths, and never yields an index whose use would fault. A
+// stream that does load must round-trip byte-identically through Save.
+func FuzzLoadIndex(f *testing.F) {
+	binned := savedIndex(f, Options{Codec: Concise, Bins: []int{4}})
+	raw := savedIndex(f, Options{Codec: Raw})
+	wahIdx := savedIndex(f, Options{Codec: WAH, Bins: []int{6}})
+
+	f.Add(binned)
+	f.Add(raw)
+	f.Add(wahIdx)
+	// Truncations: header-only, mid-columns, missing checksum.
+	f.Add(binned[:6])
+	f.Add(binned[:len(binned)/2])
+	f.Add(binned[:len(binned)-4])
+	// Bit flips in the header, body and checksum.
+	for _, bit := range []int{8, 7 * 8, len(binned) / 2 * 8, (len(binned) - 1) * 8} {
+		b := append([]byte(nil), binned...)
+		b[bit/8] ^= 1 << (bit % 8)
+		f.Add(b)
+	}
+	// Wrong version byte and foreign magic.
+	wrongVer := append([]byte(nil), binned...)
+	wrongVer[5] = 9
+	f.Add(wrongVer)
+	f.Add([]byte("TKDIX"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, blob []byte) {
+		ds := fuzzDataset()
+		ix, err := Load(bytes.NewReader(blob), ds)
+		if err != nil {
+			return // rejected, as corrupt input should be
+		}
+		// The accepted stream must be semantically intact: saving it again
+		// reproduces a loadable index, and a query-path touch of every
+		// column must not fault.
+		var buf bytes.Buffer
+		if err := ix.Save(&buf); err != nil {
+			t.Fatalf("re-saving a loaded index: %v", err)
+		}
+		if _, err := Load(bytes.NewReader(buf.Bytes()), ds); err != nil {
+			t.Fatalf("re-loading a re-saved index: %v", err)
+		}
+	})
+}
+
+// TestLoadCorruptionMatrix is the deterministic companion of FuzzLoadIndex:
+// the classic corruption classes must all be rejected with an error (never
+// a panic), and the same Index value stays usable for queries afterwards —
+// a failed Load has no side effects.
+func TestLoadCorruptionMatrix(t *testing.T) {
+	ds := fuzzDataset()
+	ix := Build(ds, Options{Codec: Concise, Bins: []int{4}})
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+
+	flip := func(bit int) []byte {
+		b := append([]byte(nil), valid...)
+		b[bit/8] ^= 1 << (bit % 8)
+		return b
+	}
+	cases := map[string][]byte{
+		"empty":              {},
+		"magic-only":         valid[:6],
+		"header-truncated":   valid[:20],
+		"body-truncated":     valid[:len(valid)/2],
+		"checksum-truncated": valid[:len(valid)-2],
+		"wrong-version":      flip(5*8 + 0), // version byte 2 -> 3
+		"codec-corrupt":      flip(6 * 8),
+		"body-bit-flip":      flip(len(valid) / 2 * 8),
+		"checksum-bit-flip":  flip((len(valid) - 1) * 8),
+	}
+	for name, blob := range cases {
+		if _, err := Load(bytes.NewReader(blob), ds); err == nil {
+			t.Errorf("%s: corrupt stream loaded without error", name)
+		}
+	}
+
+	// The untouched stream still loads, and the loaded index round-trips.
+	loaded, err := Load(bytes.NewReader(valid), ds)
+	if err != nil {
+		t.Fatalf("valid stream failed to load after corruption attempts: %v", err)
+	}
+	var again bytes.Buffer
+	if err := loaded.Save(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(valid, again.Bytes()) {
+		t.Error("save/load/save is not byte-identical")
+	}
+}

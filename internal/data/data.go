@@ -10,7 +10,9 @@
 package data
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 	"math"
 	"math/bits"
 	"sort"
@@ -168,6 +170,34 @@ func (ds *Dataset) MissingRate() float64 {
 		missing += ds.dim - ds.objs[i].ObservedCount()
 	}
 	return float64(missing) / float64(len(ds.objs)*ds.dim)
+}
+
+// Fingerprint returns a 64-bit FNV-1a digest of the dataset's full
+// contents: dimensionality, object order, IDs, observed-dimension masks and
+// observed values. It is stable across process restarts, so a persisted
+// index keyed by fingerprint can decide reuse-vs-rebuild without trusting
+// file names or modification times.
+func (ds *Dataset) Fingerprint() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	put(uint64(ds.dim))
+	put(uint64(len(ds.objs)))
+	for i := range ds.objs {
+		o := &ds.objs[i]
+		h.Write([]byte(o.ID))
+		h.Write([]byte{0}) // terminate the ID so {"ab","c"} != {"a","bc"}
+		put(o.Mask)
+		for d := 0; d < ds.dim; d++ {
+			if o.Observed(d) {
+				put(math.Float64bits(o.Values[d]))
+			}
+		}
+	}
+	return h.Sum64()
 }
 
 // DimStats summarizes one dimension of a dataset: the sorted distinct

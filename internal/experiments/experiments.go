@@ -150,6 +150,7 @@ func All() []Spec {
 		{"fig18", "Objects pruned by Heuristics 1/2/3 vs k", Fig18},
 		{"ablation", "Design-choice ablations: refinement strategy, column codec (not in the paper)", Ablation},
 		{"parallel", "Parallel engine: serial vs worker-pool query time and speedup (not in the paper)", Parallel},
+		{"serve", "Server soak: concurrent clients + hot reloads vs QPS and latency percentiles (not in the paper)", Serve},
 	}
 }
 

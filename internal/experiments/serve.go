@@ -1,0 +1,239 @@
+package experiments
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/server"
+	"repro/tkd"
+)
+
+// The server soak harness: N concurrent clients drive an in-process
+// tkdserver with a mixed query workload while the resident dataset is
+// hot-reloaded underneath them, measuring sustained QPS and latency
+// percentiles. Unlike the paper-reproduction experiments this one targets
+// the serving layer added on top: the batch scheduler, the admission
+// controller, the decompressed-column cache and — the point of the
+// exercise — the epoch/RCU dataset swap, which must never fail a request
+// or change an answer when the reloaded data is unchanged.
+
+// SoakConfig parameterizes one soak run.
+type SoakConfig struct {
+	// Clients is the number of concurrent client goroutines.
+	Clients int
+	// OpsPerClient is how many queries each client issues (deterministic
+	// termination, so the short mode can run in go test).
+	OpsPerClient int
+	// ReloadEvery fires a POST /reload after every ReloadEvery completed
+	// queries (across all clients); 0 disables reloads.
+	ReloadEvery int
+	// N, Dim, Card, Sigma shape the generated workload dataset.
+	N, Dim, Card int
+	Sigma        float64
+	// Ks are the k values clients cycle through.
+	Ks []int
+	// CacheBudget bounds the dataset's column cache (0 = default).
+	CacheBudget int64
+}
+
+// soakConfigFor scales the harness like the paper experiments scale theirs.
+func soakConfigFor(s Scale) SoakConfig {
+	switch s {
+	case Full:
+		return SoakConfig{Clients: 8, OpsPerClient: 150, ReloadEvery: 100, N: 20000, Dim: 4, Card: 60, Sigma: 0.2, Ks: []int{4, 8, 16, 32}}
+	case Tiny:
+		return SoakConfig{Clients: 4, OpsPerClient: 25, ReloadEvery: 20, N: 500, Dim: 4, Card: 20, Sigma: 0.2, Ks: []int{2, 4, 8}}
+	default: // Quick
+		return SoakConfig{Clients: 6, OpsPerClient: 60, ReloadEvery: 60, N: 4000, Dim: 4, Card: 40, Sigma: 0.2, Ks: []int{4, 8, 16}}
+	}
+}
+
+// SoakResult is one soak run's outcome.
+type SoakResult struct {
+	Clients int
+	Ops     int // queries completed
+	Reloads int // epoch swaps served
+	Errors  int // non-200 responses or transport failures
+	// Mismatches counts answers that were not byte-identical to the
+	// precomputed ground truth. The soak reloads the same data, so across
+	// every epoch swap the answer to a given query shape must not change.
+	Mismatches int
+	FinalEpoch uint64
+	Wall       time.Duration
+	QPS        float64
+	P50, P99   time.Duration
+}
+
+// ServeSoak runs the soak against an in-process server over real HTTP.
+func ServeSoak(cfg SoakConfig) (SoakResult, error) {
+	dir, err := os.MkdirTemp("", "tkd-soak-*")
+	if err != nil {
+		return SoakResult{}, err
+	}
+	defer os.RemoveAll(dir)
+	ds := tkd.GenerateIND(cfg.N, cfg.Dim, cfg.Card, cfg.Sigma, 1234)
+	csv := filepath.Join(dir, "soak.csv")
+	f, err := os.Create(csv)
+	if err != nil {
+		return SoakResult{}, err
+	}
+	if err := ds.WriteCSV(f); err != nil {
+		f.Close()
+		return SoakResult{}, err
+	}
+	if err := f.Close(); err != nil {
+		return SoakResult{}, err
+	}
+
+	srv := server.New(server.Config{
+		BatchWindow: time.Millisecond,
+		CacheBudget: cfg.CacheBudget,
+		IndexDir:    filepath.Join(dir, "ix"),
+	})
+	if err := srv.LoadCSVFile("soak", csv, false); err != nil {
+		return SoakResult{}, err
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	// Ground truth per query shape, from an identical generation.
+	ref := tkd.GenerateIND(cfg.N, cfg.Dim, cfg.Card, cfg.Sigma, 1234)
+	ref.PrepareFor(tkd.IBIG)
+	truth := make(map[int]tkd.Result, len(cfg.Ks))
+	for _, k := range cfg.Ks {
+		res, err := ref.TopK(k)
+		if err != nil {
+			return SoakResult{}, err
+		}
+		truth[k] = res
+	}
+
+	client := newSoakClient(ts.URL)
+	var (
+		completed  atomic.Int64
+		errors     atomic.Int64
+		mismatches atomic.Int64
+		reloads    atomic.Int64
+		latMu      sync.Mutex
+		latencies  []time.Duration
+		wg         sync.WaitGroup
+	)
+	reloadGate := make(chan struct{}, 1)
+	maybeReload := func() {
+		if cfg.ReloadEvery <= 0 {
+			return
+		}
+		if n := completed.Add(1); n%int64(cfg.ReloadEvery) == 0 {
+			select {
+			case reloadGate <- struct{}{}: // one reload in flight at a time
+				if err := client.reload("soak"); err != nil {
+					errors.Add(1)
+				} else {
+					reloads.Add(1)
+				}
+				<-reloadGate
+			default:
+			}
+		}
+	}
+
+	start := time.Now()
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			local := make([]time.Duration, 0, cfg.OpsPerClient)
+			for i := 0; i < cfg.OpsPerClient; i++ {
+				k := cfg.Ks[(c+i)%len(cfg.Ks)]
+				workers := (c + i) % 3 // mix serial, 1 and 2 workers
+				t0 := time.Now()
+				items, err := client.query("soak", k, workers)
+				local = append(local, time.Since(t0))
+				if err != nil {
+					errors.Add(1)
+					continue
+				}
+				want := truth[k]
+				if len(items) != len(want.Items) {
+					mismatches.Add(1)
+				} else {
+					for j := range items {
+						w := want.Items[j]
+						if items[j].Index != w.Index || items[j].ID != w.ID || items[j].Score != w.Score {
+							mismatches.Add(1)
+							break
+						}
+					}
+				}
+				maybeReload()
+			}
+			latMu.Lock()
+			latencies = append(latencies, local...)
+			latMu.Unlock()
+		}(c)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	pct := func(p float64) time.Duration {
+		if len(latencies) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(latencies)-1))
+		return latencies[i]
+	}
+	epoch, err := client.epoch("soak")
+	if err != nil {
+		return SoakResult{}, err
+	}
+	ops := cfg.Clients * cfg.OpsPerClient
+	return SoakResult{
+		Clients:    cfg.Clients,
+		Ops:        ops,
+		Reloads:    int(reloads.Load()),
+		Errors:     int(errors.Load()),
+		Mismatches: int(mismatches.Load()),
+		FinalEpoch: epoch,
+		Wall:       wall,
+		QPS:        float64(ops) / wall.Seconds(),
+		P50:        pct(0.50),
+		P99:        pct(0.99),
+	}, nil
+}
+
+// Serve is the Spec entry point: the soak at the given scale, rendered as a
+// table for the text output and the benchrunner JSON report.
+func Serve(s Scale) []Table {
+	cfg := soakConfigFor(s)
+	t := Table{
+		Title: fmt.Sprintf("Server soak: %d clients × %d ops, reload every %d queries (N=%d)",
+			cfg.Clients, cfg.OpsPerClient, cfg.ReloadEvery, cfg.N),
+		Header: []string{"clients", "ops", "reloads", "epochs", "qps", "p50(ms)", "p99(ms)", "errors", "mismatches"},
+	}
+	res, err := ServeSoak(cfg)
+	if err != nil {
+		t.Rows = append(t.Rows, []string{"error", err.Error(), "", "", "", "", "", "", ""})
+		return []Table{t}
+	}
+	ms := func(d time.Duration) string { return fmt.Sprintf("%.3f", float64(d.Microseconds())/1000) }
+	t.Rows = append(t.Rows, []string{
+		fmt.Sprint(res.Clients),
+		fmt.Sprint(res.Ops),
+		fmt.Sprint(res.Reloads),
+		fmt.Sprint(res.FinalEpoch),
+		fmt.Sprintf("%.1f", res.QPS),
+		ms(res.P50),
+		ms(res.P99),
+		fmt.Sprint(res.Errors),
+		fmt.Sprint(res.Mismatches),
+	})
+	return []Table{t}
+}

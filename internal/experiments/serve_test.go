@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestSoakShort is the deterministic short mode of the server soak harness:
+// a small fleet of concurrent clients against an in-process tkdserver with
+// hot reloads mixed into the query stream. The lifecycle contract under
+// test: zero failed requests and byte-identical answers across every epoch
+// swap (the reloaded data is unchanged, so no query shape's answer may
+// change). CI runs this under -race.
+func TestSoakShort(t *testing.T) {
+	cfg := soakConfigFor(Tiny)
+	res, err := ServeSoak(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Errorf("%d failed requests during the soak, want 0", res.Errors)
+	}
+	if res.Mismatches != 0 {
+		t.Errorf("%d answers diverged across epoch swaps, want 0 (byte-identical)", res.Mismatches)
+	}
+	if res.Reloads == 0 {
+		t.Error("soak performed no reloads; the epoch swap went unexercised")
+	}
+	if res.FinalEpoch < uint64(res.Reloads)+1 {
+		t.Errorf("final epoch %d < reloads+1 (%d); swaps not published?", res.FinalEpoch, res.Reloads+1)
+	}
+	if res.Ops != cfg.Clients*cfg.OpsPerClient {
+		t.Errorf("completed %d ops, want %d", res.Ops, cfg.Clients*cfg.OpsPerClient)
+	}
+	if res.QPS <= 0 || res.P50 <= 0 || res.P99 < res.P50 {
+		t.Errorf("implausible latency stats: qps=%.1f p50=%v p99=%v", res.QPS, res.P50, res.P99)
+	}
+	t.Logf("soak: %d ops, %d reloads, epoch %d, %.1f qps, p50=%v p99=%v",
+		res.Ops, res.Reloads, res.FinalEpoch, res.QPS, res.P50, res.P99)
+}

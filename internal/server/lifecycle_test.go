@@ -1,0 +1,538 @@
+package server_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+	"repro/tkd"
+)
+
+// writeCSV materializes ds at path (creating or atomically replacing it).
+func writeCSV(t *testing.T, ds *tkd.Dataset, path string) {
+	t.Helper()
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.WriteCSV(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func doJSON(t *testing.T, method, url string, body any) (int, []byte) {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		b, _ := json.Marshal(body)
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, b
+}
+
+// TestWarmRestartSkipsPrepare is the -indexdir acceptance test: the first
+// boot builds and persists the index; a second boot over the same data
+// loads it and performs zero builds — Prepare is skipped entirely.
+func TestWarmRestartSkipsPrepare(t *testing.T) {
+	dir := t.TempDir()
+	csv := filepath.Join(dir, "d.csv")
+	writeCSV(t, tkd.GenerateIND(600, 4, 25, 0.2, 17), csv)
+	ixdir := filepath.Join(dir, "ix")
+	cfg := server.Config{IndexDir: ixdir}
+
+	// Cold boot: builds once, persists.
+	s1 := server.New(cfg)
+	if err := s1.LoadCSVFile("d", csv, false); err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(s1)
+	want, code := postQuery(t, ts1.URL, server.QueryRequest{Dataset: "d", K: 5})
+	if code != http.StatusOK {
+		t.Fatalf("cold query: HTTP %d", code)
+	}
+	m1 := getBody(t, ts1.URL+"/metrics")
+	if got := sumMetric(t, m1, "tkd_index_builds_total"); got != 1 {
+		t.Fatalf("cold boot: %d index builds, want 1", got)
+	}
+	if got := sumMetric(t, m1, "tkd_index_warm_loads_total"); got != 0 {
+		t.Fatalf("cold boot: %d warm loads, want 0", got)
+	}
+	ts1.Close()
+	s1.Close()
+
+	// Warm boot: same file, same index dir — the persisted index loads and
+	// no build happens. The tkd-level build counter is the ground truth
+	// that Prepare's expensive step was skipped.
+	s2 := server.New(cfg)
+	ds2, err := loadPublicCSV(csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.AddDataset("d", ds2); err != nil { // AddDataset also warm-loads
+		t.Fatal(err)
+	}
+	if got := ds2.IndexBuilds(); got != 0 {
+		t.Fatalf("warm boot rebuilt the index %d times, want 0", got)
+	}
+	ts2 := httptest.NewServer(s2)
+	defer ts2.Close()
+	defer s2.Close()
+	m2 := getBody(t, ts2.URL+"/metrics")
+	if got := sumMetric(t, m2, "tkd_index_warm_loads_total"); got != 1 {
+		t.Fatalf("warm boot: %d warm loads, want 1", got)
+	}
+	if got := sumMetric(t, m2, "tkd_index_builds_total"); got != 0 {
+		t.Fatalf("warm boot: %d builds, want 0", got)
+	}
+	got, code := postQuery(t, ts2.URL, server.QueryRequest{Dataset: "d", K: 5})
+	if code != http.StatusOK {
+		t.Fatalf("warm query: HTTP %d", code)
+	}
+	if !reflect.DeepEqual(got.Items, want.Items) {
+		t.Fatalf("warm answer diverged from cold answer:\n got %+v\nwant %+v", got.Items, want.Items)
+	}
+}
+
+func loadPublicCSV(path string) (*tkd.Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return tkd.ReadCSV(f)
+}
+
+// TestReloadUnderLoad is the zero-downtime acceptance test: queries hammer
+// one dataset while its source file is replaced and /reload fires
+// repeatedly. Every query must succeed (zero non-200s), and every answer
+// must equal the old epoch's answer or the new epoch's answer.
+func TestReloadUnderLoad(t *testing.T) {
+	dir := t.TempDir()
+	csv := filepath.Join(dir, "x.csv")
+	v1 := tkd.GenerateIND(800, 4, 30, 0.2, 5)
+	v2 := tkd.GenerateIND(1000, 4, 35, 0.25, 6)
+	writeCSV(t, v1, csv)
+
+	s := server.New(server.Config{MaxWorkers: 2, BatchWindow: time.Millisecond, IndexDir: filepath.Join(dir, "ix")})
+	if err := s.LoadCSVFile("x", csv, false); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	defer s.Close()
+
+	const k = 6
+	wantV1, err := v1.TopK(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantV2, err := v2.TopK(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Swap the file to v2, then fire queries and reloads concurrently.
+	writeCSV(t, v2, csv)
+	var failed atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				qr, code := postQuery(t, ts.URL, server.QueryRequest{Dataset: "x", K: k})
+				if code != http.StatusOK {
+					failed.Add(1)
+					t.Errorf("query during reload: HTTP %d", code)
+					return
+				}
+				match := func(want server.QueryResponse) bool {
+					if len(qr.Items) != len(want.Items) {
+						return false
+					}
+					for i := range qr.Items {
+						if qr.Items[i] != want.Items[i] {
+							return false
+						}
+					}
+					return true
+				}
+				toResp := func(res tkd.Result) server.QueryResponse {
+					var out server.QueryResponse
+					for i, it := range res.Items {
+						out.Items = append(out.Items, server.QueryItem{Rank: i + 1, Index: it.Index, ID: it.ID, Score: it.Score})
+					}
+					return out
+				}
+				if !match(toResp(wantV1)) && !match(toResp(wantV2)) {
+					t.Errorf("answer matches neither epoch: %+v", qr.Items)
+					return
+				}
+			}
+		}()
+	}
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			code, body := doJSON(t, http.MethodPost, ts.URL+"/v1/datasets/x/reload", nil)
+			if code != http.StatusOK {
+				failed.Add(1)
+				t.Errorf("reload: HTTP %d: %s", code, body)
+			}
+		}()
+	}
+	wg.Wait()
+	if failed.Load() != 0 {
+		t.Fatalf("%d requests failed during live reload", failed.Load())
+	}
+
+	// After the storm, the new epoch is authoritative and the epoch
+	// counter advanced.
+	qr, code := postQuery(t, ts.URL, server.QueryRequest{Dataset: "x", K: k})
+	if code != http.StatusOK {
+		t.Fatalf("post-reload query: HTTP %d", code)
+	}
+	for i, it := range qr.Items {
+		w := wantV2.Items[i]
+		if it.Index != w.Index || it.ID != w.ID || it.Score != w.Score {
+			t.Fatalf("post-reload item %d = %+v, want %+v", i, it, w)
+		}
+	}
+	if qr.Epoch < 2 {
+		t.Fatalf("epoch after reloads = %d, want >= 2", qr.Epoch)
+	}
+	metrics := getBody(t, ts.URL+"/metrics")
+	if got := sumMetric(t, metrics, "tkd_dataset_reloads_total"); got != 3 {
+		t.Fatalf("reloads counter = %d, want 3", got)
+	}
+	if sumMetric(t, metrics, "tkd_query_errors_total") != 0 {
+		t.Fatal("query errors recorded during reload storm")
+	}
+}
+
+// TestEvictRegisterRace hammers queries while the dataset is evicted and
+// re-registered in a loop. Legal responses: 200 with a consistent answer,
+// 404 (evicted), 503 (draining). Never 500, never a torn answer.
+func TestEvictRegisterRace(t *testing.T) {
+	dir := t.TempDir()
+	csv := filepath.Join(dir, "y.csv")
+	ds := tkd.GenerateIND(500, 4, 25, 0.2, 9)
+	writeCSV(t, ds, csv)
+
+	s := server.New(server.Config{BatchWindow: time.Millisecond, IndexDir: filepath.Join(dir, "ix")})
+	if err := s.LoadCSVFile("y", csv, false); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	defer s.Close()
+
+	const k = 5
+	want, err := ds.TopK(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				qr, code := postQuery(t, ts.URL, server.QueryRequest{Dataset: "y", K: k})
+				switch code {
+				case http.StatusOK:
+					if len(qr.Items) != len(want.Items) {
+						t.Errorf("got %d items, want %d", len(qr.Items), len(want.Items))
+						return
+					}
+					for i, it := range qr.Items {
+						w := want.Items[i]
+						if it.Index != w.Index || it.ID != w.ID || it.Score != w.Score {
+							t.Errorf("torn answer: item %d = %+v, want %+v", i, it, w)
+							return
+						}
+					}
+				case http.StatusNotFound, http.StatusServiceUnavailable:
+					// Evicted or draining: acceptable, client retries.
+				default:
+					t.Errorf("illegal status %d during evict/register race", code)
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 5; i++ {
+			if code, body := doJSON(t, http.MethodDelete, ts.URL+"/v1/datasets/y", nil); code != http.StatusOK {
+				t.Errorf("evict %d: HTTP %d: %s", i, code, body)
+				return
+			}
+			if code, body := doJSON(t, http.MethodPost, ts.URL+"/v1/datasets",
+				server.RegisterRequest{Name: "y", Path: csv}); code != http.StatusCreated {
+				t.Errorf("re-register %d: HTTP %d: %s", i, code, body)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	// The dataset must be resident and consistent after the churn.
+	qr, code := postQuery(t, ts.URL, server.QueryRequest{Dataset: "y", K: k})
+	if code != http.StatusOK {
+		t.Fatalf("post-churn query: HTTP %d", code)
+	}
+	if len(qr.Items) != len(want.Items) {
+		t.Fatalf("post-churn: %d items, want %d", len(qr.Items), len(want.Items))
+	}
+	metrics := getBody(t, ts.URL+"/metrics")
+	if got := sumMetric(t, metrics, "tkd_dataset_evictions_total"); got != 5 {
+		t.Fatalf("evictions counter = %d, want 5", got)
+	}
+	// Every re-registration after the first eviction warm-loads the
+	// persisted index instead of rebuilding.
+	if got := sumMetric(t, metrics, "tkd_index_builds_total"); got != 1 {
+		t.Fatalf("builds across churn = %d, want 1 (registrations should warm-load)", got)
+	}
+}
+
+// TestShutdownDrainsQueuedWindows is the graceful-shutdown regression test:
+// queries queued inside an open batch window when Shutdown fires must all
+// be answered, not dropped; queries arriving after Shutdown get 503.
+func TestShutdownDrainsQueuedWindows(t *testing.T) {
+	// A long window so the burst is still queued when Shutdown fires.
+	_, ts, ref := newTestServer(t, server.Config{BatchWindow: 300 * time.Millisecond})
+	want, err := ref["ac"].TopK(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const burst = 10
+	var wg sync.WaitGroup
+	codes := make([]int, burst)
+	answers := make([]server.QueryResponse, burst)
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			answers[i], codes[i] = postQuery(t, ts.URL, server.QueryRequest{Dataset: "ac", K: 4})
+		}(i)
+	}
+	// Give the burst time to enqueue into the open window, then shut down
+	// while the window is still collecting.
+	time.Sleep(100 * time.Millisecond)
+	srv := tsServer(t, ts)
+	done := make(chan struct{})
+	go func() {
+		srv.Shutdown()
+		close(done)
+	}()
+	wg.Wait()
+	<-done
+
+	for i, code := range codes {
+		if code != http.StatusOK {
+			t.Fatalf("queued query %d dropped on shutdown: HTTP %d", i, code)
+		}
+		for j, it := range answers[i].Items {
+			w := want.Items[j]
+			if it.Index != w.Index || it.Score != w.Score {
+				t.Fatalf("drained answer %d diverged", i)
+			}
+		}
+	}
+	// Post-shutdown queries are refused, not hung.
+	if _, code := postQuery(t, ts.URL, server.QueryRequest{Dataset: "ac", K: 4}); code != http.StatusServiceUnavailable {
+		t.Fatalf("query after shutdown: HTTP %d, want 503", code)
+	}
+}
+
+// tsServer digs the *server.Server back out of the test fixture; the
+// fixture's first return value is what newTestServer created.
+func tsServer(t *testing.T, ts *httptest.Server) *server.Server {
+	t.Helper()
+	s, ok := ts.Config.Handler.(*server.Server)
+	if !ok {
+		t.Fatalf("handler is %T, want *server.Server", ts.Config.Handler)
+	}
+	return s
+}
+
+// TestLifecycleValidation covers the admin endpoints' error paths.
+func TestLifecycleValidation(t *testing.T) {
+	_, ts, _ := newTestServer(t, server.Config{})
+
+	// Reload of an unknown dataset.
+	if code, _ := doJSON(t, http.MethodPost, ts.URL+"/v1/datasets/nope/reload", nil); code != http.StatusNotFound {
+		t.Errorf("reload unknown: HTTP %d, want 404", code)
+	}
+	// Reload of an in-process dataset (no source file).
+	if code, _ := doJSON(t, http.MethodPost, ts.URL+"/v1/datasets/ac/reload", nil); code != http.StatusConflict {
+		t.Errorf("reload in-process: HTTP %d, want 409", code)
+	}
+	// Evict of an unknown dataset.
+	if code, _ := doJSON(t, http.MethodDelete, ts.URL+"/v1/datasets/nope", nil); code != http.StatusNotFound {
+		t.Errorf("evict unknown: HTTP %d, want 404", code)
+	}
+	// Register with missing fields / bad path / duplicate name.
+	if code, _ := doJSON(t, http.MethodPost, ts.URL+"/v1/datasets", server.RegisterRequest{Name: "z"}); code != http.StatusBadRequest {
+		t.Errorf("register without path: HTTP %d, want 400", code)
+	}
+	if code, _ := doJSON(t, http.MethodPost, ts.URL+"/v1/datasets",
+		server.RegisterRequest{Name: "z", Path: "/no/such/file.csv"}); code != http.StatusBadRequest {
+		t.Errorf("register bad path: HTTP %d, want 400", code)
+	}
+	csv := filepath.Join(t.TempDir(), "dup.csv")
+	writeCSV(t, tkd.GenerateIND(50, 3, 10, 0.1, 1), csv)
+	if code, _ := doJSON(t, http.MethodPost, ts.URL+"/v1/datasets",
+		server.RegisterRequest{Name: "ac", Path: csv}); code != http.StatusConflict {
+		t.Errorf("register duplicate: HTTP %d, want 409", code)
+	}
+
+	// Eviction actually removes: query it, get 404.
+	if code, _ := doJSON(t, http.MethodDelete, ts.URL+"/v1/datasets/ind", nil); code != http.StatusOK {
+		t.Fatalf("evict ind failed: HTTP %d", code)
+	}
+	if _, code := postQuery(t, ts.URL, server.QueryRequest{Dataset: "ind", K: 3}); code != http.StatusNotFound {
+		t.Errorf("query evicted dataset: HTTP %d, want 404", code)
+	}
+	var dl struct {
+		Datasets []server.DatasetInfo `json:"datasets"`
+	}
+	if err := json.Unmarshal([]byte(getBody(t, ts.URL+"/v1/datasets")), &dl); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range dl.Datasets {
+		if d.Name == "ind" {
+			t.Error("evicted dataset still listed")
+		}
+	}
+}
+
+// TestStaleIndexCacheRebuilds: a cached index whose fingerprint no longer
+// matches the (changed) data file is ignored and rebuilt, not trusted.
+func TestStaleIndexCacheRebuilds(t *testing.T) {
+	dir := t.TempDir()
+	csv := filepath.Join(dir, "s.csv")
+	ixdir := filepath.Join(dir, "ix")
+	writeCSV(t, tkd.GenerateIND(300, 4, 20, 0.2, 3), csv)
+
+	s1 := server.New(server.Config{IndexDir: ixdir})
+	if err := s1.LoadCSVFile("s", csv, false); err != nil {
+		t.Fatal(err)
+	}
+	s1.Close()
+
+	// The data changes on disk; the persisted index is now stale.
+	v2 := tkd.GenerateIND(300, 4, 20, 0.3, 4)
+	writeCSV(t, v2, csv)
+	s2 := server.New(server.Config{IndexDir: ixdir})
+	ds2, err := loadPublicCSV(csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.AddDataset("s", ds2); err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := ds2.IndexBuilds(); got != 1 {
+		t.Fatalf("stale cache: %d builds, want 1 (must rebuild, not trust)", got)
+	}
+	// And the answers come from the new data.
+	want, err := v2.TopK(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ds2.TopK(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Items, want.Items) {
+		t.Fatal("answers diverged after stale-cache rebuild")
+	}
+}
+
+// TestCorruptIndexCacheRebuilds: garbage in the cache file degrades to a
+// rebuild and surfaces on the error counter — never a failed boot.
+func TestCorruptIndexCacheRebuilds(t *testing.T) {
+	dir := t.TempDir()
+	csv := filepath.Join(dir, "c.csv")
+	ixdir := filepath.Join(dir, "ix")
+	writeCSV(t, tkd.GenerateIND(200, 3, 15, 0.2, 7), csv)
+
+	s1 := server.New(server.Config{IndexDir: ixdir})
+	if err := s1.LoadCSVFile("c", csv, false); err != nil {
+		t.Fatal(err)
+	}
+	s1.Close()
+
+	// Bit-flip the cached index body (past the wrapper header so the
+	// fingerprint still matches and the load is attempted).
+	files, err := filepath.Glob(filepath.Join(ixdir, "*.tkdix"))
+	if err != nil || len(files) != 1 {
+		t.Fatalf("index files: %v err %v", files, err)
+	}
+	blob, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob[len(blob)/2] ^= 0x10
+	if err := os.WriteFile(files[0], blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := server.New(server.Config{IndexDir: ixdir})
+	ds2, err := loadPublicCSV(csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.AddDataset("c", ds2); err != nil {
+		t.Fatalf("corrupt cache failed the boot: %v", err)
+	}
+	if got := ds2.IndexBuilds(); got != 1 {
+		t.Fatalf("corrupt cache: %d builds, want 1", got)
+	}
+	ts := httptest.NewServer(s2)
+	defer ts.Close()
+	defer s2.Close()
+	metrics := getBody(t, ts.URL+"/metrics")
+	if got := sumMetric(t, metrics, "tkd_index_cache_errors_total"); got == 0 {
+		t.Error("cache corruption not surfaced on tkd_index_cache_errors_total")
+	}
+	if _, code := postQuery(t, ts.URL, server.QueryRequest{Dataset: "c", K: 3}); code != http.StatusOK {
+		t.Fatalf("query after corrupt-cache rebuild: HTTP %d", code)
+	}
+}

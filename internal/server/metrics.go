@@ -72,10 +72,21 @@ type datasetMetrics struct {
 	errors    atomic.Int64 // failed client queries
 	batches   atomic.Int64 // scheduling windows served
 	coalesced atomic.Int64 // queries answered by sharing an identical query's run
+	reloads   atomic.Int64 // epoch swaps served for this dataset
 	latency   histogram
 
 	mu  sync.Mutex
 	agg core.Stats
+}
+
+// lifecycleMetrics aggregates the server-wide dataset lifecycle counters:
+// evictions, persisted-index cache traffic and from-scratch index builds.
+// (Reloads are per-dataset, on datasetMetrics.)
+type lifecycleMetrics struct {
+	evictions        atomic.Int64 // datasets removed via DELETE /v1/datasets/{name}
+	indexWarmLoads   atomic.Int64 // binned indexes restored from the IndexDir cache
+	indexBuilds      atomic.Int64 // binned indexes built from scratch
+	indexCacheErrors atomic.Int64 // unreadable/unwritable cache files (each degraded to a rebuild)
 }
 
 // record folds one finished execution into the counters. served is the
@@ -129,6 +140,29 @@ func (s *Server) writeMetrics(w io.Writer) {
 	fmt.Fprintf(w, "# HELP tkd_admission_waits_total Query admissions that had to queue for worker slots.\n")
 	fmt.Fprintf(w, "# TYPE tkd_admission_waits_total counter\n")
 	fmt.Fprintf(w, "tkd_admission_waits_total %d\n", waits)
+
+	fmt.Fprintf(w, "# HELP tkd_dataset_epoch Epoch counter of the resident dataset; advances on every reload/swap.\n")
+	fmt.Fprintf(w, "# TYPE tkd_dataset_epoch gauge\n")
+	for _, e := range entries {
+		fmt.Fprintf(w, "tkd_dataset_epoch{dataset=%q} %d\n", e.name, e.ds.Epoch())
+	}
+	fmt.Fprintf(w, "# HELP tkd_dataset_reloads_total Zero-downtime reloads served, by dataset.\n")
+	fmt.Fprintf(w, "# TYPE tkd_dataset_reloads_total counter\n")
+	for _, e := range entries {
+		fmt.Fprintf(w, "tkd_dataset_reloads_total{dataset=%q} %d\n", e.name, e.met.reloads.Load())
+	}
+	fmt.Fprintf(w, "# HELP tkd_dataset_evictions_total Datasets evicted from the registry since boot.\n")
+	fmt.Fprintf(w, "# TYPE tkd_dataset_evictions_total counter\n")
+	fmt.Fprintf(w, "tkd_dataset_evictions_total %d\n", s.life.evictions.Load())
+	fmt.Fprintf(w, "# HELP tkd_index_warm_loads_total Binned indexes restored from the persisted-index cache (rebuild skipped).\n")
+	fmt.Fprintf(w, "# TYPE tkd_index_warm_loads_total counter\n")
+	fmt.Fprintf(w, "tkd_index_warm_loads_total %d\n", s.life.indexWarmLoads.Load())
+	fmt.Fprintf(w, "# HELP tkd_index_builds_total Binned indexes built from scratch.\n")
+	fmt.Fprintf(w, "# TYPE tkd_index_builds_total counter\n")
+	fmt.Fprintf(w, "tkd_index_builds_total %d\n", s.life.indexBuilds.Load())
+	fmt.Fprintf(w, "# HELP tkd_index_cache_errors_total Persisted-index cache files that failed to read or write (each degraded to a rebuild).\n")
+	fmt.Fprintf(w, "# TYPE tkd_index_cache_errors_total counter\n")
+	fmt.Fprintf(w, "tkd_index_cache_errors_total %d\n", s.life.indexCacheErrors.Load())
 
 	fmt.Fprintf(w, "# HELP tkd_queries_total Queries served, by dataset and algorithm.\n")
 	fmt.Fprintf(w, "# TYPE tkd_queries_total counter\n")

@@ -10,21 +10,34 @@ import (
 )
 
 // entry is one resident dataset: the warm tkd.Dataset, its batch scheduler
-// and its metrics.
+// and its metrics. The tkd.Dataset pointer is stable for the entry's
+// lifetime — hot reloads swap the data inside it (ReplaceFrom publishes a
+// new epoch), so the scheduler and in-flight queries never chase a moving
+// pointer.
 type entry struct {
 	name string
 	ds   *tkd.Dataset
 	sch  *scheduler
 	met  *datasetMetrics
 
-	// Shape facts, captured at load time for /v1/datasets.
-	objects     int
-	dims        int
-	missingRate float64
+	// source of the data, recorded for /v1/datasets/{name}/reload; an
+	// empty path means the dataset was registered in-process and has
+	// nothing on disk to reload from.
+	path   string
+	negate bool
+
+	// reloadMu serializes reloads of this entry so two concurrent reload
+	// requests cannot interleave their build-and-swap sequences.
+	reloadMu sync.Mutex
 }
 
-// registry holds the named datasets. Registration happens at startup (or
-// from tests) and lookups happen per request, so a plain RWMutex suffices.
+// errDuplicate marks a name collision; handlers map it to 409 Conflict.
+var errDuplicate = fmt.Errorf("server: dataset name already registered")
+
+// registry holds the named datasets. It is live: datasets register, reload
+// and evict while the server runs, so every lookup takes the read lock and
+// holds the returned entry past it (entries stay valid after removal — an
+// evicted entry's scheduler drains before stopping).
 type registry struct {
 	mu      sync.RWMutex
 	entries map[string]*entry
@@ -38,7 +51,7 @@ func (r *registry) add(e *entry) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if _, ok := r.entries[e.name]; ok {
-		return fmt.Errorf("server: dataset %q already registered", e.name)
+		return fmt.Errorf("%w: %q", errDuplicate, e.name)
 	}
 	r.entries[e.name] = e
 	return nil
@@ -48,6 +61,19 @@ func (r *registry) get(name string) (*entry, bool) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	e, ok := r.entries[name]
+	return e, ok
+}
+
+// remove unregisters name and returns its entry; new lookups miss
+// immediately, while requests already holding the entry drain through its
+// scheduler.
+func (r *registry) remove(name string) (*entry, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[name]
+	if ok {
+		delete(r.entries, name)
+	}
 	return e, ok
 }
 

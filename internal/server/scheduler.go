@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -22,6 +23,12 @@ import (
 // exists to create. The admission controller gates each group's worker
 // fan-out, so windows on different datasets proceed concurrently without
 // oversubscribing the machine.
+//
+// Lifecycle: a scheduler retires through drainStop (dataset eviction,
+// graceful server shutdown), which refuses new submits, lets in-flight
+// submits finish enqueueing, serves everything already queued and only then
+// lets the goroutine exit — no accepted query is ever dropped. The server's
+// done channel (Close) is the immediate teardown used by tests.
 
 // queryKey identifies one executable query shape; requests with equal keys
 // inside a window share one execution.
@@ -46,16 +53,29 @@ type request struct {
 	reply chan reply // buffered(1); the scheduler never blocks on it
 }
 
+// errDraining is returned to submits that race a drainStop; handlers map it
+// to 503 so clients retry elsewhere (or see the eviction as a 404 on the
+// next attempt).
+var errDraining = fmt.Errorf("server: dataset is draining")
+
 type scheduler struct {
 	ds       *tkd.Dataset
 	adm      *admission
 	met      *datasetMetrics
 	in       chan *request
-	done     chan struct{} // server-wide shutdown
-	quit     chan struct{} // this scheduler only (failed registration)
-	quitOnce sync.Once
+	done     chan struct{} // server-wide immediate shutdown (Server.Close)
 	window   time.Duration
 	maxBatch int
+
+	// Drain machinery: draining flips first, then drainStop takes rw
+	// exclusively as a barrier against submits that passed the flag check,
+	// then drained tells the loop to serve the backlog and exit (closing
+	// exited). See drainStop for the full handshake.
+	draining  atomic.Bool
+	rw        sync.RWMutex
+	drained   chan struct{}
+	exited    chan struct{}
+	drainOnce sync.Once
 }
 
 func newScheduler(ds *tkd.Dataset, adm *admission, met *datasetMetrics, window time.Duration, maxBatch int, done chan struct{}) *scheduler {
@@ -68,7 +88,8 @@ func newScheduler(ds *tkd.Dataset, adm *admission, met *datasetMetrics, window t
 		met:      met,
 		in:       make(chan *request, maxBatch),
 		done:     done,
-		quit:     make(chan struct{}),
+		drained:  make(chan struct{}),
+		exited:   make(chan struct{}),
 		window:   window,
 		maxBatch: maxBatch,
 	}
@@ -76,23 +97,54 @@ func newScheduler(ds *tkd.Dataset, adm *admission, met *datasetMetrics, window t
 	return s
 }
 
-// stop terminates this scheduler's goroutine without touching the rest of
-// the server; used when a registration loses the name to a concurrent one.
-func (s *scheduler) stop() {
-	s.quitOnce.Do(func() { close(s.quit) })
+// drainStop retires the scheduler gracefully: new submits are refused with
+// errDraining, submits already past the check finish enqueueing, and the
+// loop serves every queued request before its goroutine exits. Safe to call
+// multiple times and concurrently; it returns once the loop is gone (or the
+// server was torn down via Close).
+func (s *scheduler) drainStop() {
+	s.drainOnce.Do(func() {
+		s.draining.Store(true)
+		// Barrier: an exclusive lock cannot be granted until every submit
+		// that read draining==false has released its read lock, i.e. has
+		// finished (or abandoned) its send on s.in. After this point the
+		// queue can only shrink.
+		s.rw.Lock()
+		s.rw.Unlock() //nolint:staticcheck // empty critical section IS the barrier
+		close(s.drained)
+	})
+	select {
+	case <-s.exited:
+	case <-s.done:
+	}
 }
+
+// stop terminates this scheduler without touching the rest of the server;
+// used when a registration loses the name to a concurrent one.
+func (s *scheduler) stop() { s.drainStop() }
 
 // submit enqueues one query and waits for its reply; ctx cancellation (or
 // server shutdown) abandons the wait — the scheduler still finishes the
 // query for its window-mates and the buffered reply channel is collected by
 // the garbage collector.
 func (s *scheduler) submit(ctx context.Context, key queryKey) (reply, error) {
+	if s.draining.Load() {
+		return reply{}, errDraining
+	}
 	req := &request{key: key, reply: make(chan reply, 1)}
+	s.rw.RLock()
+	if s.draining.Load() {
+		s.rw.RUnlock()
+		return reply{}, errDraining
+	}
 	select {
 	case s.in <- req:
+		s.rw.RUnlock()
 	case <-ctx.Done():
+		s.rw.RUnlock()
 		return reply{}, ctx.Err()
 	case <-s.done:
+		s.rw.RUnlock()
 		return reply{}, fmt.Errorf("server: shutting down")
 	}
 	select {
@@ -101,19 +153,32 @@ func (s *scheduler) submit(ctx context.Context, key queryKey) (reply, error) {
 	case <-ctx.Done():
 		return reply{}, ctx.Err()
 	case <-s.done:
-		return reply{}, fmt.Errorf("server: shutting down")
+		// A graceful Shutdown closes done only after the drain served every
+		// queued request, so the answer may already sit in the buffered
+		// reply channel alongside the closed done — prefer it: an accepted
+		// and served query must not turn into a shutdown error by select
+		// randomness.
+		select {
+		case r := <-req.reply:
+			return r, nil
+		default:
+			return reply{}, fmt.Errorf("server: shutting down")
+		}
 	}
 }
 
-// loop is the scheduler goroutine: collect a window, serve it, repeat.
+// loop is the scheduler goroutine: collect a window, serve it, repeat;
+// on drain, serve the backlog and exit.
 func (s *scheduler) loop() {
+	defer close(s.exited)
 	for {
 		var first *request
 		select {
 		case first = <-s.in:
 		case <-s.done:
 			return
-		case <-s.quit:
+		case <-s.drained:
+			s.finalDrain()
 			return
 		}
 		batch := []*request{first}
@@ -129,9 +194,10 @@ func (s *scheduler) loop() {
 				case <-s.done:
 					timer.Stop()
 					return
-				case <-s.quit:
-					timer.Stop()
-					return
+				case <-s.drained:
+					// Serve what is in hand now; the next loop iteration
+					// lands in finalDrain for the rest.
+					break collect
 				}
 			}
 			timer.Stop()
@@ -148,6 +214,24 @@ func (s *scheduler) loop() {
 			}
 		}
 		s.serve(batch)
+	}
+}
+
+// finalDrain serves everything enqueued before the drain barrier closed the
+// queue. The barrier guarantees no concurrent senders remain, so a
+// non-blocking sweep sees the complete backlog.
+func (s *scheduler) finalDrain() {
+	var batch []*request
+	for {
+		select {
+		case r := <-s.in:
+			batch = append(batch, r)
+		default:
+			if len(batch) > 0 {
+				s.serve(batch)
+			}
+			return
+		}
 	}
 }
 

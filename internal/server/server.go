@@ -1,29 +1,43 @@
-// Package server is the TKD serving subsystem: a registry of named,
-// permanently resident datasets (each loaded once, Prepared once, queried
-// from warm indexes ever after) behind an HTTP/JSON API.
+// Package server is the TKD serving subsystem: a live registry of named
+// resident datasets (each loaded once, indexed once, queried from warm
+// indexes ever after) behind an HTTP/JSON API with a zero-downtime dataset
+// lifecycle.
 //
 // Endpoints:
 //
-//	POST /v1/query    — {"dataset","k","algorithm","workers"} → ranked answer
-//	GET  /v1/datasets — resident datasets and their shapes
-//	GET  /healthz     — liveness
-//	GET  /metrics     — Prometheus text: query/latency/pruning/cache counters
+//	POST   /v1/query                  — {"dataset","k","algorithm","workers"} → ranked answer
+//	GET    /v1/datasets               — resident datasets and their shapes
+//	POST   /v1/datasets               — {"name","path","negate"} registers a CSV at runtime
+//	POST   /v1/datasets/{name}/reload — rebuild from the source file, swap epochs, zero downtime
+//	DELETE /v1/datasets/{name}        — evict: drain the scheduler, release the cache
+//	GET    /healthz                   — liveness
+//	GET    /metrics                   — Prometheus text: query/latency/pruning/cache/lifecycle counters
 //
 // Concurrent requests against one dataset are coalesced by a per-dataset
-// batch scheduler (see scheduler.go) that shares the warm core.Pre and the
+// batch scheduler (see scheduler.go) that shares the warm artifacts and the
 // decompressed-column cache across a scheduling window, deduplicates
 // identical queries, and admits worker fan-out through a global semaphore.
 // The paper's determinism guarantee (WithWorkers never changes an answer)
 // is what makes both the dedup and the admission clamp transparent to
 // clients.
+//
+// Lifecycle: reloads build the replacement dataset and its index off to the
+// side, then publish it with tkd's epoch/RCU pointer swap — queries in
+// flight finish on the old epoch, new queries see the new one, and no
+// request ever fails because a reload happened. With Config.IndexDir set,
+// built indexes persist to disk keyed by a content fingerprint, so a warm
+// restart (or a reload of an unchanged file) skips the paper's dominant
+// preprocessing cost entirely.
 package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -47,6 +61,11 @@ type Config struct {
 	CacheBudget int64
 	// MaxBodyBytes bounds a request body; <= 0 defaults to 1 MiB.
 	MaxBodyBytes int64
+	// IndexDir enables the persisted-index cache: built binned indexes are
+	// written here (keyed by dataset name, validated by content
+	// fingerprint) and warm starts load them instead of rebuilding. Empty
+	// disables persistence.
+	IndexDir string
 }
 
 // Server is the HTTP query service. Create with New, register datasets with
@@ -56,6 +75,8 @@ type Server struct {
 	adm       *admission
 	reg       *registry
 	mux       *http.ServeMux
+	life      lifecycleMetrics
+	draining  atomic.Bool
 	done      chan struct{}
 	closeOnce sync.Once
 }
@@ -75,64 +96,138 @@ func New(cfg Config) *Server {
 		mux:  http.NewServeMux(),
 		done: make(chan struct{}),
 	}
-	s.mux.HandleFunc("/v1/query", s.handleQuery)
-	s.mux.HandleFunc("/v1/datasets", s.handleDatasets)
-	s.mux.HandleFunc("/healthz", s.handleHealthz)
-	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
+	s.mux.HandleFunc("GET /v1/datasets", s.handleDatasets)
+	s.mux.HandleFunc("POST /v1/datasets", s.handleRegister)
+	s.mux.HandleFunc("POST /v1/datasets/{name}/reload", s.handleReload)
+	s.mux.HandleFunc("DELETE /v1/datasets/{name}", s.handleEvict)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
 }
 
-// AddDataset registers ds under name, applies the cache budget, eagerly
-// Prepares it (so the first query is as fast as the thousandth) and starts
-// its batch scheduler.
+// AddDataset registers ds under name, applies the cache budget, warms it
+// (persisted index when available, built — and persisted — otherwise) and
+// starts its batch scheduler. Datasets registered this way have no source
+// file, so /reload returns 409 for them; use LoadCSVFile or POST
+// /v1/datasets for reloadable datasets.
 func (s *Server) AddDataset(name string, ds *tkd.Dataset) error {
-	if name == "" {
-		return fmt.Errorf("server: empty dataset name")
-	}
-	if ds.Len() == 0 {
-		return fmt.Errorf("server: dataset %q is empty", name)
-	}
-	// Fail the common duplicate before paying index construction; the
-	// registry's add re-checks under its lock for the racing case.
-	if _, ok := s.reg.get(name); ok {
-		return fmt.Errorf("server: dataset %q already registered", name)
-	}
-	if s.cfg.CacheBudget > 0 {
-		ds.SetCacheBudget(s.cfg.CacheBudget)
-	}
-	ds.Prepare()
-	met := &datasetMetrics{}
-	sch := newScheduler(ds, s.adm, met, s.cfg.BatchWindow, s.cfg.MaxBatch, s.done)
-	e := &entry{
-		name:        name,
-		ds:          ds,
-		met:         met,
-		sch:         sch,
-		objects:     ds.Len(),
-		dims:        ds.Dim(),
-		missingRate: ds.MissingRate(),
-	}
-	if err := s.reg.add(e); err != nil {
-		sch.stop() // lost a registration race; don't leak the goroutine
-		return err
-	}
-	return nil
+	_, err := s.register(name, ds, "", false)
+	return err
 }
 
 // LoadCSVFile reads a datagen-format CSV and registers it under name.
-// negate flips values for larger-is-better data.
+// negate flips values for larger-is-better data. The path is recorded so
+// POST /v1/datasets/{name}/reload can rebuild from it.
 func (s *Server) LoadCSVFile(name, path string, negate bool) error {
 	ds, err := loadCSV(path, negate)
 	if err != nil {
 		return err
 	}
-	return s.AddDataset(name, ds)
+	_, err = s.register(name, ds, path, negate)
+	return err
 }
 
-// Close stops the schedulers; in-flight submits return a shutdown error.
-// Safe to call multiple times, concurrently.
+// register installs a dataset; warm reports whether the persisted-index
+// cache supplied the index.
+func (s *Server) register(name string, ds *tkd.Dataset, path string, negate bool) (warm bool, err error) {
+	if name == "" {
+		return false, fmt.Errorf("server: empty dataset name")
+	}
+	if ds.Len() == 0 {
+		return false, fmt.Errorf("server: dataset %q is empty", name)
+	}
+	// Fail the common duplicate before paying index construction; the
+	// registry's add re-checks under its lock for the racing case.
+	if _, ok := s.reg.get(name); ok {
+		return false, fmt.Errorf("%w: %q", errDuplicate, name)
+	}
+	warm, err = s.warmPrepare(name, ds)
+	if err != nil {
+		return false, err
+	}
+	met := &datasetMetrics{}
+	sch := newScheduler(ds, s.adm, met, s.cfg.BatchWindow, s.cfg.MaxBatch, s.done)
+	e := &entry{
+		name:   name,
+		ds:     ds,
+		met:    met,
+		sch:    sch,
+		path:   path,
+		negate: negate,
+	}
+	if err := s.reg.add(e); err != nil {
+		sch.stop() // lost a registration race; don't leak the goroutine
+		return false, err
+	}
+	return warm, nil
+}
+
+// warmPrepare gets ds query-ready: apply the cache budget, restore the
+// persisted binned index when the cache directory has a fingerprint match,
+// build (and persist) it otherwise, and eagerly finish the IBIG serving
+// artifacts so the first query is as fast as the thousandth. The
+// value-granular BIG bitmap — the most expensive artifact, needed only for
+// explicit BIG queries — builds lazily on first use. warm reports whether
+// the persisted index supplied the artifact (rebuild skipped).
+func (s *Server) warmPrepare(name string, ds *tkd.Dataset) (warm bool, err error) {
+	if s.cfg.CacheBudget > 0 {
+		ds.SetCacheBudget(s.cfg.CacheBudget)
+	}
+	ixc, err := newIndexCache(s.cfg.IndexDir)
+	if err != nil {
+		return false, err
+	}
+	if ixc != nil {
+		ok, err := ixc.tryLoad(name, ds)
+		if err != nil {
+			// A corrupt cache file is a miss, not an outage: rebuild below
+			// and overwrite it. Surface the event on /metrics.
+			s.life.indexCacheErrors.Add(1)
+		}
+		if ok {
+			warm = true
+			s.life.indexWarmLoads.Add(1)
+		}
+	}
+	before := ds.IndexBuilds()
+	ds.PrepareFor(tkd.IBIG)
+	if built := ds.IndexBuilds() - before; built > 0 {
+		s.life.indexBuilds.Add(built)
+		if ixc != nil {
+			if err := ixc.save(name, ds); err != nil {
+				s.life.indexCacheErrors.Add(1)
+			}
+		}
+	}
+	return warm, nil
+}
+
+// Close stops the schedulers immediately; in-flight submits return a
+// shutdown error. Safe to call multiple times, concurrently. For a graceful
+// stop that finishes queued work first, call Shutdown.
 func (s *Server) Close() {
 	s.closeOnce.Do(func() { close(s.done) })
+}
+
+// Shutdown gracefully retires the server: new queries are refused with 503,
+// every per-dataset scheduler drains its queued windows to completion, and
+// only then is the server closed. Safe to call multiple times; callers that
+// also manage an http.Server should call Shutdown before (or concurrently
+// with) the http.Server's own Shutdown so handlers waiting on scheduler
+// replies get their answers.
+func (s *Server) Shutdown() {
+	s.draining.Store(true)
+	var wg sync.WaitGroup
+	for _, e := range s.reg.list() {
+		wg.Add(1)
+		go func(e *entry) {
+			defer wg.Done()
+			e.sch.drainStop()
+		}(e)
+	}
+	wg.Wait()
+	s.Close()
 }
 
 // ServeHTTP implements http.Handler.
@@ -189,6 +284,10 @@ type QueryResponse struct {
 	Coalesced bool    `json:"coalesced"`
 	BatchSize int     `json:"batch_size"`
 	LatencyMS float64 `json:"latency_ms"`
+	// Epoch is the dataset's epoch counter observed as the reply was
+	// formed — informational: it advances on every reload, so clients can
+	// watch hot swaps happen without polling /v1/datasets.
+	Epoch uint64 `json:"epoch"`
 }
 
 // DatasetInfo is one GET /v1/datasets row.
@@ -199,6 +298,32 @@ type DatasetInfo struct {
 	MissingRate float64 `json:"missing_rate"`
 	Queries     int64   `json:"queries"`
 	CacheBytes  int64   `json:"cache_bytes"`
+	Epoch       uint64  `json:"epoch"`
+	Reloads     int64   `json:"reloads"`
+	// Source is the CSV path reloads rebuild from; empty for datasets
+	// registered in-process.
+	Source string `json:"source,omitempty"`
+}
+
+// RegisterRequest is the POST /v1/datasets body: register a datagen-format
+// CSV under a name while the server runs.
+type RegisterRequest struct {
+	Name   string `json:"name"`
+	Path   string `json:"path"`
+	Negate bool   `json:"negate,omitempty"`
+}
+
+// ReloadResponse is the POST /v1/datasets/{name}/reload answer.
+type ReloadResponse struct {
+	Dataset     string  `json:"dataset"`
+	Epoch       uint64  `json:"epoch"`
+	Objects     int     `json:"objects"`
+	Dims        int     `json:"dims"`
+	MissingRate float64 `json:"missing_rate"`
+	// WarmIndex reports whether the persisted-index cache supplied the
+	// binned index (an unchanged source file) instead of a rebuild.
+	WarmIndex bool    `json:"warm_index"`
+	Seconds   float64 `json:"seconds"`
 }
 
 type errorResponse struct {
@@ -216,9 +341,8 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		w.Header().Set("Allow", http.MethodPost)
-		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST only"})
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "server: shutting down"})
 		return
 	}
 	var req QueryRequest
@@ -285,33 +409,152 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Coalesced: rep.coalesced,
 		BatchSize: rep.batch,
 		LatencyMS: float64(time.Since(start).Microseconds()) / 1000,
+		Epoch:     e.ds.Epoch(),
 	})
 }
 
 func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		w.Header().Set("Allow", http.MethodGet)
-		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "GET only"})
-		return
-	}
 	entries := s.reg.list()
 	infos := make([]DatasetInfo, len(entries))
 	for i, e := range entries {
 		infos[i] = DatasetInfo{
 			Name:        e.name,
-			Objects:     e.objects,
-			Dims:        e.dims,
-			MissingRate: e.missingRate,
+			Objects:     e.ds.Len(),
+			Dims:        e.ds.Dim(),
+			MissingRate: e.ds.MissingRate(),
 			Queries:     e.met.queryTotal(),
 			CacheBytes:  e.ds.CacheStats().Bytes,
+			Epoch:       e.ds.Epoch(),
+			Reloads:     e.met.reloads.Load(),
+			Source:      e.path,
 		}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"datasets": infos})
 }
 
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "server: shutting down"})
+		return
+	}
+	var req RegisterRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("bad request body: %v", err)})
+		return
+	}
+	if req.Name == "" || req.Path == "" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "name and path are required"})
+		return
+	}
+	start := time.Now()
+	ds, err := loadCSV(req.Path, req.Negate)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	warm, err := s.register(req.Name, ds, req.Path, req.Negate)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, errDuplicate) {
+			status = http.StatusConflict
+		}
+		writeJSON(w, status, errorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusCreated, ReloadResponse{
+		Dataset:     req.Name,
+		Epoch:       ds.Epoch(),
+		Objects:     ds.Len(),
+		Dims:        ds.Dim(),
+		MissingRate: ds.MissingRate(),
+		WarmIndex:   warm,
+		Seconds:     time.Since(start).Seconds(),
+	})
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "server: shutting down"})
+		return
+	}
+	name := r.PathValue("name")
+	e, ok := s.reg.get(name)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("unknown dataset %q", name)})
+		return
+	}
+	if e.path == "" {
+		writeJSON(w, http.StatusConflict, errorResponse{
+			Error: fmt.Sprintf("dataset %q was registered in-process; no source file to reload from", name)})
+		return
+	}
+	e.reloadMu.Lock()
+	defer e.reloadMu.Unlock()
+	// Re-check residency under the reload lock: a concurrent evict may have
+	// removed the entry, and reloading an evicted dataset would rebuild its
+	// index cache and report success for a name that now 404s.
+	if cur, ok := s.reg.get(name); !ok || cur != e {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("dataset %q was evicted", name)})
+		return
+	}
+	start := time.Now()
+	// Build the replacement — data, index, queue — entirely off to the
+	// side; queries keep flowing on the current epoch the whole time.
+	fresh, err := loadCSV(e.path, e.negate)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		return
+	}
+	if fresh.Len() == 0 {
+		writeJSON(w, http.StatusInternalServerError, errorResponse{
+			Error: fmt.Sprintf("reload of %q from %s produced an empty dataset", name, e.path)})
+		return
+	}
+	warm, err := s.warmPrepare(name, fresh)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		return
+	}
+	// The swap: one atomic pointer publish inside the dataset the
+	// scheduler already owns. In-flight queries finish on the old epoch;
+	// its column cache is dropped as part of the swap.
+	e.ds.ReplaceFrom(fresh)
+	e.met.reloads.Add(1)
+	writeJSON(w, http.StatusOK, ReloadResponse{
+		Dataset:     name,
+		Epoch:       e.ds.Epoch(),
+		Objects:     e.ds.Len(),
+		Dims:        e.ds.Dim(),
+		MissingRate: e.ds.MissingRate(),
+		WarmIndex:   warm,
+		Seconds:     time.Since(start).Seconds(),
+	})
+}
+
+func (s *Server) handleEvict(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	e, ok := s.reg.remove(name)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("unknown dataset %q", name)})
+		return
+	}
+	// Drain: requests already accepted (or racing the removal) get served;
+	// then the scheduler goroutine exits and the cache budget is released.
+	e.sch.drainStop()
+	e.ds.ReleaseCache()
+	s.life.evictions.Add(1)
+	writeJSON(w, http.StatusOK, map[string]any{"evicted": name, "epoch": e.ds.Epoch()})
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	if s.draining.Load() {
+		status = "draining"
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":     "ok",
+		"status":     status,
 		"datasets":   len(s.reg.list()),
 		"gomaxprocs": runtime.GOMAXPROCS(0),
 	})

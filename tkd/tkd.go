@@ -23,13 +23,28 @@
 // across a worker pool (0 = GOMAXPROCS) without changing the answer:
 //
 //	res, err = ds.TopK(2, tkd.WithWorkers(0))      // parallel IBIG
+//
+// # Epochs
+//
+// A Dataset is fully concurrency-safe, for mutations as well as queries.
+// Internally the data and its acceleration artifacts live in immutable
+// published snapshots ("epochs"): a query resolves the current epoch with
+// one atomic load and runs on it to completion, while a mutation (Append,
+// Negate, ReplaceFrom, a bin-layout change) prepares the next epoch off to
+// the side and publishes it with an atomic pointer swap. In-flight queries
+// finish on the epoch they started on; queries that start after the swap
+// see the new one; nobody blocks anybody. Epoch reports the current
+// version, and ReplaceFrom is the zero-downtime wholesale swap a serving
+// layer uses to hot-reload a resident dataset.
 package tkd
 
 import (
 	"fmt"
 	"io"
 	"math"
+	"slices"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/bitmapidx"
 	"repro/internal/btree"
@@ -67,73 +82,316 @@ type (
 	Stats = core.Stats
 )
 
+// need is a bitmask of preprocessing artifacts a query requires.
+type need uint8
+
+const (
+	needQueue need = 1 << iota
+	needBitmap
+	needBinned
+	needTrees
+)
+
+// artifacts is one immutable artifact set. Once a pointer to it is
+// published through snapshot.art every field is frozen; growing the set
+// installs a fresh copy (copy-on-write), so readers holding an older
+// pointer are never disturbed.
+type artifacts struct {
+	queue  *core.MaxScoreQueue
+	bitmap *bitmapidx.Index
+	binned *bitmapidx.Index
+	trees  []*btree.Tree
+}
+
+func (a *artifacts) has(n need) bool {
+	if n&needQueue != 0 && a.queue == nil {
+		return false
+	}
+	if n&needBitmap != 0 && a.bitmap == nil {
+		return false
+	}
+	if n&needBinned != 0 && a.binned == nil {
+		return false
+	}
+	if n&needTrees != 0 && a.trees == nil {
+		return false
+	}
+	return true
+}
+
+// pre materializes the core.Pre view of the set. Every artifact the chosen
+// algorithm touches is already present, so core.RunWorkers never writes into
+// the returned struct.
+func (a *artifacts) pre() *core.Pre {
+	return &core.Pre{Queue: a.queue, Bitmap: a.bitmap, Binned: a.binned}
+}
+
+// snapshot is one published epoch of a Dataset: a frozen view of the data
+// plus its lazily grown acceleration artifacts. The data is immutable from
+// the moment the snapshot is published (mutations copy the staging dataset
+// first — see Dataset.cowLocked), so any number of queries may run on one
+// snapshot while newer epochs are being prepared and published.
+type snapshot struct {
+	epoch uint64
+	ds    *data.Dataset
+	bins  []int
+
+	// art is the artifact set, read with one atomic load on the query fast
+	// path and grown copy-on-write under bmu when a query needs something
+	// not built yet.
+	art atomic.Pointer[artifacts]
+	bmu sync.Mutex
+
+	// mrOnce memoizes MissingRate: the data is frozen, but the scan is
+	// O(N) and monitoring endpoints poll it.
+	mrOnce sync.Once
+	mr     float64
+}
+
+// missingRate computes the frozen data's missing rate once per epoch.
+func (s *snapshot) missingRate() float64 {
+	s.mrOnce.Do(func() { s.mr = s.ds.MissingRate() })
+	return s.mr
+}
+
+// ensure returns an artifact set satisfying n, building missing pieces
+// under the snapshot's build lock. The fast path — everything already
+// built — is a single atomic load, so a warm snapshot serves concurrent
+// queries with zero lock traffic.
+func (s *snapshot) ensure(n need, d *Dataset) *artifacts {
+	if a := s.art.Load(); a.has(n) {
+		return a
+	}
+	s.bmu.Lock()
+	defer s.bmu.Unlock()
+	a := s.art.Load()
+	if a.has(n) {
+		return a
+	}
+	na := *a
+	if n&needQueue != 0 && na.queue == nil {
+		na.queue = core.BuildMaxScoreQueue(s.ds)
+	}
+	if n&needBitmap != 0 && na.bitmap == nil {
+		na.bitmap = bitmapidx.Build(s.ds, bitmapidx.Options{Codec: bitmapidx.Raw})
+	}
+	if n&needBinned != 0 && na.binned == nil {
+		bins := s.bins
+		if bins == nil {
+			bins = []int{core.OptimalBins(s.ds.Len(), s.missingRate())}
+		}
+		na.binned = bitmapidx.Build(s.ds, bitmapidx.Options{Codec: bitmapidx.Concise, Bins: bins})
+		d.binnedBuilds.Add(1)
+		if b := d.cacheBudget.Load(); b > 0 {
+			na.binned.SetCacheBudget(b)
+		}
+	}
+	if n&needTrees != 0 && na.trees == nil {
+		na.trees = core.BuildDimTrees(s.ds)
+	}
+	s.art.Store(&na)
+	return &na
+}
+
+// installBinned swaps in a binned index restored by LoadIndex.
+func (s *snapshot) installBinned(ix *bitmapidx.Index) {
+	s.bmu.Lock()
+	defer s.bmu.Unlock()
+	na := *s.art.Load()
+	na.binned = ix
+	s.art.Store(&na)
+}
+
+// release drops the retired snapshot's decompressed-column cache so a
+// replaced epoch returns its budget immediately instead of at the next GC.
+// In-flight queries on the old epoch keep any column vector they already
+// hold (eviction never mutates a column) and re-decompress on further
+// touches. keep is the successor's binned index when the artifact survived
+// the swap (a bin-layout change keeps the queue and bitmap, a ReplaceFrom
+// may carry everything).
+func (s *snapshot) release(keep *bitmapidx.Index) {
+	if a := s.art.Load(); a.binned != nil && a.binned != keep {
+		a.binned.DropCache()
+	}
+}
+
 // Dataset is an incomplete dataset plus cached query acceleration state.
 //
-// Concurrency: concurrent TopK (and the other read-only queries) on one
-// Dataset are safe — the lazy index construction is mutex-guarded and the
-// built artifacts are immutable, so a server can share one warm Dataset
-// across many request goroutines. Mutations (Append, Negate, LoadIndex) must
-// not race with queries; they are for the load phase.
+// Concurrency: everything is safe to call concurrently with everything
+// else. Queries run on immutable published epochs (see the package
+// documentation); mutations prepare the next epoch off to the side and
+// publish it atomically, so readers never block writers and vice versa.
 type Dataset struct {
-	ds *data.Dataset
+	// mu guards the staging data and epoch publication; queries do not
+	// take it on the fast path.
+	mu            sync.Mutex
+	staging       *data.Dataset // mutable master copy of the data
+	shared        bool          // staging is referenced by a published snapshot: copy before writing
+	bins          []int
+	pendingBinned *bitmapidx.Index // LoadIndex result awaiting the next publish
 
-	// mu guards the lazily built acceleration state below. Queries snapshot
-	// the artifacts they need under the lock and run on the immutable
-	// snapshot outside it.
-	mu          sync.Mutex
-	pre         *core.Pre
-	bins        []int
-	trees       []*btree.Tree // per-dimension trees for WithBTreeRefinement
-	cacheBudget int64         // SetCacheBudget value; 0 = bitmapidx default
+	cur   atomic.Pointer[snapshot] // the published epoch; nil when staging is dirty
+	epoch atomic.Uint64            // epochs published so far
+
+	cacheBudget  atomic.Int64 // SetCacheBudget value; 0 = bitmapidx default
+	binnedBuilds atomic.Int64 // binned-index constructions (LoadIndex does not count)
 }
 
 // NewDataset returns an empty dataset with the given dimensionality
 // (1..MaxDim). Smaller values are better; use Negate for rating-style data.
 func NewDataset(dim int) *Dataset {
-	return &Dataset{ds: data.New(dim)}
+	return &Dataset{staging: data.New(dim)}
 }
 
 // wrap adopts an internal dataset.
-func wrap(ds *data.Dataset) *Dataset { return &Dataset{ds: ds} }
+func wrap(ds *data.Dataset) *Dataset { return &Dataset{staging: ds} }
+
+// current returns the published snapshot, publishing the staging data as a
+// fresh epoch if mutations have outdated the previous one.
+func (d *Dataset) current() *snapshot {
+	if s := d.cur.Load(); s != nil {
+		return s
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.publishLocked()
+}
+
+// publishLocked publishes staging as the next epoch (idempotent when a
+// snapshot is already current). Callers hold d.mu.
+func (d *Dataset) publishLocked() *snapshot {
+	if s := d.cur.Load(); s != nil {
+		return s
+	}
+	s := &snapshot{epoch: d.epoch.Add(1), ds: d.staging, bins: d.bins}
+	a := &artifacts{}
+	if d.pendingBinned != nil {
+		a.binned = d.pendingBinned
+		d.pendingBinned = nil
+	}
+	s.art.Store(a)
+	d.shared = true
+	d.cur.Store(s)
+	return s
+}
+
+// cowLocked makes staging privately writable: if a published snapshot
+// references it, mutate a copy instead so in-flight queries keep reading
+// frozen data. One copy covers any run of mutations between publishes.
+func (d *Dataset) cowLocked() {
+	if d.shared {
+		d.staging = d.staging.Clone()
+		d.shared = false
+	}
+}
+
+// invalidateLocked retires the published snapshot after a data mutation;
+// the next query publishes a fresh epoch from staging. Callers hold d.mu.
+func (d *Dataset) invalidateLocked() {
+	if old := d.cur.Load(); old != nil {
+		d.cur.Store(nil)
+		old.release(nil)
+	}
+	d.pendingBinned = nil // bound to the outdated data
+}
+
+// Epoch returns the number of epochs published so far — a version counter
+// that advances on every visible mutation (including wholesale swaps via
+// ReplaceFrom). Two queries that observe the same epoch saw identical data.
+func (d *Dataset) Epoch() uint64 { return d.epoch.Load() }
+
+// IndexBuilds reports how many times the binned bitmap index was built from
+// scratch for this dataset. Indexes restored through LoadIndex do not
+// count, which makes the counter the observable for "did the warm start
+// skip the rebuild".
+func (d *Dataset) IndexBuilds() int64 { return d.binnedBuilds.Load() }
 
 // Append adds one object; use Missing for unobserved dimensions. Objects
-// must have at least one observed value.
+// must have at least one observed value. Safe to call while queries are
+// running: they finish on the epoch they started on.
 func (d *Dataset) Append(id string, values ...float64) error {
-	_, err := d.ds.Append(id, values)
 	d.mu.Lock()
-	d.pre = nil // invalidate cached indexes
-	d.trees = nil
-	d.mu.Unlock()
+	defer d.mu.Unlock()
+	d.cowLocked()
+	_, err := d.staging.Append(id, values)
+	if err == nil {
+		d.invalidateLocked()
+	}
 	return err
 }
 
-// Len returns the number of objects; Dim the dimensionality.
-func (d *Dataset) Len() int { return d.ds.Len() }
-
-// Dim returns the dataset dimensionality.
-func (d *Dataset) Dim() int { return d.ds.Dim() }
-
-// MissingRate returns the fraction of missing cells (the paper's σ).
-func (d *Dataset) MissingRate() float64 { return d.ds.MissingRate() }
-
 // Negate flips every observed value's sign, converting larger-is-better
 // data to the library's smaller-is-better convention. Cached indexes are
-// invalidated.
+// invalidated; concurrent queries finish on the pre-Negate epoch.
 func (d *Dataset) Negate() {
-	d.ds.Negate()
 	d.mu.Lock()
-	d.pre = nil
-	d.trees = nil
-	d.mu.Unlock()
+	defer d.mu.Unlock()
+	d.cowLocked()
+	d.staging.Negate()
+	d.invalidateLocked()
 }
 
+// ReplaceFrom atomically publishes src's current data — and any warm
+// acceleration artifacts src already built or loaded — as the receiver's
+// next epoch. It is the zero-downtime reload primitive: build and index the
+// replacement off to the side, then swap it in with one call. In-flight
+// queries finish on the old epoch; the old epoch's column cache is dropped
+// so its budget frees immediately. src is unaffected (the two datasets
+// share the frozen data copy-on-write).
+func (d *Dataset) ReplaceFrom(src *Dataset) {
+	if src == d {
+		return
+	}
+	ss := src.current()
+	sa := ss.art.Load()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	s := &snapshot{epoch: d.epoch.Add(1), ds: ss.ds, bins: ss.bins}
+	na := *sa
+	if na.binned != nil {
+		if b := d.cacheBudget.Load(); b > 0 {
+			na.binned.SetCacheBudget(b)
+		}
+	}
+	s.art.Store(&na)
+	d.staging = ss.ds
+	d.shared = true
+	d.bins = ss.bins
+	d.pendingBinned = nil
+	old := d.cur.Load()
+	d.cur.Store(s)
+	if old != nil {
+		old.release(na.binned)
+	}
+}
+
+// view returns a frozen view of the data for read-only accessors; like a
+// query, it publishes the staging data if no epoch is current.
+func (d *Dataset) view() *data.Dataset { return d.current().ds }
+
+// Len returns the number of objects; Dim the dimensionality.
+func (d *Dataset) Len() int { return d.view().Len() }
+
+// Dim returns the dataset dimensionality.
+func (d *Dataset) Dim() int { return d.view().Dim() }
+
+// MissingRate returns the fraction of missing cells (the paper's σ),
+// memoized per epoch.
+func (d *Dataset) MissingRate() float64 { return d.current().missingRate() }
+
+// Fingerprint returns a 64-bit digest of the dataset's full contents —
+// dimensionality, object order, IDs, masks and observed values — stable
+// across process restarts. A persisted-index cache compares fingerprints to
+// decide reuse-vs-rebuild without trusting file names or mtimes.
+func (d *Dataset) Fingerprint() uint64 { return d.view().Fingerprint() }
+
 // ID returns the identifier of the i-th object.
-func (d *Dataset) ID(i int) string { return d.ds.Obj(i).ID }
+func (d *Dataset) ID(i int) string { return d.view().Obj(i).ID }
 
 // Value returns the i-th object's value in dimension dim and whether it is
 // observed.
 func (d *Dataset) Value(i, dim int) (float64, bool) {
-	o := d.ds.Obj(i)
+	o := d.view().Obj(i)
 	if !o.Observed(dim) {
 		return 0, false
 	}
@@ -143,11 +401,12 @@ func (d *Dataset) Value(i, dim int) (float64, bool) {
 // Dominates reports whether object i dominates object j under the
 // incomplete-data dominance relation (Definition 1 of the paper).
 func (d *Dataset) Dominates(i, j int) bool {
-	return core.Dominates(d.ds.Obj(i), d.ds.Obj(j))
+	v := d.view()
+	return core.Dominates(v.Obj(i), v.Obj(j))
 }
 
 // Score returns score(i): how many objects i dominates (Definition 2).
-func (d *Dataset) Score(i int) int { return core.Score(d.ds, i) }
+func (d *Dataset) Score(i int) int { return core.Score(d.view(), i) }
 
 // Option configures TopK.
 type Option func(*queryConfig)
@@ -170,6 +429,8 @@ func WithAlgorithm(a Algorithm) Option {
 // IBIG: one entry per dimension, or a single entry broadcast to all. The
 // default is the paper's space×time optimum, Eq. (8); calling WithBins with
 // no arguments keeps that default rather than requesting an empty layout.
+// Changing the layout publishes a new epoch (the queue and value-granular
+// bitmap carry over; only the binned index rebuilds).
 func WithBins(bins ...int) Option {
 	return func(c *queryConfig) {
 		if len(bins) == 0 {
@@ -210,54 +471,58 @@ func WithBTreeRefinement() Option {
 	return func(c *queryConfig) { c.btree = true }
 }
 
-// Prepare eagerly builds the preprocessing artifacts (MaxScore queue,
+// needFor maps a query configuration to the artifacts it consumes.
+func needFor(alg Algorithm, btreeRefine bool) need {
+	switch alg {
+	case UBB:
+		return needQueue
+	case BIG:
+		return needQueue | needBitmap
+	case IBIG:
+		n := needQueue | needBinned
+		if btreeRefine {
+			n |= needTrees
+		}
+		return n
+	default: // Naive and ESB work straight off the data
+		return 0
+	}
+}
+
+// Prepare eagerly builds every preprocessing artifact (MaxScore queue,
 // bitmap index, binned bitmap index) so that subsequent TopK calls measure
 // pure query time. It is idempotent and safe to call concurrently.
-func (d *Dataset) Prepare() {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if d.pre == nil {
-		d.pre = &core.Pre{}
+func (d *Dataset) Prepare() { d.PrepareFor(UBB, BIG, IBIG) }
+
+// PrepareFor eagerly builds only the artifacts the given algorithms
+// consume. A serving process that answers IBIG by default calls
+// PrepareFor(IBIG) to skip the value-granular bitmap (the most expensive
+// artifact, needed only by BIG); anything skipped still builds lazily on
+// first use.
+func (d *Dataset) PrepareFor(algs ...Algorithm) {
+	var n need
+	for _, a := range algs {
+		n |= needFor(a, false)
 	}
-	// Fill in only what is missing, preserving artifacts installed by
-	// earlier queries or LoadIndex.
-	d.ensureQueueLocked()
-	stats := d.ds.Stats()
-	if d.pre.Bitmap == nil {
-		d.pre.Bitmap = bitmapidx.BuildWithStats(d.ds, stats, bitmapidx.Options{Codec: bitmapidx.Raw})
-	}
-	if d.pre.Binned == nil {
-		bins := d.bins
-		if bins == nil {
-			bins = []int{core.OptimalBins(d.ds.Len(), d.ds.MissingRate())}
-		}
-		d.pre.Binned = bitmapidx.BuildWithStats(d.ds, stats, bitmapidx.Options{Codec: bitmapidx.Concise, Bins: bins})
-		d.applyCacheBudgetLocked()
-	}
+	d.current().ensure(n, d)
 }
 
 // SetCacheBudget bounds the decompressed-column cache of the compressed
 // bitmap index to at most bytes (0 restores the bitmapidx default), taking
-// effect immediately on an already-built index. Long-lived servers use this
-// together with CacheStats to size the per-dataset memory footprint.
+// effect immediately on an already-built index and carrying over to future
+// epochs. Long-lived servers use this together with CacheStats to size the
+// per-dataset memory footprint.
 func (d *Dataset) SetCacheBudget(bytes int64) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.cacheBudget = bytes
-	d.applyCacheBudgetLocked()
-}
-
-// applyCacheBudgetLocked pushes the configured budget onto any compressed
-// index already built; 0 restores the bitmapidx default. Callers hold d.mu.
-func (d *Dataset) applyCacheBudgetLocked() {
-	if d.pre == nil || d.pre.Binned == nil {
-		return
+	d.cacheBudget.Store(bytes)
+	if s := d.cur.Load(); s != nil {
+		if a := s.art.Load(); a.binned != nil {
+			b := bytes
+			if b <= 0 {
+				b = bitmapidx.DefaultCacheBudget
+			}
+			a.binned.SetCacheBudget(b)
+		}
 	}
-	budget := d.cacheBudget
-	if budget <= 0 {
-		budget = bitmapidx.DefaultCacheBudget
-	}
-	d.pre.Binned.SetCacheBudget(budget)
 }
 
 // CacheStats reports the decompressed-column cache counters of the
@@ -274,72 +539,59 @@ type CacheStats struct {
 
 // CacheStats snapshots the column-cache counters; see the CacheStats type.
 func (d *Dataset) CacheStats() CacheStats {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if d.pre == nil || d.pre.Binned == nil {
+	s := d.cur.Load()
+	if s == nil {
 		return CacheStats{}
 	}
-	st := d.pre.Binned.CacheStats()
+	a := s.art.Load()
+	if a.binned == nil {
+		return CacheStats{}
+	}
+	st := a.binned.CacheStats()
 	return CacheStats{Hits: st.Hits, Misses: st.Misses, Evicted: st.Evicted, Bytes: st.Bytes, Budget: st.Budget}
 }
 
-// ensure builds, under the lock, every preprocessing artifact the configured
-// query needs, and returns an immutable snapshot for the query to run on.
-// RunWorkers never mutates a Pre whose artifacts are present, so concurrent
-// TopK calls race neither on construction nor on use.
-func (d *Dataset) ensure(cfg *queryConfig) (*core.Pre, []*btree.Tree) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if cfg.bins != nil {
-		// A custom bin layout invalidates any cached binned index. In-flight
-		// queries keep the Pre snapshot they already took.
-		if d.pre != nil {
-			d.pre = &core.Pre{Queue: d.pre.Queue, Bitmap: d.pre.Bitmap}
-		}
-		d.bins = cfg.bins
-	}
-	if d.pre == nil {
-		d.pre = &core.Pre{}
-	}
-	switch cfg.alg {
-	case UBB:
-		d.ensureQueueLocked()
-	case BIG:
-		d.ensureQueueLocked()
-		if d.pre.Bitmap == nil {
-			d.pre.Bitmap = bitmapidx.Build(d.ds, bitmapidx.Options{Codec: bitmapidx.Raw})
-		}
-	case IBIG:
-		d.ensureQueueLocked()
-		if d.pre.Binned == nil {
-			bins := d.bins
-			if bins == nil {
-				bins = []int{core.OptimalBins(d.ds.Len(), d.ds.MissingRate())}
-			}
-			d.pre.Binned = bitmapidx.Build(d.ds, bitmapidx.Options{Codec: bitmapidx.Concise, Bins: bins})
-			d.applyCacheBudgetLocked()
-		}
-		if cfg.btree && d.trees == nil {
-			d.trees = core.BuildDimTrees(d.ds)
+// ReleaseCache drops the decompressed-column cache of the current epoch's
+// compressed index, returning its bytes to the process immediately. The
+// artifacts themselves stay installed and queries still in flight stay
+// correct (a dropped column simply decompresses again on the next touch).
+// A serving layer calls this when it evicts a resident dataset.
+func (d *Dataset) ReleaseCache() {
+	if s := d.cur.Load(); s != nil {
+		if a := s.art.Load(); a.binned != nil {
+			a.binned.DropCache()
 		}
 	}
-	return d.pre, d.trees
 }
 
-func (d *Dataset) ensureQueueLocked() {
-	if d.pre.Queue == nil {
-		d.pre.Queue = core.BuildMaxScoreQueue(d.ds)
+// setBins records a new bin layout; if it differs from the current one, a
+// fresh epoch is published that carries every bins-independent artifact
+// (queue, value-granular bitmap, trees) and drops only the binned index.
+func (d *Dataset) setBins(bins []int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if slices.Equal(d.bins, bins) {
+		return
 	}
+	d.bins = slices.Clone(bins)
+	d.pendingBinned = nil
+	old := d.cur.Load()
+	if old == nil {
+		return // staging dirty; the layout lands at the next publish
+	}
+	oa := old.art.Load()
+	s := &snapshot{epoch: d.epoch.Add(1), ds: old.ds, bins: d.bins}
+	s.art.Store(&artifacts{queue: oa.queue, bitmap: oa.bitmap, trees: oa.trees})
+	d.cur.Store(s)
+	old.release(nil)
 }
 
 // TopK answers the TKD query: the k objects with the highest scores, in
 // descending score order. Rank-k ties are broken arbitrarily, as in the
 // paper. Safe for concurrent use: any number of goroutines may query one
-// Dataset, sharing its warm indexes and column cache.
+// Dataset, sharing its warm indexes and column cache, even while other
+// goroutines mutate it (each query runs on the epoch current at its start).
 func (d *Dataset) TopK(k int, opts ...Option) (Result, error) {
-	if d.ds.Len() == 0 {
-		return Result{}, fmt.Errorf("tkd: empty dataset")
-	}
 	if k <= 0 {
 		return Result{}, fmt.Errorf("tkd: k must be positive, got %d", k)
 	}
@@ -347,13 +599,20 @@ func (d *Dataset) TopK(k int, opts ...Option) (Result, error) {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	pre, trees := d.ensure(&cfg)
+	if cfg.bins != nil {
+		d.setBins(cfg.bins)
+	}
+	s := d.current()
+	if s.ds.Len() == 0 {
+		return Result{}, fmt.Errorf("tkd: empty dataset")
+	}
+	a := s.ensure(needFor(cfg.alg, cfg.btree), d)
 	var res Result
 	var st Stats
 	if cfg.alg == IBIG && cfg.btree {
-		res, st = core.IBIGBTreeWorkers(d.ds, k, pre.Binned, pre.Queue, trees, cfg.workers)
+		res, st = core.IBIGBTreeWorkers(s.ds, k, a.binned, a.queue, a.trees, cfg.workers)
 	} else {
-		res, st = core.RunWorkers(cfg.alg, d.ds, k, pre, cfg.workers)
+		res, st = core.RunWorkers(cfg.alg, s.ds, k, a.pre(), cfg.workers)
 	}
 	if cfg.stats != nil {
 		*cfg.stats = st
@@ -367,7 +626,7 @@ func (d *Dataset) TopK(k int, opts ...Option) (Result, error) {
 // observed values are dropped; the returned slice maps each projected
 // object back to its index in the receiver.
 func (d *Dataset) Project(dims ...int) (*Dataset, []int, error) {
-	sub, origin, err := d.ds.Project(dims)
+	sub, origin, err := d.view().Project(dims)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -382,38 +641,35 @@ func (d *Dataset) Project(dims ...int) (*Dataset, []int, error) {
 // index, the dominant preprocessing artifact. LoadIndex restores it against
 // the same dataset, skipping the rebuild.
 func (d *Dataset) SaveIndex(w io.Writer) error {
-	d.mu.Lock()
-	if d.pre == nil || d.pre.Binned == nil {
-		bins := d.bins
-		if bins == nil {
-			bins = []int{core.OptimalBins(d.ds.Len(), d.ds.MissingRate())}
-		}
-		if d.pre == nil {
-			d.pre = &core.Pre{}
-		}
-		d.pre.Binned = bitmapidx.Build(d.ds, bitmapidx.Options{Codec: bitmapidx.Concise, Bins: bins})
-		d.applyCacheBudgetLocked()
-	}
-	ix := d.pre.Binned
-	d.mu.Unlock()
-	return ix.Save(w)
+	a := d.current().ensure(needBinned, d)
+	return a.binned.Save(w)
 }
 
 // LoadIndex restores an index written by SaveIndex. The dataset must be
 // identical to the one the index was built from; shape and per-dimension
-// domains are verified and the stream is checksummed.
+// domains are verified and the stream is checksummed. On any error the
+// dataset is left exactly as it was — a corrupt index file never poisons a
+// running server.
 func (d *Dataset) LoadIndex(r io.Reader) error {
-	ix, err := bitmapidx.Load(r, d.ds)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	target := d.staging
+	s := d.cur.Load()
+	if s != nil {
+		target = s.ds
+	}
+	ix, err := bitmapidx.Load(r, target)
 	if err != nil {
 		return err
 	}
-	d.mu.Lock()
-	if d.pre == nil {
-		d.pre = &core.Pre{}
+	if b := d.cacheBudget.Load(); b > 0 {
+		ix.SetCacheBudget(b)
 	}
-	d.pre.Binned = ix
-	d.applyCacheBudgetLocked()
-	d.mu.Unlock()
+	if s != nil {
+		s.installBinned(ix)
+	} else {
+		d.pendingBinned = ix
+	}
 	return nil
 }
 
@@ -421,7 +677,7 @@ func (d *Dataset) LoadIndex(r io.Reader) error {
 // than k others — the kISB operator over incomplete data that ESB's pruning
 // is built on (§4.1/Lemma 1 of the paper). Results preserve dataset order.
 func (d *Dataset) KSkyband(k int) []int {
-	ids := skyband.GlobalKSkyband(d.ds, k)
+	ids := skyband.GlobalKSkyband(d.view(), k)
 	out := make([]int, len(ids))
 	for i, id := range ids {
 		out[i] = int(id)
@@ -437,7 +693,7 @@ func (d *Dataset) Skyline() []int { return d.KSkyband(1) }
 // §3: each dominance o ≺ p earns weight Σ_{both observed} w_i +
 // λ·Σ_{one observed} w_j, and objects are ranked by accumulated weight.
 func (d *Dataset) TopKMFD(k int, weights []float64, lambda float64) ([]core.WeightedItem, error) {
-	return core.TopKMFD(d.ds, k, core.MFD{Weights: weights, Lambda: lambda})
+	return core.TopKMFD(d.view(), k, core.MFD{Weights: weights, Lambda: lambda})
 }
 
 // Impute returns a complete copy of the dataset with missing cells
@@ -452,7 +708,7 @@ func (d *Dataset) Impute(factors, iters int, seed int64) *Dataset {
 	if iters > 0 {
 		cfg.Iterations = iters
 	}
-	return wrap(impute.Impute(d.ds, cfg))
+	return wrap(impute.Impute(d.view(), cfg))
 }
 
 // JaccardDistance measures answer-set dissimilarity by object ID, the
@@ -467,7 +723,7 @@ func JaccardDistance(a, b Result) float64 {
 func OptimalBins(n int, sigma float64) int { return core.OptimalBins(n, sigma) }
 
 // WriteCSV serializes the dataset ("-" marks missing values).
-func (d *Dataset) WriteCSV(w io.Writer) error { return d.ds.WriteCSV(w) }
+func (d *Dataset) WriteCSV(w io.Writer) error { return d.view().WriteCSV(w) }
 
 // ReadCSV parses a dataset written by WriteCSV.
 func ReadCSV(r io.Reader) (*Dataset, error) {
