@@ -21,6 +21,7 @@ package repro_test
 
 import (
 	"fmt"
+	"math/rand"
 	"testing"
 
 	"repro/internal/bitmapidx"
@@ -358,6 +359,165 @@ func BenchmarkFusedKernels(b *testing.B) {
 			cur.MaxBitScoreAbove(i%ds.Len(), ds.Len()/2)
 		}
 	})
+}
+
+// BenchmarkCompressedKernels pits the run-native WAH/CONCISE kernels
+// against the decompress-then-dense path they replace. "native" gallops
+// over the compressed run stream (IntersectCount / AndInto); "decompress"
+// models the old mandatory stop — decompress every column into scratch,
+// then run the dense kernel.
+//
+// Fixtures cover both regimes the cursor dispatch distinguishes. Clustered
+// columns (set bits in bursts, the shape that makes run-length codecs worth
+// having) are fill-dominated — these are the columns the index actually
+// serves through the native kernels, and the perf target applies to them:
+// native ≥1.3x at ≤5% density and never >5% slower on the dense (95%)
+// fixture. The scatter fixture — uniform random bits, almost no fills — is
+// the regime where galloping cannot win; the adaptive index detects it per
+// column (compressed size above ¼ of dense, surfaced here as the
+// nativeDispatch metric) and routes those columns through the decompression
+// cache instead, so its rows document the crossover rather than a served
+// path.
+func BenchmarkCompressedKernels(b *testing.B) {
+	const nbits = 100_000
+	rng := rand.New(rand.NewSource(5))
+	mkClustered := func(density float64, burst int) *bitvec.Vector {
+		// Bursts tiled at a fixed period (with a random per-column phase)
+		// rather than placed independently: overlap-free, so the realized
+		// density matches the label exactly instead of saturating below it.
+		v := bitvec.New(nbits)
+		period := float64(burst) / density
+		for p := float64(rng.Intn(int(period) - burst + 1)); int(p) < nbits; p += period {
+			for j, start := 0, int(p); j < burst && start+j < nbits; j++ {
+				v.Set(start + j)
+			}
+		}
+		return v
+	}
+	mkScatter := func(density float64, _ int) *bitvec.Vector {
+		v := bitvec.New(nbits)
+		for j := 0; j < nbits; j++ {
+			if rng.Float64() < density {
+				v.Set(j)
+			}
+		}
+		return v
+	}
+	fixtures := []struct {
+		name    string
+		density float64
+		burst   int
+		mk      func(float64, int) *bitvec.Vector
+	}{
+		{"clustered1%", 0.01, 128, mkClustered},
+		{"clustered5%", 0.05, 128, mkClustered},
+		{"clustered25%", 0.25, 128, mkClustered},
+		// Dense columns gallop only when their one-runs span whole 31-bit
+		// groups; short bursts at 95% leave a literal gap in most groups,
+		// which the dispatch metric below would reject — burst 2048 models
+		// the long-run shape that actually executes natively.
+		{"dense95%", 0.95, 2048, mkClustered},
+		{"scatter5%", 0.05, 0, mkScatter},
+	}
+	for _, fx := range fixtures {
+		cols := make([]*bitvec.Vector, 4)
+		for i := range cols {
+			cols[i] = fx.mk(fx.density, fx.burst)
+		}
+		wahBms := make([]*wah.Bitmap, len(cols))
+		concBms := make([]*concise.Bitmap, len(cols))
+		scratch := make([]*bitvec.Vector, len(cols))
+		nativeDispatch := 1.0
+		for i, v := range cols {
+			wahBms[i] = wah.Compress(v)
+			concBms[i] = concise.Compress(v)
+			scratch[i] = bitvec.New(nbits)
+			// The adaptive index's fill-dominated rule: run-native only when
+			// the compressed payload is ≤ ¼ of the dense payload.
+			if wahBms[i].Words() > ((nbits+63)/64)/2 {
+				nativeDispatch = 0
+			}
+		}
+		name := fx.name
+		b.Run(name+"/dispatch", func(b *testing.B) {
+			// Not a timing benchmark: records whether the cursor would serve
+			// these columns through the native kernels (1) or the
+			// decompression-cache fallback (0).
+			for i := 0; i < b.N; i++ {
+				_ = nativeDispatch
+			}
+			b.ReportMetric(nativeDispatch, "nativeDispatch")
+			b.ReportMetric(0, "ns/op")
+		})
+		b.Run(name+"/WAH/nativeCount", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				wah.IntersectCount(wahBms...)
+			}
+		})
+		b.Run(name+"/WAH/decompressCount", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for j, bm := range wahBms {
+					bm.DecompressInto(scratch[j])
+				}
+				bitvec.IntersectCount(scratch...)
+			}
+		})
+		b.Run(name+"/CONCISE/nativeCount", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				concise.IntersectCount(concBms...)
+			}
+		})
+		b.Run(name+"/CONCISE/decompressCount", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for j, bm := range concBms {
+					bm.DecompressInto(scratch[j])
+				}
+				bitvec.IntersectCount(scratch...)
+			}
+		})
+		dst := bitvec.New(nbits)
+		b.Run(name+"/CONCISE/nativeAndInto", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				dst.CopyFrom(cols[0])
+				concise.AndInto(dst, concBms[1])
+			}
+		})
+		b.Run(name+"/CONCISE/decompressAnd", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				dst.CopyFrom(cols[0])
+				concBms[1].DecompressInto(scratch[1])
+				dst.And(scratch[1])
+			}
+		})
+	}
+
+	// The end-to-end view: IBIG over the same data under the adaptive
+	// representation (run-native dispatch) versus a pure CONCISE index that
+	// decompresses through the cache.
+	ds := gen.Synthetic(gen.Config{N: 20_000, Dim: 5, Cardinality: 64, MissingRate: 0.02, Dist: gen.IND, Seed: 31})
+	queue := core.BuildMaxScoreQueue(ds)
+	stats := ds.Stats()
+	for _, cfg := range []struct {
+		name string
+		opts bitmapidx.Options
+	}{
+		{"IBIG/adaptive", bitmapidx.Options{Codec: bitmapidx.Concise, Bins: []int{32}, Adaptive: true}},
+		{"IBIG/pureConcise", bitmapidx.Options{Codec: bitmapidx.Concise, Bins: []int{32}}},
+	} {
+		ix := bitmapidx.BuildWithStats(ds, stats, cfg.opts)
+		b.Run(cfg.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				core.IBIG(ds, 16, ix, queue)
+			}
+		})
+	}
 }
 
 // BenchmarkAblationMFD times the MFD-weighted scoring extension (not in the

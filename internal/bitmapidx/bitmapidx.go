@@ -76,24 +76,14 @@ type Options struct {
 	// slice falls back to the Eq. (8) optimum for every dimension. Bin counts
 	// are clamped to [1, Ci].
 	Bins []int
-}
-
-// column abstracts one physical column.
-type column struct {
-	dense *bitvec.Vector
-	wah   *wah.Bitmap
-	conc  *concise.Bitmap
-}
-
-func (c *column) sizeBytes() int {
-	switch {
-	case c.dense != nil:
-		return c.dense.SizeBytes()
-	case c.wah != nil:
-		return c.wah.SizeBytes()
-	default:
-		return c.conc.SizeBytes()
-	}
+	// Adaptive lets every (dimension, bin) column pick its own physical
+	// representation: sorted-ID sparse below SparseMaxDensity; compressed
+	// whenever the codec gets the column fill-dominated (≤ ¼ of the dense
+	// payload, served by the run-native kernels); otherwise dense above
+	// DenseMinDensity and Codec-compressed (cache-served) in the middle
+	// band. Raw promotes to CONCISE as the compression codec. Pin a pure
+	// codec by leaving Adaptive false.
+	Adaptive bool
 }
 
 type dimIndex struct {
@@ -106,11 +96,16 @@ type dimIndex struct {
 // Index is a (possibly binned, possibly compressed) bitmap index over one
 // dataset.
 type Index struct {
-	ds     *data.Dataset
-	stats  []data.DimStats
-	dims   []dimIndex
-	codec  Codec
-	binned bool
+	ds       *data.Dataset
+	stats    []data.DimStats
+	dims     []dimIndex
+	codec    Codec
+	binned   bool
+	adaptive bool
+	// rep counts columns served per representation and how compressed
+	// columns were served (run-native kernel vs dense materialization);
+	// surfaced through CacheStats for the serving metrics.
+	rep repStats
 	// ranks[i] holds the value rank of object i in every dimension, -1 when
 	// missing; precomputed so Q/P lookups never search.
 	ranks [][]int32
@@ -151,16 +146,64 @@ type cacheState struct {
 	hand    int
 }
 
+// repStats counts column consumption on the query path: how many columns
+// each representation served, and — for compressed columns — whether the
+// run-native kernels handled them or they fell back to a dense
+// materialization (shared cache or cursor scratch). Cursors tally per
+// operation and flush once, so the hot path pays a handful of atomic adds
+// per candidate, not per column.
+type repStats struct {
+	dense      atomic.Int64
+	compressed atomic.Int64
+	sparse     atomic.Int64
+	native     atomic.Int64
+	fallback   atomic.Int64
+}
+
+// repTally is one operation's local representation counts, flushed to the
+// index's atomic counters at the end of the operation.
+type repTally struct {
+	dense, compressed, sparse, native, fallback int64
+}
+
+func (ix *Index) flushTally(t *repTally) {
+	if t.dense != 0 {
+		ix.rep.dense.Add(t.dense)
+	}
+	if t.compressed != 0 {
+		ix.rep.compressed.Add(t.compressed)
+	}
+	if t.sparse != 0 {
+		ix.rep.sparse.Add(t.sparse)
+	}
+	if t.native != 0 {
+		ix.rep.native.Add(t.native)
+	}
+	if t.fallback != 0 {
+		ix.rep.fallback.Add(t.fallback)
+	}
+}
+
 // CacheStats is a point-in-time snapshot of the decompressed-column cache
-// counters. Hits and Misses count sharedDense lookups (a miss pays one
-// decompression), Evicted counts columns dropped by the CLOCK sweep, Bytes is
-// the resident payload and Budget the configured bound.
+// and representation counters. Hits and Misses count sharedDense lookups (a
+// miss pays one decompression), Evicted counts columns dropped by the CLOCK
+// sweep, Bytes is the resident payload and Budget the configured bound.
+// DenseCols/CompressedCols/SparseCols count columns served per physical
+// representation on the query path; NativeKernel and Fallback split the
+// compressed-column traffic into run-native kernel hits versus dense
+// materializations (cache or scratch).
 type CacheStats struct {
 	Hits    int64
 	Misses  int64
 	Evicted int64
 	Bytes   int64
 	Budget  int64
+
+	DenseCols      int64
+	CompressedCols int64
+	SparseCols     int64
+	NativeKernel   int64
+	Fallback       int64
 }
 
 // CacheStats returns the current cache counters; all zero for Raw indexes,
@@ -172,6 +215,12 @@ func (ix *Index) CacheStats() CacheStats {
 		Evicted: ix.cache.evicted.Load(),
 		Bytes:   ix.cache.bytes.Load(),
 		Budget:  ix.cache.budget.Load(),
+
+		DenseCols:      ix.rep.dense.Load(),
+		CompressedCols: ix.rep.compressed.Load(),
+		SparseCols:     ix.rep.sparse.Load(),
+		NativeKernel:   ix.rep.native.Load(),
+		Fallback:       ix.rep.fallback.Load(),
 	}
 }
 
@@ -343,14 +392,21 @@ func buildWithStats(ds *data.Dataset, stats []data.DimStats, opts Options) *Inde
 		// optimum everywhere rather than panicking in binsFor.
 		opts.Bins = []int{OptimalBins(n, ds.MissingRate())}
 	}
+	codec := opts.Codec
+	if opts.Adaptive && codec == Raw {
+		// The middle density band of an adaptive index needs a codec;
+		// CONCISE is the paper's pick for IBIG.
+		codec = Concise
+	}
 	ix := &Index{
-		ds:     ds,
-		stats:  stats,
-		dims:   make([]dimIndex, dim),
-		codec:  opts.Codec,
-		binned: opts.Bins != nil,
-		ranks:  make([][]int32, n),
-		ones:   bitvec.NewOnes(n),
+		ds:       ds,
+		stats:    stats,
+		dims:     make([]dimIndex, dim),
+		codec:    codec,
+		binned:   opts.Bins != nil,
+		adaptive: opts.Adaptive,
+		ranks:    make([][]int32, n),
+		ones:     bitvec.NewOnes(n),
 	}
 	if err := ix.computeRanks(); err != nil {
 		panic(err)
@@ -442,20 +498,54 @@ func (ix *Index) buildDim(d int, rankToBucket []int, buckets int) dimIndex {
 	return di
 }
 
-// encode stores a snapshot of v under the configured codec.
+// encode stores a snapshot of v under the configured codec; an adaptive
+// index picks the representation per column instead.
 func (ix *Index) encode(v *bitvec.Vector) column {
+	if ix.adaptive {
+		return ix.encodeAdaptive(v)
+	}
+	return ix.encodeCodec(v)
+}
+
+func (ix *Index) encodeCodec(v *bitvec.Vector) column {
 	switch ix.codec {
 	case WAH:
-		return column{wah: wah.Compress(v)}
+		return newWAHColumn(wah.Compress(v))
 	case Concise:
-		return column{conc: concise.Compress(v)}
+		return newConciseColumn(concise.Compress(v))
 	default:
-		return column{dense: v.Clone()}
+		return column{kind: kindDense, dense: v.Clone()}
 	}
+}
+
+// encodeAdaptive picks a column's representation: sorted ids below the
+// sparse break-even; otherwise the column is trial-compressed and kept
+// compressed when fill-dominated — clustered or sorted data, and notably
+// the all-ones column (one fill word instead of n/8 dense bytes, on disk
+// and in RAM), where the run-native kernels beat dense word scans at any
+// density. Literal-heavy columns fall back to the density rule: dense past
+// DenseMinDensity, compressed (served via the cache) in the middle band.
+func (ix *Index) encodeAdaptive(v *bitvec.Vector) column {
+	n := v.Len()
+	cnt := v.Count()
+	if n > 0 && float64(cnt) <= SparseMaxDensity*float64(n) {
+		return newSparseColumn(v)
+	}
+	col := ix.encodeCodec(v)
+	if col.runNative {
+		return col
+	}
+	if n == 0 || float64(cnt) >= DenseMinDensity*float64(n) {
+		return column{kind: kindDense, dense: v.Clone()}
+	}
+	return col
 }
 
 // Binned reports whether the index is bin-granular.
 func (ix *Index) Binned() bool { return ix.binned }
+
+// Adaptive reports whether columns picked their representation by density.
+func (ix *Index) Adaptive() bool { return ix.adaptive }
 
 // CodecUsed returns the configured codec.
 func (ix *Index) CodecUsed() Codec { return ix.codec }
@@ -484,6 +574,25 @@ func (ix *Index) Columns() int {
 		total += len(ix.dims[d].cols)
 	}
 	return total
+}
+
+// Representations returns how many physical columns are stored in each
+// representation. A pure-codec index reports everything under one bucket;
+// an adaptive index typically mixes all three.
+func (ix *Index) Representations() (dense, compressed, sparse int) {
+	for d := range ix.dims {
+		for c := range ix.dims[d].cols {
+			switch ix.dims[d].cols[c].kind {
+			case kindDense:
+				dense++
+			case kindSparse:
+				sparse++
+			default:
+				compressed++
+			}
+		}
+	}
+	return dense, compressed, sparse
 }
 
 // ForEachDenseColumn visits every physical column of a Raw-codec index as a
@@ -541,15 +650,23 @@ const DefaultCacheBudget = 32 << 20
 // Cursor carries the per-query scratch state for Q/P computation. Cursors
 // are not safe for concurrent use; create one per goroutine — all cursors of
 // one index share its decompressed-column cache, so extra cursors are cheap.
+// Every buffer below is reused across candidates, so a warmed-up cursor is
+// allocation-free per candidate on both the serial and parallel paths.
 type Cursor struct {
 	ix   *Index
 	q, p *bitvec.Vector
-	// scratchQ/scratchP are per-dimension decompression fallbacks used only
-	// when the shared cache is full of hotter columns; two per dimension
+	// scratchQ/scratchP are per-dimension materialization fallbacks used
+	// only when the shared cache is full of hotter columns (or for sparse
+	// columns that a dense consumer needs scattered); two per dimension
 	// because the fused QP pass needs a dimension's Q- and P-columns alive
 	// at once. Lazily allocated: they cost nothing while the cache holds.
 	scratchQ, scratchP []*bitvec.Vector
-	cols               []*bitvec.Vector // reusable column-pointer buffer
+	cols               []*bitvec.Vector // reusable dense-column buffer
+	// representation-dispatch buffers for the compressed-native count paths.
+	wahCols  []*wah.Bitmap
+	concCols []*concise.Bitmap
+	sparseQ  [][]int32
+	qrefs    []qref
 }
 
 // NewCursor returns a cursor over the index.
@@ -562,19 +679,31 @@ func (ix *Index) NewCursor() *Cursor {
 		scratchQ: make([]*bitvec.Vector, len(ix.dims)),
 		scratchP: make([]*bitvec.Vector, len(ix.dims)),
 		cols:     make([]*bitvec.Vector, 0, len(ix.dims)),
+		wahCols:  make([]*wah.Bitmap, 0, len(ix.dims)),
+		concCols: make([]*concise.Bitmap, 0, len(ix.dims)),
+		sparseQ:  make([][]int32, 0, len(ix.dims)),
+		qrefs:    make([]qref, 0, len(ix.dims)),
 	}
 	return c
 }
 
 // dense returns column b of dimension d as a dense vector: the stored
-// vector for Raw indexes, the shared cache entry otherwise, or — when the
-// cache is full of hotter columns — a decompression into *scratch. A cached
-// result stays valid for the caller even if evicted meanwhile; a scratch
-// result is valid until *scratch is reused for the same dimension.
+// vector for dense columns, a scatter into *scratch for sparse ones, and
+// for compressed columns the shared cache entry — or, when the cache is
+// full of hotter columns, a decompression into *scratch. A cached result
+// stays valid for the caller even if evicted meanwhile; a scratch result is
+// valid until *scratch is reused for the same dimension.
 func (c *Cursor) dense(d, b int, scratch **bitvec.Vector) *bitvec.Vector {
 	col := &c.ix.dims[d].cols[b]
-	if col.dense != nil {
+	switch col.kind {
+	case kindDense:
 		return col.dense
+	case kindSparse:
+		if *scratch == nil {
+			*scratch = bitvec.New(c.ix.ds.Len())
+		}
+		(*scratch).CopyFromIDs(col.ids)
+		return *scratch
 	}
 	if v := c.ix.sharedDense(d, b); v != nil {
 		return v
@@ -586,21 +715,25 @@ func (c *Cursor) dense(d, b int, scratch **bitvec.Vector) *bitvec.Vector {
 	return *scratch
 }
 
-func decompressInto(col *column, dst *bitvec.Vector) {
-	if col.wah != nil {
-		col.wah.DecompressInto(dst)
-	} else {
-		col.conc.DecompressInto(dst)
+// QP computes the paper's sets Q = ∩Qi − {o} and P = ∩Pi for object obj as
+// bit vectors (Definition 4). A Raw index runs the fused dense pass; any
+// other index dispatches per column on its representation — dense AND,
+// sorted-ID merge, or the codec's run-native AndInto — with the
+// decompressed-column cache serving only the compressed columns that are
+// not fill-dominated. The returned vectors are owned by the cursor and
+// valid until the next QP call.
+func (c *Cursor) QP(obj int) (q, p *bitvec.Vector) {
+	if c.ix.codec == Raw {
+		return c.qpDense(obj)
 	}
+	return c.qpDispatch(obj)
 }
 
-// QP computes the paper's sets Q = ∩Qi − {o} and P = ∩Pi for object obj as
-// bit vectors (Definition 4). Each dimension's Q- and P-columns — adjacent
-// columns cols[b] and cols[b+1] of the index — are intersected in a single
-// fused pass, and the first observed dimension seeds both accumulators
-// directly so no SetAll pass is paid. The returned vectors are owned by the
-// cursor and valid until the next QP call.
-func (c *Cursor) QP(obj int) (q, p *bitvec.Vector) {
+// qpDense is the all-dense fast path: each dimension's Q- and P-columns —
+// adjacent columns cols[b] and cols[b+1] of the index — are intersected in
+// a single fused pass, and the first observed dimension seeds both
+// accumulators directly so no SetAll pass is paid.
+func (c *Cursor) qpDense(obj int) (q, p *bitvec.Vector) {
 	ix := c.ix
 	var cq0, cp0 *bitvec.Vector
 	seen := 0
@@ -609,10 +742,10 @@ func (c *Cursor) QP(obj int) (q, p *bitvec.Vector) {
 		if b < 0 {
 			continue // missing: Qi = Pi = S, the all-ones column
 		}
-		cq := c.dense(d, b, &c.scratchQ[d])
+		cq := ix.dims[d].cols[b].dense
 		// cols[b+1] always exists: the column one past the worst bucket is
 		// exactly the "missing in this dimension" set.
-		cp := c.dense(d, b+1, &c.scratchP[d])
+		cp := ix.dims[d].cols[b+1].dense
 		seen++
 		switch seen {
 		case 1:
@@ -636,8 +769,90 @@ func (c *Cursor) QP(obj int) (q, p *bitvec.Vector) {
 	return c.q, c.p
 }
 
-// qCols collects the Q-columns of obj's observed dimensions into the
-// cursor's reusable buffer.
+// qpDispatch accumulates Q and P per-column through each column's best
+// kernel. AND order is irrelevant to the result, so the answer is
+// bit-identical to the dense path's.
+func (c *Cursor) qpDispatch(obj int) (q, p *bitvec.Vector) {
+	ix := c.ix
+	var t repTally
+	seen := 0
+	for d := range ix.dims {
+		b := ix.Bucket(obj, d)
+		if b < 0 {
+			continue
+		}
+		if seen == 0 {
+			c.seedColumn(c.q, d, b, &t)
+			c.seedColumn(c.p, d, b+1, &t)
+		} else {
+			c.andColumn(c.q, d, b, &c.scratchQ[d], &t)
+			c.andColumn(c.p, d, b+1, &c.scratchP[d], &t)
+		}
+		seen++
+	}
+	if seen == 0 {
+		c.q.SetAll()
+		c.p.SetAll()
+	}
+	c.q.Clear(obj)
+	ix.flushTally(&t)
+	return c.q, c.p
+}
+
+// seedColumn materializes column (d, b) into dst, seeding an accumulator:
+// dense copy, sparse scatter, or — for compressed columns — a copy of the
+// shared cache entry when resident, else one run-native decompression
+// straight into dst (no scratch, no cache churn).
+func (c *Cursor) seedColumn(dst *bitvec.Vector, d, b int, t *repTally) {
+	col := &c.ix.dims[d].cols[b]
+	switch col.kind {
+	case kindDense:
+		t.dense++
+		dst.CopyFrom(col.dense)
+	case kindSparse:
+		t.sparse++
+		dst.CopyFromIDs(col.ids)
+	default:
+		t.compressed++
+		if col.runNative {
+			t.native++
+			decompressInto(col, dst)
+			return
+		}
+		t.fallback++
+		if v := c.ix.sharedDense(d, b); v != nil {
+			dst.CopyFrom(v)
+			return
+		}
+		decompressInto(col, dst)
+	}
+}
+
+// andColumn sets dst &= column (d, b) through the representation's kernel;
+// compressed columns that are not fill-dominated materialize through the
+// shared cache (or *scratch) and AND densely — the cache's fallback role.
+func (c *Cursor) andColumn(dst *bitvec.Vector, d, b int, scratch **bitvec.Vector, t *repTally) {
+	col := &c.ix.dims[d].cols[b]
+	switch col.kind {
+	case kindDense:
+		t.dense++
+	case kindSparse:
+		t.sparse++
+	default:
+		t.compressed++
+		if col.runNative {
+			t.native++
+		} else {
+			t.fallback++
+			dst.And(c.dense(d, b, scratch))
+			return
+		}
+	}
+	col.andIntoDirect(dst)
+}
+
+// qCols collects the Q-columns of obj's observed dimensions as dense
+// vectors into the cursor's reusable buffer (the all-dense count path).
 func (c *Cursor) qCols(obj int) []*bitvec.Vector {
 	ix := c.ix
 	cols := c.cols[:0]
@@ -653,33 +868,196 @@ func (c *Cursor) qCols(obj int) []*bitvec.Vector {
 }
 
 // MaxBitScore computes |Q| = |∩Qi − {o}| for object obj — the Heuristic 2
-// upper bound — via one fused multi-way popcount cascade over the (cached)
-// columns, materializing neither the intersection nor P.
+// upper bound — without materializing the intersection or P.
 func (c *Cursor) MaxBitScore(obj int) int {
-	cols := c.qCols(obj)
-	if len(cols) == 0 {
-		return c.ix.ds.Len() - 1
+	if c.ix.codec == Raw {
+		cols := c.qCols(obj)
+		if len(cols) == 0 {
+			return c.ix.ds.Len() - 1
+		}
+		// o always belongs to ∩Qi: its own bits pass every Qi column.
+		return bitvec.IntersectCount(cols...) - 1
 	}
-	// o always belongs to ∩Qi: its own bits pass every Qi column.
-	return bitvec.IntersectCount(cols...) - 1
+	cnt, _ := c.intersectQAbove(obj, noTau)
+	return cnt - 1
 }
 
 // MaxBitScoreAbove is the threshold-aware MaxBitScore: it reports whether
 // the Heuristic 2 bound exceeds tau, returning the exact bound when it does.
-// The underlying cascade bails out of a word walk as soon as the remaining
-// words cannot lift the count past tau, so pruned candidates (the common
-// case late in a query) cost a fraction of a full popcount.
+// Every path bails out as soon as the remaining columns/ids/words cannot
+// lift the count past tau, so pruned candidates (the common case late in a
+// query) cost a fraction of a full count.
 func (c *Cursor) MaxBitScoreAbove(obj, tau int) (int, bool) {
-	cols := c.qCols(obj)
-	if len(cols) == 0 {
-		mb := c.ix.ds.Len() - 1
-		return mb, mb > tau
+	if c.ix.codec == Raw {
+		cols := c.qCols(obj)
+		if len(cols) == 0 {
+			mb := c.ix.ds.Len() - 1
+			return mb, mb > tau
+		}
+		// maxBit = |∩Qi| − 1 (o passes every column), so maxBit > tau ⇔
+		// |∩Qi| > tau+1.
+		cnt, above := bitvec.IntersectCountAbove(tau+1, cols...)
+		if !above {
+			return 0, false
+		}
+		return cnt - 1, true
 	}
-	// maxBit = |∩Qi| − 1 (o passes every column), so maxBit > tau ⇔
-	// |∩Qi| > tau+1.
-	cnt, above := bitvec.IntersectCountAbove(tau+1, cols...)
+	cnt, above := c.intersectQAbove(obj, tau+1)
 	if !above {
 		return 0, false
 	}
 	return cnt - 1, true
+}
+
+// noTau turns a threshold-aware count into an unconditional one: no count
+// can fail to beat it, so the early exits never fire and the exact count
+// comes back.
+const noTau = -1 << 62
+
+// intersectQAbove computes |∩Qi| for obj's observed dimensions with the
+// IntersectCountAbove contract, dispatching on the representation mix:
+//
+//   - any sparse column: iterate the smallest id list and membership-test
+//     the others (dense Get, sorted-id binary search; compressed columns
+//     materialize through the cache — no native random access);
+//   - all columns compressed and fill-dominated: the codec's run-native
+//     multi-way gallop, no decompression at all;
+//   - otherwise: materialize compressed columns (shared cache or scratch)
+//     and run the fused dense cascade.
+func (c *Cursor) intersectQAbove(obj, tau int) (int, bool) {
+	ix := c.ix
+	var t repTally
+	defer ix.flushTally(&t)
+
+	// Classification scan: representation census plus the smallest sparse
+	// column, paid once over the (few) observed dimensions; the (d, b)
+	// pairs land in a reusable buffer so the path-specific gather below
+	// never re-derives buckets.
+	refs := c.qrefs[:0]
+	sparse, dense, native, fallback := 0, 0, 0, 0
+	minRef, minLen := -1, 0
+	for d := range ix.dims {
+		b := ix.Bucket(obj, d)
+		if b < 0 {
+			continue
+		}
+		col := &ix.dims[d].cols[b]
+		switch col.kind {
+		case kindDense:
+			dense++
+		case kindSparse:
+			sparse++
+			if minRef < 0 || len(col.ids) < minLen {
+				minRef, minLen = len(refs), len(col.ids)
+			}
+		default:
+			if col.runNative {
+				native++
+			} else {
+				fallback++
+			}
+		}
+		refs = append(refs, qref{d: int32(d), b: int32(b)})
+	}
+	c.qrefs = refs
+	if len(refs) == 0 {
+		n := ix.ds.Len()
+		return n, n > tau
+	}
+	t.dense += int64(dense)
+	t.sparse += int64(sparse)
+	t.compressed += int64(native + fallback)
+
+	switch {
+	case sparse > 0:
+		// Compressed columns have no random access; they fall back to a
+		// dense materialization for the membership tests.
+		t.fallback += int64(native + fallback)
+		return c.countViaSparse(tau, refs, minRef)
+	case dense == 0 && fallback == 0:
+		t.native += int64(native)
+		return c.countNative(tau, refs)
+	default:
+		t.fallback += int64(native + fallback)
+		cols := c.cols[:0]
+		for _, r := range refs {
+			cols = append(cols, c.dense(int(r.d), int(r.b), &c.scratchQ[r.d]))
+		}
+		c.cols = cols
+		return bitvec.IntersectCountAbove(tau, cols...)
+	}
+}
+
+// qref locates one Q-column of the current candidate: dimension d, bucket b.
+type qref struct{ d, b int32 }
+
+// countViaSparse counts |∩Qi| by iterating the smallest sparse Q-column
+// (refs[minRef]) and testing each id against every other column, with an
+// early exit once the remaining ids cannot beat tau.
+func (c *Cursor) countViaSparse(tau int, refs []qref, minRef int) (int, bool) {
+	ix := c.ix
+	// Gather the other columns into the cursor's reusable buffers: dense
+	// vectors (including materialized compressed columns) and id lists.
+	denseCols := c.cols[:0]
+	sparseCols := c.sparseQ[:0]
+	for i, r := range refs {
+		if i == minRef {
+			continue
+		}
+		col := &ix.dims[r.d].cols[r.b]
+		if col.kind == kindSparse {
+			sparseCols = append(sparseCols, col.ids)
+			continue
+		}
+		denseCols = append(denseCols, c.dense(int(r.d), int(r.b), &c.scratchQ[r.d]))
+	}
+	c.cols, c.sparseQ = denseCols, sparseCols
+
+	base := ix.dims[refs[minRef].d].cols[refs[minRef].b].ids
+	count := 0
+	for i, id := range base {
+		if count+(len(base)-i) <= tau {
+			return 0, false
+		}
+		member := true
+		for _, v := range denseCols {
+			if !v.Get(int(id)) {
+				member = false
+				break
+			}
+		}
+		if member {
+			for _, ids := range sparseCols {
+				if !containsID(ids, id) {
+					member = false
+					break
+				}
+			}
+		}
+		if member {
+			count++
+		}
+	}
+	return count, count > tau
+}
+
+// countNative runs the codec's multi-way run gallop over the candidate's
+// Q-columns — all compressed and fill-dominated, by the caller's
+// classification.
+func (c *Cursor) countNative(tau int, refs []qref) (int, bool) {
+	ix := c.ix
+	if ix.codec == WAH {
+		cols := c.wahCols[:0]
+		for _, r := range refs {
+			cols = append(cols, ix.dims[r.d].cols[r.b].wah)
+		}
+		c.wahCols = cols
+		return wah.IntersectCountAbove(tau, cols...)
+	}
+	cols := c.concCols[:0]
+	for _, r := range refs {
+		cols = append(cols, ix.dims[r.d].cols[r.b].conc)
+	}
+	c.concCols = cols
+	return concise.IntersectCountAbove(tau, cols...)
 }

@@ -291,6 +291,7 @@ func BenchmarkBuildRaw(b *testing.B) {
 }
 
 func BenchmarkQPRaw(b *testing.B) {
+	b.ReportAllocs()
 	ds := gen.Synthetic(gen.Config{N: 10000, Dim: 10, Cardinality: 200, MissingRate: 0.1, Dist: gen.IND, Seed: 37})
 	ix := bitmapidx.Build(ds, bitmapidx.Options{})
 	cur := ix.NewCursor()

@@ -19,18 +19,24 @@ import (
 // Zillow bitmap), so a production deployment builds once and reloads. The
 // on-disk layout is a little-endian stream:
 //
-//	magic "TKDIX\x02" | codec | binned | dim | N | dataset fingerprint
+//	magic "TKDIX\x03" | codec | binned | adaptive | dim | N | dataset fingerprint
 //	per dimension: len(rankToBucket), rankToBucket..., #cols,
-//	               per column: payload kind + word count + words
+//	               per column: representation kind + nbits + payload
+//	               (dense: word count + 64-bit words; WAH/CONCISE: 32-bit
+//	               words; sparse: sorted set-bit ids)
 //	crc32 (IEEE) of everything before it
 //
 // Object ranks are not stored: Load recomputes them from the dataset, which
 // must be the exact dataset the index was built from — shape AND the full
 // content fingerprint (data.Dataset.Fingerprint) are verified, so an index
-// file cannot silently bind to the wrong data. Version 1 files (no
-// fingerprint) are rejected as a version mismatch; callers rebuild.
+// file cannot silently bind to the wrong data. Version 3 records the
+// adaptive per-column representation (the kind byte already existed in v2;
+// v3 adds the adaptive header flag and the sparse kind). Older versions —
+// v1 without fingerprints, v2 without representations — are rejected as a
+// version mismatch; callers degrade to a rebuild, exactly as the serving
+// layer's index cache does for any unreadable file.
 
-var persistMagic = [6]byte{'T', 'K', 'D', 'I', 'X', 2}
+var persistMagic = [6]byte{'T', 'K', 'D', 'I', 'X', 3}
 
 type crcWriter struct {
 	w   io.Writer
@@ -86,7 +92,11 @@ func (ix *Index) Save(w io.Writer) error {
 	if ix.binned {
 		binned = 1
 	}
-	hdr := []uint64{uint64(ix.codec), uint64(binned), uint64(len(ix.dims)), uint64(ix.ds.Len()), ix.ds.Fingerprint()}
+	adaptive := uint8(0)
+	if ix.adaptive {
+		adaptive = 1
+	}
+	hdr := []uint64{uint64(ix.codec), uint64(binned), uint64(adaptive), uint64(len(ix.dims)), uint64(ix.ds.Len()), ix.ds.Fingerprint()}
 	if err := binary.Write(cw, binary.LittleEndian, hdr); err != nil {
 		return err
 	}
@@ -103,7 +113,7 @@ func (ix *Index) Save(w io.Writer) error {
 			return err
 		}
 		for c := range di.cols {
-			if err := saveColumn(cw, &di.cols[c]); err != nil {
+			if err := saveColumn(cw, &di.cols[c], ix.ds.Len()); err != nil {
 				return err
 			}
 		}
@@ -114,18 +124,14 @@ func (ix *Index) Save(w io.Writer) error {
 	return bw.Flush()
 }
 
-const (
-	colDense   = uint8(0)
-	colWAH     = uint8(1)
-	colConcise = uint8(2)
-)
-
-func saveColumn(w io.Writer, c *column) error {
-	switch {
-	case c.dense != nil:
-		if err := binary.Write(w, binary.LittleEndian, colDense); err != nil {
-			return err
-		}
+// The persisted column-kind bytes coincide with the in-memory colKind
+// values: dense 0, WAH 1, CONCISE 2, sparse 3.
+func saveColumn(w io.Writer, c *column, nbits int) error {
+	if err := binary.Write(w, binary.LittleEndian, uint8(c.kind)); err != nil {
+		return err
+	}
+	switch c.kind {
+	case kindDense:
 		words := c.dense.Words()
 		if err := binary.Write(w, binary.LittleEndian, uint64(c.dense.Len())); err != nil {
 			return err
@@ -134,24 +140,27 @@ func saveColumn(w io.Writer, c *column) error {
 			return err
 		}
 		return binary.Write(w, binary.LittleEndian, words)
-	case c.wah != nil:
-		if err := binary.Write(w, binary.LittleEndian, colWAH); err != nil {
-			return err
-		}
+	case kindWAH:
 		nbits, words := c.wah.Persist()
 		if err := binary.Write(w, binary.LittleEndian, uint64(nbits)); err != nil {
 			return err
 		}
 		return writeU32s(w, words)
-	default:
-		if err := binary.Write(w, binary.LittleEndian, colConcise); err != nil {
-			return err
-		}
+	case kindConcise:
 		nbits, words := c.conc.Persist()
 		if err := binary.Write(w, binary.LittleEndian, uint64(nbits)); err != nil {
 			return err
 		}
 		return writeU32s(w, words)
+	default: // kindSparse: the logical length (= N) plus the sorted ids.
+		if err := binary.Write(w, binary.LittleEndian, uint64(nbits)); err != nil {
+			return err
+		}
+		ids := make([]uint32, len(c.ids))
+		for i, id := range c.ids {
+			ids[i] = uint32(id)
+		}
+		return writeU32s(w, ids)
 	}
 }
 
@@ -171,19 +180,25 @@ func Load(r io.Reader, ds *data.Dataset) (*Index, error) {
 		}
 		return nil, fmt.Errorf("bitmapidx: bad magic %q", magic[:])
 	}
-	hdr := make([]uint64, 5)
+	hdr := make([]uint64, 6)
 	if err := binary.Read(cr, binary.LittleEndian, hdr); err != nil {
 		return nil, fmt.Errorf("bitmapidx: reading header: %w", err)
 	}
-	codec, binned, dim, n := Codec(hdr[0]), hdr[1] == 1, int(hdr[2]), int(hdr[3])
+	codec, binned, adaptive, dim, n := Codec(hdr[0]), hdr[1] == 1, hdr[2] == 1, int(hdr[3]), int(hdr[4])
 	if codec < Raw || codec > Concise {
 		return nil, fmt.Errorf("bitmapidx: unknown codec %d", codec)
+	}
+	if adaptive && codec == Raw {
+		// Build promotes adaptive+Raw to CONCISE, so no valid file carries
+		// this combination — and accepting it would route sparse columns
+		// through the dense-only cursor path.
+		return nil, fmt.Errorf("bitmapidx: adaptive index with Raw base codec")
 	}
 	if dim != ds.Dim() || n != ds.Len() {
 		return nil, fmt.Errorf("bitmapidx: index is %dx%d, dataset is %dx%d", n, dim, ds.Len(), ds.Dim())
 	}
-	if fp := ds.Fingerprint(); hdr[4] != fp {
-		return nil, fmt.Errorf("bitmapidx: index fingerprint %016x does not match dataset %016x — wrong or changed data", hdr[4], fp)
+	if fp := ds.Fingerprint(); hdr[5] != fp {
+		return nil, fmt.Errorf("bitmapidx: index fingerprint %016x does not match dataset %016x — wrong or changed data", hdr[5], fp)
 	}
 
 	dims := make([]dimIndex, dim)
@@ -205,7 +220,7 @@ func Load(r io.Reader, ds *data.Dataset) (*Index, error) {
 		}
 		cols := make([]column, ncols)
 		for c := range cols {
-			if err := loadColumn(cr, &cols[c], n); err != nil {
+			if err := loadColumn(cr, &cols[c], n, codec, adaptive); err != nil {
 				return nil, fmt.Errorf("bitmapidx: dimension %d column %d: %w", d, c, err)
 			}
 		}
@@ -230,12 +245,13 @@ func Load(r io.Reader, ds *data.Dataset) (*Index, error) {
 		}
 	}
 	ix := &Index{
-		ds:     ds,
-		stats:  stats,
-		dims:   dims,
-		codec:  codec,
-		binned: binned,
-		ones:   bitvec.NewOnes(n),
+		ds:       ds,
+		stats:    stats,
+		dims:     dims,
+		codec:    codec,
+		binned:   binned,
+		adaptive: adaptive,
+		ones:     bitvec.NewOnes(n),
 	}
 	if err := ix.computeRanks(); err != nil {
 		return nil, err
@@ -244,10 +260,34 @@ func Load(r io.Reader, ds *data.Dataset) (*Index, error) {
 	return ix, nil
 }
 
-func loadColumn(r io.Reader, c *column, n int) error {
+// allowedKind reports whether a persisted column kind is consistent with
+// the file header: pure-codec indexes carry exactly their codec's kind,
+// adaptive ones may mix dense/sparse with the base codec. The cursor paths
+// dispatch on the header (qpDense for Raw, countNative by codec), so an
+// inconsistent kind — reachable only via a crafted file that also beats the
+// CRC — must be rejected here rather than fault there.
+func allowedKind(k colKind, codec Codec, adaptive bool) bool {
+	switch k {
+	case kindDense:
+		return codec == Raw || adaptive
+	case kindWAH:
+		return codec == WAH
+	case kindConcise:
+		return codec == Concise
+	case kindSparse:
+		return adaptive
+	default:
+		return false
+	}
+}
+
+func loadColumn(r io.Reader, c *column, n int, codec Codec, adaptive bool) error {
 	var kind uint8
 	if err := binary.Read(r, binary.LittleEndian, &kind); err != nil {
 		return err
+	}
+	if !allowedKind(colKind(kind), codec, adaptive) {
+		return fmt.Errorf("column kind %d inconsistent with codec %v (adaptive %v)", kind, codec, adaptive)
 	}
 	var nbits uint64
 	if err := binary.Read(r, binary.LittleEndian, &nbits); err != nil {
@@ -256,8 +296,8 @@ func loadColumn(r io.Reader, c *column, n int) error {
 	if int(nbits) != n {
 		return fmt.Errorf("column has %d bits, dataset has %d objects", nbits, n)
 	}
-	switch kind {
-	case colDense:
+	switch colKind(kind) {
+	case kindDense:
 		var nwords uint64
 		if err := binary.Read(r, binary.LittleEndian, &nwords); err != nil {
 			return err
@@ -269,19 +309,35 @@ func loadColumn(r io.Reader, c *column, n int) error {
 		if err := binary.Read(r, binary.LittleEndian, v.Words()); err != nil {
 			return err
 		}
-		c.dense = v
-	case colWAH:
+		*c = column{kind: kindDense, dense: v}
+	case kindWAH:
 		words, err := readU32s(r, uint64(n)+2)
 		if err != nil {
 			return err
 		}
-		c.wah = wah.Restore(int(nbits), words)
-	case colConcise:
+		*c = newWAHColumn(wah.Restore(int(nbits), words))
+	case kindConcise:
 		words, err := readU32s(r, uint64(n)+2)
 		if err != nil {
 			return err
 		}
-		c.conc = concise.Restore(int(nbits), words)
+		*c = newConciseColumn(concise.Restore(int(nbits), words))
+	case kindSparse:
+		raw, err := readU32s(r, uint64(n))
+		if err != nil {
+			return err
+		}
+		ids := make([]int32, len(raw))
+		for i, id := range raw {
+			// The ids must be strictly ascending and in range: the
+			// merge/binary-search kernels and the dense scatter rely on it,
+			// and a CRC collision must never yield an index that faults.
+			if id >= uint32(n) || (i > 0 && id <= raw[i-1]) {
+				return fmt.Errorf("sparse column id %d out of order or range", id)
+			}
+			ids[i] = int32(id)
+		}
+		*c = column{kind: kindSparse, ids: ids}
 	default:
 		return fmt.Errorf("unknown column kind %d", kind)
 	}

@@ -48,6 +48,58 @@ func TestSaveLoadConcise(t *testing.T) {
 	roundTrip(t, bitmapidx.Options{Codec: bitmapidx.Concise, Bins: []int{8}})
 }
 
+// TestSaveLoadAdaptive round-trips format v3's adaptive representation: the
+// per-column kinds must survive persistence exactly, on a dataset sparse
+// enough (1% missing, many bins) that all three representations appear.
+func TestSaveLoadAdaptive(t *testing.T) {
+	ds := gen.Synthetic(gen.Config{N: 1500, Dim: 4, Cardinality: 80, MissingRate: 0.01, Dist: gen.IND, Seed: 77})
+	orig := bitmapidx.Build(ds, bitmapidx.Options{Codec: bitmapidx.Concise, Bins: []int{32}, Adaptive: true})
+	od, oc, os := orig.Representations()
+	if od == 0 || oc == 0 || os == 0 {
+		t.Fatalf("fixture not mixed: dense=%d compressed=%d sparse=%d", od, oc, os)
+	}
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := bitmapidx.Load(&buf, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !loaded.Adaptive() {
+		t.Fatal("adaptive flag lost in round trip")
+	}
+	if ld, lc, ls := loaded.Representations(); ld != od || lc != oc || ls != os {
+		t.Fatalf("representations changed: loaded %d/%d/%d, want %d/%d/%d", ld, lc, ls, od, oc, os)
+	}
+	oCur, lCur := orig.NewCursor(), loaded.NewCursor()
+	for i := 0; i < ds.Len(); i += 31 {
+		qo, po := oCur.QP(i)
+		ql, pl := lCur.QP(i)
+		if !qo.Equal(ql) || !po.Equal(pl) {
+			t.Fatalf("QP mismatch at object %d", i)
+		}
+	}
+}
+
+// TestLoadRejectsV2 pins the version gate: a v2 file (no representation
+// header) must fail with the rebuild-suggesting version error rather than
+// misparse — the serving layer's cache treats that as a miss and rebuilds.
+func TestLoadRejectsV2(t *testing.T) {
+	ds := paperdata.Sample()
+	ix := bitmapidx.Build(ds, bitmapidx.Options{Codec: bitmapidx.Concise, Bins: []int{2}})
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	blob := buf.Bytes()
+	blob[5] = 2 // rewrite the version byte to v2
+	_, err := bitmapidx.Load(bytes.NewReader(blob), ds)
+	if err == nil || !strings.Contains(err.Error(), "rebuild") {
+		t.Fatalf("v2 load error = %v, want a version-mismatch rebuild error", err)
+	}
+}
+
 func TestLoadedIndexAnswersQueries(t *testing.T) {
 	ds := paperdata.Sample()
 	ix := bitmapidx.Build(ds, bitmapidx.Options{Codec: bitmapidx.Concise, Bins: []int{2, 2, 3, 3}})

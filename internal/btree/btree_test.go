@@ -262,6 +262,7 @@ func BenchmarkInsert(b *testing.B) {
 }
 
 func BenchmarkCountGE(b *testing.B) {
+	b.ReportAllocs()
 	rng := rand.New(rand.NewSource(24))
 	tr := NewDefault()
 	for i := 0; i < 100_000; i++ {

@@ -85,6 +85,75 @@ func (w *Writer) Emit(val uint32, repeat int) {
 // Vector returns the assembled vector.
 func (w *Writer) Vector() *bitvec.Vector { return w.v }
 
+// AndGroup intersects the 31-bit group at index g of a dense word array
+// with val: bits of the group that are zero in val are cleared, bits outside
+// the group are untouched. It is the in-place building block of the
+// run-native AndInto kernels, which accumulate compressed columns into a
+// dense result without materializing the column.
+func AndGroup(words []uint64, g int, val uint32) {
+	off := g * GroupBits
+	wi, sh := off/64, uint(off%64)
+	if wi >= len(words) {
+		return
+	}
+	clear := uint64(GroupMask &^ val)
+	words[wi] &^= clear << sh
+	if sh > 64-GroupBits && wi+1 < len(words) {
+		words[wi+1] &^= clear >> (64 - sh)
+	}
+}
+
+// ZeroGroups clears `rep` consecutive 31-bit groups starting at group index
+// g in a dense word array — the 0-fill arm of the AndInto kernels. Interior
+// whole words are zeroed directly; only the two edge words pay a masked
+// read-modify-write.
+func ZeroGroups(words []uint64, g, rep int) {
+	start := g * GroupBits
+	end := start + rep*GroupBits
+	if max := len(words) * 64; end > max {
+		end = max
+	}
+	if start >= end {
+		return
+	}
+	sw, ew := start/64, (end-1)/64
+	if sw == ew {
+		mask := (^uint64(0) << (start % 64)) & (^uint64(0) >> (63 - (end-1)%64))
+		words[sw] &^= mask
+		return
+	}
+	words[sw] &^= ^uint64(0) << (start % 64)
+	for wi := sw + 1; wi < ew; wi++ {
+		words[wi] = 0
+	}
+	words[ew] &^= ^uint64(0) >> (63 - (end-1)%64)
+}
+
+// OnesInGroups returns how many one bits `rep` all-ones groups starting at
+// group index g contribute to a bitmap of nbits logical bits — rep*GroupBits,
+// clamped so bits at or beyond nbits never count.
+func OnesInGroups(g, rep, nbits int) int {
+	c := rep * GroupBits
+	if end := (g + rep) * GroupBits; end > nbits {
+		c -= end - nbits
+	}
+	if c < 0 {
+		return 0
+	}
+	return c
+}
+
+// ClampGroup masks away the bits of group g that lie at or beyond nbits.
+func ClampGroup(val uint32, g, nbits int) uint32 {
+	if base := g * GroupBits; base+GroupBits > nbits {
+		if base >= nbits {
+			return 0
+		}
+		val &= uint32(1)<<(nbits-base) - 1
+	}
+	return val
+}
+
 // Iterator yields a compressed bitmap as a sequence of runs: `repeat`
 // consecutive groups whose 31-bit payload is `val`. Runs with repeat > 1
 // always carry val == 0 or val == GroupMask (pure fills), which lets the

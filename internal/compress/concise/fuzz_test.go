@@ -19,6 +19,57 @@ func fromBytes(data []byte) *bitvec.Vector {
 	return v
 }
 
+// FuzzCompressedKernels: the run-native kernels (AndInto, IntersectCount,
+// IntersectCountAbove, AndNotForEachWord) agree bit-for-bit with the dense
+// bitvec reference on arbitrary column triples.
+func FuzzCompressedKernels(f *testing.F) {
+	f.Add([]byte{}, []byte{}, []byte{}, 0)
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF}, []byte{0x00, 0x00, 0xFF, 0xFF}, []byte{0x0F, 0xF0, 0x0F, 0xF0}, 3)
+	f.Add([]byte{0x01}, []byte{0x80}, []byte{0xFF}, -1)
+	f.Add(make([]byte, 64), make([]byte, 64), make([]byte, 64), 100)
+	f.Fuzz(func(t *testing.T, a, b, c []byte, tau int) {
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		if len(c) < n {
+			n = len(c)
+		}
+		cols := []*bitvec.Vector{fromBytes(a[:n]), fromBytes(b[:n]), fromBytes(c[:n])}
+		bms := make([]*Bitmap, len(cols))
+		for i, v := range cols {
+			bms[i] = Compress(v)
+		}
+
+		dst := cols[0].Clone()
+		AndInto(dst, bms[1])
+		if want := cols[0].Clone().And(cols[1]); !dst.Equal(want) {
+			t.Fatal("AndInto diverges from dense And")
+		}
+
+		exact := bitvec.IntersectCount(cols...)
+		if got := IntersectCount(bms...); got != exact {
+			t.Fatalf("IntersectCount = %d, dense = %d", got, exact)
+		}
+		gc, ga := IntersectCountAbove(tau, bms...)
+		wc, wa := bitvec.IntersectCountAbove(tau, cols...)
+		if ga != wa || (ga && gc != wc) {
+			t.Fatalf("IntersectCountAbove(%d) = (%d,%v), dense = (%d,%v)", tau, gc, ga, wc, wa)
+		}
+
+		diff := bitvec.New(n * 8)
+		AndNotForEachWord(bms[0], bms[1], func(base int, w uint64) bool {
+			for ; w != 0; w &= w - 1 {
+				diff.Set(base + trailingZeros(w))
+			}
+			return true
+		})
+		if want := cols[0].Clone().AndNot(cols[1]); !diff.Equal(want) {
+			t.Fatal("AndNotForEachWord diverges from dense AndNot")
+		}
+	})
+}
+
 // FuzzRoundTrip: Compress/Decompress identity, Count agreement, and the
 // Fig. 10 compression-ratio property (CONCISE no larger than WAH on the
 // same input plus one word of slack for the final partial group).

@@ -1,0 +1,270 @@
+package wah
+
+// Run-native kernels: AND, multi-way intersection popcount and set-difference
+// iteration directly over the compressed word stream, galloping over fill
+// words instead of decompressing. They mirror the dense kernel signatures in
+// internal/bitvec (And2Into / IntersectCount / IntersectCountAbove /
+// AndNotForEachWord), so the bitmap index cursors can dispatch on the column
+// representation and keep the decompressed-column cache as a fallback rather
+// than a mandatory stop. On sparse columns — long 0-fills — these kernels do
+// work proportional to the compressed size, not the logical length.
+
+import (
+	"math/bits"
+
+	"repro/internal/bitvec"
+	"repro/internal/compress/codec"
+)
+
+// noTau is a threshold no popcount can fail to beat; it turns the
+// threshold-aware gallop into the unconditional one.
+const noTau = -1 << 62
+
+// maxWay bounds the stack-allocated reader set of the multi-way kernels; a
+// column set wider than this (impossible for the bitmap index, whose
+// dimension masks are 64-bit) falls back to one heap allocation.
+const maxWay = 64
+
+// runReader walks a compressed word stream as (val, rep, fill) runs without
+// allocating. rep is the number of 31-bit groups remaining in the current
+// run; fill marks a pure fill run (val is 0 or the full group mask).
+type runReader struct {
+	words []uint32
+	pos   int
+	val   uint32
+	rep   int
+	fill  bool
+}
+
+// next decodes the next run; false when the stream is exhausted.
+func (r *runReader) next() bool {
+	for r.pos < len(r.words) {
+		w := r.words[r.pos]
+		r.pos++
+		if w&fillFlag == 0 {
+			r.val, r.rep, r.fill = w&codec.GroupMask, 1, false
+			return true
+		}
+		if n := int(w & maxFill); n > 0 { // skip degenerate empty fills
+			r.val = 0
+			if w&fillBitFlag != 0 {
+				r.val = codec.GroupMask
+			}
+			r.rep, r.fill = n, true
+			return true
+		}
+	}
+	r.rep = 0
+	return false
+}
+
+// ensure makes the current run non-empty; false at stream end.
+func (r *runReader) ensure() bool {
+	if r.rep > 0 {
+		return true
+	}
+	return r.next()
+}
+
+// skip consumes n groups, galloping over whole runs.
+func (r *runReader) skip(n int) {
+	for n > 0 {
+		if r.rep == 0 && !r.next() {
+			return
+		}
+		t := n
+		if t > r.rep {
+			t = r.rep
+		}
+		r.rep -= t
+		n -= t
+	}
+}
+
+// AndInto sets dst = dst & b without decompressing b: 1-fills are skipped
+// untouched, 0-fills clear dst word-at-a-time, and only literal groups pay a
+// masked read-modify-write. It is the run-native counterpart of
+// bitvec.Vector.And for a compressed operand.
+func AndInto(dst *bitvec.Vector, b *Bitmap) {
+	if dst.Len() != b.nbits {
+		panic("wah: AndInto length mismatch")
+	}
+	words := dst.Words()
+	r := runReader{words: b.words}
+	g := 0
+	for r.next() {
+		switch {
+		case r.fill && r.val == 0:
+			codec.ZeroGroups(words, g, r.rep)
+		case r.fill:
+			// 1-fill: dst unchanged.
+		default:
+			codec.AndGroup(words, g, r.val)
+		}
+		g += r.rep
+		r.rep = 0
+	}
+	// A truncated stream decodes as trailing zeros (the decompressor's
+	// Writer leaves them unset), so the remainder of dst must clear too.
+	if ng := codec.NumGroups(b.nbits); g < ng {
+		codec.ZeroGroups(words, g, ng-g)
+	}
+}
+
+// IntersectCount returns |b0 & b1 & …| through a run-level gallop: any
+// reader sitting in a 0-fill skips every cursor past that run, and windows
+// where all readers sit in 1-fills are counted by arithmetic. Only groups
+// where every input is literal pay an AND+popcount. It panics if bs is empty
+// or lengths differ.
+func IntersectCount(bs ...*Bitmap) int {
+	c, _ := intersectCount(noTau, bs)
+	return c
+}
+
+// IntersectCountAbove reports whether |b0 & b1 & …| > tau, returning the
+// exact count when it is, with the same early-exit contract as
+// bitvec.IntersectCountAbove: as soon as the running count plus the
+// remaining groups' capacity cannot beat tau it bails with (0, false).
+func IntersectCountAbove(tau int, bs ...*Bitmap) (count int, above bool) {
+	return intersectCount(tau, bs)
+}
+
+func intersectCount(tau int, bs []*Bitmap) (int, bool) {
+	if len(bs) == 0 {
+		panic("wah: IntersectCount of nothing")
+	}
+	nbits := bs[0].nbits
+	for _, b := range bs[1:] {
+		if b.nbits != nbits {
+			panic("wah: length mismatch")
+		}
+	}
+	var stack [maxWay]runReader
+	var rs []runReader
+	if len(bs) <= maxWay {
+		rs = stack[:len(bs)]
+	} else {
+		rs = make([]runReader, len(bs))
+	}
+	for i, b := range bs {
+		rs[i] = runReader{words: b.words}
+	}
+	ng := codec.NumGroups(nbits)
+	count, g := 0, 0
+	for g < ng {
+		// One scan over the readers classifies the current position: the
+		// longest 0-fill (gallop), the shortest 1-fill window (count by
+		// arithmetic), or a literal group (AND + popcount).
+		maxZero := 0
+		minOnes := ng - g
+		allOnes := true
+		for i := range rs {
+			r := &rs[i]
+			if !r.ensure() {
+				// Truncated stream: the missing tail decodes as zeros.
+				maxZero = ng - g
+				allOnes = false
+				break
+			}
+			if r.fill && r.val == codec.GroupMask {
+				if r.rep < minOnes {
+					minOnes = r.rep
+				}
+			} else {
+				allOnes = false
+				if r.fill && r.rep > maxZero { // r.val == 0
+					maxZero = r.rep
+				}
+			}
+		}
+		switch {
+		case maxZero > 0:
+			n := maxZero
+			if n > ng-g {
+				n = ng - g
+			}
+			for i := range rs {
+				rs[i].skip(n)
+			}
+			g += n
+		case allOnes:
+			count += codec.OnesInGroups(g, minOnes, nbits)
+			for i := range rs {
+				rs[i].skip(minOnes)
+			}
+			g += minOnes
+		default:
+			w := codec.GroupMask
+			for i := range rs {
+				w &= rs[i].val
+				rs[i].rep-- // ensured non-empty by the scan above
+			}
+			count += bits.OnesCount32(codec.ClampGroup(w, g, nbits))
+			g++
+		}
+		if count+(ng-g)*codec.GroupBits <= tau {
+			return 0, false
+		}
+	}
+	return count, count > tau
+}
+
+// AndNotForEachWord streams the nonzero 31-bit groups of a &^ b to fn along
+// with the bit index of each group's first bit, galloping past a's 0-fills
+// and b's 1-fills — the compressed counterpart of bitvec.AndNotForEachWord
+// (bases advance in steps of 31 rather than 64). fn returning false stops
+// the iteration.
+func AndNotForEachWord(a, b *Bitmap, fn func(base int, w uint64) bool) {
+	if a.nbits != b.nbits {
+		panic("wah: AndNotForEachWord length mismatch")
+	}
+	ra := runReader{words: a.words}
+	rb := runReader{words: b.words}
+	ng := codec.NumGroups(a.nbits)
+	g := 0
+	for g < ng {
+		if !ra.ensure() {
+			return // a's missing tail is zeros: nothing left to emit
+		}
+		bval, bfill, brep := uint32(0), true, ng-g
+		if rb.ensure() {
+			bval, bfill, brep = rb.val, rb.fill, rb.rep
+		}
+		switch {
+		case ra.fill && ra.val == 0:
+			n := ra.rep
+			ra.skip(n)
+			rb.skip(n)
+			g += n
+		case bfill && bval == codec.GroupMask:
+			n := brep
+			ra.skip(n)
+			rb.skip(n)
+			g += n
+		case ra.fill && bfill: // a 1-fill over b 0-fill: emit full groups
+			n := ra.rep
+			if brep < n {
+				n = brep
+			}
+			for i := 0; i < n; i++ {
+				if w := codec.ClampGroup(codec.GroupMask, g+i, a.nbits); w != 0 {
+					if !fn((g+i)*codec.GroupBits, uint64(w)) {
+						return
+					}
+				}
+			}
+			ra.skip(n)
+			rb.skip(n)
+			g += n
+		default:
+			if w := codec.ClampGroup(ra.val&^bval, g, a.nbits); w != 0 {
+				if !fn(g*codec.GroupBits, uint64(w)) {
+					return
+				}
+			}
+			ra.skip(1)
+			rb.skip(1)
+			g++
+		}
+	}
+}

@@ -183,6 +183,7 @@ func BenchmarkCompressDense(b *testing.B) {
 }
 
 func BenchmarkAndCompressed(b *testing.B) {
+	b.ReportAllocs()
 	rng := rand.New(rand.NewSource(5))
 	x := Compress(randomVector(rng, 100_000, 0.95))
 	y := Compress(randomVector(rng, 100_000, 0.95))

@@ -92,6 +92,21 @@ func clampWorkers(workers, candidates int) int {
 // could not beat the τ it observed — the worker-side Heuristic 1.
 const skippedH1 scoreResult = -1
 
+// slot is one candidate's outcome inside a batch window.
+type slot struct {
+	score int
+	how   scoreResult
+	done  bool
+}
+
+// slotPool recycles window slot buffers across queries: a serving process
+// runs the engine once per (batched) query, and the buffer is the only
+// per-run allocation left on the window path. Pointer-to-array, so neither
+// Get nor Put boxes a slice header.
+var slotPool = sync.Pool{
+	New: func() any { return new([WindowSize]slot) },
+}
+
 // engineRun is the batch-windowed parallel main loop shared by UBB, BIG and
 // IBIG. One scorer per worker; len(scorers) is the worker count.
 func engineRun(ds *data.Dataset, k int, queue *MaxScoreQueue, scorers []scorer) (Result, Stats) {
@@ -104,12 +119,9 @@ func engineRun(ds *data.Dataset, k int, queue *MaxScoreQueue, scorers []scorer) 
 	var next atomic.Int64
 	order := queue.Order
 
-	type slot struct {
-		score int
-		how   scoreResult
-		done  bool
-	}
-	slots := make([]slot, WindowSize)
+	slotBuf := slotPool.Get().(*[WindowSize]slot)
+	defer slotPool.Put(slotBuf)
+	slots := slotBuf[:]
 
 	// commit folds finished slots into the heap in queue order — the commit
 	// frontier only advances over contiguous done slots, so offers replay

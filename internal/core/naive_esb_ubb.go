@@ -73,7 +73,11 @@ func ESBWorkers(ds *data.Dataset, k int, workers int) (Result, Stats) {
 		return ESB(ds, k)
 	}
 
-	// Phase 1: local skybands, one bucket per task.
+	// Phase 1: local skybands, one bucket per task. Each worker reuses one
+	// scratch buffer across every bucket it scans (and across the batch
+	// windows of a serving workload, via the engine's pooled buffers), then
+	// copies out only the survivors — the allocation is survivor-sized, not
+	// bucket-sized.
 	skybands := make([][]int32, len(buckets))
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -81,12 +85,14 @@ func ESBWorkers(ds *data.Dataset, k int, workers int) (Result, Stats) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			var scratch []int32
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= len(buckets) {
 					return
 				}
-				skybands[i] = skyband.KSkyband(ds, buckets[i].ids, k)
+				scratch = skyband.KSkybandAppend(scratch, ds, buckets[i].ids, k)
+				skybands[i] = append(make([]int32, 0, len(scratch)), scratch...)
 			}
 		}()
 	}

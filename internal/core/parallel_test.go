@@ -50,6 +50,7 @@ func TestParallelNaiveRace(t *testing.T) {
 }
 
 func BenchmarkParallelNaive(b *testing.B) {
+	b.ReportAllocs()
 	ds := gen.Synthetic(gen.Config{N: 2000, Dim: 6, Cardinality: 50, MissingRate: 0.2, Dist: gen.IND, Seed: 63})
 	for _, workers := range []int{1, 4} {
 		b.Run(map[int]string{1: "serial", 4: "workers4"}[workers], func(b *testing.B) {

@@ -67,8 +67,12 @@ type Pre struct {
 
 // Preprocess builds every artifact an algorithm set needs. bins follows
 // bitmapidx.Options.Bins semantics; when nil, the paper's Eq. (8) optimum is
-// used for every dimension. The binned index is CONCISE-compressed, the
-// paper's choice for IBIG.
+// used for every dimension. The binned index is representation-adaptive
+// over a CONCISE base — the paper's codec choice for IBIG — so each column
+// is stored dense, compressed or sparse by measured density and query
+// execution dispatches to the matching kernels; answers are bit-identical
+// to a pure-codec index (build one directly via bitmapidx for the paper's
+// storage experiments).
 func Preprocess(ds *data.Dataset, bins []int) *Pre {
 	if bins == nil {
 		bins = []int{OptimalBins(ds.Len(), ds.MissingRate())}
@@ -77,7 +81,7 @@ func Preprocess(ds *data.Dataset, bins []int) *Pre {
 	return &Pre{
 		Queue:  BuildMaxScoreQueue(ds),
 		Bitmap: bitmapidx.BuildWithStats(ds, stats, bitmapidx.Options{Codec: bitmapidx.Raw}),
-		Binned: bitmapidx.BuildWithStats(ds, stats, bitmapidx.Options{Codec: bitmapidx.Concise, Bins: bins}),
+		Binned: bitmapidx.BuildWithStats(ds, stats, bitmapidx.Options{Codec: bitmapidx.Concise, Bins: bins, Adaptive: true}),
 	}
 }
 
@@ -130,7 +134,7 @@ func RunWorkers(a Algorithm, ds *data.Dataset, k int, pre *Pre, workers int) (Re
 		}
 		if pre.Binned == nil {
 			bins := []int{OptimalBins(ds.Len(), ds.MissingRate())}
-			pre.Binned = bitmapidx.Build(ds, bitmapidx.Options{Codec: bitmapidx.Concise, Bins: bins})
+			pre.Binned = bitmapidx.Build(ds, bitmapidx.Options{Codec: bitmapidx.Concise, Bins: bins, Adaptive: true})
 		}
 		return IBIGWorkers(ds, k, pre.Binned, pre.Queue, workers)
 	default:

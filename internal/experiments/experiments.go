@@ -9,6 +9,7 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"strings"
 	"time"
 
@@ -244,6 +245,21 @@ func measure(fn func()) time.Duration {
 	start := time.Now()
 	fn()
 	return time.Since(start)
+}
+
+// measureAllocs runs fn once and returns its wall-clock duration plus the
+// heap allocations it performed (runtime.MemStats.Mallocs delta — the same
+// counter `go test -benchmem` divides into allocs/op). The JSON report
+// carries it so the per-candidate zero-alloc claim of the query engine is
+// tracked alongside the timing trajectory.
+func measureAllocs(fn func()) (time.Duration, uint64) {
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	fn()
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return elapsed, after.Mallocs - before.Mallocs
 }
 
 func seconds(d time.Duration) string { return fmt.Sprintf("%.4f", d.Seconds()) }

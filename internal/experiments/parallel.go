@@ -18,19 +18,21 @@ func ParallelSweep(s Scale, workers int) []Table {
 	}
 	t := Table{
 		Title:  fmt.Sprintf("Parallel engine: serial vs %d workers (k=%d)", workers, defaultK),
-		Header: []string{"dataset", "algorithm", "serial(s)", "parallel(s)", "speedup"},
+		Header: []string{"dataset", "algorithm", "serial(s)", "parallel(s)", "speedup", "allocs/op(serial)", "allocs/op(parallel)"},
 	}
 	for _, d := range syntheticPair(s, nil) {
 		pre := core.Preprocess(d.ds, nil)
 		for _, alg := range []core.Algorithm{core.AlgUBB, core.AlgBIG, core.AlgIBIG} {
 			// Warm the shared column cache so both paths measure query work.
 			core.Run(alg, d.ds, defaultK, pre)
-			serial := measure(func() { core.Run(alg, d.ds, defaultK, pre) })
-			par := measure(func() { core.RunWorkers(alg, d.ds, defaultK, pre, workers) })
+			serial, serialAllocs := measureAllocs(func() { core.Run(alg, d.ds, defaultK, pre) })
+			par, parAllocs := measureAllocs(func() { core.RunWorkers(alg, d.ds, defaultK, pre, workers) })
 			t.Rows = append(t.Rows, []string{
 				d.name, alg.String(),
 				seconds(serial), seconds(par),
 				fmt.Sprintf("%.2fx", serial.Seconds()/par.Seconds()),
+				fmt.Sprintf("%d", serialAllocs),
+				fmt.Sprintf("%d", parAllocs),
 			})
 		}
 	}

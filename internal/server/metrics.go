@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/tkd"
 )
 
 // latencyBuckets are the upper bounds (seconds) of the query latency
@@ -217,30 +218,56 @@ func (s *Server) writeMetrics(w io.Writer) {
 		fmt.Fprintf(w, "tkd_comparisons_total{dataset=%q} %d\n", e.name, e.met.aggStats().Comparisons)
 	}
 
-	// Decompressed-column cache, read live from each dataset's index.
+	// Decompressed-column cache and representation counters: one snapshot
+	// per dataset for every family below, so ratios like native+fallback vs
+	// compressed stay internally consistent within a single scrape.
+	cacheStats := make([]tkd.CacheStats, len(entries))
+	for i, e := range entries {
+		cacheStats[i] = e.ds.CacheStats()
+	}
 	fmt.Fprintf(w, "# HELP tkd_cache_hits_total Decompressed-column cache hits, by dataset.\n")
 	fmt.Fprintf(w, "# TYPE tkd_cache_hits_total counter\n")
-	for _, e := range entries {
-		fmt.Fprintf(w, "tkd_cache_hits_total{dataset=%q} %d\n", e.name, e.ds.CacheStats().Hits)
+	for i, e := range entries {
+		fmt.Fprintf(w, "tkd_cache_hits_total{dataset=%q} %d\n", e.name, cacheStats[i].Hits)
 	}
 	fmt.Fprintf(w, "# HELP tkd_cache_misses_total Decompressed-column cache misses (each pays one decompression), by dataset.\n")
 	fmt.Fprintf(w, "# TYPE tkd_cache_misses_total counter\n")
-	for _, e := range entries {
-		fmt.Fprintf(w, "tkd_cache_misses_total{dataset=%q} %d\n", e.name, e.ds.CacheStats().Misses)
+	for i, e := range entries {
+		fmt.Fprintf(w, "tkd_cache_misses_total{dataset=%q} %d\n", e.name, cacheStats[i].Misses)
 	}
 	fmt.Fprintf(w, "# HELP tkd_cache_evictions_total Columns evicted by the CLOCK policy, by dataset.\n")
 	fmt.Fprintf(w, "# TYPE tkd_cache_evictions_total counter\n")
-	for _, e := range entries {
-		fmt.Fprintf(w, "tkd_cache_evictions_total{dataset=%q} %d\n", e.name, e.ds.CacheStats().Evicted)
+	for i, e := range entries {
+		fmt.Fprintf(w, "tkd_cache_evictions_total{dataset=%q} %d\n", e.name, cacheStats[i].Evicted)
 	}
 	fmt.Fprintf(w, "# HELP tkd_cache_resident_bytes Decompressed columns currently resident, by dataset.\n")
 	fmt.Fprintf(w, "# TYPE tkd_cache_resident_bytes gauge\n")
-	for _, e := range entries {
-		fmt.Fprintf(w, "tkd_cache_resident_bytes{dataset=%q} %d\n", e.name, e.ds.CacheStats().Bytes)
+	for i, e := range entries {
+		fmt.Fprintf(w, "tkd_cache_resident_bytes{dataset=%q} %d\n", e.name, cacheStats[i].Bytes)
 	}
 	fmt.Fprintf(w, "# HELP tkd_cache_budget_bytes Configured decompressed-column cache bound, by dataset.\n")
 	fmt.Fprintf(w, "# TYPE tkd_cache_budget_bytes gauge\n")
-	for _, e := range entries {
-		fmt.Fprintf(w, "tkd_cache_budget_bytes{dataset=%q} %d\n", e.name, e.ds.CacheStats().Budget)
+	for i, e := range entries {
+		fmt.Fprintf(w, "tkd_cache_budget_bytes{dataset=%q} %d\n", e.name, cacheStats[i].Budget)
+	}
+
+	// Column representation traffic: which physical form served each column
+	// on the query path, and how compressed columns were executed.
+	fmt.Fprintf(w, "# HELP tkd_columns_served_total Index columns consumed by queries, by dataset and physical representation.\n")
+	fmt.Fprintf(w, "# TYPE tkd_columns_served_total counter\n")
+	for i, e := range entries {
+		fmt.Fprintf(w, "tkd_columns_served_total{dataset=%q,repr=\"dense\"} %d\n", e.name, cacheStats[i].DenseCols)
+		fmt.Fprintf(w, "tkd_columns_served_total{dataset=%q,repr=\"compressed\"} %d\n", e.name, cacheStats[i].CompressedCols)
+		fmt.Fprintf(w, "tkd_columns_served_total{dataset=%q,repr=\"sparse\"} %d\n", e.name, cacheStats[i].SparseCols)
+	}
+	fmt.Fprintf(w, "# HELP tkd_kernel_native_hits_total Compressed columns served by the run-native WAH/CONCISE kernels, by dataset.\n")
+	fmt.Fprintf(w, "# TYPE tkd_kernel_native_hits_total counter\n")
+	for i, e := range entries {
+		fmt.Fprintf(w, "tkd_kernel_native_hits_total{dataset=%q} %d\n", e.name, cacheStats[i].NativeKernel)
+	}
+	fmt.Fprintf(w, "# HELP tkd_kernel_decompress_fallbacks_total Compressed columns that fell back to a dense materialization (cache or scratch), by dataset.\n")
+	fmt.Fprintf(w, "# TYPE tkd_kernel_decompress_fallbacks_total counter\n")
+	for i, e := range entries {
+		fmt.Fprintf(w, "tkd_kernel_decompress_fallbacks_total{dataset=%q} %d\n", e.name, cacheStats[i].Fallback)
 	}
 }

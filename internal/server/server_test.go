@@ -19,6 +19,11 @@ import (
 
 // testDatasets builds the two workloads the end-to-end test serves, plus an
 // independent identically generated copy of each for serial ground truth.
+// The served "ac" dataset pins its index to pure CONCISE while "ind" keeps
+// the adaptive default — so the end-to-end checks cover both the
+// decompressed-column cache path and the representation-dispatch path, and
+// the byte-identical comparison against the (adaptive) reference copies
+// doubles as a cross-representation answer check.
 func testDatasets() (serve, ref map[string]*tkd.Dataset) {
 	mk := func() map[string]*tkd.Dataset {
 		return map[string]*tkd.Dataset{
@@ -26,7 +31,9 @@ func testDatasets() (serve, ref map[string]*tkd.Dataset) {
 			"ind": tkd.GenerateIND(900, 5, 30, 0.15, 9),
 		}
 	}
-	return mk(), mk()
+	serve = mk()
+	serve["ac"].SetIndexRepresentation(tkd.ConciseIndex)
+	return serve, mk()
 }
 
 func newTestServer(t *testing.T, cfg server.Config) (*server.Server, *httptest.Server, map[string]*tkd.Dataset) {
@@ -152,11 +159,19 @@ func TestEndToEnd(t *testing.T) {
 	wg.Wait()
 
 	// /metrics: the small cache budget must have produced both hits and
-	// evictions, and the query counters must cover both datasets.
+	// evictions on the CONCISE-pinned dataset, the representation counters
+	// must show column traffic, and the query counters must cover both
+	// datasets.
 	metrics := getBody(t, ts.URL+"/metrics")
 	for _, counter := range []string{"tkd_cache_hits_total", "tkd_cache_evictions_total"} {
 		if sumMetric(t, metrics, counter) == 0 {
 			t.Errorf("%s is zero under a deliberately small cache budget:\n%s",
+				counter, grepMetric(metrics, counter))
+		}
+	}
+	for _, counter := range []string{"tkd_columns_served_total", "tkd_kernel_decompress_fallbacks_total"} {
+		if sumMetric(t, metrics, counter) == 0 {
+			t.Errorf("%s is zero after compressed-index queries:\n%s",
 				counter, grepMetric(metrics, counter))
 		}
 	}

@@ -36,10 +36,21 @@ func DominatesSameMask(a, b *data.Object, mask uint64) bool {
 // counting an object's dominators at k, so pruned objects cost at most k
 // hits each.
 func KSkyband(ds *data.Dataset, ids []int32, k int) []int32 {
+	return KSkybandAppend(nil, ds, ids, k)
+}
+
+// KSkybandAppend is KSkyband appending into dst (which may be nil or a
+// recycled buffer; it is truncated first). The parallel ESB fan-out calls
+// this with one per-worker scratch buffer so scanning thousands of buckets
+// does not allocate a bucket-capacity slice per bucket.
+func KSkybandAppend(dst []int32, ds *data.Dataset, ids []int32, k int) []int32 {
 	if k <= 0 {
 		return nil
 	}
-	out := make([]int32, 0, len(ids))
+	if dst == nil {
+		dst = make([]int32, 0, len(ids))
+	}
+	out := dst[:0]
 	for _, id := range ids {
 		o := ds.Obj(int(id))
 		dominators := 0

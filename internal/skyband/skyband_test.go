@@ -160,6 +160,7 @@ func TestKSkybandAgainstBruteForce(t *testing.T) {
 }
 
 func BenchmarkKSkyband(b *testing.B) {
+	b.ReportAllocs()
 	ds := gen.Synthetic(gen.Config{N: 2000, Dim: 4, Cardinality: 100, MissingRate: 0, Dist: gen.IND, Seed: 11})
 	ids := make([]int32, ds.Len())
 	for i := range ids {

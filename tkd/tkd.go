@@ -82,6 +82,48 @@ type (
 	Stats = core.Stats
 )
 
+// IndexRepresentation selects how the binned bitmap index stores its
+// columns. The default, AdaptiveIndex, picks dense, compressed or sorted-ID
+// sparse per (dimension, bin) column by measured density and dispatches
+// query execution to the matching kernels; the pure-codec settings pin
+// every column to one codec — the paper's storage setup, and the right
+// choice when index bytes matter more than query time. Answers are
+// identical under every representation.
+type IndexRepresentation int
+
+const (
+	// AdaptiveIndex picks each column's representation by density (default).
+	AdaptiveIndex IndexRepresentation = iota
+	// ConciseIndex pins every column to CONCISE (the paper's IBIG setup).
+	ConciseIndex
+	// WAHIndex pins every column to WAH.
+	WAHIndex
+)
+
+// matches reports whether a built index carries this representation.
+func (r IndexRepresentation) matches(ix *bitmapidx.Index) bool {
+	switch r {
+	case ConciseIndex:
+		return !ix.Adaptive() && ix.CodecUsed() == bitmapidx.Concise
+	case WAHIndex:
+		return !ix.Adaptive() && ix.CodecUsed() == bitmapidx.WAH
+	default:
+		return ix.Adaptive()
+	}
+}
+
+// binnedOptions translates the representation into bitmapidx build options.
+func (r IndexRepresentation) binnedOptions(bins []int) bitmapidx.Options {
+	switch r {
+	case ConciseIndex:
+		return bitmapidx.Options{Codec: bitmapidx.Concise, Bins: bins}
+	case WAHIndex:
+		return bitmapidx.Options{Codec: bitmapidx.WAH, Bins: bins}
+	default:
+		return bitmapidx.Options{Codec: bitmapidx.Concise, Bins: bins, Adaptive: true}
+	}
+}
+
 // need is a bitmask of preprocessing artifacts a query requires.
 type need uint8
 
@@ -135,6 +177,7 @@ type snapshot struct {
 	epoch uint64
 	ds    *data.Dataset
 	bins  []int
+	rep   IndexRepresentation
 
 	// art is the artifact set, read with one atomic load on the query fast
 	// path and grown copy-on-write under bmu when a query needs something
@@ -180,7 +223,7 @@ func (s *snapshot) ensure(n need, d *Dataset) *artifacts {
 		if bins == nil {
 			bins = []int{core.OptimalBins(s.ds.Len(), s.missingRate())}
 		}
-		na.binned = bitmapidx.Build(s.ds, bitmapidx.Options{Codec: bitmapidx.Concise, Bins: bins})
+		na.binned = bitmapidx.Build(s.ds, s.rep.binnedOptions(bins))
 		d.binnedBuilds.Add(1)
 		if b := d.cacheBudget.Load(); b > 0 {
 			na.binned.SetCacheBudget(b)
@@ -228,6 +271,7 @@ type Dataset struct {
 	staging       *data.Dataset // mutable master copy of the data
 	shared        bool          // staging is referenced by a published snapshot: copy before writing
 	bins          []int
+	indexRep      IndexRepresentation
 	pendingBinned *bitmapidx.Index // LoadIndex result awaiting the next publish
 
 	cur   atomic.Pointer[snapshot] // the published epoch; nil when staging is dirty
@@ -263,7 +307,7 @@ func (d *Dataset) publishLocked() *snapshot {
 	if s := d.cur.Load(); s != nil {
 		return s
 	}
-	s := &snapshot{epoch: d.epoch.Add(1), ds: d.staging, bins: d.bins}
+	s := &snapshot{epoch: d.epoch.Add(1), ds: d.staging, bins: d.bins, rep: d.indexRep}
 	a := &artifacts{}
 	if d.pendingBinned != nil {
 		a.binned = d.pendingBinned
@@ -346,7 +390,7 @@ func (d *Dataset) ReplaceFrom(src *Dataset) {
 	sa := ss.art.Load()
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	s := &snapshot{epoch: d.epoch.Add(1), ds: ss.ds, bins: ss.bins}
+	s := &snapshot{epoch: d.epoch.Add(1), ds: ss.ds, bins: ss.bins, rep: ss.rep}
 	na := *sa
 	if na.binned != nil {
 		if b := d.cacheBudget.Load(); b > 0 {
@@ -357,6 +401,7 @@ func (d *Dataset) ReplaceFrom(src *Dataset) {
 	d.staging = ss.ds
 	d.shared = true
 	d.bins = ss.bins
+	d.indexRep = ss.rep
 	d.pendingBinned = nil
 	old := d.cur.Load()
 	d.cur.Store(s)
@@ -525,16 +570,26 @@ func (d *Dataset) SetCacheBudget(bytes int64) {
 	}
 }
 
-// CacheStats reports the decompressed-column cache counters of the
-// compressed bitmap index: lookup hits and misses, columns evicted by the
-// CLOCK policy, resident bytes and the configured budget. All zero until an
-// IBIG query (or Prepare) builds the index.
+// CacheStats reports the decompressed-column cache and representation
+// counters of the binned bitmap index: lookup hits and misses, columns
+// evicted by the CLOCK policy, resident bytes and the configured budget,
+// plus how many columns each physical representation served on the query
+// path (DenseCols/CompressedCols/SparseCols) and — for compressed columns —
+// the split between run-native kernel execution (NativeKernel) and
+// decompress-to-dense fallbacks (Fallback). All zero until an IBIG query
+// (or Prepare) builds the index.
 type CacheStats struct {
 	Hits    int64
 	Misses  int64
 	Evicted int64
 	Bytes   int64
 	Budget  int64
+
+	DenseCols      int64
+	CompressedCols int64
+	SparseCols     int64
+	NativeKernel   int64
+	Fallback       int64
 }
 
 // CacheStats snapshots the column-cache counters; see the CacheStats type.
@@ -548,7 +603,11 @@ func (d *Dataset) CacheStats() CacheStats {
 		return CacheStats{}
 	}
 	st := a.binned.CacheStats()
-	return CacheStats{Hits: st.Hits, Misses: st.Misses, Evicted: st.Evicted, Bytes: st.Bytes, Budget: st.Budget}
+	return CacheStats{
+		Hits: st.Hits, Misses: st.Misses, Evicted: st.Evicted, Bytes: st.Bytes, Budget: st.Budget,
+		DenseCols: st.DenseCols, CompressedCols: st.CompressedCols, SparseCols: st.SparseCols,
+		NativeKernel: st.NativeKernel, Fallback: st.Fallback,
+	}
 }
 
 // ReleaseCache drops the decompressed-column cache of the current epoch's
@@ -580,7 +639,32 @@ func (d *Dataset) setBins(bins []int) {
 		return // staging dirty; the layout lands at the next publish
 	}
 	oa := old.art.Load()
-	s := &snapshot{epoch: d.epoch.Add(1), ds: old.ds, bins: d.bins}
+	s := &snapshot{epoch: d.epoch.Add(1), ds: old.ds, bins: d.bins, rep: d.indexRep}
+	s.art.Store(&artifacts{queue: oa.queue, bitmap: oa.bitmap, trees: oa.trees})
+	d.cur.Store(s)
+	old.release(nil)
+}
+
+// SetIndexRepresentation selects how the binned bitmap index stores its
+// columns (see IndexRepresentation). Changing it publishes a fresh epoch
+// that keeps every representation-independent artifact and drops only the
+// binned index, which rebuilds lazily under the new setting; in-flight
+// queries finish on the old epoch. Answers are identical under every
+// representation, so this is purely a space/time knob.
+func (d *Dataset) SetIndexRepresentation(rep IndexRepresentation) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.indexRep == rep {
+		return
+	}
+	d.indexRep = rep
+	d.pendingBinned = nil
+	old := d.cur.Load()
+	if old == nil {
+		return // staging dirty; the setting lands at the next publish
+	}
+	oa := old.art.Load()
+	s := &snapshot{epoch: d.epoch.Add(1), ds: old.ds, bins: d.bins, rep: rep}
 	s.art.Store(&artifacts{queue: oa.queue, bitmap: oa.bitmap, trees: oa.trees})
 	d.cur.Store(s)
 	old.release(nil)
@@ -661,6 +745,14 @@ func (d *Dataset) LoadIndex(r io.Reader) error {
 	ix, err := bitmapidx.Load(r, target)
 	if err != nil {
 		return err
+	}
+	if !d.indexRep.matches(ix) {
+		// An index persisted under a different representation setting must
+		// not silently override the pin; callers (e.g. the server's
+		// fingerprint-keyed index cache) treat this like any other load
+		// failure and rebuild under the current setting.
+		return fmt.Errorf("tkd: persisted index representation (adaptive=%v codec=%v) does not match the dataset setting — rebuild",
+			ix.Adaptive(), ix.CodecUsed())
 	}
 	if b := d.cacheBudget.Load(); b > 0 {
 		ix.SetCacheBudget(b)
