@@ -1,0 +1,282 @@
+// Command benchdiff is the CI bench-regression gate: it compares a `go test
+// -bench -benchmem` run against the benchmarks section of
+// BENCH_baseline.json and fails on regressions.
+//
+// Two signals, two policies:
+//
+//   - allocs/op is noise-free even on shared CI runners — any increase over
+//     the baseline fails the gate, no tolerance;
+//   - ns/op is noisy (shared runners, different CPUs), so it only fails
+//     beyond a generous multiplicative tolerance (default 2x), and can be
+//     disabled outright with -ns-tolerance 0.
+//
+// The current run is read from a file or stdin, as either plain `go test
+// -bench` text or a `go test -json` (test2json) stream — whatever CI tee'd
+// into its artifact. Benchmark names are compared with the trailing
+// -GOMAXPROCS suffix stripped, so a 4-core runner matches a 1-core
+// baseline.
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'BenchmarkFusedKernels' -benchtime 100x -benchmem . | benchdiff -baseline BENCH_baseline.json
+//	benchdiff -baseline BENCH_baseline.json -bench bench-smoke.json
+//	benchdiff -baseline BENCH_baseline.json -bench bench.txt -update   # refresh the baseline
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// BenchResult is one benchmark's recorded numbers. NsOp is negative when
+// the benchmark emitted no ns/op line (custom-metric-only sub-benchmarks).
+type BenchResult struct {
+	NsOp     float64 `json:"ns_op"`
+	AllocsOp int64   `json:"allocs_op"`
+}
+
+// baselineFile mirrors the parts of BENCH_baseline.json this tool touches;
+// Rest preserves everything else (the benchrunner report) across -update.
+type baselineFile struct {
+	Benchmarks map[string]BenchResult `json:"benchmarks"`
+	Rest       map[string]json.RawMessage
+}
+
+// stripProcs removes the trailing -GOMAXPROCS suffix go test appends on
+// multi-core machines (Benchmark/sub-8 → Benchmark/sub).
+var procSuffix = regexp.MustCompile(`-\d+$`)
+
+func stripProcs(name string) string { return procSuffix.ReplaceAllString(name, "") }
+
+// benchLine matches one benchmark result line: name, iterations, then
+// "value unit" pairs.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.+)$`)
+
+// parseBenchOutput extracts benchmark results from plain -bench output.
+// Lines that are not benchmark results are ignored.
+func parseBenchOutput(r io.Reader) (map[string]BenchResult, error) {
+	out := make(map[string]BenchResult)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	testJSON := false
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "{") {
+			// A test2json stream: unwrap the Output events and parse those.
+			testJSON = true
+		}
+		if testJSON {
+			var ev struct {
+				Action string `json:"Action"`
+				Output string `json:"Output"`
+			}
+			if err := json.Unmarshal([]byte(line), &ev); err != nil {
+				continue
+			}
+			if ev.Action != "output" {
+				continue
+			}
+			line = strings.TrimSuffix(ev.Output, "\n")
+		}
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		name := stripProcs(m[1])
+		res := BenchResult{NsOp: -1, AllocsOp: -1}
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				res.NsOp = v
+			case "allocs/op":
+				res.AllocsOp = int64(v)
+			}
+		}
+		if res.NsOp < 0 && res.AllocsOp < 0 {
+			continue // nothing comparable on this line
+		}
+		out[name] = res
+	}
+	return out, sc.Err()
+}
+
+// loadBaseline reads the baseline file, preserving unknown top-level keys.
+func loadBaseline(path string) (*baselineFile, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rest map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &rest); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	bf := &baselineFile{Benchmarks: make(map[string]BenchResult), Rest: rest}
+	if b, ok := rest["benchmarks"]; ok {
+		if err := json.Unmarshal(b, &bf.Benchmarks); err != nil {
+			return nil, fmt.Errorf("parsing benchmarks of %s: %w", path, err)
+		}
+		delete(rest, "benchmarks")
+	}
+	return bf, nil
+}
+
+// saveBaseline writes the baseline back with the benchmarks section
+// replaced, leaving the benchrunner report keys untouched.
+func saveBaseline(path string, bf *baselineFile) error {
+	full := make(map[string]any, len(bf.Rest)+1)
+	for k, v := range bf.Rest {
+		full[k] = v
+	}
+	full[`benchmarks`] = bf.Benchmarks
+	out, err := json.MarshalIndent(full, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
+// verdict is one benchmark's comparison outcome.
+type verdict struct {
+	name            string
+	base, cur       BenchResult
+	nsRegressed     bool
+	allocsRegressed bool
+	newBench        bool
+}
+
+// compare evaluates current against the baseline. nsTolerance <= 0 disables
+// the ns/op check; benchmarks whose baseline ns/op is below nsFloor are
+// exempt from it too — a sub-100ns measurement at a bounded -benchtime is
+// timer-noise territory, where a scheduling hiccup alone can double the
+// reading (allocs/op still applies to them: allocation counts don't jitter).
+func compare(baseline, current map[string]BenchResult, nsTolerance, nsFloor float64) []verdict {
+	names := make([]string, 0, len(current))
+	for name := range current {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]verdict, 0, len(names))
+	for _, name := range names {
+		cur := current[name]
+		base, ok := baseline[name]
+		v := verdict{name: name, base: base, cur: cur, newBench: !ok}
+		if ok {
+			if base.AllocsOp >= 0 && cur.AllocsOp > base.AllocsOp {
+				v.allocsRegressed = true
+			}
+			if nsTolerance > 0 && base.NsOp >= nsFloor && cur.NsOp > base.NsOp*nsTolerance {
+				v.nsRegressed = true
+			}
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point; it returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		baselinePath = fs.String("baseline", "BENCH_baseline.json", "baseline file with a benchmarks section")
+		benchPath    = fs.String("bench", "-", "current bench output: plain `go test -bench` text or a test2json stream (- = stdin)")
+		nsTolerance  = fs.Float64("ns-tolerance", 2.0, "fail when ns/op exceeds baseline by this factor (0 disables the ns/op check)")
+		nsFloor      = fs.Float64("ns-floor", 100, "exempt benchmarks whose baseline ns/op is below this from the ns/op check (timer noise; allocs/op still applies)")
+		update       = fs.Bool("update", false, "write the current results into the baseline's benchmarks section instead of comparing")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	var in io.Reader = os.Stdin
+	if *benchPath != "-" {
+		f, err := os.Open(*benchPath)
+		if err != nil {
+			fmt.Fprintln(stderr, "benchdiff:", err)
+			return 2
+		}
+		defer f.Close()
+		in = f
+	}
+	current, err := parseBenchOutput(in)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchdiff:", err)
+		return 2
+	}
+	if len(current) == 0 {
+		fmt.Fprintln(stderr, "benchdiff: no benchmark results found in the input")
+		return 2
+	}
+	bf, err := loadBaseline(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchdiff:", err)
+		return 2
+	}
+
+	if *update {
+		bf.Benchmarks = current
+		if err := saveBaseline(*baselinePath, bf); err != nil {
+			fmt.Fprintln(stderr, "benchdiff:", err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "benchdiff: recorded %d benchmarks into %s\n", len(current), *baselinePath)
+		return 0
+	}
+	if len(bf.Benchmarks) == 0 {
+		fmt.Fprintf(stderr, "benchdiff: %s has no benchmarks section (run with -update to record one)\n", *baselinePath)
+		return 2
+	}
+
+	verdicts := compare(bf.Benchmarks, current, *nsTolerance, *nsFloor)
+	regressions := 0
+	fmt.Fprintf(stdout, "%-68s %12s %12s %8s %8s  %s\n", "benchmark", "base ns/op", "cur ns/op", "base al", "cur al", "verdict")
+	for _, v := range verdicts {
+		status := "ok"
+		switch {
+		case v.newBench:
+			status = "new (no baseline)"
+		case v.allocsRegressed && v.nsRegressed:
+			status = "REGRESSION (allocs/op + ns/op)"
+		case v.allocsRegressed:
+			status = "REGRESSION (allocs/op)"
+		case v.nsRegressed:
+			status = fmt.Sprintf("REGRESSION (ns/op > %.1fx)", *nsTolerance)
+		}
+		if v.allocsRegressed || v.nsRegressed {
+			regressions++
+		}
+		fmt.Fprintf(stdout, "%-68s %12.1f %12.1f %8d %8d  %s\n", v.name, v.base.NsOp, v.cur.NsOp, v.base.AllocsOp, v.cur.AllocsOp, status)
+	}
+	missing := 0
+	for name := range bf.Benchmarks {
+		if _, ok := current[name]; !ok {
+			missing++
+		}
+	}
+	if missing > 0 {
+		fmt.Fprintf(stdout, "benchdiff: %d baseline benchmarks absent from this run (not an error)\n", missing)
+	}
+	if regressions > 0 {
+		fmt.Fprintf(stderr, "benchdiff: %d regression(s) against %s\n", regressions, *baselinePath)
+		return 1
+	}
+	fmt.Fprintf(stdout, "benchdiff: %d benchmarks within budget\n", len(verdicts))
+	return 0
+}

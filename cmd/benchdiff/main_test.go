@@ -1,0 +1,197 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const plainBench = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkFusedKernels/IntersectCount            	     100	      6567 ns/op	       0 B/op	       0 allocs/op
+BenchmarkFusedKernels/Cursor/QP-8               	     100	      6047 ns/op	    2312 B/op	       1 allocs/op
+BenchmarkCompressedKernels/clustered1%/dispatch 	     100	         1.000 nativeDispatch	       0 B/op	       0 allocs/op
+PASS
+`
+
+func TestParsePlainBenchOutput(t *testing.T) {
+	got, err := parseBenchOutput(strings.NewReader(plainBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %v", len(got), got)
+	}
+	ic := got["BenchmarkFusedKernels/IntersectCount"]
+	if ic.NsOp != 6567 || ic.AllocsOp != 0 {
+		t.Fatalf("IntersectCount = %+v", ic)
+	}
+	// The -8 GOMAXPROCS suffix must be stripped so runners with different
+	// core counts compare against one baseline.
+	qp, ok := got["BenchmarkFusedKernels/Cursor/QP"]
+	if !ok || qp.AllocsOp != 1 {
+		t.Fatalf("QP = %+v ok=%v", qp, ok)
+	}
+	// Custom-metric-only lines keep their allocs but record no ns/op.
+	disp := got["BenchmarkCompressedKernels/clustered1%/dispatch"]
+	if disp.NsOp >= 0 || disp.AllocsOp != 0 {
+		t.Fatalf("dispatch = %+v", disp)
+	}
+}
+
+func TestParseTestJSONStream(t *testing.T) {
+	stream := `{"Action":"start","Package":"repro"}
+{"Action":"output","Package":"repro","Output":"BenchmarkFusedKernels/IntersectCount \t     100\t      6567 ns/op\t       0 B/op\t       0 allocs/op\n"}
+{"Action":"output","Package":"repro","Output":"PASS\n"}
+{"Action":"pass","Package":"repro"}
+`
+	got, err := parseBenchOutput(strings.NewReader(stream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got["BenchmarkFusedKernels/IntersectCount"].NsOp != 6567 {
+		t.Fatalf("parsed %v", got)
+	}
+}
+
+func TestCompareVerdicts(t *testing.T) {
+	base := map[string]BenchResult{
+		"A": {NsOp: 100, AllocsOp: 2},
+		"B": {NsOp: 100, AllocsOp: 2},
+		"C": {NsOp: 100, AllocsOp: 2},
+	}
+	cur := map[string]BenchResult{
+		"A": {NsOp: 199, AllocsOp: 2}, // within 2x, same allocs: ok
+		"B": {NsOp: 201, AllocsOp: 2}, // ns regression
+		"C": {NsOp: 90, AllocsOp: 3},  // allocs regression
+		"D": {NsOp: 5, AllocsOp: 0},   // new benchmark
+	}
+	vs := compare(base, cur, 2.0, 0)
+	byName := map[string]verdict{}
+	for _, v := range vs {
+		byName[v.name] = v
+	}
+	if v := byName["A"]; v.nsRegressed || v.allocsRegressed {
+		t.Fatalf("A should pass: %+v", v)
+	}
+	if v := byName["B"]; !v.nsRegressed || v.allocsRegressed {
+		t.Fatalf("B should be an ns regression: %+v", v)
+	}
+	if v := byName["C"]; !v.allocsRegressed || v.nsRegressed {
+		t.Fatalf("C should be an allocs regression: %+v", v)
+	}
+	if v := byName["D"]; !v.newBench {
+		t.Fatalf("D should be new: %+v", v)
+	}
+	// With the ns check disabled, only C regresses.
+	vs = compare(base, cur, 0, 0)
+	for _, v := range vs {
+		if v.nsRegressed {
+			t.Fatalf("ns check disabled but %s regressed on ns", v.name)
+		}
+	}
+	// The floor exempts timer-noise benchmarks from the ns check: B's
+	// baseline (100 ns) sits below a 200 ns floor, so its 2x+ excursion
+	// passes, while its allocs would still be enforced.
+	vs = compare(base, cur, 2.0, 200)
+	for _, v := range vs {
+		if v.nsRegressed {
+			t.Fatalf("ns floor 200 should exempt %s", v.name)
+		}
+	}
+	if v := func() verdict {
+		for _, v := range vs {
+			if v.name == "C" {
+				return v
+			}
+		}
+		return verdict{}
+	}(); !v.allocsRegressed {
+		t.Fatal("allocs check must survive the ns floor")
+	}
+}
+
+// writeBaseline writes a baseline file carrying both a foreign section (the
+// benchrunner report, which must survive) and a benchmarks section.
+func writeBaseline(t *testing.T, dir, benchmarks string) string {
+	t.Helper()
+	path := filepath.Join(dir, "BENCH_baseline.json")
+	content := `{"host":{"num_cpu":1},"scale":"quick","benchmarks":` + benchmarks + `}`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestGateFailsOnInjectedAllocRegression is the acceptance check: an
+// artificially injected allocs/op increase must fail the gate (exit 1),
+// while the clean run passes (exit 0).
+func TestGateFailsOnInjectedAllocRegression(t *testing.T) {
+	dir := t.TempDir()
+	baseline := writeBaseline(t, dir,
+		`{"BenchmarkFusedKernels/IntersectCount":{"ns_op":6000,"allocs_op":0},`+
+			`"BenchmarkFusedKernels/Cursor/QP":{"ns_op":6000,"allocs_op":1}}`)
+
+	clean := filepath.Join(dir, "clean.txt")
+	os.WriteFile(clean, []byte(plainBench), 0o644)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-baseline", baseline, "-bench", clean}, &out, &errb); code != 0 {
+		t.Fatalf("clean run exited %d: %s%s", code, out.String(), errb.String())
+	}
+
+	// Inject: QP now does 2 allocs/op instead of 1.
+	injected := strings.Replace(plainBench, "2312 B/op\t       1 allocs/op", "2312 B/op\t       2 allocs/op", 1)
+	bad := filepath.Join(dir, "bad.txt")
+	os.WriteFile(bad, []byte(injected), 0o644)
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-baseline", baseline, "-bench", bad}, &out, &errb); code != 1 {
+		t.Fatalf("injected allocs regression exited %d, want 1: %s%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION (allocs/op)") {
+		t.Fatalf("verdict table missing the allocs regression:\n%s", out.String())
+	}
+
+	// Inject: IntersectCount 3x slower — ns/op beyond the 2x tolerance.
+	slow := strings.Replace(plainBench, "6567 ns/op", "19000 ns/op", 1)
+	slowPath := filepath.Join(dir, "slow.txt")
+	os.WriteFile(slowPath, []byte(slow), 0o644)
+	if code := run([]string{"-baseline", baseline, "-bench", slowPath}, io.Discard, io.Discard); code != 1 {
+		t.Fatalf("ns regression exited %d, want 1", code)
+	}
+	// ...which the -ns-tolerance 0 escape hatch waves through.
+	if code := run([]string{"-baseline", baseline, "-bench", slowPath, "-ns-tolerance", "0"}, io.Discard, io.Discard); code != 0 {
+		t.Fatalf("ns check disabled but gate failed")
+	}
+}
+
+// TestUpdateRewritesBaselinePreservingReport checks -update records the new
+// numbers without clobbering the benchrunner report keys.
+func TestUpdateRewritesBaselinePreservingReport(t *testing.T) {
+	dir := t.TempDir()
+	baseline := writeBaseline(t, dir, `{}`)
+	bench := filepath.Join(dir, "bench.txt")
+	os.WriteFile(bench, []byte(plainBench), 0o644)
+	if code := run([]string{"-baseline", baseline, "-bench", bench, "-update"}, io.Discard, io.Discard); code != 0 {
+		t.Fatal("update failed")
+	}
+	raw, err := os.ReadFile(baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(raw)
+	for _, want := range []string{`"num_cpu": 1`, `"scale": "quick"`, `"BenchmarkFusedKernels/IntersectCount"`} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("updated baseline missing %q:\n%s", want, s)
+		}
+	}
+	// And the refreshed baseline passes against its own input.
+	if code := run([]string{"-baseline", baseline, "-bench", bench}, io.Discard, io.Discard); code != 0 {
+		t.Fatal("self-comparison after -update failed")
+	}
+}

@@ -59,10 +59,14 @@ type benchExperiment struct {
 }
 
 // benchReport is the -json output: host context plus every table produced.
+// Shards stamps the serve experiment's topology next to NumCPU/GOMAXPROCS —
+// a per-shard p99 is only interpretable knowing how many shards (and cores)
+// the run had.
 type benchReport struct {
 	Host        hostInfo          `json:"host"`
 	Scale       string            `json:"scale"`
 	Workers     int               `json:"workers,omitempty"`
+	Shards      int               `json:"shards,omitempty"`
 	Experiments []benchExperiment `json:"experiments"`
 }
 
@@ -81,6 +85,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		out     = fs.String("o", "", "output file (default stdout)")
 		list    = fs.Bool("list", false, "list experiments and exit")
 		workers = fs.Int("workers", 0, "worker count for the parallel experiment (0 = GOMAXPROCS)")
+		shards  = fs.Int("shards", 1, "shard count for the serve experiment (1 = unsharded)")
 		jsonOut = fs.String("json", "", "also write results as JSON with host/runtime info to this file")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -123,15 +128,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		w = f
 	}
 
-	report := benchReport{Host: currentHost(), Scale: sc.String(), Workers: *workers}
+	report := benchReport{Host: currentHost(), Scale: sc.String(), Workers: *workers, Shards: *shards}
 	for _, spec := range specs {
 		fmt.Fprintf(stderr, "benchrunner: running %s (%s scale)...\n", spec.Name, sc)
 		start := time.Now()
 		var tables []experiments.Table
-		if spec.Name == "parallel" {
-			// The only experiment parameterized beyond scale: honour -workers.
+		switch spec.Name {
+		case "parallel":
+			// Parameterized beyond scale: honour -workers.
 			tables = experiments.ParallelSweep(sc, *workers)
-		} else {
+		case "serve":
+			// Honour -shards; the report row carries the per-shard p99.
+			tables = experiments.ServeSharded(sc, *shards)
+		default:
 			tables = spec.Run(sc)
 		}
 		elapsed := time.Since(start)

@@ -11,10 +11,18 @@
 // dominant preprocessing cost. SIGINT/SIGTERM drain gracefully: queued
 // scheduling windows finish, new queries get 503.
 //
+// One huge dataset can be split across processes: -shards N serves it
+// through a scatter-gather coordinator (answers stay byte-identical to the
+// unsharded dataset), and -peers hands the shards to remote tkdserver
+// processes speaking the /v1/shard/query protocol — every tkdserver is a
+// capable peer, no special mode required.
+//
 // Usage:
 //
 //	tkdserver -dataset nba=nba.csv -dataset movies=movies.csv
 //	tkdserver -addr :9000 -dataset d=data.csv -cache-budget 4194304 -indexdir /var/cache/tkd
+//	tkdserver -dataset big=big.csv -shards 4                               # sharded in-process
+//	tkdserver -dataset big=big.csv -shards 4 -peers http://p1:8080,http://p2:8080
 //
 // Endpoints: POST /v1/query, GET/POST /v1/datasets, POST
 // /v1/datasets/{name}/reload, DELETE /v1/datasets/{name}, GET /healthz,
@@ -71,6 +79,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		cacheBudget = fs.Int64("cache-budget", 0, "per-dataset decompressed-column cache bytes (0 = 32 MiB default)")
 		indexDir    = fs.String("indexdir", "", "directory for persisted indexes; warm restarts skip index construction (empty = rebuild at boot)")
 		drainWait   = fs.Duration("drain-timeout", 10*time.Second, "max time to wait for in-flight requests on SIGTERM/SIGINT")
+		shards      = fs.Int("shards", 1, "split each dataset into N row-range shards behind a scatter-gather coordinator (1 = unsharded; answers are byte-identical either way)")
+		peersFlag   = fs.String("peers", "", "comma-separated base URLs of tkdserver peers that serve the shards remotely (requires -shards > 1; peers must serve the same -dataset mappings)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -81,12 +91,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	var peers []string
+	if *peersFlag != "" {
+		for _, p := range strings.Split(*peersFlag, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peers = append(peers, p)
+			}
+		}
+	}
+	if len(peers) > 0 && *shards <= 1 {
+		fmt.Fprintln(stderr, "tkdserver: -peers requires -shards > 1")
+		return 2
+	}
+
 	srv, err := buildServer(datasets, *negate, server.Config{
 		MaxWorkers:  *maxWorkers,
 		BatchWindow: *window,
 		MaxBatch:    *maxBatch,
 		CacheBudget: *cacheBudget,
 		IndexDir:    *indexDir,
+		Shards:      *shards,
+		ShardPeers:  peers,
 	}, stdout)
 	if err != nil {
 		fmt.Fprintln(stderr, "tkdserver:", err)

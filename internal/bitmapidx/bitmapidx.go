@@ -723,41 +723,53 @@ func (c *Cursor) dense(d, b int, scratch **bitvec.Vector) *bitvec.Vector {
 // not fill-dominated. The returned vectors are owned by the cursor and
 // valid until the next QP call.
 func (c *Cursor) QP(obj int) (q, p *bitvec.Vector) {
+	refs := c.buildRefs(obj)
 	if c.ix.codec == Raw {
-		return c.qpDense(obj)
+		return c.qpDense(refs, obj)
 	}
-	return c.qpDispatch(obj)
+	return c.qpDispatch(refs, obj)
 }
 
-// qpDense is the all-dense fast path: each dimension's Q- and P-columns —
-// adjacent columns cols[b] and cols[b+1] of the index — are intersected in
-// a single fused pass, and the first observed dimension seeds both
-// accumulators directly so no SetAll pass is paid.
-func (c *Cursor) qpDense(obj int) (q, p *bitvec.Vector) {
+// buildRefs gathers the (dimension, Q-bucket, P-bucket) column references of
+// an in-set object into the cursor's reusable buffer: Q is column bucket(o),
+// P the adjacent column bucket(o)+1 (which always exists — the column one
+// past the worst bucket is exactly the "missing in this dimension" set).
+func (c *Cursor) buildRefs(obj int) []qref {
 	ix := c.ix
-	var cq0, cp0 *bitvec.Vector
-	seen := 0
+	refs := c.qrefs[:0]
 	for d := range ix.dims {
 		b := ix.Bucket(obj, d)
 		if b < 0 {
 			continue // missing: Qi = Pi = S, the all-ones column
 		}
-		cq := ix.dims[d].cols[b].dense
-		// cols[b+1] always exists: the column one past the worst bucket is
-		// exactly the "missing in this dimension" set.
-		cp := ix.dims[d].cols[b+1].dense
-		seen++
-		switch seen {
-		case 1:
+		refs = append(refs, qref{d: int32(d), qb: int32(b), pb: int32(b + 1)})
+	}
+	c.qrefs = refs
+	return refs
+}
+
+// qpDense is the all-dense fast path: each dimension's Q- and P-columns are
+// intersected in a single fused pass, and the first observed dimension seeds
+// both accumulators directly so no SetAll pass is paid. clear >= 0 removes
+// that object from Q (an in-set candidate excludes itself; foreign
+// candidates pass -1).
+func (c *Cursor) qpDense(refs []qref, clear int) (q, p *bitvec.Vector) {
+	ix := c.ix
+	var cq0, cp0 *bitvec.Vector
+	for i, r := range refs {
+		cq := ix.dims[r.d].cols[r.qb].dense
+		cp := ix.dims[r.d].cols[r.pb].dense
+		switch i {
+		case 0:
 			cq0, cp0 = cq, cp
-		case 2:
+		case 1:
 			bitvec.And2Into(c.q, cq0, cq)
 			bitvec.And2Into(c.p, cp0, cp)
 		default:
 			bitvec.AndPairInto(c.q, c.p, cq, cp)
 		}
 	}
-	switch seen {
+	switch len(refs) {
 	case 0:
 		c.q.SetAll()
 		c.p.SetAll()
@@ -765,37 +777,34 @@ func (c *Cursor) qpDense(obj int) (q, p *bitvec.Vector) {
 		c.q.CopyFrom(cq0)
 		c.p.CopyFrom(cp0)
 	}
-	c.q.Clear(obj) // Q excludes o itself
+	if clear >= 0 {
+		c.q.Clear(clear)
+	}
 	return c.q, c.p
 }
 
 // qpDispatch accumulates Q and P per-column through each column's best
 // kernel. AND order is irrelevant to the result, so the answer is
 // bit-identical to the dense path's.
-func (c *Cursor) qpDispatch(obj int) (q, p *bitvec.Vector) {
-	ix := c.ix
+func (c *Cursor) qpDispatch(refs []qref, clear int) (q, p *bitvec.Vector) {
 	var t repTally
-	seen := 0
-	for d := range ix.dims {
-		b := ix.Bucket(obj, d)
-		if b < 0 {
-			continue
-		}
-		if seen == 0 {
-			c.seedColumn(c.q, d, b, &t)
-			c.seedColumn(c.p, d, b+1, &t)
+	for i, r := range refs {
+		if i == 0 {
+			c.seedColumn(c.q, int(r.d), int(r.qb), &t)
+			c.seedColumn(c.p, int(r.d), int(r.pb), &t)
 		} else {
-			c.andColumn(c.q, d, b, &c.scratchQ[d], &t)
-			c.andColumn(c.p, d, b+1, &c.scratchP[d], &t)
+			c.andColumn(c.q, int(r.d), int(r.qb), &c.scratchQ[r.d], &t)
+			c.andColumn(c.p, int(r.d), int(r.pb), &c.scratchP[r.d], &t)
 		}
-		seen++
 	}
-	if seen == 0 {
+	if len(refs) == 0 {
 		c.q.SetAll()
 		c.p.SetAll()
 	}
-	c.q.Clear(obj)
-	ix.flushTally(&t)
+	if clear >= 0 {
+		c.q.Clear(clear)
+	}
+	c.ix.flushTally(&t)
 	return c.q, c.p
 }
 
@@ -851,17 +860,12 @@ func (c *Cursor) andColumn(dst *bitvec.Vector, d, b int, scratch **bitvec.Vector
 	col.andIntoDirect(dst)
 }
 
-// qCols collects the Q-columns of obj's observed dimensions as dense
-// vectors into the cursor's reusable buffer (the all-dense count path).
-func (c *Cursor) qCols(obj int) []*bitvec.Vector {
-	ix := c.ix
+// qCols collects the Q-columns of refs as dense vectors into the cursor's
+// reusable buffer (the all-dense count path).
+func (c *Cursor) qCols(refs []qref) []*bitvec.Vector {
 	cols := c.cols[:0]
-	for d := range ix.dims {
-		b := ix.Bucket(obj, d)
-		if b < 0 {
-			continue
-		}
-		cols = append(cols, c.dense(d, b, &c.scratchQ[d]))
+	for _, r := range refs {
+		cols = append(cols, c.dense(int(r.d), int(r.qb), &c.scratchQ[r.d]))
 	}
 	c.cols = cols
 	return cols
@@ -870,15 +874,15 @@ func (c *Cursor) qCols(obj int) []*bitvec.Vector {
 // MaxBitScore computes |Q| = |∩Qi − {o}| for object obj — the Heuristic 2
 // upper bound — without materializing the intersection or P.
 func (c *Cursor) MaxBitScore(obj int) int {
+	refs := c.buildRefs(obj)
 	if c.ix.codec == Raw {
-		cols := c.qCols(obj)
-		if len(cols) == 0 {
+		if len(refs) == 0 {
 			return c.ix.ds.Len() - 1
 		}
 		// o always belongs to ∩Qi: its own bits pass every Qi column.
-		return bitvec.IntersectCount(cols...) - 1
+		return bitvec.IntersectCount(c.qCols(refs)...) - 1
 	}
-	cnt, _ := c.intersectQAbove(obj, noTau)
+	cnt, _ := c.intersectQAbove(refs, noTau)
 	return cnt - 1
 }
 
@@ -888,21 +892,21 @@ func (c *Cursor) MaxBitScore(obj int) int {
 // lift the count past tau, so pruned candidates (the common case late in a
 // query) cost a fraction of a full count.
 func (c *Cursor) MaxBitScoreAbove(obj, tau int) (int, bool) {
+	refs := c.buildRefs(obj)
 	if c.ix.codec == Raw {
-		cols := c.qCols(obj)
-		if len(cols) == 0 {
+		if len(refs) == 0 {
 			mb := c.ix.ds.Len() - 1
 			return mb, mb > tau
 		}
 		// maxBit = |∩Qi| − 1 (o passes every column), so maxBit > tau ⇔
 		// |∩Qi| > tau+1.
-		cnt, above := bitvec.IntersectCountAbove(tau+1, cols...)
+		cnt, above := bitvec.IntersectCountAbove(tau+1, c.qCols(refs)...)
 		if !above {
 			return 0, false
 		}
 		return cnt - 1, true
 	}
-	cnt, above := c.intersectQAbove(obj, tau+1)
+	cnt, above := c.intersectQAbove(refs, tau+1)
 	if !above {
 		return 0, false
 	}
@@ -914,7 +918,7 @@ func (c *Cursor) MaxBitScoreAbove(obj, tau int) (int, bool) {
 // comes back.
 const noTau = -1 << 62
 
-// intersectQAbove computes |∩Qi| for obj's observed dimensions with the
+// intersectQAbove computes |∩Qi| over the given Q-column refs with the
 // IntersectCountAbove contract, dispatching on the representation mix:
 //
 //   - any sparse column: iterate the smallest id list and membership-test
@@ -924,31 +928,24 @@ const noTau = -1 << 62
 //     multi-way gallop, no decompression at all;
 //   - otherwise: materialize compressed columns (shared cache or scratch)
 //     and run the fused dense cascade.
-func (c *Cursor) intersectQAbove(obj, tau int) (int, bool) {
+func (c *Cursor) intersectQAbove(refs []qref, tau int) (int, bool) {
 	ix := c.ix
 	var t repTally
 	defer ix.flushTally(&t)
 
 	// Classification scan: representation census plus the smallest sparse
-	// column, paid once over the (few) observed dimensions; the (d, b)
-	// pairs land in a reusable buffer so the path-specific gather below
-	// never re-derives buckets.
-	refs := c.qrefs[:0]
+	// column, paid once over the (few) observed dimensions.
 	sparse, dense, native, fallback := 0, 0, 0, 0
 	minRef, minLen := -1, 0
-	for d := range ix.dims {
-		b := ix.Bucket(obj, d)
-		if b < 0 {
-			continue
-		}
-		col := &ix.dims[d].cols[b]
+	for i, r := range refs {
+		col := &ix.dims[r.d].cols[r.qb]
 		switch col.kind {
 		case kindDense:
 			dense++
 		case kindSparse:
 			sparse++
 			if minRef < 0 || len(col.ids) < minLen {
-				minRef, minLen = len(refs), len(col.ids)
+				minRef, minLen = i, len(col.ids)
 			}
 		default:
 			if col.runNative {
@@ -957,9 +954,7 @@ func (c *Cursor) intersectQAbove(obj, tau int) (int, bool) {
 				fallback++
 			}
 		}
-		refs = append(refs, qref{d: int32(d), b: int32(b)})
 	}
-	c.qrefs = refs
 	if len(refs) == 0 {
 		n := ix.ds.Len()
 		return n, n > tau
@@ -979,17 +974,14 @@ func (c *Cursor) intersectQAbove(obj, tau int) (int, bool) {
 		return c.countNative(tau, refs)
 	default:
 		t.fallback += int64(native + fallback)
-		cols := c.cols[:0]
-		for _, r := range refs {
-			cols = append(cols, c.dense(int(r.d), int(r.b), &c.scratchQ[r.d]))
-		}
-		c.cols = cols
-		return bitvec.IntersectCountAbove(tau, cols...)
+		return bitvec.IntersectCountAbove(tau, c.qCols(refs)...)
 	}
 }
 
-// qref locates one Q-column of the current candidate: dimension d, bucket b.
-type qref struct{ d, b int32 }
+// qref locates one candidate's columns in dimension d: Q-column bucket qb
+// and P-column bucket pb (pb is only meaningful on the QP paths; the count
+// paths read qb alone).
+type qref struct{ d, qb, pb int32 }
 
 // countViaSparse counts |∩Qi| by iterating the smallest sparse Q-column
 // (refs[minRef]) and testing each id against every other column, with an
@@ -1004,16 +996,16 @@ func (c *Cursor) countViaSparse(tau int, refs []qref, minRef int) (int, bool) {
 		if i == minRef {
 			continue
 		}
-		col := &ix.dims[r.d].cols[r.b]
+		col := &ix.dims[r.d].cols[r.qb]
 		if col.kind == kindSparse {
 			sparseCols = append(sparseCols, col.ids)
 			continue
 		}
-		denseCols = append(denseCols, c.dense(int(r.d), int(r.b), &c.scratchQ[r.d]))
+		denseCols = append(denseCols, c.dense(int(r.d), int(r.qb), &c.scratchQ[r.d]))
 	}
 	c.cols, c.sparseQ = denseCols, sparseCols
 
-	base := ix.dims[refs[minRef].d].cols[refs[minRef].b].ids
+	base := ix.dims[refs[minRef].d].cols[refs[minRef].qb].ids
 	count := 0
 	for i, id := range base {
 		if count+(len(base)-i) <= tau {
@@ -1049,14 +1041,14 @@ func (c *Cursor) countNative(tau int, refs []qref) (int, bool) {
 	if ix.codec == WAH {
 		cols := c.wahCols[:0]
 		for _, r := range refs {
-			cols = append(cols, ix.dims[r.d].cols[r.b].wah)
+			cols = append(cols, ix.dims[r.d].cols[r.qb].wah)
 		}
 		c.wahCols = cols
 		return wah.IntersectCountAbove(tau, cols...)
 	}
 	cols := c.concCols[:0]
 	for _, r := range refs {
-		cols = append(cols, ix.dims[r.d].cols[r.b].conc)
+		cols = append(cols, ix.dims[r.d].cols[r.qb].conc)
 	}
 	c.concCols = cols
 	return concise.IntersectCountAbove(tau, cols...)

@@ -115,7 +115,7 @@ func engineRun(ds *data.Dataset, k int, queue *MaxScoreQueue, scorers []scorer) 
 	st.Workers = workers
 	wstats := make([]Stats, workers)
 	sc := newCandidateHeap(k)
-	var sharedTau atomic.Int64
+	fr := NewFrontier(queue)
 	var next atomic.Int64
 	order := queue.Order
 
@@ -126,6 +126,9 @@ func engineRun(ds *data.Dataset, k int, queue *MaxScoreQueue, scorers []scorer) 
 	// commit folds finished slots into the heap in queue order — the commit
 	// frontier only advances over contiguous done slots, so offers replay
 	// the serial sequence exactly no matter which worker finishes first.
+	// Every advance republishes τ through the window frontier's live cell,
+	// where in-flight workers (and, in the sharded deployment, remote
+	// shards) read it back.
 	var mu sync.Mutex
 	frontier := 0
 	commit := func(start, end, i int, sl slot) {
@@ -151,26 +154,26 @@ func engineRun(ds *data.Dataset, k int, queue *MaxScoreQueue, scorers []scorer) 
 				}
 				frontier++
 			}
-			sharedTau.Store(int64(sc.tau()))
+			fr.SetTau(sc.tau())
 		}
 		mu.Unlock()
 	}
 
-	for start := 0; start < len(order); start += WindowSize {
-		tau := sc.tau()
-		if tau >= 0 && queue.MaxScore[order[start]] <= tau {
+	for {
+		fr.SetTau(sc.tau())
+		start, window, pruned, ok := fr.NextWindow(WindowSize)
+		if !ok {
 			// Heuristic 1 at window granularity: the queue is sorted by
-			// descending bound, so nothing after this point can beat τ.
-			st.PrunedH1 += len(order) - start
+			// descending bound, so nothing after the cut can beat τ.
+			st.PrunedH1 += pruned
 			break
 		}
-		end := min(start+WindowSize, len(order))
+		end := start + len(window)
 		st.Windows++
 		for i := range slots {
 			slots[i] = slot{}
 		}
 		frontier = start
-		sharedTau.Store(int64(tau))
 		next.Store(int64(start))
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
@@ -184,7 +187,7 @@ func engineRun(ds *data.Dataset, k int, queue *MaxScoreQueue, scorers []scorer) 
 					if i >= end {
 						return
 					}
-					t := int(sharedTau.Load())
+					t := fr.Tau()
 					if t >= 0 && queue.MaxScore[order[i]] <= t {
 						// Worker-side Heuristic 1: the serial loop would
 						// have stopped at or before this candidate.

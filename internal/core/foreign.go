@@ -1,0 +1,107 @@
+package core
+
+import (
+	"math/bits"
+
+	"repro/internal/bitmapidx"
+	"repro/internal/data"
+)
+
+// Foreign scoring: exact partial scores of candidates that are not rows of
+// the scored dataset. Dominance counts are additive across a row partition —
+// score(o) over the full dataset equals the sum over shards of the number of
+// shard rows o dominates — so a scatter-gather coordinator ships a
+// candidate's (values, mask) to every shard, sums the partials, and gets the
+// unsharded score exactly. Unlike the in-set scorers nothing excludes the
+// candidate "itself": if the candidate happens to be a row of this shard,
+// classification drops it naturally (no strict inequality against itself),
+// so the same code serves home and remote shards alike.
+
+// ForeignScore counts the rows of ds dominated by cand, by exhaustive
+// pairwise comparison — the shard-side partial scorer of the Naive, ESB and
+// UBB scatter-gather plans, which score exhaustively in the paper too.
+func ForeignScore(ds *data.Dataset, cand *data.Object) int {
+	score := 0
+	for i := 0; i < ds.Len(); i++ {
+		if cand.Dominates(ds.Obj(i)) {
+			score++
+		}
+	}
+	return score
+}
+
+// ForeignScorer computes shard-local partial scores and bounds of foreign
+// candidates through the shard's bitmap index — the BIG/IBIG scatter-gather
+// shard executor. Not safe for concurrent use (it owns a cursor); create one
+// per goroutine, they share the index's decompressed-column cache.
+type ForeignScorer struct {
+	ds     *data.Dataset
+	ix     *bitmapidx.Index
+	cursor *bitmapidx.Cursor
+}
+
+// NewForeignScorer returns a scorer over one shard's dataset and index (the
+// index must be built over exactly ds).
+func NewForeignScorer(ds *data.Dataset, ix *bitmapidx.Index) *ForeignScorer {
+	return &ForeignScorer{ds: ds, ix: ix, cursor: ix.NewCursor()}
+}
+
+// BoundAbove reports whether the candidate's shard-local Heuristic 2 bound
+// |∩Qi| exceeds tau, returning the exact bound when it does. The bound caps
+// the partial score this shard can contribute; a coordinator that knows the
+// other shards' bounds (or just their row counts) prunes candidates whose
+// bound sum cannot beat the global τ — the cross-shard form of bitmap
+// pruning, with tau here being the pushed-down per-shard residual.
+func (s *ForeignScorer) BoundAbove(cand *data.Object, tau int) (int, bool) {
+	return s.cursor.ForeignCountAbove(cand.Values, cand.Mask, tau)
+}
+
+// Score computes the exact number of shard rows dominated by cand — the
+// IBIG-Score classification of Algorithm 5 run over a foreign candidate:
+// stream the members of Q, skip the incomparable (F), count members of P
+// (strictly worse on every common dimension, bin-granular), and refine the
+// Q−P rim by value comparison. No Heuristic 3 applies: a shard cannot prune
+// on a partial score, since the candidate's fate depends on the sum.
+func (s *ForeignScorer) Score(cand *data.Object) int {
+	q, p := s.cursor.QPObject(cand)
+	score := 0
+	qw, pw := q.Words(), p.Words()
+	for wi, w := range qw {
+		if w == 0 {
+			continue
+		}
+		pword := pw[wi]
+		base := wi * 64
+		for ; w != 0; w &= w - 1 {
+			bit := bits.TrailingZeros64(w)
+			po := s.ds.Obj(base + bit)
+			common := cand.Mask & po.Mask
+			if common == 0 {
+				continue // member of F: incomparable, never dominated
+			}
+			if pword&(1<<bit) != 0 {
+				score++ // member of P: strictly worse or missing everywhere
+				continue
+			}
+			// Q−P rim: compare on the common observed dimensions.
+			equal := 0
+			worse := false
+			for d, m := 0, common; m != 0; d, m = d+1, m>>1 {
+				if m&1 == 0 {
+					continue
+				}
+				switch {
+				case po.Values[d] == cand.Values[d]:
+					equal++
+				case po.Values[d] < cand.Values[d]:
+					worse = true
+				}
+			}
+			if worse || equal == bits.OnesCount64(common) {
+				continue // not dominated (this also drops cand itself)
+			}
+			score++
+		}
+	}
+	return score
+}

@@ -159,6 +159,20 @@ func (ds *Dataset) Clone() *Dataset {
 	return out
 }
 
+// Slice returns a row-range view [lo, hi) of the dataset sharing the
+// receiver's object storage — the zero-copy shard constructor. The view is
+// only safe while the parent is immutable (a published epoch): a later
+// Append on the parent may reallocate the backing array, but the slice
+// header captured here keeps the original rows alive and unchanged, so a
+// shard built from a frozen epoch stays valid even if the source dataset
+// moves on.
+func (ds *Dataset) Slice(lo, hi int) *Dataset {
+	if lo < 0 || hi > len(ds.objs) || lo > hi {
+		panic(fmt.Sprintf("data: slice [%d,%d) out of range [0,%d)", lo, hi, len(ds.objs)))
+	}
+	return &Dataset{dim: ds.dim, objs: ds.objs[lo:hi:hi]}
+}
+
 // MissingRate returns the fraction of (object, dimension) cells that are
 // missing — the paper's σ.
 func (ds *Dataset) MissingRate() float64 {

@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -40,6 +41,11 @@ type SoakConfig struct {
 	Ks []int
 	// CacheBudget bounds the dataset's column cache (0 = default).
 	CacheBudget int64
+	// Shards serves the dataset through a scatter-gather coordinator with
+	// that many row-range shards; <= 1 serves unsharded. Answers are
+	// byte-identical either way, so the soak's ground-truth comparison
+	// doubles as the sharded-equivalence check under load.
+	Shards int
 }
 
 // soakConfigFor scales the harness like the paper experiments scale theirs.
@@ -57,9 +63,15 @@ func soakConfigFor(s Scale) SoakConfig {
 // SoakResult is one soak run's outcome.
 type SoakResult struct {
 	Clients int
-	Ops     int // queries completed
-	Reloads int // epoch swaps served
-	Errors  int // non-200 responses or transport failures
+	// Shards is the row-range shard count the dataset was served with (1 =
+	// unsharded); ShardP99 holds each shard's scatter-call p99 in
+	// milliseconds (estimated from the coordinator's per-shard histograms),
+	// empty when unsharded.
+	Shards   int
+	ShardP99 []float64
+	Ops      int // queries completed
+	Reloads  int // epoch swaps served
+	Errors   int // non-200 responses or transport failures
 	// Mismatches counts answers that were not byte-identical to the
 	// precomputed ground truth. The soak reloads the same data, so across
 	// every epoch swap the answer to a given query shape must not change.
@@ -95,6 +107,7 @@ func ServeSoak(cfg SoakConfig) (SoakResult, error) {
 		BatchWindow: time.Millisecond,
 		CacheBudget: cfg.CacheBudget,
 		IndexDir:    filepath.Join(dir, "ix"),
+		Shards:      cfg.Shards,
 	})
 	if err := srv.LoadCSVFile("soak", csv, false); err != nil {
 		return SoakResult{}, err
@@ -194,9 +207,19 @@ func ServeSoak(cfg SoakConfig) (SoakResult, error) {
 	if err != nil {
 		return SoakResult{}, err
 	}
+	shards := 1
+	var shardP99 []float64
+	if m, n, ok := srv.ShardMetrics("soak"); ok {
+		shards = n
+		for _, lat := range m.PerShard {
+			shardP99 = append(shardP99, lat.Quantile(0.99)*1000)
+		}
+	}
 	ops := cfg.Clients * cfg.OpsPerClient
 	return SoakResult{
 		Clients:    cfg.Clients,
+		Shards:     shards,
+		ShardP99:   shardP99,
 		Ops:        ops,
 		Reloads:    int(reloads.Load()),
 		Errors:     int(errors.Load()),
@@ -211,27 +234,45 @@ func ServeSoak(cfg SoakConfig) (SoakResult, error) {
 
 // Serve is the Spec entry point: the soak at the given scale, rendered as a
 // table for the text output and the benchrunner JSON report.
-func Serve(s Scale) []Table {
+func Serve(s Scale) []Table { return ServeSharded(s, 1) }
+
+// ServeSharded is Serve with a shard count (benchrunner -shards): the same
+// soak against a dataset served through the scatter-gather coordinator. The
+// report row carries the shard count and each shard's scatter p99 next to
+// the client-observed percentiles, so a straggler shard is visible at a
+// glance.
+func ServeSharded(s Scale, shards int) []Table {
 	cfg := soakConfigFor(s)
+	cfg.Shards = shards
 	t := Table{
-		Title: fmt.Sprintf("Server soak: %d clients × %d ops, reload every %d queries (N=%d)",
-			cfg.Clients, cfg.OpsPerClient, cfg.ReloadEvery, cfg.N),
-		Header: []string{"clients", "ops", "reloads", "epochs", "qps", "p50(ms)", "p99(ms)", "errors", "mismatches"},
+		Title: fmt.Sprintf("Server soak: %d clients × %d ops, reload every %d queries (N=%d, %d shard(s))",
+			cfg.Clients, cfg.OpsPerClient, cfg.ReloadEvery, cfg.N, max(shards, 1)),
+		Header: []string{"clients", "shards", "ops", "reloads", "epochs", "qps", "p50(ms)", "p99(ms)", "shard p99(ms)", "errors", "mismatches"},
 	}
 	res, err := ServeSoak(cfg)
 	if err != nil {
-		t.Rows = append(t.Rows, []string{"error", err.Error(), "", "", "", "", "", "", ""})
+		t.Rows = append(t.Rows, []string{"error", err.Error(), "", "", "", "", "", "", "", "", ""})
 		return []Table{t}
 	}
 	ms := func(d time.Duration) string { return fmt.Sprintf("%.3f", float64(d.Microseconds())/1000) }
+	shardP99 := "-"
+	if len(res.ShardP99) > 0 {
+		parts := make([]string, len(res.ShardP99))
+		for i, p := range res.ShardP99 {
+			parts[i] = fmt.Sprintf("%.1f", p)
+		}
+		shardP99 = strings.Join(parts, "/")
+	}
 	t.Rows = append(t.Rows, []string{
 		fmt.Sprint(res.Clients),
+		fmt.Sprint(res.Shards),
 		fmt.Sprint(res.Ops),
 		fmt.Sprint(res.Reloads),
 		fmt.Sprint(res.FinalEpoch),
 		fmt.Sprintf("%.1f", res.QPS),
 		ms(res.P50),
 		ms(res.P99),
+		shardP99,
 		fmt.Sprint(res.Errors),
 		fmt.Sprint(res.Mismatches),
 	})

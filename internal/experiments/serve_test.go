@@ -37,3 +37,36 @@ func TestSoakShort(t *testing.T) {
 	t.Logf("soak: %d ops, %d reloads, epoch %d, %.1f qps, p50=%v p99=%v",
 		res.Ops, res.Reloads, res.FinalEpoch, res.QPS, res.P50, res.P99)
 }
+
+// TestSoakShortSharded is TestSoakShort with the dataset served through the
+// scatter-gather coordinator: same zero-error, byte-identical contract, now
+// with epoch swaps rebuilding per-shard indexes under concurrent load, plus
+// the per-shard latency stamp the report carries.
+func TestSoakShortSharded(t *testing.T) {
+	cfg := soakConfigFor(Tiny)
+	cfg.Shards = 2
+	res, err := ServeSoak(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Errorf("%d failed requests during the sharded soak, want 0", res.Errors)
+	}
+	if res.Mismatches != 0 {
+		t.Errorf("%d answers diverged from the unsharded ground truth, want 0 (byte-identical)", res.Mismatches)
+	}
+	if res.Reloads == 0 {
+		t.Error("sharded soak performed no reloads")
+	}
+	if res.Shards != 2 {
+		t.Errorf("report says %d shards, want 2", res.Shards)
+	}
+	if len(res.ShardP99) != 2 {
+		t.Fatalf("report carries %d per-shard p99 entries, want 2", len(res.ShardP99))
+	}
+	for i, p := range res.ShardP99 {
+		if p <= 0 {
+			t.Errorf("shard %d p99 = %v, want > 0", i, p)
+		}
+	}
+}

@@ -49,13 +49,23 @@ func (c *indexCache) path(name string) string {
 	return filepath.Join(c.dir, url.PathEscape(name)+".tkdix")
 }
 
-// tryLoad restores name's persisted index into ds when the cached file
-// exists and its fingerprint matches the dataset. ok reports whether the
-// rebuild was skipped; a missing or mismatched file is a miss (false, nil),
-// a corrupt one surfaces its error so the caller can log it — either way
-// the caller falls back to building.
-func (c *indexCache) tryLoad(name string, ds *tkd.Dataset) (ok bool, err error) {
-	f, err := os.Open(c.path(name))
+// shardPath maps one shard of a sharded dataset to its cache file. The
+// shard index rides in the name; the shard *contents* are validated by the
+// slice fingerprint in the header, exactly like the dataset-level file.
+// The raw '%' separator cannot appear in an escaped dataset name
+// (PathEscape turns a literal '%' into %25), so no dataset name — sharded
+// or not — can collide with another dataset's shard files.
+func (c *indexCache) shardPath(name string, i int) string {
+	return filepath.Join(c.dir, url.PathEscape(name)+fmt.Sprintf("%%shard-%d.tkdix", i))
+}
+
+// tryLoadStream restores a persisted index from path when the file exists
+// and its header fingerprint matches fp, feeding the index stream to load.
+// ok reports whether the rebuild was skipped; a missing or mismatched file
+// is a miss (false, nil), a corrupt one surfaces its error so the caller
+// can log it — either way the caller falls back to building.
+func (c *indexCache) tryLoadStream(path string, fp uint64, load func(io.Reader) error) (ok bool, err error) {
+	f, err := os.Open(path)
 	if errors.Is(err, os.ErrNotExist) {
 		return false, nil
 	}
@@ -66,28 +76,28 @@ func (c *indexCache) tryLoad(name string, ds *tkd.Dataset) (ok bool, err error) 
 	br := bufio.NewReader(f)
 	var magic [8]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
-		return false, fmt.Errorf("server: index cache %s: %w", c.path(name), err)
+		return false, fmt.Errorf("server: index cache %s: %w", path, err)
 	}
 	if magic != cacheMagic {
 		return false, nil // older or foreign format: rebuild
 	}
-	var fp uint64
-	if err := binary.Read(br, binary.LittleEndian, &fp); err != nil {
-		return false, fmt.Errorf("server: index cache %s: %w", c.path(name), err)
+	var got uint64
+	if err := binary.Read(br, binary.LittleEndian, &got); err != nil {
+		return false, fmt.Errorf("server: index cache %s: %w", path, err)
 	}
-	if fp != ds.Fingerprint() {
+	if got != fp {
 		return false, nil // data changed since the index was persisted
 	}
-	if err := ds.LoadIndex(br); err != nil {
-		return false, fmt.Errorf("server: index cache %s: %w", c.path(name), err)
+	if err := load(br); err != nil {
+		return false, fmt.Errorf("server: index cache %s: %w", path, err)
 	}
 	return true, nil
 }
 
-// save persists ds's binned index (building it if needed) for future warm
-// starts, writing to a temp file and renaming so a concurrent reader or a
+// saveStream persists an index stream under path with the fingerprint
+// header, writing to a temp file and renaming so a concurrent reader or a
 // crash mid-write never sees a torn file.
-func (c *indexCache) save(name string, ds *tkd.Dataset) error {
+func (c *indexCache) saveStream(path string, fp uint64, save func(io.Writer) error) error {
 	tmp, err := os.CreateTemp(c.dir, ".tkdix-tmp-*")
 	if err != nil {
 		return err
@@ -98,11 +108,11 @@ func (c *indexCache) save(name string, ds *tkd.Dataset) error {
 		tmp.Close()
 		return err
 	}
-	if err := binary.Write(bw, binary.LittleEndian, ds.Fingerprint()); err != nil {
+	if err := binary.Write(bw, binary.LittleEndian, fp); err != nil {
 		tmp.Close()
 		return err
 	}
-	if err := ds.SaveIndex(bw); err != nil {
+	if err := save(bw); err != nil {
 		tmp.Close()
 		return err
 	}
@@ -113,5 +123,39 @@ func (c *indexCache) save(name string, ds *tkd.Dataset) error {
 	if err := tmp.Close(); err != nil {
 		return err
 	}
-	return os.Rename(tmp.Name(), c.path(name))
+	return os.Rename(tmp.Name(), path)
+}
+
+// tryLoad restores name's persisted index into ds (fingerprint-gated).
+func (c *indexCache) tryLoad(name string, ds *tkd.Dataset) (bool, error) {
+	return c.tryLoadStream(c.path(name), ds.Fingerprint(), ds.LoadIndex)
+}
+
+// save persists ds's binned index (building it if needed).
+func (c *indexCache) save(name string, ds *tkd.Dataset) error {
+	return c.saveStream(c.path(name), ds.Fingerprint(), ds.SaveIndex)
+}
+
+// tryLoadShard restores shard i's persisted index, keyed by the shard's
+// slice fingerprint so a changed row range rebuilds while unchanged shards
+// warm-load.
+func (c *indexCache) tryLoadShard(name string, i int, sd *tkd.ShardedDataset) (bool, error) {
+	fp, err := sd.ShardFingerprint(i)
+	if err != nil {
+		return false, err
+	}
+	return c.tryLoadStream(c.shardPath(name, i), fp, func(r io.Reader) error {
+		return sd.LoadShardIndex(i, r)
+	})
+}
+
+// saveShard persists shard i's binned index.
+func (c *indexCache) saveShard(name string, i int, sd *tkd.ShardedDataset) error {
+	fp, err := sd.ShardFingerprint(i)
+	if err != nil {
+		return err
+	}
+	return c.saveStream(c.shardPath(name, i), fp, func(w io.Writer) error {
+		return sd.SaveShardIndex(i, w)
+	})
 }

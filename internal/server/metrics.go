@@ -9,13 +9,16 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/shard"
 	"repro/tkd"
 )
 
 // latencyBuckets are the upper bounds (seconds) of the query latency
 // histogram, Prometheus-style cumulative; the implicit +Inf bucket is the
-// total count.
-var latencyBuckets = [...]float64{0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5}
+// total count. Single-sourced from the shard package so the query-latency
+// and per-shard scatter-latency families stay bucket-compatible on one
+// dashboard by construction.
+var latencyBuckets = shard.LatencyBuckets
 
 // histogram is a fixed-bucket latency histogram safe for concurrent
 // observation.
@@ -269,5 +272,50 @@ func (s *Server) writeMetrics(w io.Writer) {
 	fmt.Fprintf(w, "# TYPE tkd_kernel_decompress_fallbacks_total counter\n")
 	for i, e := range entries {
 		fmt.Fprintf(w, "tkd_kernel_decompress_fallbacks_total{dataset=%q} %d\n", e.name, cacheStats[i].Fallback)
+	}
+
+	// Scatter-gather counters, for the datasets served sharded.
+	type shardedEntry struct {
+		name string
+		n    int
+		m    tkd.ShardMetrics
+	}
+	var sharded []shardedEntry
+	for _, e := range entries {
+		if sd, ok := e.ds.(*tkd.ShardedDataset); ok {
+			sharded = append(sharded, shardedEntry{name: e.name, n: sd.ShardCount(), m: sd.Metrics()})
+		}
+	}
+	if len(sharded) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "# HELP tkd_dataset_shards Row-range shards the dataset is split into.\n")
+	fmt.Fprintf(w, "# TYPE tkd_dataset_shards gauge\n")
+	for _, se := range sharded {
+		fmt.Fprintf(w, "tkd_dataset_shards{dataset=%q} %d\n", se.name, se.n)
+	}
+	fmt.Fprintf(w, "# HELP tkd_shard_fanout_total Scatter calls fanned out to shards (one per shard per phase per window).\n")
+	fmt.Fprintf(w, "# TYPE tkd_shard_fanout_total counter\n")
+	for _, se := range sharded {
+		fmt.Fprintf(w, "tkd_shard_fanout_total{dataset=%q} %d\n", se.name, se.m.Fanout)
+	}
+	fmt.Fprintf(w, "# HELP tkd_shard_tau_pushdowns_total Candidates pruned across shards by the pushed-down global tau (the cross-shard Heuristic 2).\n")
+	fmt.Fprintf(w, "# TYPE tkd_shard_tau_pushdowns_total counter\n")
+	for _, se := range sharded {
+		fmt.Fprintf(w, "tkd_shard_tau_pushdowns_total{dataset=%q} %d\n", se.name, se.m.TauPushdowns)
+	}
+	fmt.Fprintf(w, "# HELP tkd_shard_latency_seconds Per-shard scatter-call latency histogram.\n")
+	fmt.Fprintf(w, "# TYPE tkd_shard_latency_seconds histogram\n")
+	for _, se := range sharded {
+		for sh, lat := range se.m.PerShard {
+			cum := int64(0)
+			for b, ub := range shard.LatencyBuckets {
+				cum += lat.Buckets[b]
+				fmt.Fprintf(w, "tkd_shard_latency_seconds_bucket{dataset=%q,shard=\"%d\",le=%q} %d\n", se.name, sh, formatBound(ub), cum)
+			}
+			fmt.Fprintf(w, "tkd_shard_latency_seconds_bucket{dataset=%q,shard=\"%d\",le=\"+Inf\"} %d\n", se.name, sh, lat.Count)
+			fmt.Fprintf(w, "tkd_shard_latency_seconds_sum{dataset=%q,shard=\"%d\"} %g\n", se.name, sh, lat.SumSeconds)
+			fmt.Fprintf(w, "tkd_shard_latency_seconds_count{dataset=%q,shard=\"%d\"} %d\n", se.name, sh, lat.Count)
+		}
 	}
 }

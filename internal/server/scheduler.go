@@ -59,7 +59,7 @@ type request struct {
 var errDraining = fmt.Errorf("server: dataset is draining")
 
 type scheduler struct {
-	ds       *tkd.Dataset
+	ds       Queryable
 	adm      *admission
 	met      *datasetMetrics
 	in       chan *request
@@ -78,7 +78,7 @@ type scheduler struct {
 	drainOnce sync.Once
 }
 
-func newScheduler(ds *tkd.Dataset, adm *admission, met *datasetMetrics, window time.Duration, maxBatch int, done chan struct{}) *scheduler {
+func newScheduler(ds Queryable, adm *admission, met *datasetMetrics, window time.Duration, maxBatch int, done chan struct{}) *scheduler {
 	if maxBatch <= 0 {
 		maxBatch = 64
 	}

@@ -41,6 +41,8 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/shard"
 	"repro/tkd"
 )
 
@@ -64,8 +66,19 @@ type Config struct {
 	// IndexDir enables the persisted-index cache: built binned indexes are
 	// written here (keyed by dataset name, validated by content
 	// fingerprint) and warm starts load them instead of rebuilding. Empty
-	// disables persistence.
+	// disables persistence. Sharded datasets persist one file per shard,
+	// keyed by the shard's slice fingerprint, so a warm restart skips
+	// rebuilds shard by shard.
 	IndexDir string
+	// Shards splits every registered dataset into that many row-range
+	// shards behind a scatter-gather coordinator (see tkd.ShardedDataset);
+	// <= 1 serves unsharded. Answers are byte-identical either way.
+	Shards int
+	// ShardPeers serves the shards from remote tkdserver peers instead of
+	// in-process: shard i goes to ShardPeers[i % len(ShardPeers)]. Each
+	// peer must have the same datasets registered under the same names.
+	// Ignored when Shards <= 1.
+	ShardPeers []string
 }
 
 // Server is the HTTP query service. Create with New, register datasets with
@@ -75,6 +88,7 @@ type Server struct {
 	adm       *admission
 	reg       *registry
 	mux       *http.ServeMux
+	peer      *shard.Peer
 	life      lifecycleMetrics
 	draining  atomic.Bool
 	done      chan struct{}
@@ -96,7 +110,9 @@ func New(cfg Config) *Server {
 		mux:  http.NewServeMux(),
 		done: make(chan struct{}),
 	}
+	s.peer = shard.NewPeer(s.resolveShardData)
 	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
+	s.mux.Handle("POST /v1/shard/query", s.peer)
 	s.mux.HandleFunc("GET /v1/datasets", s.handleDatasets)
 	s.mux.HandleFunc("POST /v1/datasets", s.handleRegister)
 	s.mux.HandleFunc("POST /v1/datasets/{name}/reload", s.handleReload)
@@ -110,10 +126,44 @@ func New(cfg Config) *Server {
 // (persisted index when available, built — and persisted — otherwise) and
 // starts its batch scheduler. Datasets registered this way have no source
 // file, so /reload returns 409 for them; use LoadCSVFile or POST
-// /v1/datasets for reloadable datasets.
-func (s *Server) AddDataset(name string, ds *tkd.Dataset) error {
+// /v1/datasets for reloadable datasets. A plain *tkd.Dataset is sharded
+// automatically when Config.Shards > 1; a pre-built *tkd.ShardedDataset is
+// registered as-is.
+func (s *Server) AddDataset(name string, ds Queryable) error {
 	_, err := s.register(name, ds, "", false)
 	return err
+}
+
+// ShardMetrics returns the scatter-gather counters of a resident dataset
+// served sharded; ok is false for unknown names and unsharded datasets.
+// The soak harness stamps the per-shard p99 from this into its report.
+func (s *Server) ShardMetrics(name string) (m tkd.ShardMetrics, shards int, ok bool) {
+	e, found := s.reg.get(name)
+	if !found {
+		return m, 0, false
+	}
+	sd, isSharded := e.ds.(*tkd.ShardedDataset)
+	if !isSharded {
+		return m, 0, false
+	}
+	return sd.Metrics(), sd.ShardCount(), true
+}
+
+// resolveShardData backs the /v1/shard/query peer endpoint: the frozen
+// epoch data of a resident dataset, whether it is served unsharded or is
+// itself a scatter-gather coordinator (peers slice the source either way).
+func (s *Server) resolveShardData(name string) (*data.Dataset, bool) {
+	e, ok := s.reg.get(name)
+	if !ok {
+		return nil, false
+	}
+	switch d := e.ds.(type) {
+	case *tkd.Dataset:
+		return d.ShardData(), true
+	case *tkd.ShardedDataset:
+		return d.Source().ShardData(), true
+	}
+	return nil, false
 }
 
 // LoadCSVFile reads a datagen-format CSV and registers it under name.
@@ -130,7 +180,7 @@ func (s *Server) LoadCSVFile(name, path string, negate bool) error {
 
 // register installs a dataset; warm reports whether the persisted-index
 // cache supplied the index.
-func (s *Server) register(name string, ds *tkd.Dataset, path string, negate bool) (warm bool, err error) {
+func (s *Server) register(name string, ds Queryable, path string, negate bool) (warm bool, err error) {
 	if name == "" {
 		return false, fmt.Errorf("server: empty dataset name")
 	}
@@ -141,6 +191,17 @@ func (s *Server) register(name string, ds *tkd.Dataset, path string, negate bool
 	// registry's add re-checks under its lock for the racing case.
 	if _, ok := s.reg.get(name); ok {
 		return false, fmt.Errorf("%w: %q", errDuplicate, name)
+	}
+	if base, ok := ds.(*tkd.Dataset); ok && s.cfg.Shards > 1 {
+		opts := []tkd.ShardOption{tkd.WithShards(s.cfg.Shards)}
+		if len(s.cfg.ShardPeers) > 0 {
+			opts = append(opts, tkd.WithShardPeers(s.cfg.ShardPeers...))
+		}
+		sharded, err := tkd.Shard(base, name, opts...)
+		if err != nil {
+			return false, err
+		}
+		ds = sharded
 	}
 	warm, err = s.warmPrepare(name, ds)
 	if err != nil {
@@ -169,8 +230,12 @@ func (s *Server) register(name string, ds *tkd.Dataset, path string, negate bool
 // artifacts so the first query is as fast as the thousandth. The
 // value-granular BIG bitmap — the most expensive artifact, needed only for
 // explicit BIG queries — builds lazily on first use. warm reports whether
-// the persisted index supplied the artifact (rebuild skipped).
-func (s *Server) warmPrepare(name string, ds *tkd.Dataset) (warm bool, err error) {
+// the persisted index supplied the artifact (rebuild skipped). Sharded
+// datasets warm shard by shard: one cache file per shard, keyed by the
+// shard's slice fingerprint, so a restart (or a reload of an unchanged
+// file) skips rebuilds shard by shard and a partially valid cache still
+// saves most of the work.
+func (s *Server) warmPrepare(name string, ds Queryable) (warm bool, err error) {
 	if s.cfg.CacheBudget > 0 {
 		ds.SetCacheBudget(s.cfg.CacheBudget)
 	}
@@ -178,8 +243,15 @@ func (s *Server) warmPrepare(name string, ds *tkd.Dataset) (warm bool, err error
 	if err != nil {
 		return false, err
 	}
-	if ixc != nil {
-		ok, err := ixc.tryLoad(name, ds)
+	if sd, ok := ds.(*tkd.ShardedDataset); ok {
+		return s.warmPrepareSharded(name, sd, ixc)
+	}
+	// Index persistence needs the Save/LoadIndex hooks, which live on the
+	// concrete *tkd.Dataset; any other Queryable implementation skips the
+	// cache and simply prepares in-process.
+	base, persistable := ds.(*tkd.Dataset)
+	if ixc != nil && persistable {
+		ok, err := ixc.tryLoad(name, base)
 		if err != nil {
 			// A corrupt cache file is a miss, not an outage: rebuild below
 			// and overwrite it. Surface the event on /metrics.
@@ -194,9 +266,63 @@ func (s *Server) warmPrepare(name string, ds *tkd.Dataset) (warm bool, err error
 	ds.PrepareFor(tkd.IBIG)
 	if built := ds.IndexBuilds() - before; built > 0 {
 		s.life.indexBuilds.Add(built)
-		if ixc != nil {
-			if err := ixc.save(name, ds); err != nil {
+		if ixc != nil && persistable {
+			if err := ixc.save(name, base); err != nil {
 				s.life.indexCacheErrors.Add(1)
+			}
+		}
+	}
+	return warm, nil
+}
+
+// warmPrepareSharded is warmPrepare's per-shard flavour: restore every local
+// shard's persisted index, build the rest, persist what was built. warm
+// reports whether every local shard came from the cache.
+func (s *Server) warmPrepareSharded(name string, sd *tkd.ShardedDataset, ixc *indexCache) (warm bool, err error) {
+	// persistable marks the shards with something to persist: in-process
+	// (remote shards warm on their peers) and non-empty (a zero-row shard —
+	// more shards than rows — has no index at all, and treating it as a
+	// cache error would leave a permanent phantom corruption signal on
+	// /metrics).
+	persistable := func(i int) bool {
+		if !sd.ShardIsLocal(i) {
+			return false
+		}
+		rows, err := sd.ShardRows(i)
+		return err == nil && rows > 0
+	}
+	loaded := make([]bool, sd.ShardCount())
+	if ixc != nil {
+		for i := range loaded {
+			if !persistable(i) {
+				continue
+			}
+			ok, err := ixc.tryLoadShard(name, i, sd)
+			if err != nil {
+				s.life.indexCacheErrors.Add(1)
+			}
+			if ok {
+				loaded[i] = true
+				s.life.indexWarmLoads.Add(1)
+			}
+		}
+	}
+	before := sd.IndexBuilds()
+	sd.PrepareFor(tkd.IBIG)
+	if built := sd.IndexBuilds() - before; built > 0 {
+		s.life.indexBuilds.Add(built)
+	}
+	warm = true
+	for i := range loaded {
+		if !persistable(i) {
+			continue
+		}
+		if !loaded[i] {
+			warm = false
+			if ixc != nil {
+				if err := ixc.saveShard(name, i, sd); err != nil {
+					s.life.indexCacheErrors.Add(1)
+				}
 			}
 		}
 	}
@@ -300,6 +426,8 @@ type DatasetInfo struct {
 	CacheBytes  int64   `json:"cache_bytes"`
 	Epoch       uint64  `json:"epoch"`
 	Reloads     int64   `json:"reloads"`
+	// Shards is the row-range shard count; 0 for unsharded datasets.
+	Shards int `json:"shards,omitempty"`
 	// Source is the CSV path reloads rebuild from; empty for datasets
 	// registered in-process.
 	Source string `json:"source,omitempty"`
@@ -428,6 +556,9 @@ func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 			Reloads:     e.met.reloads.Load(),
 			Source:      e.path,
 		}
+		if sd, ok := e.ds.(*tkd.ShardedDataset); ok {
+			infos[i].Shards = sd.ShardCount()
+		}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"datasets": infos})
 }
@@ -512,15 +643,38 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 			Error: fmt.Sprintf("reload of %q from %s produced an empty dataset", name, e.path)})
 		return
 	}
-	warm, err := s.warmPrepare(name, fresh)
-	if err != nil {
-		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
-		return
+	var warm bool
+	if _, sharded := e.ds.(*tkd.ShardedDataset); sharded {
+		// A sharded entry swaps first, then warms: the shard topology is
+		// keyed to the new epoch, so the per-shard indexes can only build
+		// (or warm-load, for an unchanged file) against it. Queries racing
+		// the warm-up block briefly on the shard-set build; none fail.
+		e.ds.ReplaceFrom(fresh)
+		// The swap is live from here on: the peer cache must drop the
+		// retired epoch's slices now, and the response must report the
+		// reload as served even if the warm-up below hits a cache problem
+		// (claiming failure for an epoch that already took effect would be
+		// worse than a cold cache — which is all a warm-up error means).
+		s.peer.Evict(name)
+		warm, err = s.warmPrepare(name, e.ds)
+		if err != nil {
+			s.life.indexCacheErrors.Add(1)
+			warm, err = false, nil
+		}
+	} else {
+		// Unsharded: build the replacement's index entirely off to the
+		// side, then swap — ReplaceFrom carries the warm artifacts over.
+		warm, err = s.warmPrepare(name, fresh)
+		if err != nil {
+			writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+			return
+		}
+		e.ds.ReplaceFrom(fresh)
+		// Peers may have cached slices of the pre-reload epoch; drop them
+		// (the lazy sweep only runs if another shard query for this name
+		// ever arrives).
+		s.peer.Evict(name)
 	}
-	// The swap: one atomic pointer publish inside the dataset the
-	// scheduler already owns. In-flight queries finish on the old epoch;
-	// its column cache is dropped as part of the swap.
-	e.ds.ReplaceFrom(fresh)
 	e.met.reloads.Add(1)
 	writeJSON(w, http.StatusOK, ReloadResponse{
 		Dataset:     name,
@@ -541,9 +695,11 @@ func (s *Server) handleEvict(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// Drain: requests already accepted (or racing the removal) get served;
-	// then the scheduler goroutine exits and the cache budget is released.
+	// then the scheduler goroutine exits and the cache budget is released —
+	// including any shard slices the peer endpoint cached for coordinators.
 	e.sch.drainStop()
 	e.ds.ReleaseCache()
+	s.peer.Evict(name)
 	s.life.evictions.Add(1)
 	writeJSON(w, http.StatusOK, map[string]any{"evicted": name, "epoch": e.ds.Epoch()})
 }

@@ -1,0 +1,252 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/skyband"
+)
+
+// Coordinator drives scatter-gather queries over a fixed set of shard
+// backends. It owns the coordinator-side artifacts — the full (frozen)
+// dataset and the global MaxScore queue — and is safe for concurrent Run
+// calls; the backends it is handed per call do the shard-side work.
+type Coordinator struct {
+	ds        *data.Dataset
+	queueOnce sync.Once
+	queue     *core.MaxScoreQueue
+	met       *Metrics
+}
+
+// NewCoordinator wraps the full dataset. queue may be nil (built once, on
+// the first queue-driven query); pass the dataset's existing MaxScore
+// artifact to share it with unsharded queries. met may be nil (no metrics
+// collected).
+func NewCoordinator(ds *data.Dataset, queue *core.MaxScoreQueue, met *Metrics) *Coordinator {
+	c := &Coordinator{ds: ds, queue: queue, met: met}
+	if queue != nil {
+		c.queueOnce.Do(func() {})
+	}
+	return c
+}
+
+// maxScoreQueue returns the coordinator's queue, building it exactly once
+// under concurrent Run calls.
+func (c *Coordinator) maxScoreQueue() *core.MaxScoreQueue {
+	c.queueOnce.Do(func() { c.queue = core.BuildMaxScoreQueue(c.ds) })
+	return c.queue
+}
+
+// scatter fans one request to every backend concurrently and gathers the
+// per-shard result vectors. Residuals carries the per-shard pushed-down
+// thresholds for ModeBounds (nil on the exact phase).
+func (c *Coordinator) scatter(backends []Backend, req Request, residuals []int) ([][]int32, error) {
+	results := make([][]int32, len(backends))
+	errs := make([]error, len(backends))
+	var wg sync.WaitGroup
+	for s, b := range backends {
+		wg.Add(1)
+		go func(s int, b Backend) {
+			defer wg.Done()
+			r := req
+			if residuals != nil {
+				r.Residual = residuals[s]
+			}
+			t0 := time.Now()
+			res, err := b.Partial(&r)
+			c.met.observeShard(s, time.Since(t0))
+			if err == nil && len(res) != len(req.Cands) {
+				err = fmt.Errorf("shard %d returned %d results for %d candidates", s, len(res), len(req.Cands))
+			}
+			results[s], errs[s] = res, err
+		}(s, b)
+	}
+	wg.Wait()
+	c.met.addFanout(len(backends))
+	return results, errors.Join(errs...)
+}
+
+// candidatesFor returns the serial algorithm's candidate order for the
+// non-queue plans: Naive offers every object in dataset order; ESB offers
+// the bucket-local k-skyband survivors in ascending-mask bucket order —
+// both computed coordinator-side on the full data, exactly as the serial
+// loops do, so the offer replay (and hence every rank-k tie-break) matches.
+func (c *Coordinator) candidatesFor(alg core.Algorithm, k int, st *core.Stats) []int32 {
+	if alg == core.AlgNaive {
+		out := make([]int32, c.ds.Len())
+		for i := range out {
+			out[i] = int32(i)
+		}
+		return out
+	}
+	// ESB: ascending-mask buckets, local k-skyband each.
+	buckets := c.ds.Buckets()
+	masks := make([]uint64, 0, len(buckets))
+	for m := range buckets {
+		masks = append(masks, m)
+	}
+	sort.Slice(masks, func(i, j int) bool { return masks[i] < masks[j] })
+	var cands []int32
+	for _, m := range masks {
+		ids := buckets[m]
+		sb := skyband.KSkyband(c.ds, ids, k)
+		st.Comparisons += int64(len(ids)) * int64(min(k, len(ids)))
+		st.PrunedSkyband += len(ids) - len(sb)
+		cands = append(cands, sb...)
+	}
+	return cands
+}
+
+// Run executes one query over the backends and returns the answer — byte-
+// identical to the unsharded algorithm's — plus coordinator-side stats.
+func (c *Coordinator) Run(alg core.Algorithm, k int, backends []Backend) (core.Result, core.Stats, error) {
+	var st core.Stats
+	st.Workers = len(backends)
+	if k <= 0 || c.ds.Len() == 0 {
+		return core.Result{}, st, nil
+	}
+	totalRows := 0
+	for _, b := range backends {
+		totalRows += b.Rows()
+	}
+	if totalRows != c.ds.Len() {
+		return core.Result{}, st, fmt.Errorf("shard: backends cover %d rows, dataset has %d", totalRows, c.ds.Len())
+	}
+
+	useQueue := alg == core.AlgUBB || alg == core.AlgBIG || alg == core.AlgIBIG
+	useBounds := alg == core.AlgBIG || alg == core.AlgIBIG
+	var fr *core.Frontier
+	var queue *core.MaxScoreQueue
+	var static []int32
+	if useQueue {
+		queue = c.maxScoreQueue()
+		fr = core.NewFrontier(queue)
+	} else {
+		static = c.candidatesFor(alg, k, &st)
+	}
+
+	heap := core.NewAnswerHeap(k)
+	cands := make([]*data.Object, 0, core.WindowSize)
+	keep := make([]bool, 0, core.WindowSize)
+	totals := make([]int, 0, core.WindowSize)
+	pos := 0
+
+	for {
+		tau := heap.Tau()
+		var window []int32
+		if useQueue {
+			fr.SetTau(tau)
+			_, w, pruned, ok := fr.NextWindow(core.WindowSize)
+			st.PrunedH1 += pruned
+			if !ok {
+				break
+			}
+			window = w
+		} else {
+			if pos >= len(static) {
+				break
+			}
+			end := min(pos+core.WindowSize, len(static))
+			window = static[pos:end]
+			pos = end
+		}
+		st.Windows++
+
+		cands = cands[:0]
+		keep = keep[:0]
+		for _, id := range window {
+			cands = append(cands, c.ds.Obj(int(id)))
+			// Per-candidate Heuristic 1 against the window-start τ: the
+			// serial loop would have stopped at or before such a candidate,
+			// so skipping its scatter is free and sound.
+			h1 := useQueue && tau >= 0 && queue.MaxScore[id] <= tau
+			if h1 {
+				st.PrunedH1++
+			}
+			keep = append(keep, !h1)
+		}
+
+		if useBounds && tau >= 0 {
+			// Bounds phase: push τ down as per-shard residuals and prune
+			// candidates whose per-shard bound sum cannot beat it. Only the
+			// Heuristic-1 survivors scatter — the dropped ones would cost a
+			// bound walk per shard (and wire payload per candidate for
+			// remote shards) just to be ignored.
+			residuals := make([]int, len(backends))
+			for s, b := range backends {
+				residuals[s] = tau - (totalRows - b.Rows())
+			}
+			probe := make([]*data.Object, 0, len(cands))
+			probeIdx := make([]int, 0, len(cands))
+			for i, ok := range keep {
+				if ok {
+					probe = append(probe, cands[i])
+					probeIdx = append(probeIdx, i)
+				}
+			}
+			if len(probe) > 0 {
+				bounds, err := c.scatter(backends, Request{Alg: alg, Mode: ModeBounds, Tau: tau, Cands: probe}, residuals)
+				if err != nil {
+					return core.Result{}, st, err
+				}
+				pruned := 0
+				for pi, i := range probeIdx {
+					sum := 0
+					for s := range bounds {
+						sum += int(bounds[s][pi])
+					}
+					if sum <= tau {
+						keep[i] = false
+						pruned++
+						st.Candidates++
+						st.PrunedH2++
+					}
+				}
+				c.met.addPushdowns(pruned)
+			}
+		}
+
+		// Exact phase over the survivors.
+		live := cands[:0]
+		for i, ok := range keep {
+			if ok {
+				live = append(live, cands[i])
+			}
+		}
+		var scores [][]int32
+		if len(live) > 0 {
+			var err error
+			scores, err = c.scatter(backends, Request{Alg: alg, Mode: ModeScores, Tau: tau, Cands: live}, nil)
+			if err != nil {
+				return core.Result{}, st, err
+			}
+		}
+		totals = totals[:0]
+		for i := range live {
+			sum := 0
+			for s := range scores {
+				sum += int(scores[s][i])
+			}
+			totals = append(totals, sum)
+		}
+
+		// Offer in queue order — the serial replay that makes the answer,
+		// including rank-k tie-breaks, byte-identical.
+		li := 0
+		for i, id := range window {
+			if !keep[i] {
+				continue
+			}
+			st.Candidates++
+			st.Scored++
+			heap.Offer(core.Item{Index: int(id), ID: c.ds.Obj(int(id)).ID, Score: totals[li]})
+			li++
+		}
+	}
+	return heap.Result(), st, nil
+}

@@ -1,0 +1,160 @@
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"repro/internal/data"
+)
+
+// Peer is the shard-protocol server side: it answers /v1/shard/query against
+// row-range slices of datasets resolved by name, caching one warm Local —
+// slice plus its indexes — per (dataset, range). A peer is just a tkdserver
+// that happens to be listed in some coordinator's -peers flag; it serves the
+// full dataset to direct clients and shard slices to coordinators, from the
+// same registry entry.
+type Peer struct {
+	// resolve returns the named dataset's current frozen epoch data. The
+	// returned pointer doubles as the epoch identity: a reload publishes
+	// new data, the pointer changes, and stale Locals rebuild on the next
+	// request.
+	resolve func(name string) (*data.Dataset, bool)
+
+	mu     sync.Mutex
+	locals map[peerKey]*peerEntry
+}
+
+type peerKey struct {
+	name     string
+	from, to int
+}
+
+type peerEntry struct {
+	identity *data.Dataset // the epoch the entry was built from
+	fp       uint64
+	local    *Local
+}
+
+// NewPeer wraps a resolver.
+func NewPeer(resolve func(name string) (*data.Dataset, bool)) *Peer {
+	return &Peer{resolve: resolve, locals: make(map[peerKey]*peerEntry)}
+}
+
+// local returns the warm Local for the request's range, rebuilding when the
+// dataset's epoch moved underneath it. Building a fresh entry also sweeps
+// the dataset's stale ones — ranges keyed to older epochs (a reload that
+// changed the row count changes the coordinator's shard boundaries, so the
+// old keys would otherwise pin their slices and indexes forever).
+func (p *Peer) local(ds *data.Dataset, key peerKey) (*Local, uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if e, ok := p.locals[key]; ok && e.identity == ds {
+		return e.local, e.fp
+	}
+	live := 0
+	for k, e := range p.locals {
+		if k.name != key.name {
+			continue
+		}
+		if e.identity != ds {
+			delete(p.locals, k)
+		} else {
+			live++
+		}
+	}
+	if live >= maxRangesPerDataset {
+		// More distinct ranges than any sane coordinator topology implies —
+		// a misconfigured second coordinator or a client probing ranges.
+		// Each entry can hold a full index over its slice, so reset the
+		// dataset's cache instead of letting it grow without bound; a
+		// legitimate coordinator simply rebuilds its few ranges.
+		for k := range p.locals {
+			if k.name == key.name {
+				delete(p.locals, k)
+			}
+		}
+	}
+	l := NewLocal(ds.Slice(key.from, key.to))
+	e := &peerEntry{identity: ds, fp: l.Fingerprint(), local: l}
+	p.locals[key] = e
+	return e.local, e.fp
+}
+
+// maxRangesPerDataset bounds the per-dataset shard cache: comfortably above
+// any real shard count, far below what lets arbitrary range probing pin
+// unbounded index memory.
+const maxRangesPerDataset = 64
+
+// Evict drops every cached shard of name — the hook a serving layer calls
+// when it removes the dataset from its registry, so the peer cache cannot
+// pin an evicted dataset's slices and indexes.
+func (p *Peer) Evict(name string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for k := range p.locals {
+		if k.name == name {
+			delete(p.locals, k)
+		}
+	}
+}
+
+// writeError emits a WireError with the given status.
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(WireError{Error: fmt.Sprintf(format, args...)})
+}
+
+// ServeHTTP handles POST /v1/shard/query.
+func (p *Peer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	var req WireRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad shard request body: %v", err)
+		return
+	}
+	alg, err := algFromWire(req.Algorithm)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	mode, err := ParseMode(req.Mode)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	ds, ok := p.resolve(req.Dataset)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown dataset %q", req.Dataset)
+		return
+	}
+	if req.From < 0 || req.To > ds.Len() || req.From > req.To {
+		writeError(w, http.StatusBadRequest, "range [%d,%d) out of bounds for %d rows", req.From, req.To, ds.Len())
+		return
+	}
+	local, fp := p.local(ds, peerKey{name: req.Dataset, from: req.From, to: req.To})
+	if fp != req.Fingerprint {
+		// The coordinator and this peer disagree on the shard's contents —
+		// a lagging reload or a different source file. Refusing keeps the
+		// merge exact; the coordinator surfaces the error to the client.
+		writeError(w, http.StatusConflict,
+			"shard fingerprint mismatch for %q[%d:%d): peer has %x, coordinator wants %x",
+			req.Dataset, req.From, req.To, fp, req.Fingerprint)
+		return
+	}
+	cands, err := decodeCandidates(ds.Dim(), req.Candidates)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	results, err := local.Partial(&Request{Alg: alg, Mode: mode, Tau: req.Tau, Residual: req.Residual, Cands: cands})
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(WireResponse{Results: results})
+}

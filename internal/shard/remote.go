@@ -1,0 +1,173 @@
+package shard
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/data"
+)
+
+// The wire protocol: POST {peer}/v1/shard/query with a WireRequest, answered
+// by a WireResponse. One request carries one scatter batch (bounds or exact
+// scores) for one row range of one named dataset. The shard fingerprint —
+// the data.Dataset fingerprint of the row range — rides along so a peer
+// serving different data (a lagging reload, a different file) answers 409
+// instead of silently corrupting the merge.
+
+// WireCandidate is one candidate on the wire. Values holds 0 in unobserved
+// positions (JSON cannot carry NaN); Mask says which positions are real.
+type WireCandidate struct {
+	Values []float64 `json:"v"`
+	Mask   uint64    `json:"m"`
+}
+
+// WireRequest is the POST /v1/shard/query body.
+type WireRequest struct {
+	Dataset     string          `json:"dataset"`
+	From        int             `json:"from"`
+	To          int             `json:"to"`
+	Fingerprint uint64          `json:"fingerprint"`
+	Algorithm   string          `json:"algorithm"`
+	Mode        string          `json:"mode"` // "bounds" or "scores"
+	Tau         int             `json:"tau"`
+	Residual    int             `json:"residual"`
+	Candidates  []WireCandidate `json:"candidates"`
+}
+
+// WireResponse is the answer: one entry per candidate.
+type WireResponse struct {
+	Results []int32 `json:"results"`
+}
+
+// WireError is the JSON error body of a non-200 answer.
+type WireError struct {
+	Error string `json:"error"`
+}
+
+// modeString maps a Mode onto the wire.
+func modeString(m Mode) string {
+	if m == ModeBounds {
+		return "bounds"
+	}
+	return "scores"
+}
+
+// ParseMode resolves a wire mode string.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "bounds":
+		return ModeBounds, nil
+	case "scores":
+		return ModeScores, nil
+	}
+	return 0, fmt.Errorf("shard: unknown mode %q", s)
+}
+
+// Remote is a shard served by a tkdserver peer: the peer holds the full
+// dataset under the same name and slices the row range on demand, so every
+// peer runs identically and the coordinator's -peers list is pure topology.
+type Remote struct {
+	client  *http.Client
+	baseURL string
+	dataset string
+	from    int
+	to      int
+	fp      uint64
+}
+
+// NewRemote points a shard at peer baseURL, covering rows [from, to) of the
+// named dataset whose slice fingerprint is fp. client may be nil (a default
+// with a 30s timeout is used).
+func NewRemote(client *http.Client, baseURL, dataset string, from, to int, fp uint64) *Remote {
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	return &Remote{client: client, baseURL: baseURL, dataset: dataset, from: from, to: to, fp: fp}
+}
+
+// Rows implements Backend.
+func (r *Remote) Rows() int { return r.to - r.from }
+
+// Fingerprint implements Backend.
+func (r *Remote) Fingerprint() uint64 { return r.fp }
+
+// Partial implements Backend: one HTTP round trip per scatter batch.
+func (r *Remote) Partial(req *Request) ([]int32, error) {
+	wr := WireRequest{
+		Dataset:     r.dataset,
+		From:        r.from,
+		To:          r.to,
+		Fingerprint: r.fp,
+		Algorithm:   req.Alg.String(),
+		Mode:        modeString(req.Mode),
+		Tau:         req.Tau,
+		Residual:    req.Residual,
+		Candidates:  make([]WireCandidate, len(req.Cands)),
+	}
+	for i, c := range req.Cands {
+		vals := make([]float64, len(c.Values))
+		for d, v := range c.Values {
+			if c.Mask&(1<<uint(d)) != 0 {
+				vals[d] = v
+			}
+		}
+		wr.Candidates[i] = WireCandidate{Values: vals, Mask: c.Mask}
+	}
+	body, err := json.Marshal(wr)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := r.client.Post(r.baseURL+"/v1/shard/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("shard: peer %s: %w", r.baseURL, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var we WireError
+		msg := resp.Status
+		if json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&we) == nil && we.Error != "" {
+			msg = we.Error
+		}
+		return nil, fmt.Errorf("shard: peer %s: %s", r.baseURL, msg)
+	}
+	var out WireResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("shard: peer %s: decoding response: %w", r.baseURL, err)
+	}
+	return out.Results, nil
+}
+
+// decodeCandidates reconstructs data.Objects from the wire (NaN restored in
+// unobserved positions, preserving the data-model invariant).
+func decodeCandidates(dim int, wcs []WireCandidate) ([]*data.Object, error) {
+	out := make([]*data.Object, len(wcs))
+	for i, wc := range wcs {
+		if len(wc.Values) != dim {
+			return nil, fmt.Errorf("shard: candidate %d has %d values, want %d", i, len(wc.Values), dim)
+		}
+		if wc.Mask == 0 {
+			return nil, fmt.Errorf("shard: candidate %d has no observed dimension", i)
+		}
+		o := &data.Object{Values: make([]float64, dim), Mask: wc.Mask}
+		for d := 0; d < dim; d++ {
+			if wc.Mask&(1<<uint(d)) != 0 {
+				o.Values[d] = wc.Values[d]
+			} else {
+				o.Values[d] = math.NaN()
+			}
+		}
+		out[i] = o
+	}
+	return out, nil
+}
+
+// algFromWire resolves the wire algorithm name.
+func algFromWire(s string) (core.Algorithm, error) {
+	return core.ParseAlgorithm(s)
+}

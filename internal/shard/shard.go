@@ -1,0 +1,314 @@
+// Package shard distributes one TKD dataset across row-range shards behind
+// a scatter-gather coordinator, keeping answers byte-identical to the
+// unsharded run.
+//
+// The decomposition rests on one identity: dominance counts are additive
+// across a row partition. score(o) — how many objects o dominates — equals
+// the sum over shards of the number of *shard rows* o dominates, so each
+// shard indexes only its own rows (its own binned bitmap index, its own
+// column cache) and scores any candidate shipped to it as raw (values,
+// mask), while the coordinator owns the full dataset, the global MaxScore
+// queue, and the candidate heap.
+//
+// A query walks the queue in windows through the same core.Frontier seam
+// the in-process parallel engine uses:
+//
+//  1. Heuristic 1 stays global: the frontier stops once the window's best
+//     bound cannot beat τ, and per-candidate bounds are rechecked against
+//     the live τ before any scatter.
+//  2. Bounds phase (BIG/IBIG, once the heap is full): the window fans out
+//     to every shard with the global τ *pushed down* as a per-shard
+//     residual — τ minus the other shards' row counts — so a shard's
+//     threshold-aware |∩Qi| walk can bail out early; a candidate whose
+//     per-shard bounds sum to at most τ is pruned without exact scoring
+//     (the cross-shard form of Heuristic 2).
+//  3. Exact phase: survivors fan out again and each shard returns its exact
+//     partial score; the coordinator sums them and offers the candidates to
+//     the answer heap in queue order, replaying the serial loop's offer
+//     sequence exactly. Every pruned candidate provably scores ≤ τ at its
+//     offer position, so its missing offer is a no-op in the serial replay
+//     — the answer set, ranks and scores come out byte-identical, including
+//     ties at the k-th score.
+//
+// Shards are served in-process (Local, a zero-copy slice of the frozen
+// epoch) or by a remote tkdserver peer speaking the small HTTP protocol in
+// remote.go / peer.go; the coordinator cannot tell the difference.
+package shard
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/bitmapidx"
+	"repro/internal/core"
+	"repro/internal/data"
+)
+
+// Mode selects what a shard computes for a batch of candidates.
+type Mode int
+
+const (
+	// ModeBounds asks for per-candidate upper bounds on the shard's partial
+	// score (|∩Qi| over the shard's index), threshold-aware against the
+	// request's Residual.
+	ModeBounds Mode = iota
+	// ModeScores asks for exact partial scores.
+	ModeScores
+)
+
+// Request is one scatter call: a batch of candidates to bound or score
+// against a shard's rows.
+type Request struct {
+	// Alg selects the shard-side machinery: BIG uses the value-granular
+	// index, IBIG the binned one, everything else scores exhaustively.
+	Alg core.Algorithm
+	// Mode is bounds or exact scores.
+	Mode Mode
+	// Tau is the coordinator's global τ at scatter time (-1 while the
+	// answer heap is not full). Informational on the exact phase.
+	Tau int
+	// Residual is the pushed-down per-shard threshold for ModeBounds: the
+	// global τ minus the other shards' total row count. When the shard's
+	// threshold-aware bound walk proves |∩Qi| ≤ Residual, it may report
+	// Residual instead of the exact count — the candidate's bound sum then
+	// cannot exceed τ, so the coordinator prunes it either way.
+	Residual int
+	// Cands are the candidates; values and mask are read, never written.
+	Cands []*data.Object
+}
+
+// Backend is one shard: Partial answers scatter calls, Rows and Fingerprint
+// identify what it serves. Implementations must be safe for concurrent
+// Partial calls (a serving layer runs many queries at once).
+type Backend interface {
+	// Rows is the shard's row count.
+	Rows() int
+	// Fingerprint digests the shard's slice contents (data.Dataset
+	// fingerprint of the row range).
+	Fingerprint() uint64
+	// Partial returns one int32 per candidate: an upper bound (ModeBounds)
+	// or the exact partial score (ModeScores).
+	Partial(req *Request) ([]int32, error)
+}
+
+// Local is an in-process shard: a row-range slice of a frozen epoch plus
+// lazily built bitmap indexes over it. Safe for concurrent use.
+type Local struct {
+	ds *data.Dataset
+
+	mu     sync.Mutex
+	binned *bitmapidx.Index // IBIG artifact (adaptive over CONCISE)
+	bitmap *bitmapidx.Index // BIG artifact (value-granular, Raw)
+	budget int64            // column-cache budget to apply at build time
+	builds atomic.Int64
+
+	fpOnce sync.Once
+	fp     uint64
+
+	binnedScorers sync.Pool // *scorerBox over the binned index
+	bitmapScorers sync.Pool // *scorerBox over the value-granular index
+}
+
+// scorerBox ties a pooled scorer to the index it was built over, so a
+// warm-installed index never serves a stale scorer.
+type scorerBox struct {
+	ix *bitmapidx.Index
+	s  *core.ForeignScorer
+}
+
+// NewLocal wraps a row-range slice (see data.Dataset.Slice). The slice must
+// stay immutable for the shard's lifetime — the epoch contract.
+func NewLocal(slice *data.Dataset) *Local {
+	return &Local{ds: slice}
+}
+
+// Rows implements Backend.
+func (l *Local) Rows() int { return l.ds.Len() }
+
+// Data returns the shard's slice.
+func (l *Local) Data() *data.Dataset { return l.ds }
+
+// Fingerprint digests the slice contents, memoized (the data is frozen).
+func (l *Local) Fingerprint() uint64 {
+	l.fpOnce.Do(func() { l.fp = l.ds.Fingerprint() })
+	return l.fp
+}
+
+// Builds reports how many indexes this shard built from scratch (warm
+// installs via LoadIndex do not count).
+func (l *Local) Builds() int64 { return l.builds.Load() }
+
+// SetCacheBudget bounds the shard's decompressed-column cache, applying
+// immediately to a built index and at build time otherwise.
+func (l *Local) SetCacheBudget(bytes int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.budget = bytes
+	if l.binned != nil && bytes > 0 {
+		l.binned.SetCacheBudget(bytes)
+	}
+}
+
+// CacheStats snapshots the binned index's column-cache counters (zero while
+// unbuilt).
+func (l *Local) CacheStats() bitmapidx.CacheStats {
+	l.mu.Lock()
+	ix := l.binned
+	l.mu.Unlock()
+	if ix == nil {
+		return bitmapidx.CacheStats{}
+	}
+	return ix.CacheStats()
+}
+
+// ReleaseCache drops the shard's decompressed-column cache.
+func (l *Local) ReleaseCache() {
+	l.mu.Lock()
+	ix := l.binned
+	l.mu.Unlock()
+	if ix != nil {
+		ix.DropCache()
+	}
+}
+
+// binnedIndex lazily builds the shard's binned (IBIG) index: adaptive
+// representation over the slice, bin counts from the paper's Eq. (8) for
+// the slice's own size and missing rate.
+func (l *Local) binnedIndex() *bitmapidx.Index {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.binned == nil {
+		bins := []int{core.OptimalBins(l.ds.Len(), l.ds.MissingRate())}
+		l.binned = bitmapidx.Build(l.ds, bitmapidx.Options{Codec: bitmapidx.Concise, Bins: bins, Adaptive: true})
+		if l.budget > 0 {
+			l.binned.SetCacheBudget(l.budget)
+		}
+		l.builds.Add(1)
+	}
+	return l.binned
+}
+
+// bitmapIndex lazily builds the value-granular (BIG) index.
+func (l *Local) bitmapIndex() *bitmapidx.Index {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.bitmap == nil {
+		l.bitmap = bitmapidx.Build(l.ds, bitmapidx.Options{Codec: bitmapidx.Raw})
+		l.builds.Add(1)
+	}
+	return l.bitmap
+}
+
+// Prewarm eagerly builds the artifacts the algorithm's scatter plan uses.
+func (l *Local) Prewarm(alg core.Algorithm) {
+	if l.ds.Len() == 0 {
+		return
+	}
+	switch alg {
+	case core.AlgBIG:
+		l.bitmapIndex()
+	case core.AlgIBIG:
+		l.binnedIndex()
+	}
+}
+
+// SaveIndex serializes the shard's binned index (building it first if
+// needed); LoadIndex restores it on a warm restart.
+func (l *Local) SaveIndex(w io.Writer) error {
+	if l.ds.Len() == 0 {
+		return fmt.Errorf("shard: empty shard has no index")
+	}
+	return l.binnedIndex().Save(w)
+}
+
+// LoadIndex installs a persisted binned index. The stream is validated
+// against the slice (shape, domains, checksum — and, in persist format v2+,
+// the slice fingerprint); on any error the shard is unchanged and the index
+// builds from scratch on first use. An index that arrives after a build (or
+// another load) already won is dropped silently — first one wins.
+func (l *Local) LoadIndex(r io.Reader) error {
+	if l.ds.Len() == 0 {
+		return fmt.Errorf("shard: empty shard has no index")
+	}
+	ix, err := bitmapidx.Load(r, l.ds)
+	if err != nil {
+		return err
+	}
+	if !ix.Adaptive() {
+		return fmt.Errorf("shard: persisted index is not adaptive — rebuild")
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.binned == nil {
+		if l.budget > 0 {
+			ix.SetCacheBudget(l.budget)
+		}
+		l.binned = ix
+	}
+	return nil
+}
+
+// scorer fetches a pooled foreign scorer over ix (cursors are
+// single-goroutine; the pool amortizes their scratch buffers across scatter
+// calls).
+func (l *Local) scorer(pool *sync.Pool, ix *bitmapidx.Index) *core.ForeignScorer {
+	if v := pool.Get(); v != nil {
+		if box := v.(*scorerBox); box.ix == ix {
+			return box.s
+		}
+	}
+	return core.NewForeignScorer(l.ds, ix)
+}
+
+// Partial implements Backend.
+func (l *Local) Partial(req *Request) ([]int32, error) {
+	out := make([]int32, len(req.Cands))
+	if l.ds.Len() == 0 {
+		return out, nil
+	}
+	indexed := req.Alg == core.AlgBIG || req.Alg == core.AlgIBIG
+	if !indexed {
+		if req.Mode == ModeBounds {
+			// The exhaustive plans have no cheap bound; every row is one.
+			for i := range out {
+				out[i] = int32(l.ds.Len())
+			}
+			return out, nil
+		}
+		for i, c := range req.Cands {
+			out[i] = int32(core.ForeignScore(l.ds, c))
+		}
+		return out, nil
+	}
+	var pool *sync.Pool
+	var ix *bitmapidx.Index
+	if req.Alg == core.AlgBIG {
+		pool, ix = &l.bitmapScorers, l.bitmapIndex()
+	} else {
+		pool, ix = &l.binnedScorers, l.binnedIndex()
+	}
+	s := l.scorer(pool, ix)
+	defer pool.Put(&scorerBox{ix: ix, s: s})
+	switch req.Mode {
+	case ModeBounds:
+		for i, c := range req.Cands {
+			b, above := s.BoundAbove(c, req.Residual)
+			if !above {
+				// |∩Qi| ≤ Residual: report the cap — it is still an upper
+				// bound on the partial score, and it forces the
+				// coordinator's bound sum to at most τ.
+				b = req.Residual
+			}
+			out[i] = int32(b)
+		}
+	case ModeScores:
+		for i, c := range req.Cands {
+			out[i] = int32(s.Score(c))
+		}
+	default:
+		return nil, fmt.Errorf("shard: unknown mode %d", req.Mode)
+	}
+	return out, nil
+}

@@ -1,0 +1,169 @@
+package shard
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/gen"
+)
+
+func testDataset(n int) *data.Dataset {
+	return gen.Synthetic(gen.Config{N: n, Dim: 4, Cardinality: 15, MissingRate: 0.25, Dist: gen.AC, Seed: 17})
+}
+
+func localBackends(ds *data.Dataset, n int) []Backend {
+	out := make([]Backend, n)
+	for i := 0; i < n; i++ {
+		out[i] = NewLocal(ds.Slice(i*ds.Len()/n, (i+1)*ds.Len()/n))
+	}
+	return out
+}
+
+func assertEqual(t *testing.T, label string, want, got core.Result) {
+	t.Helper()
+	if len(want.Items) != len(got.Items) {
+		t.Fatalf("%s: %d items, want %d", label, len(got.Items), len(want.Items))
+	}
+	for i := range want.Items {
+		if want.Items[i] != got.Items[i] {
+			t.Fatalf("%s: rank %d: %+v != %+v", label, i+1, got.Items[i], want.Items[i])
+		}
+	}
+}
+
+// TestCoordinatorMatchesSerial crosschecks the coordinator over in-process
+// backends against the serial algorithms at the core level.
+func TestCoordinatorMatchesSerial(t *testing.T) {
+	ds := testDataset(600)
+	pre := core.Preprocess(ds, nil)
+	for _, alg := range core.Algorithms {
+		for _, n := range []int{1, 3} {
+			c := NewCoordinator(ds, pre.Queue, NewMetrics(n))
+			for _, k := range []int{1, 7} {
+				want, _ := core.Run(alg, ds, k, pre)
+				got, _, err := c.Run(alg, k, localBackends(ds, n))
+				if err != nil {
+					t.Fatalf("%v n=%d k=%d: %v", alg, n, k, err)
+				}
+				assertEqual(t, fmt.Sprintf("%v n=%d k=%d", alg, n, k), want, got)
+			}
+		}
+	}
+}
+
+// TestRemoteBackends runs the coordinator against two real HTTP peers, each
+// a Peer handler over the same dataset, and checks answers and the
+// fingerprint guard.
+func TestRemoteBackends(t *testing.T) {
+	ds := testDataset(500)
+	resolve := func(name string) (*data.Dataset, bool) {
+		if name != "d" {
+			return nil, false
+		}
+		return ds, true
+	}
+	peers := make([]*httptest.Server, 2)
+	for i := range peers {
+		mux := http.NewServeMux()
+		mux.Handle("POST /v1/shard/query", NewPeer(resolve))
+		peers[i] = httptest.NewServer(mux)
+		defer peers[i].Close()
+	}
+
+	const n = 4
+	backends := make([]Backend, n)
+	for i := 0; i < n; i++ {
+		lo, hi := i*ds.Len()/n, (i+1)*ds.Len()/n
+		backends[i] = NewRemote(nil, peers[i%len(peers)].URL, "d", lo, hi, ds.Slice(lo, hi).Fingerprint())
+	}
+	pre := core.Preprocess(ds, nil)
+	c := NewCoordinator(ds, pre.Queue, NewMetrics(n))
+	for _, alg := range []core.Algorithm{core.AlgNaive, core.AlgUBB, core.AlgIBIG} {
+		want, _ := core.Run(alg, ds, 6, pre)
+		got, st, err := c.Run(alg, 6, backends)
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		assertEqual(t, alg.String(), want, got)
+		if st.Workers != n {
+			t.Fatalf("%v: stats report %d workers, want %d", alg, st.Workers, n)
+		}
+	}
+
+	// A wrong fingerprint (coordinator ahead of a lagging peer) must fail
+	// the query loudly, not silently merge wrong partials.
+	bad := make([]Backend, n)
+	copy(bad, backends)
+	bad[1] = NewRemote(nil, peers[1].URL, "d", ds.Len()/n, 2*ds.Len()/n, 0xdeadbeef)
+	if _, _, err := c.Run(core.AlgIBIG, 6, bad); err == nil {
+		t.Fatal("expected a fingerprint-mismatch error")
+	}
+
+	// Unknown dataset: 404 surfaces as an error.
+	bad[1] = NewRemote(nil, peers[1].URL, "nope", ds.Len()/n, 2*ds.Len()/n, 0)
+	if _, _, err := c.Run(core.AlgIBIG, 6, bad); err == nil {
+		t.Fatal("expected an unknown-dataset error")
+	}
+}
+
+// TestLocalBoundsResidualCap checks the pushed-down residual contract: when
+// the threshold-aware walk proves the bound cannot exceed the residual, the
+// reported cap still upper-bounds the true partial score.
+func TestLocalBoundsResidualCap(t *testing.T) {
+	ds := testDataset(300)
+	l := NewLocal(ds.Slice(0, 150))
+	cands := make([]*data.Object, 20)
+	for i := range cands {
+		cands[i] = ds.Obj(i * 7)
+	}
+	exact, err := l.Partial(&Request{Alg: core.AlgIBIG, Mode: ModeScores, Cands: cands})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, residual := range []int{-5, 0, 3, 50, 1000} {
+		bounds, err := l.Partial(&Request{Alg: core.AlgIBIG, Mode: ModeBounds, Tau: residual, Residual: residual, Cands: cands})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range cands {
+			if bounds[i] < exact[i] {
+				t.Fatalf("residual %d candidate %d: bound %d < exact partial %d", residual, i, bounds[i], exact[i])
+			}
+		}
+	}
+}
+
+// TestMetricsQuantile pins the histogram quantile estimator.
+func TestMetricsQuantile(t *testing.T) {
+	l := ShardLatency{Count: 100, Buckets: make([]int64, len(LatencyBuckets))}
+	l.Buckets[2] = 90 // 90 obs <= 5ms
+	l.Buckets[5] = 10 // 10 obs <= 100ms
+	if got := l.Quantile(0.5); got != LatencyBuckets[2] {
+		t.Fatalf("p50 = %v, want %v", got, LatencyBuckets[2])
+	}
+	if got := l.Quantile(0.99); got != LatencyBuckets[5] {
+		t.Fatalf("p99 = %v, want %v", got, LatencyBuckets[5])
+	}
+	if got := (ShardLatency{}).Quantile(0.99); got != 0 {
+		t.Fatalf("empty p99 = %v, want 0", got)
+	}
+	// Nearest rank: with 10 observations, one straggler IS the p99 — it
+	// must not hide behind the nine fast calls.
+	s := ShardLatency{Count: 10, Buckets: make([]int64, len(LatencyBuckets))}
+	s.Buckets[0] = 9 // nine fast calls
+	s.Buckets[7] = 1 // one 1s straggler
+	if got := s.Quantile(0.99); got != LatencyBuckets[7] {
+		t.Fatalf("straggler p99 = %v, want %v", got, LatencyBuckets[7])
+	}
+	// Two observations: the "p99" is the slower one, never the faster.
+	two := ShardLatency{Count: 2, Buckets: make([]int64, len(LatencyBuckets))}
+	two.Buckets[0] = 1
+	two.Buckets[4] = 1
+	if got := two.Quantile(0.99); got != LatencyBuckets[4] {
+		t.Fatalf("two-sample p99 = %v, want %v", got, LatencyBuckets[4])
+	}
+}

@@ -1,0 +1,425 @@
+package tkd
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/data"
+	"repro/internal/shard"
+)
+
+// ShardMetrics is a snapshot of a sharded dataset's scatter-gather counters:
+// fan-out calls, τ push-down prunes and per-shard latency histograms.
+type ShardMetrics = shard.Snapshot
+
+// ShardOption configures Shard.
+type ShardOption func(*shardConfig)
+
+type shardConfig struct {
+	shards int
+	peers  []string
+	client *http.Client
+}
+
+// WithShards splits the dataset into n row-range shards (default 2, minimum
+// 1 — a one-shard "sharded" dataset is valid and useful for crosschecks).
+func WithShards(n int) ShardOption {
+	return func(c *shardConfig) { c.shards = n }
+}
+
+// WithShardPeers serves the shards from remote tkdserver peers instead of
+// in-process: shard i goes to urls[i % len(urls)]. Every peer must have the
+// same dataset registered under the same name the coordinator uses — peers
+// verify a per-shard content fingerprint on every call, so a divergent peer
+// fails the query instead of corrupting it.
+func WithShardPeers(urls ...string) ShardOption {
+	return func(c *shardConfig) { c.peers = urls }
+}
+
+// WithShardClient overrides the HTTP client used to reach peers.
+func WithShardClient(client *http.Client) ShardOption {
+	return func(c *shardConfig) { c.client = client }
+}
+
+// ShardedDataset serves TKD queries over one dataset split into N row-range
+// shards behind a scatter-gather coordinator. Each shard is an independent
+// slice of the published epoch with its own binned bitmap index and column
+// cache — servable in-process or by a remote tkdserver peer — while the
+// coordinator keeps the full data and the global MaxScore queue. Answers
+// are byte-identical to the unsharded dataset's for every algorithm: the
+// coordinator replays the serial offer sequence with exact summed partial
+// scores, pruning across shards with the pushed-down global τ (see package
+// repro/internal/shard for the protocol).
+//
+// The wrapped Dataset remains the mutation surface: Append, Negate and
+// ReplaceFrom publish epochs exactly as before, and the shard set follows —
+// a query that observes a new epoch rebuilds the slices (and their indexes)
+// before running. Queries in flight keep the shard set they started with;
+// nobody blocks anybody, mirroring the single-process epoch/RCU contract.
+type ShardedDataset struct {
+	src    *Dataset
+	name   string // dataset name on peers (remote topologies)
+	n      int
+	peers  []string
+	client *http.Client
+	met    *shard.Metrics
+
+	mu  sync.Mutex
+	cur atomic.Pointer[shardSet]
+
+	cacheBudget atomic.Int64
+}
+
+// shardSet is one epoch's worth of shard topology: the frozen data, the
+// coordinator over it, and one swappable slot per shard.
+type shardSet struct {
+	epoch uint64
+	data  *data.Dataset
+	coord *shard.Coordinator
+	from  []int // shard i covers rows [from[i], from[i+1])
+	slots []atomic.Pointer[backendBox]
+}
+
+// backendBox boxes the Backend interface value for atomic swapping
+// (individual shard reloads replace one box while queries hold the old one).
+type backendBox struct{ b shard.Backend }
+
+// backends snapshots the current backend of every slot.
+func (s *shardSet) backends() []shard.Backend {
+	out := make([]shard.Backend, len(s.slots))
+	for i := range s.slots {
+		out[i] = s.slots[i].Load().b
+	}
+	return out
+}
+
+// Shard wraps src in a scatter-gather coordinator. name is the dataset's
+// registry name on remote peers (ignored for in-process shards, but always
+// recorded so a topology can add peers later). The source dataset is shared,
+// not copied: mutations through src publish epochs the sharded view follows.
+func Shard(src *Dataset, name string, opts ...ShardOption) (*ShardedDataset, error) {
+	cfg := shardConfig{shards: 2}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.shards < 1 {
+		return nil, fmt.Errorf("tkd: shard count must be >= 1, got %d", cfg.shards)
+	}
+	return &ShardedDataset{
+		src:    src,
+		name:   name,
+		n:      cfg.shards,
+		peers:  cfg.peers,
+		client: cfg.client,
+		met:    shard.NewMetrics(cfg.shards),
+	}, nil
+}
+
+// Source returns the wrapped dataset — the mutation surface.
+func (sd *ShardedDataset) Source() *Dataset { return sd.src }
+
+// ShardCount returns N.
+func (sd *ShardedDataset) ShardCount() int { return sd.n }
+
+// set resolves the shard set for the source's current epoch, building it
+// (slices, backends, coordinator) when a mutation published a new one.
+// Builds happen under the mutex; concurrent queries on the old epoch keep
+// their set.
+func (sd *ShardedDataset) set() *shardSet {
+	s := sd.src.current()
+	if cs := sd.cur.Load(); cs != nil && cs.epoch == s.epoch {
+		return cs
+	}
+	sd.mu.Lock()
+	defer sd.mu.Unlock()
+	s = sd.src.current()
+	if cs := sd.cur.Load(); cs != nil && cs.epoch == s.epoch {
+		return cs
+	}
+	// The global MaxScore queue is the coordinator-side artifact; ensure it
+	// on the source snapshot so unsharded queries on the same Dataset share
+	// the build.
+	queue := s.ensure(needQueue, sd.src).queue
+	ds := s.ds
+	n := sd.n
+	ns := &shardSet{
+		epoch: s.epoch,
+		data:  ds,
+		coord: shard.NewCoordinator(ds, queue, sd.met),
+		from:  make([]int, n+1),
+		slots: make([]atomic.Pointer[backendBox], n),
+	}
+	budget := sd.perShardBudget()
+	for i := 0; i < n; i++ {
+		lo, hi := i*ds.Len()/n, (i+1)*ds.Len()/n
+		ns.from[i], ns.from[i+1] = lo, hi
+		ns.slots[i].Store(&backendBox{b: sd.buildBackend(ds, i, lo, hi, budget)})
+	}
+	sd.cur.Store(ns)
+	return ns
+}
+
+// buildBackend constructs shard i over rows [lo, hi): an in-process Local,
+// or a Remote pointing at the peer the shard is assigned to.
+func (sd *ShardedDataset) buildBackend(ds *data.Dataset, i, lo, hi int, budget int64) shard.Backend {
+	slice := ds.Slice(lo, hi)
+	if len(sd.peers) == 0 {
+		l := shard.NewLocal(slice)
+		if budget > 0 {
+			l.SetCacheBudget(budget)
+		}
+		return l
+	}
+	return shard.NewRemote(sd.client, sd.peers[i%len(sd.peers)], sd.name, lo, hi, slice.Fingerprint())
+}
+
+// perShardBudget splits the dataset-level cache budget evenly.
+func (sd *ShardedDataset) perShardBudget() int64 {
+	b := sd.cacheBudget.Load()
+	if b <= 0 {
+		return 0
+	}
+	return max(b/int64(sd.n), 1)
+}
+
+// ReloadShard rebuilds shard i's backend — fresh slice handle, fresh
+// indexes — and swaps it in atomically. Queries in flight keep the backend
+// they captured; queries that start after the swap see the new one. It is
+// the per-shard maintenance primitive (e.g. re-pick representations after a
+// cache-budget change) and the unit the race tests hammer. Remote shards
+// have no coordinator-side state to rebuild beyond the handle itself.
+func (sd *ShardedDataset) ReloadShard(i int) error {
+	s := sd.set()
+	if i < 0 || i >= len(s.slots) {
+		return fmt.Errorf("tkd: shard %d out of range [0,%d)", i, len(s.slots))
+	}
+	s.slots[i].Store(&backendBox{b: sd.buildBackend(s.data, i, s.from[i], s.from[i+1], sd.perShardBudget())})
+	return nil
+}
+
+// TopK answers the TKD query through the shard fan-out; same options, same
+// answers — byte-identical to the unsharded Dataset — different topology.
+// WithWorkers is accepted and ignored: the fan-out across shards is the
+// parallelism. WithBins is likewise ignored (each shard bins its own slice
+// by Eq. (8); bin layout never changes answers). WithBTreeRefinement maps
+// to the IBIG scatter plan — refinement strategy is a shard-local detail
+// that cannot change answers either.
+func (sd *ShardedDataset) TopK(k int, opts ...Option) (Result, error) {
+	if k <= 0 {
+		return Result{}, fmt.Errorf("tkd: k must be positive, got %d", k)
+	}
+	cfg := queryConfig{alg: IBIG, workers: 1}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	s := sd.set()
+	if s.data.Len() == 0 {
+		return Result{}, fmt.Errorf("tkd: empty dataset")
+	}
+	res, st, err := s.coord.Run(cfg.alg, k, s.backends())
+	if err != nil {
+		return Result{}, err
+	}
+	if cfg.stats != nil {
+		*cfg.stats = st
+	}
+	return res, nil
+}
+
+// Prepare eagerly builds every shard's serving artifacts (the per-shard
+// binned indexes) plus the coordinator's global queue, in parallel across
+// shards.
+func (sd *ShardedDataset) Prepare() { sd.PrepareFor(IBIG) }
+
+// PrepareFor eagerly builds the artifacts the given algorithms' scatter
+// plans consume on each in-process shard (remote shards warm on their
+// peers, on first use).
+func (sd *ShardedDataset) PrepareFor(algs ...Algorithm) {
+	s := sd.set()
+	var wg sync.WaitGroup
+	for _, box := range s.backends() {
+		l, ok := box.(*shard.Local)
+		if !ok {
+			continue
+		}
+		wg.Add(1)
+		go func(l *shard.Local) {
+			defer wg.Done()
+			for _, a := range algs {
+				l.Prewarm(a)
+			}
+		}(l)
+	}
+	wg.Wait()
+}
+
+// Metrics snapshots the scatter-gather counters (fan-out, τ push-downs,
+// per-shard latency histograms). Counters survive epoch swaps and shard
+// reloads.
+func (sd *ShardedDataset) Metrics() ShardMetrics { return sd.met.Snapshot() }
+
+// ---- the Dataset query surface, for the serving layer ----
+
+// Len returns the number of objects; Dim the dimensionality.
+func (sd *ShardedDataset) Len() int { return sd.src.Len() }
+
+// Dim returns the dataset dimensionality.
+func (sd *ShardedDataset) Dim() int { return sd.src.Dim() }
+
+// MissingRate returns the fraction of missing cells.
+func (sd *ShardedDataset) MissingRate() float64 { return sd.src.MissingRate() }
+
+// Epoch returns the source dataset's epoch counter.
+func (sd *ShardedDataset) Epoch() uint64 { return sd.src.Epoch() }
+
+// Fingerprint digests the full dataset contents.
+func (sd *ShardedDataset) Fingerprint() uint64 { return sd.src.Fingerprint() }
+
+// ReplaceFrom hot-swaps the underlying data (see Dataset.ReplaceFrom). The
+// shard set rebuilds lazily: the first query on the new epoch slices and
+// indexes it; queries still in flight finish on the old shard set.
+func (sd *ShardedDataset) ReplaceFrom(src *Dataset) {
+	old := sd.cur.Load()
+	sd.src.ReplaceFrom(src)
+	if old != nil {
+		for i := range old.slots {
+			if l, ok := old.slots[i].Load().b.(*shard.Local); ok {
+				l.ReleaseCache()
+			}
+		}
+	}
+}
+
+// SetCacheBudget bounds the decompressed-column caches across all shards to
+// bytes in total (split evenly).
+func (sd *ShardedDataset) SetCacheBudget(bytes int64) {
+	sd.cacheBudget.Store(bytes)
+	if s := sd.cur.Load(); s != nil {
+		per := sd.perShardBudget()
+		for i := range s.slots {
+			if l, ok := s.slots[i].Load().b.(*shard.Local); ok && per > 0 {
+				l.SetCacheBudget(per)
+			}
+		}
+	}
+}
+
+// CacheStats aggregates the per-shard column-cache and representation
+// counters.
+func (sd *ShardedDataset) CacheStats() CacheStats {
+	s := sd.cur.Load()
+	if s == nil {
+		return CacheStats{}
+	}
+	var out CacheStats
+	for i := range s.slots {
+		l, ok := s.slots[i].Load().b.(*shard.Local)
+		if !ok {
+			continue
+		}
+		st := l.CacheStats()
+		out.Hits += st.Hits
+		out.Misses += st.Misses
+		out.Evicted += st.Evicted
+		out.Bytes += st.Bytes
+		out.Budget += st.Budget
+		out.DenseCols += st.DenseCols
+		out.CompressedCols += st.CompressedCols
+		out.SparseCols += st.SparseCols
+		out.NativeKernel += st.NativeKernel
+		out.Fallback += st.Fallback
+	}
+	return out
+}
+
+// ReleaseCache drops every shard's decompressed-column cache.
+func (sd *ShardedDataset) ReleaseCache() {
+	if s := sd.cur.Load(); s != nil {
+		for i := range s.slots {
+			if l, ok := s.slots[i].Load().b.(*shard.Local); ok {
+				l.ReleaseCache()
+			}
+		}
+	}
+}
+
+// IndexBuilds sums the shards' from-scratch index constructions — the warm
+// restart observable: a restart that loads every persisted shard index
+// reports zero new builds.
+func (sd *ShardedDataset) IndexBuilds() int64 {
+	s := sd.cur.Load()
+	if s == nil {
+		return 0
+	}
+	var n int64
+	for i := range s.slots {
+		if l, ok := s.slots[i].Load().b.(*shard.Local); ok {
+			n += l.Builds()
+		}
+	}
+	return n
+}
+
+// ShardFingerprint returns shard i's slice fingerprint — the key of its
+// persisted index file.
+func (sd *ShardedDataset) ShardFingerprint(i int) (uint64, error) {
+	s := sd.set()
+	if i < 0 || i >= len(s.slots) {
+		return 0, fmt.Errorf("tkd: shard %d out of range [0,%d)", i, len(s.slots))
+	}
+	return s.slots[i].Load().b.Fingerprint(), nil
+}
+
+// SaveShardIndex serializes shard i's binned index (building it first if
+// needed) so a warm restart can skip that shard's rebuild. Remote shards
+// persist on their peers; saving one here is an error.
+func (sd *ShardedDataset) SaveShardIndex(i int, w io.Writer) error {
+	l, err := sd.localShard(i)
+	if err != nil {
+		return err
+	}
+	return l.SaveIndex(w)
+}
+
+// LoadShardIndex restores shard i's persisted index. The stream is
+// validated against the shard's slice (including its fingerprint); on any
+// error the shard is unchanged and rebuilds lazily.
+func (sd *ShardedDataset) LoadShardIndex(i int, r io.Reader) error {
+	l, err := sd.localShard(i)
+	if err != nil {
+		return err
+	}
+	return l.LoadIndex(r)
+}
+
+// ShardIsLocal reports whether shard i runs in-process (remote shards
+// persist their indexes on their peers, not here).
+func (sd *ShardedDataset) ShardIsLocal(i int) bool {
+	_, err := sd.localShard(i)
+	return err == nil
+}
+
+// ShardRows returns shard i's row count. A zero-row shard (more shards
+// than rows) has no index to persist or warm.
+func (sd *ShardedDataset) ShardRows(i int) (int, error) {
+	s := sd.set()
+	if i < 0 || i >= len(s.slots) {
+		return 0, fmt.Errorf("tkd: shard %d out of range [0,%d)", i, len(s.slots))
+	}
+	return s.slots[i].Load().b.Rows(), nil
+}
+
+func (sd *ShardedDataset) localShard(i int) (*shard.Local, error) {
+	s := sd.set()
+	if i < 0 || i >= len(s.slots) {
+		return nil, fmt.Errorf("tkd: shard %d out of range [0,%d)", i, len(s.slots))
+	}
+	l, ok := s.slots[i].Load().b.(*shard.Local)
+	if !ok {
+		return nil, fmt.Errorf("tkd: shard %d is remote", i)
+	}
+	return l, nil
+}

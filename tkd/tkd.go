@@ -430,6 +430,13 @@ func (d *Dataset) MissingRate() float64 { return d.current().missingRate() }
 // decide reuse-vs-rebuild without trusting file names or mtimes.
 func (d *Dataset) Fingerprint() uint64 { return d.view().Fingerprint() }
 
+// ShardData returns the frozen data of the dataset's current epoch — the
+// handle the serving layer's shard-protocol endpoint slices row ranges
+// from. The returned dataset is immutable (mutations publish new epochs),
+// and the pointer itself identifies the epoch: two calls return the same
+// pointer exactly when no mutation was published between them.
+func (d *Dataset) ShardData() *data.Dataset { return d.view() }
+
 // ID returns the identifier of the i-th object.
 func (d *Dataset) ID(i int) string { return d.view().Obj(i).ID }
 
