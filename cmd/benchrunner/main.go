@@ -86,6 +86,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		list    = fs.Bool("list", false, "list experiments and exit")
 		workers = fs.Int("workers", 0, "worker count for the parallel experiment (0 = GOMAXPROCS)")
 		shards  = fs.Int("shards", 1, "shard count for the serve experiment (1 = unsharded)")
+		chaos   = fs.Bool("chaos", false, "run the serve experiment as a fault-injection soak: replicated remote shards behind a transport injecting seeded errors/timeouts/stale responses; answers must stay byte-identical")
+		seed    = fs.Uint64("seed", 1, "fault-schedule seed for -chaos")
 		jsonOut = fs.String("json", "", "also write results as JSON with host/runtime info to this file")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -139,7 +141,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 			tables = experiments.ParallelSweep(sc, *workers)
 		case "serve":
 			// Honour -shards; the report row carries the per-shard p99.
-			tables = experiments.ServeSharded(sc, *shards)
+			// -chaos swaps in the fault-injection soak over replicated
+			// remote shards.
+			if *chaos {
+				tables = experiments.ServeChaos(sc, *shards, *seed)
+			} else {
+				tables = experiments.ServeSharded(sc, *shards)
+			}
 		default:
 			tables = spec.Run(sc)
 		}

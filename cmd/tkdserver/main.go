@@ -15,7 +15,13 @@
 // through a scatter-gather coordinator (answers stay byte-identical to the
 // unsharded dataset), and -peers hands the shards to remote tkdserver
 // processes speaking the /v1/shard/query protocol — every tkdserver is a
-// capable peer, no special mode required.
+// capable peer, no special mode required. Pipe-separating URLs within one
+// -peers entry makes that shard a replica set: reads load-balance across
+// the replicas with per-replica circuit breakers, retries with backoff,
+// optional hedging, and background health probes (-health-interval) that
+// quarantine divergent replicas. Per-query deadlines (-query-timeout or the
+// request's timeout_millis) propagate through the scheduler into in-flight
+// shard RPCs.
 //
 // Usage:
 //
@@ -23,6 +29,9 @@
 //	tkdserver -addr :9000 -dataset d=data.csv -cache-budget 4194304 -indexdir /var/cache/tkd
 //	tkdserver -dataset big=big.csv -shards 4                               # sharded in-process
 //	tkdserver -dataset big=big.csv -shards 4 -peers http://p1:8080,http://p2:8080
+//	tkdserver -dataset big=big.csv -shards 2 \
+//	    -peers 'http://a:8080|http://b:8080,http://c:8080|http://d:8080' \
+//	    -health-interval 5s -query-timeout 2s                              # replicated shards
 //
 // Endpoints: POST /v1/query, GET/POST /v1/datasets, POST
 // /v1/datasets/{name}/reload, DELETE /v1/datasets/{name}, GET /healthz,
@@ -80,7 +89,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		indexDir    = fs.String("indexdir", "", "directory for persisted indexes; warm restarts skip index construction (empty = rebuild at boot)")
 		drainWait   = fs.Duration("drain-timeout", 10*time.Second, "max time to wait for in-flight requests on SIGTERM/SIGINT")
 		shards      = fs.Int("shards", 1, "split each dataset into N row-range shards behind a scatter-gather coordinator (1 = unsharded; answers are byte-identical either way)")
-		peersFlag   = fs.String("peers", "", "comma-separated base URLs of tkdserver peers that serve the shards remotely (requires -shards > 1; peers must serve the same -dataset mappings)")
+		peersFlag   = fs.String("peers", "", "comma-separated base URLs of tkdserver peers that serve the shards remotely (requires -shards > 1; peers must serve the same -dataset mappings; pipe-separate replicas within an entry, e.g. http://a:8080|http://b:8080)")
+		peerTimeout = fs.Duration("peer-timeout", 30*time.Second, "per-request timeout for shard-peer round trips")
+		queryTO     = fs.Duration("query-timeout", 0, "default per-query deadline when the request carries no timeout_millis (0 = none)")
+		healthIvl   = fs.Duration("health-interval", 0, "period of the background replica health probes; divergent replicas are quarantined (0 = disabled)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -105,13 +117,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	srv, err := buildServer(datasets, *negate, server.Config{
-		MaxWorkers:  *maxWorkers,
-		BatchWindow: *window,
-		MaxBatch:    *maxBatch,
-		CacheBudget: *cacheBudget,
-		IndexDir:    *indexDir,
-		Shards:      *shards,
-		ShardPeers:  peers,
+		MaxWorkers:     *maxWorkers,
+		BatchWindow:    *window,
+		MaxBatch:       *maxBatch,
+		CacheBudget:    *cacheBudget,
+		IndexDir:       *indexDir,
+		Shards:         *shards,
+		ShardPeers:     peers,
+		PeerTimeout:    *peerTimeout,
+		QueryTimeout:   *queryTO,
+		HealthInterval: *healthIvl,
 	}, stdout)
 	if err != nil {
 		fmt.Fprintln(stderr, "tkdserver:", err)

@@ -1,0 +1,281 @@
+package experiments
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/shard"
+	"repro/tkd"
+)
+
+// The chaos soak: the serve harness pointed at a replicated remote-shard
+// topology whose transport injects seeded faults — transport errors,
+// timeouts, stale-fingerprint 409s, latency spikes. The claim under test is
+// the one the whole fault-tolerance layer exists for: every answer a client
+// receives is byte-identical to the fault-free ground truth, no matter what
+// the fault schedule did to individual replica calls. Failures may surface
+// as explicit errors (503 when the retry budget drains); they must never
+// surface as a silently wrong answer.
+
+// ChaosSoakConfig parameterizes one chaos soak run.
+type ChaosSoakConfig struct {
+	// Clients / OpsPerClient / N / Dim / Card / Sigma / Ks as in SoakConfig.
+	Clients      int
+	OpsPerClient int
+	N, Dim, Card int
+	Sigma        float64
+	Ks           []int
+	// Shards is the row-range shard count; every shard is served by a
+	// two-replica set pointed at the peer process.
+	Shards int
+	// Seed drives the fault schedule deterministically.
+	Seed uint64
+	// Chaos is the fault mix injected into the shard transport.
+	Chaos shard.ChaosConfig
+	// Policy is the retry/hedge/breaker policy under test.
+	Policy tkd.ShardPolicy
+}
+
+// chaosSoakConfigFor scales the harness.
+func chaosSoakConfigFor(s Scale, shards int, seed uint64) ChaosSoakConfig {
+	cfg := ChaosSoakConfig{
+		Dim:    4,
+		Card:   40,
+		Sigma:  0.2,
+		Shards: shards,
+		Seed:   seed,
+		Chaos: shard.ChaosConfig{
+			Seed:     seed,
+			ErrorP:   0.05,
+			LatencyP: 0.10,
+			Latency:  2 * time.Millisecond,
+			StaleP:   0.02,
+			TimeoutP: 0.01,
+		},
+		Policy: tkd.ShardPolicy{
+			MaxAttempts:      4,
+			BaseBackoff:      time.Millisecond,
+			MaxBackoff:       20 * time.Millisecond,
+			AttemptTimeout:   250 * time.Millisecond,
+			Hedge:            true,
+			BreakerThreshold: 5,
+			BreakerCooldown:  100 * time.Millisecond,
+		},
+	}
+	switch s {
+	case Full:
+		cfg.Clients, cfg.OpsPerClient, cfg.N, cfg.Ks = 8, 100, 20000, []int{4, 8, 16, 32}
+	case Tiny:
+		cfg.Clients, cfg.OpsPerClient, cfg.N, cfg.Ks = 4, 15, 500, []int{2, 4, 8}
+	default: // Quick
+		cfg.Clients, cfg.OpsPerClient, cfg.N, cfg.Ks = 6, 40, 4000, []int{4, 8, 16}
+	}
+	return cfg
+}
+
+// ChaosSoakResult is one chaos soak's outcome.
+type ChaosSoakResult struct {
+	Clients    int
+	Shards     int
+	Ops        int
+	Errors     int // explicit failures (retry budget drained) — allowed
+	Mismatches int // wrong answers — must be zero
+	Retries    int64
+	Hedges     int64
+	Injected   shard.ChaosCounts
+	Wall       time.Duration
+	QPS        float64
+	P50, P99   time.Duration
+}
+
+// ChaosSoak runs the soak against a coordinator whose shards are replica
+// sets of remote peers reached through a fault-injecting transport.
+func ChaosSoak(cfg ChaosSoakConfig) (ChaosSoakResult, error) {
+	dir, err := os.MkdirTemp("", "tkd-chaos-*")
+	if err != nil {
+		return ChaosSoakResult{}, err
+	}
+	defer os.RemoveAll(dir)
+	ds := tkd.GenerateIND(cfg.N, cfg.Dim, cfg.Card, cfg.Sigma, 1234)
+	csv := filepath.Join(dir, "chaos.csv")
+	f, err := os.Create(csv)
+	if err != nil {
+		return ChaosSoakResult{}, err
+	}
+	if err := ds.WriteCSV(f); err != nil {
+		f.Close()
+		return ChaosSoakResult{}, err
+	}
+	if err := f.Close(); err != nil {
+		return ChaosSoakResult{}, err
+	}
+
+	// The peer process: a plain tkdserver serving the full dataset (shard
+	// slices are cut per request). Its transport is NOT faulty — the chaos
+	// transport sits on the coordinator's client, where real network faults
+	// would.
+	peerSrv := server.New(server.Config{})
+	if err := peerSrv.LoadCSVFile("chaos", csv, false); err != nil {
+		return ChaosSoakResult{}, err
+	}
+	defer peerSrv.Close()
+	peerTS := httptest.NewServer(peerSrv)
+	defer peerTS.Close()
+
+	chaos := shard.NewChaos(cfg.Chaos)
+	pol := cfg.Policy
+	coordSrv := server.New(server.Config{
+		BatchWindow: time.Millisecond,
+		Shards:      cfg.Shards,
+		// Every shard gets a two-replica set; both replicas resolve to the
+		// same peer process, so a replica failover always has somewhere
+		// correct to land — the non-Byzantine schedule under which answers
+		// must stay exact.
+		ShardPeers:  []string{peerTS.URL + "|" + peerTS.URL},
+		ShardClient: &http.Client{Transport: shard.NewChaosTransport(nil, chaos), Timeout: 5 * time.Second},
+		ShardPolicy: &pol,
+	})
+	if err := coordSrv.LoadCSVFile("chaos", csv, false); err != nil {
+		return ChaosSoakResult{}, err
+	}
+	defer coordSrv.Close()
+	coordTS := httptest.NewServer(coordSrv)
+	defer coordTS.Close()
+
+	// Fault-free ground truth from an identical generation.
+	ref := tkd.GenerateIND(cfg.N, cfg.Dim, cfg.Card, cfg.Sigma, 1234)
+	ref.PrepareFor(tkd.IBIG)
+	truth := make(map[int]tkd.Result, len(cfg.Ks))
+	for _, k := range cfg.Ks {
+		res, err := ref.TopK(k)
+		if err != nil {
+			return ChaosSoakResult{}, err
+		}
+		truth[k] = res
+	}
+
+	client := newSoakClient(coordTS.URL)
+	var (
+		errCount   atomic.Int64
+		mismatches atomic.Int64
+		latMu      sync.Mutex
+		latencies  []time.Duration
+		wg         sync.WaitGroup
+	)
+	start := time.Now()
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			local := make([]time.Duration, 0, cfg.OpsPerClient)
+			for i := 0; i < cfg.OpsPerClient; i++ {
+				k := cfg.Ks[(c+i)%len(cfg.Ks)]
+				t0 := time.Now()
+				items, err := client.query("chaos", k, 1)
+				local = append(local, time.Since(t0))
+				if err != nil {
+					// An explicit failure is the allowed outcome under
+					// injected faults; a wrong answer below is not.
+					errCount.Add(1)
+					continue
+				}
+				want := truth[k]
+				if len(items) != len(want.Items) {
+					mismatches.Add(1)
+					continue
+				}
+				for j := range items {
+					w := want.Items[j]
+					if items[j].Index != w.Index || items[j].ID != w.ID || items[j].Score != w.Score {
+						mismatches.Add(1)
+						break
+					}
+				}
+			}
+			latMu.Lock()
+			latencies = append(latencies, local...)
+			latMu.Unlock()
+		}(c)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	pct := func(p float64) time.Duration {
+		if len(latencies) == 0 {
+			return 0
+		}
+		return latencies[int(p*float64(len(latencies)-1))]
+	}
+	var retries, hedges int64
+	if m, _, ok := coordSrv.ShardMetrics("chaos"); ok {
+		retries, hedges = m.Retries, m.Hedges
+	}
+	ops := cfg.Clients * cfg.OpsPerClient
+	return ChaosSoakResult{
+		Clients:    cfg.Clients,
+		Shards:     cfg.Shards,
+		Ops:        ops,
+		Errors:     int(errCount.Load()),
+		Mismatches: int(mismatches.Load()),
+		Retries:    retries,
+		Hedges:     hedges,
+		Injected:   chaos.Counts(),
+		Wall:       wall,
+		QPS:        float64(ops) / wall.Seconds(),
+		P50:        pct(0.50),
+		P99:        pct(0.99),
+	}, nil
+}
+
+// ServeChaos is the benchrunner -exp serve -chaos entry point: the chaos
+// soak at the given scale, rendered as a table. Any mismatch is a
+// correctness bug in the replication layer — the row makes it impossible to
+// miss.
+func ServeChaos(s Scale, shards int, seed uint64) []Table {
+	if shards < 2 {
+		shards = 3
+	}
+	cfg := chaosSoakConfigFor(s, shards, seed)
+	t := Table{
+		Title: fmt.Sprintf("Chaos soak: %d clients × %d ops over %d shards × 2 replicas (N=%d, seed=%d, err=%.0f%% lat=%.0f%% stale=%.0f%% timeout=%.0f%%)",
+			cfg.Clients, cfg.OpsPerClient, cfg.Shards, cfg.N, cfg.Seed,
+			cfg.Chaos.ErrorP*100, cfg.Chaos.LatencyP*100, cfg.Chaos.StaleP*100, cfg.Chaos.TimeoutP*100),
+		Header: []string{"clients", "shards", "ops", "qps", "p50(ms)", "p99(ms)", "retries", "hedges", "injected(e/t/s/l)", "errors", "mismatches"},
+	}
+	res, err := ChaosSoak(cfg)
+	if err != nil {
+		t.Rows = append(t.Rows, []string{"error", err.Error(), "", "", "", "", "", "", "", "", ""})
+		return []Table{t}
+	}
+	ms := func(d time.Duration) string { return fmt.Sprintf("%.3f", float64(d.Microseconds())/1000) }
+	injected := strings.Join([]string{
+		fmt.Sprint(res.Injected.Errors),
+		fmt.Sprint(res.Injected.Timeouts),
+		fmt.Sprint(res.Injected.Stales),
+		fmt.Sprint(res.Injected.Latencies),
+	}, "/")
+	t.Rows = append(t.Rows, []string{
+		fmt.Sprint(res.Clients),
+		fmt.Sprint(res.Shards),
+		fmt.Sprint(res.Ops),
+		fmt.Sprintf("%.1f", res.QPS),
+		ms(res.P50),
+		ms(res.P99),
+		fmt.Sprint(res.Retries),
+		fmt.Sprint(res.Hedges),
+		injected,
+		fmt.Sprint(res.Errors),
+		fmt.Sprint(res.Mismatches),
+	})
+	return []Table{t}
+}

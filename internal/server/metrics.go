@@ -72,12 +72,13 @@ func formatBound(ub float64) string {
 const numAlgorithms = int(core.AlgIBIG) + 1
 
 type datasetMetrics struct {
-	queries   [numAlgorithms]atomic.Int64
-	errors    atomic.Int64 // failed client queries
-	batches   atomic.Int64 // scheduling windows served
-	coalesced atomic.Int64 // queries answered by sharing an identical query's run
-	reloads   atomic.Int64 // epoch swaps served for this dataset
-	latency   histogram
+	queries          [numAlgorithms]atomic.Int64
+	errors           atomic.Int64 // failed client queries
+	batches          atomic.Int64 // scheduling windows served
+	coalesced        atomic.Int64 // queries answered by sharing an identical query's run
+	reloads          atomic.Int64 // epoch swaps served for this dataset
+	deadlineExceeded atomic.Int64 // queries that outran their deadline (504s)
+	latency          histogram
 
 	mu  sync.Mutex
 	agg core.Stats
@@ -182,6 +183,11 @@ func (s *Server) writeMetrics(w io.Writer) {
 	for _, e := range entries {
 		fmt.Fprintf(w, "tkd_query_errors_total{dataset=%q} %d\n", e.name, e.met.errors.Load())
 	}
+	fmt.Fprintf(w, "# HELP tkd_query_deadline_exceeded_total Queries that outran their deadline (answered 504), by dataset.\n")
+	fmt.Fprintf(w, "# TYPE tkd_query_deadline_exceeded_total counter\n")
+	for _, e := range entries {
+		fmt.Fprintf(w, "tkd_query_deadline_exceeded_total{dataset=%q} %d\n", e.name, e.met.deadlineExceeded.Load())
+	}
 
 	fmt.Fprintf(w, "# HELP tkd_batches_total Scheduling windows the batch scheduler served, by dataset.\n")
 	fmt.Fprintf(w, "# TYPE tkd_batches_total counter\n")
@@ -276,14 +282,20 @@ func (s *Server) writeMetrics(w io.Writer) {
 
 	// Scatter-gather counters, for the datasets served sharded.
 	type shardedEntry struct {
-		name string
-		n    int
-		m    tkd.ShardMetrics
+		name     string
+		n        int
+		m        tkd.ShardMetrics
+		replicas [][]tkd.BreakerState
 	}
 	var sharded []shardedEntry
 	for _, e := range entries {
 		if sd, ok := e.ds.(*tkd.ShardedDataset); ok {
-			sharded = append(sharded, shardedEntry{name: e.name, n: sd.ShardCount(), m: sd.Metrics()})
+			sharded = append(sharded, shardedEntry{
+				name:     e.name,
+				n:        sd.ShardCount(),
+				m:        sd.Metrics(),
+				replicas: sd.ReplicaStates(),
+			})
 		}
 	}
 	if len(sharded) == 0 {
@@ -303,6 +315,46 @@ func (s *Server) writeMetrics(w io.Writer) {
 	fmt.Fprintf(w, "# TYPE tkd_shard_tau_pushdowns_total counter\n")
 	for _, se := range sharded {
 		fmt.Fprintf(w, "tkd_shard_tau_pushdowns_total{dataset=%q} %d\n", se.name, se.m.TauPushdowns)
+	}
+	fmt.Fprintf(w, "# HELP tkd_shard_retries_total Scatter calls re-issued to another replica after a retryable failure.\n")
+	fmt.Fprintf(w, "# TYPE tkd_shard_retries_total counter\n")
+	for _, se := range sharded {
+		fmt.Fprintf(w, "tkd_shard_retries_total{dataset=%q} %d\n", se.name, se.m.Retries)
+	}
+	fmt.Fprintf(w, "# HELP tkd_shard_hedges_total Duplicate scatter calls fired at a second replica to cut tail latency.\n")
+	fmt.Fprintf(w, "# TYPE tkd_shard_hedges_total counter\n")
+	for _, se := range sharded {
+		fmt.Fprintf(w, "tkd_shard_hedges_total{dataset=%q} %d\n", se.name, se.m.Hedges)
+	}
+	fmt.Fprintf(w, "# HELP tkd_shard_degraded_queries_total Queries answered in allow_partial degraded mode (exact over the live row-ranges only).\n")
+	fmt.Fprintf(w, "# TYPE tkd_shard_degraded_queries_total counter\n")
+	for _, se := range sharded {
+		fmt.Fprintf(w, "tkd_shard_degraded_queries_total{dataset=%q} %d\n", se.name, se.m.Degraded)
+	}
+	fmt.Fprintf(w, "# HELP tkd_shard_breaker_state Replica circuit-breaker position: 0 closed, 1 open, 2 half-open.\n")
+	fmt.Fprintf(w, "# TYPE tkd_shard_breaker_state gauge\n")
+	for _, se := range sharded {
+		for sh, states := range se.replicas {
+			for r, st := range states {
+				fmt.Fprintf(w, "tkd_shard_breaker_state{dataset=%q,shard=\"%d\",replica=\"%d\"} %d\n", se.name, sh, r, int(st))
+			}
+		}
+	}
+	fmt.Fprintf(w, "# HELP tkd_shard_replicas_healthy Replicas currently admitting calls (breaker not open), by shard.\n")
+	fmt.Fprintf(w, "# TYPE tkd_shard_replicas_healthy gauge\n")
+	for _, se := range sharded {
+		for sh, states := range se.replicas {
+			if states == nil {
+				continue // in-process shard: no replica set
+			}
+			healthy := 0
+			for _, st := range states {
+				if st != shard.BreakerOpen {
+					healthy++
+				}
+			}
+			fmt.Fprintf(w, "tkd_shard_replicas_healthy{dataset=%q,shard=\"%d\"} %d\n", se.name, sh, healthy)
+		}
 	}
 	fmt.Fprintf(w, "# HELP tkd_shard_latency_seconds Per-shard scatter-call latency histogram.\n")
 	fmt.Fprintf(w, "# TYPE tkd_shard_latency_seconds histogram\n")

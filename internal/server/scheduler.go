@@ -31,17 +31,21 @@ import (
 // done channel (Close) is the immediate teardown used by tests.
 
 // queryKey identifies one executable query shape; requests with equal keys
-// inside a window share one execution.
+// inside a window share one execution. AllowPartial is part of the key: a
+// degradation-tolerant query and a fail-closed one must not share an
+// execution, because under a shard outage they want different answers.
 type queryKey struct {
-	K       int
-	Alg     core.Algorithm
-	Workers int
+	K            int
+	Alg          core.Algorithm
+	Workers      int
+	AllowPartial bool
 }
 
 // reply is what a waiter gets back.
 type reply struct {
 	res       tkd.Result
 	st        tkd.Stats
+	deg       tkd.Degradation
 	err       error
 	coalesced bool // answered by another identical query's execution
 	batch     int  // size of the scheduling window the query rode in
@@ -50,7 +54,8 @@ type reply struct {
 
 type request struct {
 	key   queryKey
-	reply chan reply // buffered(1); the scheduler never blocks on it
+	ctx   context.Context // the waiter's deadline/disconnect signal
+	reply chan reply      // buffered(1); the scheduler never blocks on it
 }
 
 // errDraining is returned to submits that race a drainStop; handlers map it
@@ -131,7 +136,7 @@ func (s *scheduler) submit(ctx context.Context, key queryKey) (reply, error) {
 	if s.draining.Load() {
 		return reply{}, errDraining
 	}
-	req := &request{key: key, reply: make(chan reply, 1)}
+	req := &request{key: key, ctx: ctx, reply: make(chan reply, 1)}
 	s.rw.RLock()
 	if s.draining.Load() {
 		s.rw.RUnlock()
@@ -254,13 +259,42 @@ func (s *scheduler) serve(batch []*request) {
 			want = runtime.GOMAXPROCS(0)
 		}
 		granted := s.adm.acquire(want)
+		// The execution's context is the union of its waiters': it cancels —
+		// aborting in-flight shard RPCs and freeing the worker slots — only
+		// once EVERY waiter's deadline fired or client disconnected. One
+		// impatient client in a coalesced group must not kill the answer the
+		// patient ones are still waiting for.
+		execCtx, cancel := context.WithCancel(context.Background())
+		execDone := make(chan struct{})
+		var waiting atomic.Int64
+		waiting.Store(int64(len(reqs)))
+		for _, r := range reqs {
+			go func(c context.Context) {
+				select {
+				case <-c.Done():
+					if waiting.Add(-1) == 0 {
+						cancel()
+					}
+				case <-execDone:
+				}
+			}(r.ctx)
+		}
 		start := time.Now()
 		var st tkd.Stats
-		res, err := s.ds.TopK(key.K,
+		var deg tkd.Degradation
+		opts := []tkd.Option{
 			tkd.WithAlgorithm(key.Alg),
 			tkd.WithWorkers(granted),
-			tkd.WithStats(&st))
+			tkd.WithStats(&st),
+			tkd.WithContext(execCtx),
+		}
+		if key.AllowPartial {
+			opts = append(opts, tkd.WithAllowPartial(&deg))
+		}
+		res, err := s.ds.TopK(key.K, opts...)
 		elapsed := time.Since(start)
+		close(execDone)
+		cancel()
 		s.adm.release(granted)
 		s.met.record(key.Alg, st, elapsed, len(reqs), err)
 		if n := len(reqs) - 1; n > 0 {
@@ -270,6 +304,7 @@ func (s *scheduler) serve(batch []*request) {
 			r.reply <- reply{
 				res:       res,
 				st:        st,
+				deg:       deg,
 				err:       err,
 				coalesced: i > 0,
 				batch:     len(batch),

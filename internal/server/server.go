@@ -31,6 +31,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -76,9 +77,27 @@ type Config struct {
 	Shards int
 	// ShardPeers serves the shards from remote tkdserver peers instead of
 	// in-process: shard i goes to ShardPeers[i % len(ShardPeers)]. Each
-	// peer must have the same datasets registered under the same names.
-	// Ignored when Shards <= 1.
+	// entry is one shard's replica set — a single base URL or several
+	// separated by '|' — and every peer must have the same datasets
+	// registered under the same names. Ignored when Shards <= 1.
 	ShardPeers []string
+	// ShardClient overrides the HTTP client used to reach shard peers (the
+	// chaos harness injects its fault transport here); nil builds one from
+	// PeerTimeout.
+	ShardClient *http.Client
+	// ShardPolicy overrides the per-shard fault-tolerance policy (retries,
+	// backoff, hedging, breakers); nil selects tkd.DefaultShardPolicy.
+	ShardPolicy *tkd.ShardPolicy
+	// PeerTimeout bounds one shard-peer round trip when ShardClient is nil;
+	// <= 0 keeps the shard package default (30s).
+	PeerTimeout time.Duration
+	// HealthInterval starts background replica health probes at that period
+	// (divergent replicas are quarantined between queries); <= 0 disables.
+	HealthInterval time.Duration
+	// QueryTimeout is the default per-query deadline when the request body
+	// carries no timeout_millis of its own; <= 0 means no server-imposed
+	// deadline.
+	QueryTimeout time.Duration
 }
 
 // Server is the HTTP query service. Create with New, register datasets with
@@ -113,6 +132,7 @@ func New(cfg Config) *Server {
 	s.peer = shard.NewPeer(s.resolveShardData)
 	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
 	s.mux.Handle("POST /v1/shard/query", s.peer)
+	s.mux.HandleFunc("GET /v1/shard/health", s.peer.ServeHealth)
 	s.mux.HandleFunc("GET /v1/datasets", s.handleDatasets)
 	s.mux.HandleFunc("POST /v1/datasets", s.handleRegister)
 	s.mux.HandleFunc("POST /v1/datasets/{name}/reload", s.handleReload)
@@ -149,21 +169,22 @@ func (s *Server) ShardMetrics(name string) (m tkd.ShardMetrics, shards int, ok b
 	return sd.Metrics(), sd.ShardCount(), true
 }
 
-// resolveShardData backs the /v1/shard/query peer endpoint: the frozen
-// epoch data of a resident dataset, whether it is served unsharded or is
-// itself a scatter-gather coordinator (peers slice the source either way).
-func (s *Server) resolveShardData(name string) (*data.Dataset, bool) {
+// resolveShardData backs the /v1/shard/query and /v1/shard/health peer
+// endpoints: the frozen epoch data of a resident dataset plus its epoch
+// counter, whether it is served unsharded or is itself a scatter-gather
+// coordinator (peers slice the source either way).
+func (s *Server) resolveShardData(name string) (*data.Dataset, uint64, bool) {
 	e, ok := s.reg.get(name)
 	if !ok {
-		return nil, false
+		return nil, 0, false
 	}
 	switch d := e.ds.(type) {
 	case *tkd.Dataset:
-		return d.ShardData(), true
+		return d.ShardData(), d.Epoch(), true
 	case *tkd.ShardedDataset:
-		return d.Source().ShardData(), true
+		return d.Source().ShardData(), d.Epoch(), true
 	}
-	return nil, false
+	return nil, 0, false
 }
 
 // LoadCSVFile reads a datagen-format CSV and registers it under name.
@@ -196,6 +217,18 @@ func (s *Server) register(name string, ds Queryable, path string, negate bool) (
 		opts := []tkd.ShardOption{tkd.WithShards(s.cfg.Shards)}
 		if len(s.cfg.ShardPeers) > 0 {
 			opts = append(opts, tkd.WithShardPeers(s.cfg.ShardPeers...))
+		}
+		if s.cfg.ShardClient != nil {
+			opts = append(opts, tkd.WithShardClient(s.cfg.ShardClient))
+		}
+		if s.cfg.ShardPolicy != nil {
+			opts = append(opts, tkd.WithShardPolicy(*s.cfg.ShardPolicy))
+		}
+		if s.cfg.PeerTimeout > 0 {
+			opts = append(opts, tkd.WithShardPeerTimeout(s.cfg.PeerTimeout))
+		}
+		if s.cfg.HealthInterval > 0 {
+			opts = append(opts, tkd.WithShardHealthChecks(s.cfg.HealthInterval))
 		}
 		sharded, err := tkd.Shard(base, name, opts...)
 		if err != nil {
@@ -333,7 +366,16 @@ func (s *Server) warmPrepareSharded(name string, sd *tkd.ShardedDataset, ixc *in
 // shutdown error. Safe to call multiple times, concurrently. For a graceful
 // stop that finishes queued work first, call Shutdown.
 func (s *Server) Close() {
-	s.closeOnce.Do(func() { close(s.done) })
+	s.closeOnce.Do(func() {
+		close(s.done)
+		// Retire the replica-set health loops of every sharded resident so
+		// their goroutines do not outlive the server.
+		for _, e := range s.reg.list() {
+			if sd, ok := e.ds.(*tkd.ShardedDataset); ok {
+				sd.Close()
+			}
+		}
+	})
 }
 
 // Shutdown gracefully retires the server: new queries are refused with 503,
@@ -373,6 +415,15 @@ type QueryRequest struct {
 	// default) is serial, 0 asks for GOMAXPROCS; the admission controller
 	// may grant fewer under load.
 	Workers int `json:"workers,omitempty"`
+	// TimeoutMillis bounds this query end to end — scheduler wait, shard
+	// fan-out, in-flight peer RPCs all observe the deadline. 0 falls back to
+	// the server's configured default (which may be none).
+	TimeoutMillis int `json:"timeout_millis,omitempty"`
+	// AllowPartial opts into graceful degradation on sharded datasets: when
+	// every replica of a shard is down, answer exactly over the live
+	// row-ranges and say so, instead of failing with 503. Ignored for
+	// unsharded datasets (they are always fully covered).
+	AllowPartial bool `json:"allow_partial,omitempty"`
 }
 
 // QueryItem is one ranked answer object.
@@ -414,6 +465,11 @@ type QueryResponse struct {
 	// formed — informational: it advances on every reload, so clients can
 	// watch hot swaps happen without polling /v1/datasets.
 	Epoch uint64 `json:"epoch"`
+	// Degraded marks an allow_partial answer computed without every shard:
+	// exact over CoveredRows of the TotalRows. Absent on full answers.
+	Degraded    bool `json:"degraded,omitempty"`
+	CoveredRows int  `json:"covered_rows,omitempty"`
+	TotalRows   int  `json:"total_rows,omitempty"`
 }
 
 // DatasetInfo is one GET /v1/datasets row.
@@ -497,27 +553,67 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	if req.TimeoutMillis < 0 {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "timeout_millis must be >= 0"})
+		return
+	}
 	e, ok := s.reg.get(req.Dataset)
 	if !ok {
 		writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("unknown dataset %q", req.Dataset)})
 		return
 	}
 
+	// The request context already cancels on client disconnect; layer the
+	// effective deadline (per-request timeout, else the server default) on
+	// top. The same context rides through the scheduler into the shard
+	// fan-out, so expiry aborts in-flight peer RPCs, not just the wait.
+	ctx := r.Context()
+	timeout := s.cfg.QueryTimeout
+	if req.TimeoutMillis > 0 {
+		timeout = time.Duration(req.TimeoutMillis) * time.Millisecond
+	}
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+
 	start := time.Now()
-	rep, err := e.sch.submit(r.Context(), queryKey{K: req.K, Alg: alg, Workers: req.Workers})
+	rep, err := e.sch.submit(ctx, queryKey{K: req.K, Alg: alg, Workers: req.Workers, AllowPartial: req.AllowPartial})
 	if err != nil {
-		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
+		// Scheduler-path failure: the deadline fired (or the client left)
+		// while the query waited or ran for its window-mates, or the
+		// scheduler is draining/shut down.
+		status := http.StatusServiceUnavailable
+		if errors.Is(err, context.DeadlineExceeded) {
+			status = http.StatusGatewayTimeout
+			e.met.deadlineExceeded.Add(1)
+		}
+		writeJSON(w, status, errorResponse{Error: err.Error()})
 		return
 	}
 	if rep.err != nil {
-		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: rep.err.Error()})
+		// Execution failure: classify — deadline expiry is the client's
+		// budget (504), a shard with no usable replica is the serving
+		// tier's outage (503, retryable elsewhere), the rest are 500s.
+		status := http.StatusInternalServerError
+		switch {
+		case errors.Is(rep.err, context.DeadlineExceeded):
+			status = http.StatusGatewayTimeout
+			e.met.deadlineExceeded.Add(1)
+		case errors.Is(rep.err, context.Canceled):
+			status = http.StatusServiceUnavailable
+		case errors.As(rep.err, new(*shard.Unavailable)):
+			status = http.StatusServiceUnavailable
+		}
+		writeJSON(w, status, errorResponse{Error: rep.err.Error()})
 		return
 	}
 	items := make([]QueryItem, len(rep.res.Items))
 	for i, it := range rep.res.Items {
 		items[i] = QueryItem{Rank: i + 1, Index: it.Index, ID: it.ID, Score: it.Score}
 	}
-	writeJSON(w, http.StatusOK, QueryResponse{
+	resp := QueryResponse{
 		Dataset:   req.Dataset,
 		K:         req.K,
 		Algorithm: alg.String(),
@@ -538,7 +634,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		BatchSize: rep.batch,
 		LatencyMS: float64(time.Since(start).Microseconds()) / 1000,
 		Epoch:     e.ds.Epoch(),
-	})
+	}
+	if rep.deg.Degraded {
+		resp.Degraded = true
+		resp.CoveredRows = rep.deg.CoveredRows
+		resp.TotalRows = rep.deg.TotalRows
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
@@ -699,6 +801,9 @@ func (s *Server) handleEvict(w http.ResponseWriter, r *http.Request) {
 	// including any shard slices the peer endpoint cached for coordinators.
 	e.sch.drainStop()
 	e.ds.ReleaseCache()
+	if sd, ok := e.ds.(*tkd.ShardedDataset); ok {
+		sd.Close()
+	}
 	s.peer.Evict(name)
 	s.life.evictions.Add(1)
 	writeJSON(w, http.StatusOK, map[string]any{"evicted": name, "epoch": e.ds.Epoch()})

@@ -1,0 +1,168 @@
+package shard
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock is an injectable time source for breaker tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1000, 0)} }
+
+func TestBreakerOpensAtThreshold(t *testing.T) {
+	clk := newFakeClock()
+	b := newBreaker(3, time.Second, clk.now)
+	for i := 0; i < 2; i++ {
+		if !b.allow() {
+			t.Fatalf("failure %d: breaker should still admit", i)
+		}
+		b.onFailure()
+	}
+	if got := b.snapshot(); got != BreakerClosed {
+		t.Fatalf("after 2 of 3 failures: state %v, want closed", got)
+	}
+	b.onFailure()
+	if got := b.snapshot(); got != BreakerOpen {
+		t.Fatalf("after 3 failures: state %v, want open", got)
+	}
+	if b.allow() {
+		t.Fatal("open breaker admitted a call before the cooldown")
+	}
+}
+
+func TestBreakerSuccessResetsRun(t *testing.T) {
+	clk := newFakeClock()
+	b := newBreaker(3, time.Second, clk.now)
+	// Interleaved successes keep the consecutive-failure run below the
+	// threshold forever.
+	for i := 0; i < 10; i++ {
+		b.onFailure()
+		b.onFailure()
+		b.onSuccess()
+	}
+	if got := b.snapshot(); got != BreakerClosed {
+		t.Fatalf("state %v, want closed", got)
+	}
+}
+
+func TestBreakerHalfOpenSingleProbe(t *testing.T) {
+	clk := newFakeClock()
+	b := newBreaker(1, time.Second, clk.now)
+	b.onFailure() // threshold 1: straight to open
+	if b.allow() {
+		t.Fatal("open breaker admitted a call")
+	}
+	clk.advance(time.Second + time.Millisecond)
+	if !b.allow() {
+		t.Fatal("cooldown elapsed: the probe call should be admitted")
+	}
+	if got := b.snapshot(); got != BreakerHalfOpen {
+		t.Fatalf("state %v, want half-open", got)
+	}
+	// Only ONE probe flies at a time.
+	if b.allow() {
+		t.Fatal("second call admitted while the probe is in flight")
+	}
+}
+
+func TestBreakerProbeSuccessCloses(t *testing.T) {
+	clk := newFakeClock()
+	b := newBreaker(1, time.Second, clk.now)
+	b.onFailure()
+	clk.advance(2 * time.Second)
+	if !b.allow() {
+		t.Fatal("probe not admitted")
+	}
+	b.onSuccess()
+	if got := b.snapshot(); got != BreakerClosed {
+		t.Fatalf("after probe success: state %v, want closed", got)
+	}
+	if !b.allow() {
+		t.Fatal("closed breaker should admit")
+	}
+}
+
+func TestBreakerProbeFailureReopens(t *testing.T) {
+	clk := newFakeClock()
+	b := newBreaker(1, time.Second, clk.now)
+	b.onFailure()
+	clk.advance(2 * time.Second)
+	if !b.allow() {
+		t.Fatal("probe not admitted")
+	}
+	b.onFailure()
+	if got := b.snapshot(); got != BreakerOpen {
+		t.Fatalf("after probe failure: state %v, want open", got)
+	}
+	// A fresh cooldown started at the probe failure.
+	if b.allow() {
+		t.Fatal("reopened breaker admitted a call immediately")
+	}
+	clk.advance(2 * time.Second)
+	if !b.allow() {
+		t.Fatal("second cooldown elapsed: probe should be admitted")
+	}
+}
+
+func TestBreakerTripBypassesThreshold(t *testing.T) {
+	clk := newFakeClock()
+	b := newBreaker(100, time.Second, clk.now)
+	if got := b.snapshot(); got != BreakerClosed {
+		t.Fatalf("state %v, want closed", got)
+	}
+	b.trip()
+	if got := b.snapshot(); got != BreakerOpen {
+		t.Fatalf("after trip: state %v, want open", got)
+	}
+	if b.allow() {
+		t.Fatal("tripped breaker admitted a call")
+	}
+}
+
+func TestBackoffBounds(t *testing.T) {
+	p := Policy{BaseBackoff: 10 * time.Millisecond, MaxBackoff: 80 * time.Millisecond}.normalized()
+	// Deterministic upper bound (nil rnd): 10, 20, 40, 80, 80, ...
+	want := []time.Duration{10, 20, 40, 80, 80, 80}
+	for i, w := range want {
+		if got := p.backoff(i+1, nil); got != w*time.Millisecond {
+			t.Fatalf("backoff(%d) = %v, want %v", i+1, got, w*time.Millisecond)
+		}
+	}
+	// Jittered draws stay in [d/2, d].
+	for retry := 1; retry <= 6; retry++ {
+		upper := p.backoff(retry, nil)
+		for _, f := range []float64{0, 0.25, 0.5, 0.99} {
+			got := p.backoff(retry, func() float64 { return f })
+			if got < upper/2 || got > upper {
+				t.Fatalf("backoff(%d) with jitter %.2f = %v, outside [%v, %v]", retry, f, got, upper/2, upper)
+			}
+		}
+	}
+}
+
+func TestPolicyNormalizedDefaults(t *testing.T) {
+	p := Policy{}.normalized()
+	d := DefaultPolicy()
+	if p.MaxAttempts != d.MaxAttempts || p.BaseBackoff != d.BaseBackoff ||
+		p.MaxBackoff != d.MaxBackoff || p.BreakerThreshold != d.BreakerThreshold ||
+		p.BreakerCooldown != d.BreakerCooldown {
+		t.Fatalf("normalized zero policy %+v does not match defaults %+v", p, d)
+	}
+}
+
+func TestBreakerStateString(t *testing.T) {
+	cases := map[BreakerState]string{
+		BreakerClosed:   "closed",
+		BreakerOpen:     "open",
+		BreakerHalfOpen: "half-open",
+		BreakerState(9): "unknown",
+	}
+	for s, want := range cases {
+		if got := s.String(); got != want {
+			t.Fatalf("BreakerState(%d).String() = %q, want %q", s, got, want)
+		}
+	}
+}

@@ -1,0 +1,273 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/data"
+)
+
+// chaosPolicy is a fast retry policy for the fault-injection tests: quick
+// backoff, an attempt timeout short enough to cut injected hangs loose, no
+// hedging (the hedge race makes call ordering nondeterministic, which is
+// fine in production and noise in an exactness test).
+func chaosPolicy() Policy {
+	return Policy{
+		MaxAttempts:      4,
+		BaseBackoff:      100 * time.Microsecond,
+		MaxBackoff:       time.Millisecond,
+		AttemptTimeout:   25 * time.Millisecond,
+		BreakerThreshold: 2,
+		BreakerCooldown:  5 * time.Millisecond,
+	}
+}
+
+// chaosMix is the fault schedule used by the exactness tests: every fault
+// kind enabled, rates high enough that a few hundred scatter calls hit all
+// of them.
+func chaosMix(seed uint64) ChaosConfig {
+	return ChaosConfig{
+		Seed:     seed,
+		ErrorP:   0.10,
+		TimeoutP: 0.02,
+		StaleP:   0.05,
+		LatencyP: 0.10,
+		Latency:  time.Millisecond,
+	}
+}
+
+// replicatedChaosBackends builds n shards, each a two-replica set over the
+// same row range: one clean Local and one Local behind fault injection.
+// Every fault schedule therefore has a correct replica to fail over to —
+// the non-Byzantine regime in which answers must stay byte-identical.
+func replicatedChaosBackends(t *testing.T, ds *data.Dataset, n int, chaos *Chaos, pol Policy, met *Metrics) []Backend {
+	t.Helper()
+	out := make([]Backend, n)
+	for i := 0; i < n; i++ {
+		slice := ds.Slice(i*ds.Len()/n, (i+1)*ds.Len()/n)
+		reps := []Backend{NewLocal(slice), NewChaosBackend(NewLocal(slice), chaos)}
+		rs, err := NewReplicaSet(i, reps, pol, met)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = rs
+	}
+	return out
+}
+
+// TestChaosReplicaExactness is the core robustness claim under a seed
+// matrix: with injected transport errors, hangs, stale 409s and latency
+// spikes on one replica of every shard, every algorithm's answer stays
+// byte-identical to the serial one.
+func TestChaosReplicaExactness(t *testing.T) {
+	ds := testDataset(400)
+	pre := core.Preprocess(ds, nil)
+	for _, seed := range []uint64{1, 2, 3} {
+		chaos := NewChaos(chaosMix(seed))
+		met := NewMetrics(3)
+		backends := replicatedChaosBackends(t, ds, 3, chaos, chaosPolicy(), met)
+		c := NewCoordinator(ds, pre.Queue, met)
+		for _, alg := range core.Algorithms {
+			for _, k := range []int{1, 7} {
+				want, _ := core.Run(alg, ds, k, pre)
+				got, _, err := c.Run(context.Background(), alg, k, backends, RunOptions{})
+				if err != nil {
+					t.Fatalf("seed=%d %v k=%d: %v", seed, alg, k, err)
+				}
+				assertEqual(t, fmt.Sprintf("seed=%d %v k=%d", seed, alg, k), want, got)
+			}
+		}
+		counts := chaos.Counts()
+		if counts.Errors+counts.Timeouts+counts.Stales+counts.Latencies == 0 {
+			t.Fatalf("seed=%d: the schedule injected nothing — the test is vacuous", seed)
+		}
+	}
+}
+
+// downBackend is a Backend whose every scatter call fails — a crashed
+// replica.
+type downBackend struct{ Backend }
+
+func (d downBackend) Partial(ctx context.Context, req *Request) ([]int32, error) {
+	return nil, fmt.Errorf("chaos: replica down")
+}
+
+// TestChaosRunFailClosedAndDegraded pins the degradation contract: a shard
+// with no usable replica fails the query with the typed *Unavailable by
+// default, and under AllowPartial yields an answer that is exactly the
+// top-k over the live row-ranges, with the coverage reported.
+func TestChaosRunFailClosedAndDegraded(t *testing.T) {
+	ds := testDataset(240)
+	const n, k = 3, 5
+	pol := chaosPolicy()
+	pol.BreakerThreshold = 1
+	pol.BreakerCooldown = time.Hour
+	backends := make([]Backend, n)
+	var liveSlices []*data.Dataset
+	for i := 0; i < n; i++ {
+		slice := ds.Slice(i*ds.Len()/n, (i+1)*ds.Len()/n)
+		reps := []Backend{NewLocal(slice), NewLocal(slice)}
+		if i == 1 {
+			reps = []Backend{downBackend{NewLocal(slice)}, downBackend{NewLocal(slice)}}
+		} else {
+			liveSlices = append(liveSlices, slice)
+		}
+		rs, err := NewReplicaSet(i, reps, pol, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		backends[i] = rs
+	}
+	c := NewCoordinator(ds, nil, NewMetrics(n))
+
+	// Default: fail closed with the typed error naming the shard.
+	_, _, err := c.Run(context.Background(), core.AlgIBIG, k, backends, RunOptions{})
+	var u *Unavailable
+	if !errors.As(err, &u) {
+		t.Fatalf("want *Unavailable, got %v", err)
+	}
+	if u.Shard != 1 {
+		t.Fatalf("Unavailable.Shard = %d, want 1", u.Shard)
+	}
+
+	// AllowPartial: exact over the live rows, coverage reported.
+	var out Outcome
+	got, _, err := c.Run(context.Background(), core.AlgIBIG, k, backends, RunOptions{AllowPartial: true, Outcome: &out})
+	if err != nil {
+		t.Fatalf("degraded run: %v", err)
+	}
+	if !out.Degraded {
+		t.Fatal("outcome not marked degraded")
+	}
+	if len(out.DownShards) != 1 || out.DownShards[0] != 1 {
+		t.Fatalf("DownShards = %v, want [1]", out.DownShards)
+	}
+	liveRows := 0
+	for _, s := range liveSlices {
+		liveRows += s.Len()
+	}
+	if out.CoveredRows != liveRows || out.TotalRows != ds.Len() {
+		t.Fatalf("coverage %d/%d, want %d/%d", out.CoveredRows, out.TotalRows, liveRows, ds.Len())
+	}
+
+	// Brute-force ground truth over the live slices only: every candidate's
+	// degraded score, top-k by score multiset (rank-k ties are arbitrary).
+	scores := make([]int, ds.Len())
+	for i := 0; i < ds.Len(); i++ {
+		for _, s := range liveSlices {
+			scores[i] += core.ForeignScore(s, ds.Obj(i))
+		}
+	}
+	if len(got.Items) != k {
+		t.Fatalf("degraded answer has %d items, want %d", len(got.Items), k)
+	}
+	for _, it := range got.Items {
+		if scores[it.Index] != it.Score {
+			t.Fatalf("item %d: degraded score %d, brute force over live rows says %d", it.Index, it.Score, scores[it.Index])
+		}
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(scores)))
+	for i, it := range got.Items {
+		if it.Score != scores[i] {
+			t.Fatalf("rank %d: score %d, want %d — degraded answer is not the top-k over live rows", i+1, it.Score, scores[i])
+		}
+	}
+}
+
+// TestChaosCancellationReleasesScatter hangs every scatter call (TimeoutP=1)
+// and checks that a query deadline both surfaces promptly and releases the
+// in-flight goroutines — no leak accumulates across repeated doomed queries.
+func TestChaosCancellationReleasesScatter(t *testing.T) {
+	ds := testDataset(200)
+	chaos := NewChaos(ChaosConfig{Seed: 1, TimeoutP: 1})
+	pol := chaosPolicy()
+	pol.AttemptTimeout = 0 // nothing cuts the hang loose but the query deadline
+	slice0, slice1 := ds.Slice(0, 100), ds.Slice(100, 200)
+	var backends []Backend
+	for i, slice := range []*data.Dataset{slice0, slice1} {
+		rs, err := NewReplicaSet(i, []Backend{
+			NewChaosBackend(NewLocal(slice), chaos),
+			NewChaosBackend(NewLocal(slice), chaos),
+		}, pol, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		backends = append(backends, rs)
+	}
+	c := NewCoordinator(ds, nil, NewMetrics(2))
+
+	base := runtime.NumGoroutine()
+	for i := 0; i < 5; i++ {
+		ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+		start := time.Now()
+		_, _, err := c.Run(ctx, core.AlgIBIG, 3, backends, RunOptions{})
+		cancel()
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("run %d: want DeadlineExceeded, got %v", i, err)
+		}
+		if d := time.Since(start); d > 2*time.Second {
+			t.Fatalf("run %d: deadline took %v to surface", i, d)
+		}
+	}
+	waitFor(t, "scatter goroutines to drain", func() bool {
+		runtime.Gosched()
+		return runtime.NumGoroutine() <= base+3
+	})
+}
+
+// TestChaosTransportRemoteExactness runs the coordinator against real HTTP
+// peers where one replica of each shard is reached through a fault-injecting
+// RoundTripper — the full wire path under chaos — and checks answers stay
+// byte-identical.
+func TestChaosTransportRemoteExactness(t *testing.T) {
+	ds := testDataset(300)
+	resolve := func(name string) (*data.Dataset, uint64, bool) {
+		if name != "d" {
+			return nil, 0, false
+		}
+		return ds, 1, true
+	}
+	mux := http.NewServeMux()
+	mux.Handle("POST /v1/shard/query", NewPeer(resolve))
+	peer := httptest.NewServer(mux)
+	defer peer.Close()
+
+	chaos := NewChaos(chaosMix(7))
+	chaosClient := &http.Client{Transport: NewChaosTransport(nil, chaos), Timeout: 5 * time.Second}
+	const n = 2
+	backends := make([]Backend, n)
+	for i := 0; i < n; i++ {
+		lo, hi := i*ds.Len()/n, (i+1)*ds.Len()/n
+		fp := ds.Slice(lo, hi).Fingerprint()
+		rs, err := NewReplicaSet(i, []Backend{
+			NewRemote(nil, peer.URL, "d", lo, hi, fp),
+			NewRemote(chaosClient, peer.URL, "d", lo, hi, fp),
+		}, chaosPolicy(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		backends[i] = rs
+	}
+	pre := core.Preprocess(ds, nil)
+	c := NewCoordinator(ds, pre.Queue, NewMetrics(n))
+	for _, alg := range []core.Algorithm{core.AlgNaive, core.AlgUBB, core.AlgIBIG} {
+		want, _ := core.Run(alg, ds, 6, pre)
+		got, _, err := c.Run(context.Background(), alg, 6, backends, RunOptions{})
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		assertEqual(t, alg.String(), want, got)
+	}
+	counts := chaos.Counts()
+	if counts.Errors+counts.Timeouts+counts.Stales+counts.Latencies == 0 {
+		t.Fatal("the transport injected nothing — the test is vacuous")
+	}
+}

@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -42,32 +43,33 @@ func (c *Coordinator) maxScoreQueue() *core.MaxScoreQueue {
 	return c.queue
 }
 
-// scatter fans one request to every backend concurrently and gathers the
-// per-shard result vectors. Residuals carries the per-shard pushed-down
-// thresholds for ModeBounds (nil on the exact phase).
-func (c *Coordinator) scatter(backends []Backend, req Request, residuals []int) ([][]int32, error) {
-	results := make([][]int32, len(backends))
-	errs := make([]error, len(backends))
+// scatter fans one request to the live backends concurrently and gathers
+// the per-shard result vectors, indexed by position in live. Residuals
+// carries the per-live-shard pushed-down thresholds for ModeBounds (nil on
+// the exact phase).
+func (c *Coordinator) scatter(ctx context.Context, backends []Backend, live []int, req Request, residuals []int) ([][]int32, error) {
+	results := make([][]int32, len(live))
+	errs := make([]error, len(live))
 	var wg sync.WaitGroup
-	for s, b := range backends {
+	for i, s := range live {
 		wg.Add(1)
-		go func(s int, b Backend) {
+		go func(i, s int, b Backend) {
 			defer wg.Done()
 			r := req
 			if residuals != nil {
-				r.Residual = residuals[s]
+				r.Residual = residuals[i]
 			}
 			t0 := time.Now()
-			res, err := b.Partial(&r)
+			res, err := b.Partial(ctx, &r)
 			c.met.observeShard(s, time.Since(t0))
 			if err == nil && len(res) != len(req.Cands) {
 				err = fmt.Errorf("shard %d returned %d results for %d candidates", s, len(res), len(req.Cands))
 			}
-			results[s], errs[s] = res, err
-		}(s, b)
+			results[i], errs[i] = res, err
+		}(i, s, backends[s])
 	}
 	wg.Wait()
-	c.met.addFanout(len(backends))
+	c.met.addFanout(len(live))
 	return results, errors.Join(errs...)
 }
 
@@ -102,17 +104,125 @@ func (c *Coordinator) candidatesFor(alg core.Algorithm, k int, st *core.Stats) [
 	return cands
 }
 
+// RunOptions tunes one Run call's failure behaviour.
+type RunOptions struct {
+	// AllowPartial answers over the live row-ranges when a shard has no
+	// usable replica, instead of failing the query. The answer is still
+	// exact — for the rows that are reachable — and Outcome reports the
+	// coverage explicitly. Default (false) is fail-closed: any unreachable
+	// shard fails the query with a typed *Unavailable error, preserving the
+	// byte-identical guarantee.
+	AllowPartial bool
+	// Outcome, when non-nil, receives the query's coverage report.
+	Outcome *Outcome
+}
+
+// Outcome reports how a query was answered: fully, or degraded to a subset
+// of the row-ranges.
+type Outcome struct {
+	// Degraded marks an AllowPartial answer computed without every shard.
+	Degraded bool
+	// CoveredRows is how many rows the answer's scores actually count;
+	// TotalRows is the full dataset. Equal unless Degraded.
+	CoveredRows int
+	TotalRows   int
+	// DownShards lists the shard indices that were skipped.
+	DownShards []int
+}
+
 // Run executes one query over the backends and returns the answer — byte-
-// identical to the unsharded algorithm's — plus coordinator-side stats.
-func (c *Coordinator) Run(alg core.Algorithm, k int, backends []Backend) (core.Result, core.Stats, error) {
+// identical to the unsharded algorithm's — plus coordinator-side stats. ctx
+// cancellation aborts the query (and its in-flight scatter calls) with the
+// context's error.
+//
+// When opts.AllowPartial is set and a shard reports *Unavailable (every
+// replica down or out of retry budget), the query restarts over the
+// remaining shards instead of failing: dominance counts are additive across
+// the row partition, so every pruning bound stays a sound upper bound on
+// the subset score, and the answer is the exact top-k by number of *live*
+// rows dominated. The ESB skyband prune is subset-sound too: a same-bucket
+// dominator dominates everything its victim dominates (masks are equal, so
+// the comparison dimensions coincide), hence outscores it on any row
+// subset. The degradation is reported explicitly via opts.Outcome — never
+// silently.
+func (c *Coordinator) Run(ctx context.Context, alg core.Algorithm, k int, backends []Backend, opts RunOptions) (core.Result, core.Stats, error) {
+	down := make([]bool, len(backends))
+	for {
+		res, st, err := c.runOnce(ctx, alg, k, backends, down)
+		if err == nil {
+			if opts.Outcome != nil {
+				*opts.Outcome = c.outcome(backends, down)
+			}
+			if anyDown(down) {
+				c.met.addDegraded()
+			}
+			return res, st, nil
+		}
+		if ce := ctx.Err(); ce != nil {
+			return core.Result{}, st, ce
+		}
+		var u *Unavailable
+		if !opts.AllowPartial || !errors.As(err, &u) ||
+			u.Shard < 0 || u.Shard >= len(backends) || down[u.Shard] {
+			return core.Result{}, st, err
+		}
+		down[u.Shard] = true
+		if !anyLive(down) {
+			return core.Result{}, st, fmt.Errorf("shard: no live shard remains: %w", err)
+		}
+		// Restart over the remaining live shards. Partial sums from the
+		// aborted attempt are discarded wholesale — mixing pre- and
+		// post-failure coverage would make the scores incomparable.
+	}
+}
+
+func anyDown(down []bool) bool {
+	for _, d := range down {
+		if d {
+			return true
+		}
+	}
+	return false
+}
+
+func anyLive(down []bool) bool {
+	for _, d := range down {
+		if !d {
+			return true
+		}
+	}
+	return false
+}
+
+// outcome builds the coverage report for a finished query.
+func (c *Coordinator) outcome(backends []Backend, down []bool) Outcome {
+	o := Outcome{TotalRows: c.ds.Len(), CoveredRows: c.ds.Len()}
+	for s, d := range down {
+		if d {
+			o.Degraded = true
+			o.CoveredRows -= backends[s].Rows()
+			o.DownShards = append(o.DownShards, s)
+		}
+	}
+	return o
+}
+
+// runOnce is one full pass over the live shards (the non-down subset).
+func (c *Coordinator) runOnce(ctx context.Context, alg core.Algorithm, k int, backends []Backend, down []bool) (core.Result, core.Stats, error) {
 	var st core.Stats
-	st.Workers = len(backends)
+	live := make([]int, 0, len(backends))
+	liveRows := 0
+	totalRows := 0
+	for s, b := range backends {
+		totalRows += b.Rows()
+		if !down[s] {
+			live = append(live, s)
+			liveRows += b.Rows()
+		}
+	}
+	st.Workers = len(live)
 	if k <= 0 || c.ds.Len() == 0 {
 		return core.Result{}, st, nil
-	}
-	totalRows := 0
-	for _, b := range backends {
-		totalRows += b.Rows()
 	}
 	if totalRows != c.ds.Len() {
 		return core.Result{}, st, fmt.Errorf("shard: backends cover %d rows, dataset has %d", totalRows, c.ds.Len())
@@ -137,6 +247,9 @@ func (c *Coordinator) Run(alg core.Algorithm, k int, backends []Backend) (core.R
 	pos := 0
 
 	for {
+		if err := ctx.Err(); err != nil {
+			return core.Result{}, st, err
+		}
 		tau := heap.Tau()
 		var window []int32
 		if useQueue {
@@ -163,7 +276,9 @@ func (c *Coordinator) Run(alg core.Algorithm, k int, backends []Backend) (core.R
 			cands = append(cands, c.ds.Obj(int(id)))
 			// Per-candidate Heuristic 1 against the window-start τ: the
 			// serial loop would have stopped at or before such a candidate,
-			// so skipping its scatter is free and sound.
+			// so skipping its scatter is free and sound. (MaxScore bounds the
+			// full-data score, which bounds any subset score, so this stays
+			// sound on a degraded pass.)
 			h1 := useQueue && tau >= 0 && queue.MaxScore[id] <= tau
 			if h1 {
 				st.PrunedH1++
@@ -177,9 +292,9 @@ func (c *Coordinator) Run(alg core.Algorithm, k int, backends []Backend) (core.R
 			// Heuristic-1 survivors scatter — the dropped ones would cost a
 			// bound walk per shard (and wire payload per candidate for
 			// remote shards) just to be ignored.
-			residuals := make([]int, len(backends))
-			for s, b := range backends {
-				residuals[s] = tau - (totalRows - b.Rows())
+			residuals := make([]int, len(live))
+			for i, s := range live {
+				residuals[i] = tau - (liveRows - backends[s].Rows())
 			}
 			probe := make([]*data.Object, 0, len(cands))
 			probeIdx := make([]int, 0, len(cands))
@@ -190,7 +305,7 @@ func (c *Coordinator) Run(alg core.Algorithm, k int, backends []Backend) (core.R
 				}
 			}
 			if len(probe) > 0 {
-				bounds, err := c.scatter(backends, Request{Alg: alg, Mode: ModeBounds, Tau: tau, Cands: probe}, residuals)
+				bounds, err := c.scatter(ctx, backends, live, Request{Alg: alg, Mode: ModeBounds, Tau: tau, Cands: probe}, residuals)
 				if err != nil {
 					return core.Result{}, st, err
 				}
@@ -212,22 +327,22 @@ func (c *Coordinator) Run(alg core.Algorithm, k int, backends []Backend) (core.R
 		}
 
 		// Exact phase over the survivors.
-		live := cands[:0]
+		survivors := cands[:0]
 		for i, ok := range keep {
 			if ok {
-				live = append(live, cands[i])
+				survivors = append(survivors, cands[i])
 			}
 		}
 		var scores [][]int32
-		if len(live) > 0 {
+		if len(survivors) > 0 {
 			var err error
-			scores, err = c.scatter(backends, Request{Alg: alg, Mode: ModeScores, Tau: tau, Cands: live}, nil)
+			scores, err = c.scatter(ctx, backends, live, Request{Alg: alg, Mode: ModeScores, Tau: tau, Cands: survivors}, nil)
 			if err != nil {
 				return core.Result{}, st, err
 			}
 		}
 		totals = totals[:0]
-		for i := range live {
+		for i := range survivors {
 			sum := 0
 			for s := range scores {
 				sum += int(scores[s][i])

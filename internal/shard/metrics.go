@@ -39,6 +39,9 @@ func (h *latHist) observe(d time.Duration) {
 type Metrics struct {
 	fanout    atomic.Int64
 	pushdowns atomic.Int64
+	retries   atomic.Int64
+	hedges    atomic.Int64
+	degraded  atomic.Int64
 	perShard  []latHist
 }
 
@@ -63,6 +66,24 @@ func (m *Metrics) addFanout(n int) {
 func (m *Metrics) addPushdowns(n int) {
 	if m != nil {
 		m.pushdowns.Add(int64(n))
+	}
+}
+
+func (m *Metrics) addRetry() {
+	if m != nil {
+		m.retries.Add(1)
+	}
+}
+
+func (m *Metrics) addHedge() {
+	if m != nil {
+		m.hedges.Add(1)
+	}
+}
+
+func (m *Metrics) addDegraded() {
+	if m != nil {
+		m.degraded.Add(1)
 	}
 }
 
@@ -107,6 +128,15 @@ type Snapshot struct {
 	// sum could not beat the pushed-down global τ — the cross-shard form of
 	// bitmap pruning.
 	TauPushdowns int64
+	// Retries counts scatter calls re-issued to another replica after a
+	// retryable failure (or a stale 409 replica-switch).
+	Retries int64
+	// Hedges counts duplicate scatter calls fired at a second replica to
+	// cut tail latency.
+	Hedges int64
+	// Degraded counts queries answered in AllowPartial degraded mode —
+	// exact over the live row-ranges, with at least one shard down.
+	Degraded int64
 	// PerShard holds each shard's scatter-latency histogram.
 	PerShard []ShardLatency
 }
@@ -119,6 +149,9 @@ func (m *Metrics) Snapshot() Snapshot {
 	s := Snapshot{
 		Fanout:       m.fanout.Load(),
 		TauPushdowns: m.pushdowns.Load(),
+		Retries:      m.retries.Load(),
+		Hedges:       m.hedges.Load(),
+		Degraded:     m.degraded.Load(),
 		PerShard:     make([]ShardLatency, len(m.perShard)),
 	}
 	for i := range m.perShard {

@@ -2,8 +2,10 @@ package shard
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
 
 	"repro/internal/data"
@@ -14,13 +16,14 @@ import (
 // slice plus its indexes — per (dataset, range). A peer is just a tkdserver
 // that happens to be listed in some coordinator's -peers flag; it serves the
 // full dataset to direct clients and shard slices to coordinators, from the
-// same registry entry.
+// same registry entry. It also answers GET /v1/shard/health — the cheap
+// probe a coordinator's replica sets use to quarantine divergent peers.
 type Peer struct {
-	// resolve returns the named dataset's current frozen epoch data. The
-	// returned pointer doubles as the epoch identity: a reload publishes
-	// new data, the pointer changes, and stale Locals rebuild on the next
-	// request.
-	resolve func(name string) (*data.Dataset, bool)
+	// resolve returns the named dataset's current frozen epoch data and its
+	// epoch counter. The returned pointer doubles as the epoch identity: a
+	// reload publishes new data, the pointer changes, and stale Locals
+	// rebuild on the next request.
+	resolve func(name string) (*data.Dataset, uint64, bool)
 
 	mu     sync.Mutex
 	locals map[peerKey]*peerEntry
@@ -38,7 +41,7 @@ type peerEntry struct {
 }
 
 // NewPeer wraps a resolver.
-func NewPeer(resolve func(name string) (*data.Dataset, bool)) *Peer {
+func NewPeer(resolve func(name string) (*data.Dataset, uint64, bool)) *Peer {
 	return &Peer{resolve: resolve, locals: make(map[peerKey]*peerEntry)}
 }
 
@@ -107,13 +110,32 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	_ = json.NewEncoder(w).Encode(WireError{Error: fmt.Sprintf(format, args...)})
 }
 
+// maxWireBodyBytes caps a shard-query request body. A full window of 64-dim
+// candidates is well under 1 MiB; 8 MiB leaves headroom for any legitimate
+// topology while keeping a hostile (or buggy) coordinator from ballooning
+// the decoder.
+const maxWireBodyBytes = 8 << 20
+
+// maxWireCandidates caps one scatter batch — far above core.WindowSize,
+// far below what lets one request monopolize a peer.
+const maxWireCandidates = 16384
+
 // ServeHTTP handles POST /v1/shard/query.
 func (p *Peer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	var req WireRequest
-	dec := json.NewDecoder(r.Body)
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxWireBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad shard request body: %v", err)
+		status := http.StatusBadRequest
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		writeError(w, status, "bad shard request body: %v", err)
+		return
+	}
+	if len(req.Candidates) > maxWireCandidates {
+		writeError(w, http.StatusBadRequest, "batch of %d candidates exceeds the %d cap", len(req.Candidates), maxWireCandidates)
 		return
 	}
 	alg, err := algFromWire(req.Algorithm)
@@ -126,7 +148,7 @@ func (p *Peer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	ds, ok := p.resolve(req.Dataset)
+	ds, _, ok := p.resolve(req.Dataset)
 	if !ok {
 		writeError(w, http.StatusNotFound, "unknown dataset %q", req.Dataset)
 		return
@@ -150,11 +172,52 @@ func (p *Peer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	results, err := local.Partial(&Request{Alg: alg, Mode: mode, Tau: req.Tau, Residual: req.Residual, Cands: cands})
+	results, err := local.Partial(r.Context(), &Request{Alg: alg, Mode: mode, Tau: req.Tau, Residual: req.Residual, Cands: cands})
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(WireResponse{Results: results})
+}
+
+// ServeHealth handles GET /v1/shard/health?dataset=NAME&from=A&to=B: the
+// replica-probe endpoint. It answers from the same warm per-range cache the
+// query path uses, so a probe costs one map lookup after the first.
+func (p *Peer) ServeHealth(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	name := q.Get("dataset")
+	if name == "" {
+		writeError(w, http.StatusBadRequest, "missing dataset parameter")
+		return
+	}
+	from, err := strconv.Atoi(q.Get("from"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad from parameter: %v", err)
+		return
+	}
+	to, err := strconv.Atoi(q.Get("to"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad to parameter: %v", err)
+		return
+	}
+	ds, epoch, ok := p.resolve(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown dataset %q", name)
+		return
+	}
+	if from < 0 || to > ds.Len() || from > to {
+		writeError(w, http.StatusBadRequest, "range [%d,%d) out of bounds for %d rows", from, to, ds.Len())
+		return
+	}
+	local, fp := p.local(ds, peerKey{name: name, from: from, to: to})
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(WireHealth{
+		Dataset:     name,
+		From:        from,
+		To:          to,
+		Rows:        local.Rows(),
+		Fingerprint: fp,
+		Epoch:       epoch,
+	})
 }

@@ -2,11 +2,13 @@ package shard
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"math"
 	"net/http"
+	"net/url"
 	"time"
 
 	"repro/internal/core"
@@ -50,6 +52,31 @@ type WireError struct {
 	Error string `json:"error"`
 }
 
+// WireHealth is the GET /v1/shard/health answer: what the peer would serve
+// for the row range right now. The coordinator's replica sets compare the
+// fingerprint against their expectation and quarantine divergence.
+type WireHealth struct {
+	Dataset     string `json:"dataset"`
+	From        int    `json:"from"`
+	To          int    `json:"to"`
+	Rows        int    `json:"rows"`
+	Fingerprint uint64 `json:"fingerprint"`
+	Epoch       uint64 `json:"epoch"`
+}
+
+// PeerError is a peer's non-200 answer, preserving the status so callers
+// can classify it: 409 marks a stale replica (never retried, breaker
+// tripped), 5xx is retryable, other 4xx means the request itself is bad.
+type PeerError struct {
+	URL    string
+	Status int
+	Msg    string
+}
+
+func (e *PeerError) Error() string {
+	return fmt.Sprintf("shard: peer %s: %s (status %d)", e.URL, e.Msg, e.Status)
+}
+
 // modeString maps a Mode onto the wire.
 func modeString(m Mode) string {
 	if m == ModeBounds {
@@ -81,12 +108,17 @@ type Remote struct {
 	fp      uint64
 }
 
+// DefaultRemoteTimeout bounds a peer round trip when the caller supplies no
+// client of its own; tkdserver plumbs -peer-timeout here.
+const DefaultRemoteTimeout = 30 * time.Second
+
 // NewRemote points a shard at peer baseURL, covering rows [from, to) of the
 // named dataset whose slice fingerprint is fp. client may be nil (a default
-// with a 30s timeout is used).
+// with DefaultRemoteTimeout is used); per-call deadlines ride the context
+// handed to Partial either way.
 func NewRemote(client *http.Client, baseURL, dataset string, from, to int, fp uint64) *Remote {
 	if client == nil {
-		client = &http.Client{Timeout: 30 * time.Second}
+		client = &http.Client{Timeout: DefaultRemoteTimeout}
 	}
 	return &Remote{client: client, baseURL: baseURL, dataset: dataset, from: from, to: to, fp: fp}
 }
@@ -97,8 +129,9 @@ func (r *Remote) Rows() int { return r.to - r.from }
 // Fingerprint implements Backend.
 func (r *Remote) Fingerprint() uint64 { return r.fp }
 
-// Partial implements Backend: one HTTP round trip per scatter batch.
-func (r *Remote) Partial(req *Request) ([]int32, error) {
+// Partial implements Backend: one HTTP round trip per scatter batch,
+// cancelled with ctx.
+func (r *Remote) Partial(ctx context.Context, req *Request) ([]int32, error) {
 	wr := WireRequest{
 		Dataset:     r.dataset,
 		From:        r.from,
@@ -123,8 +156,19 @@ func (r *Remote) Partial(req *Request) ([]int32, error) {
 	if err != nil {
 		return nil, err
 	}
-	resp, err := r.client.Post(r.baseURL+"/v1/shard/query", "application/json", bytes.NewReader(body))
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, r.baseURL+"/v1/shard/query", bytes.NewReader(body))
 	if err != nil {
+		return nil, fmt.Errorf("shard: peer %s: %w", r.baseURL, err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := r.client.Do(hreq)
+	if err != nil {
+		// Surface the context's own error so callers can tell a dead query
+		// from a dead replica (a transport error wrapping ctx cancellation
+		// must not read as a replica failure).
+		if ce := ctx.Err(); ce != nil {
+			return nil, ce
+		}
 		return nil, fmt.Errorf("shard: peer %s: %w", r.baseURL, err)
 	}
 	defer resp.Body.Close()
@@ -134,13 +178,45 @@ func (r *Remote) Partial(req *Request) ([]int32, error) {
 		if json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&we) == nil && we.Error != "" {
 			msg = we.Error
 		}
-		return nil, fmt.Errorf("shard: peer %s: %s", r.baseURL, msg)
+		return nil, &PeerError{URL: r.baseURL, Status: resp.StatusCode, Msg: msg}
 	}
 	var out WireResponse
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 		return nil, fmt.Errorf("shard: peer %s: decoding response: %w", r.baseURL, err)
 	}
 	return out.Results, nil
+}
+
+// Health implements HealthChecker: one cheap GET /v1/shard/health round
+// trip asking the peer what it would serve for this shard's row range.
+func (r *Remote) Health(ctx context.Context) (HealthInfo, error) {
+	u := fmt.Sprintf("%s/v1/shard/health?dataset=%s&from=%d&to=%d",
+		r.baseURL, url.QueryEscape(r.dataset), r.from, r.to)
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return HealthInfo{}, fmt.Errorf("shard: peer %s: %w", r.baseURL, err)
+	}
+	resp, err := r.client.Do(hreq)
+	if err != nil {
+		if ce := ctx.Err(); ce != nil {
+			return HealthInfo{}, ce
+		}
+		return HealthInfo{}, fmt.Errorf("shard: peer %s: %w", r.baseURL, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var we WireError
+		msg := resp.Status
+		if json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&we) == nil && we.Error != "" {
+			msg = we.Error
+		}
+		return HealthInfo{}, &PeerError{URL: r.baseURL, Status: resp.StatusCode, Msg: msg}
+	}
+	var wh WireHealth
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&wh); err != nil {
+		return HealthInfo{}, fmt.Errorf("shard: peer %s: decoding health: %w", r.baseURL, err)
+	}
+	return HealthInfo{Rows: wh.Rows, Fingerprint: wh.Fingerprint, Epoch: wh.Epoch}, nil
 }
 
 // decodeCandidates reconstructs data.Objects from the wire (NaN restored in
@@ -153,6 +229,9 @@ func decodeCandidates(dim int, wcs []WireCandidate) ([]*data.Object, error) {
 		}
 		if wc.Mask == 0 {
 			return nil, fmt.Errorf("shard: candidate %d has no observed dimension", i)
+		}
+		if dim < 64 && wc.Mask>>uint(dim) != 0 {
+			return nil, fmt.Errorf("shard: candidate %d observes dimensions beyond %d", i, dim)
 		}
 		o := &data.Object{Values: make([]float64, dim), Mask: wc.Mask}
 		for d := 0; d < dim; d++ {

@@ -1,0 +1,371 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/data"
+)
+
+// fakeReplica is a scriptable Backend (and HealthChecker) for replica-set
+// unit tests.
+type fakeReplica struct {
+	rows    int
+	fp      uint64
+	calls   atomic.Int64
+	partial func(ctx context.Context, req *Request) ([]int32, error)
+
+	healthFP atomic.Uint64 // 0 = report fp (healthy)
+	probes   atomic.Int64
+}
+
+func (f *fakeReplica) Rows() int           { return f.rows }
+func (f *fakeReplica) Fingerprint() uint64 { return f.fp }
+
+func (f *fakeReplica) Partial(ctx context.Context, req *Request) ([]int32, error) {
+	f.calls.Add(1)
+	return f.partial(ctx, req)
+}
+
+func (f *fakeReplica) Health(ctx context.Context) (HealthInfo, error) {
+	f.probes.Add(1)
+	fp := f.healthFP.Load()
+	if fp == 0 {
+		fp = f.fp
+	}
+	return HealthInfo{Rows: f.rows, Fingerprint: fp}, nil
+}
+
+func okReplica() *fakeReplica {
+	return &fakeReplica{rows: 10, fp: 42, partial: func(ctx context.Context, req *Request) ([]int32, error) {
+		return make([]int32, len(req.Cands)), nil
+	}}
+}
+
+func failReplica(err error) *fakeReplica {
+	return &fakeReplica{rows: 10, fp: 42, partial: func(ctx context.Context, req *Request) ([]int32, error) {
+		return nil, err
+	}}
+}
+
+func hangReplica() *fakeReplica {
+	return &fakeReplica{rows: 10, fp: 42, partial: func(ctx context.Context, req *Request) ([]int32, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}}
+}
+
+func testReq() *Request { return &Request{Mode: ModeScores, Cands: []*data.Object{{}}} }
+
+// noHedge is a policy with hedging off and fast backoff, for deterministic
+// retry tests.
+func noHedge() Policy {
+	return Policy{MaxAttempts: 3, BaseBackoff: time.Microsecond, MaxBackoff: 10 * time.Microsecond, Hedge: false}
+}
+
+func TestReplicaSetValidatesIdentity(t *testing.T) {
+	a, b := okReplica(), okReplica()
+	b.fp = 43
+	if _, err := NewReplicaSet(0, []Backend{a, b}, noHedge(), nil); err == nil {
+		t.Fatal("mismatched fingerprints accepted")
+	}
+	b.fp = 42
+	b.rows = 11
+	if _, err := NewReplicaSet(0, []Backend{a, b}, noHedge(), nil); err == nil {
+		t.Fatal("mismatched row counts accepted")
+	}
+	if _, err := NewReplicaSet(0, nil, noHedge(), nil); err == nil {
+		t.Fatal("empty replica set accepted")
+	}
+}
+
+func TestReplicaSetLoadBalances(t *testing.T) {
+	a, b := okReplica(), okReplica()
+	rs, err := NewReplicaSet(0, []Backend{a, b}, noHedge(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if _, err := rs.Partial(context.Background(), testReq()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.calls.Load() == 0 || b.calls.Load() == 0 {
+		t.Fatalf("round-robin left a replica idle: a=%d b=%d", a.calls.Load(), b.calls.Load())
+	}
+}
+
+func TestReplicaSetRetriesTransportErrors(t *testing.T) {
+	bad := failReplica(fmt.Errorf("connection refused"))
+	good := okReplica()
+	met := NewMetrics(1)
+	rs, err := NewReplicaSet(0, []Backend{bad, good}, noHedge(), met)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every call must succeed: a bad pick retries onto the good replica.
+	for i := 0; i < 10; i++ {
+		if _, err := rs.Partial(context.Background(), testReq()); err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+	}
+	if good.calls.Load() == 0 {
+		t.Fatal("good replica never called")
+	}
+	if bad.calls.Load() > 0 && met.Snapshot().Retries == 0 {
+		t.Fatal("failures retried but the retry counter stayed zero")
+	}
+}
+
+func TestReplicaSet5xxRetriedBut4xxNot(t *testing.T) {
+	srv5xx := failReplica(&PeerError{URL: "x", Status: 500, Msg: "boom"})
+	good := okReplica()
+	rs, err := NewReplicaSet(0, []Backend{srv5xx, good}, noHedge(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if _, err := rs.Partial(context.Background(), testReq()); err != nil {
+			t.Fatalf("5xx should fail over: %v", err)
+		}
+	}
+
+	bad4xx := failReplica(&PeerError{URL: "x", Status: 400, Msg: "bad request"})
+	rs2, err := NewReplicaSet(0, []Backend{bad4xx, okReplica()}, noHedge(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round-robin may land on the healthy replica first; probe until the
+	// bad one is picked. Once it is, its 400 must propagate immediately —
+	// another replica would refuse the same request identically.
+	saw4xx := false
+	for i := 0; i < 8; i++ {
+		_, err := rs2.Partial(context.Background(), testReq())
+		if err != nil {
+			var pe *PeerError
+			if !errors.As(err, &pe) || pe.Status != 400 {
+				t.Fatalf("want the 400 PeerError, got %v", err)
+			}
+			saw4xx = true
+			break
+		}
+	}
+	if !saw4xx {
+		t.Fatal("the 4xx replica's error never propagated")
+	}
+	if bad4xx.calls.Load() > 1 {
+		t.Fatalf("4xx was retried: %d calls", bad4xx.calls.Load())
+	}
+}
+
+func TestReplicaSetStaleNeverRetriedOnSameReplica(t *testing.T) {
+	stale := failReplica(&PeerError{URL: "x", Status: statusConflict, Msg: "fingerprint mismatch"})
+	good := okReplica()
+	rs, err := NewReplicaSet(0, []Backend{stale, good}, noHedge(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := rs.Partial(context.Background(), testReq()); err != nil {
+			t.Fatalf("call %d: stale replica should fail over: %v", i, err)
+		}
+	}
+	// The 409 trips the breaker on first contact: one call, never again.
+	if n := stale.calls.Load(); n > 1 {
+		t.Fatalf("stale replica called %d times, want at most 1 (quarantined)", n)
+	}
+	states := rs.States()
+	if stale.calls.Load() == 1 && states[0] != BreakerOpen {
+		t.Fatalf("stale replica breaker %v, want open", states[0])
+	}
+}
+
+func TestReplicaSetSingleStaleReplicaFailsClosed(t *testing.T) {
+	stale := failReplica(&PeerError{URL: "x", Status: statusConflict, Msg: "fingerprint mismatch"})
+	rs, err := NewReplicaSet(3, []Backend{stale}, noHedge(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = rs.Partial(context.Background(), testReq())
+	var u *Unavailable
+	if !errors.As(err, &u) {
+		t.Fatalf("want *Unavailable, got %v", err)
+	}
+	if u.Shard != 3 {
+		t.Fatalf("Unavailable.Shard = %d, want 3", u.Shard)
+	}
+	var pe *PeerError
+	if !errors.As(err, &pe) || pe.Status != statusConflict {
+		t.Fatalf("Unavailable should wrap the 409, got %v", err)
+	}
+	if n := stale.calls.Load(); n != 1 {
+		t.Fatalf("stale replica called %d times, want exactly 1", n)
+	}
+}
+
+func TestReplicaSetUnavailableWhenAllBreakersOpen(t *testing.T) {
+	err1 := failReplica(fmt.Errorf("down"))
+	err2 := failReplica(fmt.Errorf("down"))
+	pol := noHedge()
+	pol.BreakerThreshold = 1
+	pol.BreakerCooldown = time.Hour
+	rs, err := NewReplicaSet(0, []Backend{err1, err2}, pol, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First call burns through the attempt budget and opens both breakers.
+	if _, err := rs.Partial(context.Background(), testReq()); err == nil {
+		t.Fatal("all-failing set returned success")
+	}
+	before1, before2 := err1.calls.Load(), err2.calls.Load()
+	_, err = rs.Partial(context.Background(), testReq())
+	var u *Unavailable
+	if !errors.As(err, &u) {
+		t.Fatalf("want *Unavailable, got %v", err)
+	}
+	if err1.calls.Load() != before1 || err2.calls.Load() != before2 {
+		t.Fatal("open breakers still admitted calls")
+	}
+}
+
+func TestReplicaSetAttemptTimeoutIsRetryable(t *testing.T) {
+	slow := hangReplica()
+	good := okReplica()
+	pol := noHedge()
+	pol.AttemptTimeout = 10 * time.Millisecond
+	pol.MaxAttempts = 4
+	rs, err := NewReplicaSet(0, []Backend{slow, good}, pol, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The hanging replica's attempt expires; the retry must land on the
+	// good replica and succeed — an attempt timeout is a replica failure,
+	// never the query's deadline.
+	for i := 0; i < 4; i++ {
+		if _, err := rs.Partial(context.Background(), testReq()); err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+	}
+	if good.calls.Load() == 0 {
+		t.Fatal("good replica never called")
+	}
+}
+
+func TestReplicaSetParentCancellationPropagates(t *testing.T) {
+	slow := hangReplica()
+	rs, err := NewReplicaSet(0, []Backend{slow}, noHedge(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := rs.Partial(ctx, testReq())
+		done <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("want context.Canceled, got %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancellation did not release the in-flight call")
+	}
+	// Cancellation is the query's choice, not the replica's fault: the
+	// breaker must stay closed.
+	if st := rs.States()[0]; st != BreakerClosed {
+		t.Fatalf("breaker %v after parent cancellation, want closed", st)
+	}
+}
+
+func TestReplicaSetHedgeRacesSecondReplica(t *testing.T) {
+	// reps[1] hangs; reps[0] answers fast. Whichever is picked as primary,
+	// the call must come back fast — if the primary is the hanging one, the
+	// hedge fires after HedgeAfter and wins the race.
+	fast := okReplica()
+	slow := hangReplica()
+	met := NewMetrics(1)
+	pol := Policy{MaxAttempts: 2, Hedge: true, HedgeAfter: 5 * time.Millisecond}
+	rs, err := NewReplicaSet(0, []Backend{fast, slow}, pol, met)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		start := time.Now()
+		if _, err := rs.Partial(context.Background(), testReq()); err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+		if d := time.Since(start); d > time.Second {
+			t.Fatalf("call %d took %v despite hedging", i, d)
+		}
+	}
+	if met.Snapshot().Hedges == 0 {
+		t.Fatal("the hanging primary was never hedged")
+	}
+}
+
+func TestReplicaSetHealthCheckQuarantineAndRecovery(t *testing.T) {
+	a, b := okReplica(), okReplica()
+	pol := noHedge()
+	pol.BreakerCooldown = time.Hour // only the probes may reopen/close
+	rs, err := NewReplicaSet(0, []Backend{a, b}, pol, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+	b.healthFP.Store(99) // b diverges
+	rs.StartHealthChecks(2 * time.Millisecond)
+	waitFor(t, "replica b quarantined", func() bool { return rs.States()[1] == BreakerOpen })
+	if rs.States()[0] != BreakerClosed {
+		t.Fatalf("healthy replica breaker %v, want closed", rs.States()[0])
+	}
+	// Queries keep succeeding on the healthy replica the whole time.
+	for i := 0; i < 5; i++ {
+		if _, err := rs.Partial(context.Background(), testReq()); err != nil {
+			t.Fatalf("query during quarantine: %v", err)
+		}
+	}
+	// b catches up: the next probe closes its breaker.
+	b.healthFP.Store(0)
+	waitFor(t, "replica b recovered", func() bool { return rs.States()[1] == BreakerClosed })
+}
+
+func TestReplicaSetCloseStopsHealthLoop(t *testing.T) {
+	a := okReplica()
+	rs, err := NewReplicaSet(0, []Backend{a}, noHedge(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs.StartHealthChecks(time.Millisecond)
+	waitFor(t, "first probe", func() bool { return a.probes.Load() > 0 })
+	rs.Close()
+	n := a.probes.Load()
+	time.Sleep(20 * time.Millisecond)
+	if a.probes.Load() != n {
+		t.Fatal("health loop kept probing after Close")
+	}
+	// Close is idempotent and the set still serves queries.
+	rs.Close()
+	if _, err := rs.Partial(context.Background(), testReq()); err != nil {
+		t.Fatalf("query after Close: %v", err)
+	}
+}
+
+// waitFor polls cond for up to 2s.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}

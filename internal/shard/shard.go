@@ -36,6 +36,7 @@
 package shard
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync"
@@ -89,8 +90,9 @@ type Backend interface {
 	// fingerprint of the row range).
 	Fingerprint() uint64
 	// Partial returns one int32 per candidate: an upper bound (ModeBounds)
-	// or the exact partial score (ModeScores).
-	Partial(req *Request) ([]int32, error)
+	// or the exact partial score (ModeScores). ctx bounds the call — a
+	// cancelled or expired context abandons the work and returns ctx.Err().
+	Partial(ctx context.Context, req *Request) ([]int32, error)
 }
 
 // Local is an in-process shard: a row-range slice of a frozen epoch plus
@@ -262,8 +264,16 @@ func (l *Local) scorer(pool *sync.Pool, ix *bitmapidx.Index) *core.ForeignScorer
 	return core.NewForeignScorer(l.ds, ix)
 }
 
+// ctxCheckStride is how many candidates a Local scores between context
+// checks — fine enough that cancellation lands within microseconds, coarse
+// enough that the atomic load never shows up in a profile.
+const ctxCheckStride = 64
+
 // Partial implements Backend.
-func (l *Local) Partial(req *Request) ([]int32, error) {
+func (l *Local) Partial(ctx context.Context, req *Request) ([]int32, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	out := make([]int32, len(req.Cands))
 	if l.ds.Len() == 0 {
 		return out, nil
@@ -278,6 +288,11 @@ func (l *Local) Partial(req *Request) ([]int32, error) {
 			return out, nil
 		}
 		for i, c := range req.Cands {
+			if i%ctxCheckStride == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
 			out[i] = int32(core.ForeignScore(l.ds, c))
 		}
 		return out, nil
@@ -294,6 +309,11 @@ func (l *Local) Partial(req *Request) ([]int32, error) {
 	switch req.Mode {
 	case ModeBounds:
 		for i, c := range req.Cands {
+			if i%ctxCheckStride == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
 			b, above := s.BoundAbove(c, req.Residual)
 			if !above {
 				// |∩Qi| ≤ Residual: report the cap — it is still an upper
@@ -305,10 +325,21 @@ func (l *Local) Partial(req *Request) ([]int32, error) {
 		}
 	case ModeScores:
 		for i, c := range req.Cands {
+			if i%ctxCheckStride == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
 			out[i] = int32(s.Score(c))
 		}
 	default:
 		return nil, fmt.Errorf("shard: unknown mode %d", req.Mode)
 	}
 	return out, nil
+}
+
+// Health implements HealthChecker from the frozen slice: a Local can never
+// lag, so its answer is its identity.
+func (l *Local) Health(context.Context) (HealthInfo, error) {
+	return HealthInfo{Rows: l.ds.Len(), Fingerprint: l.Fingerprint()}, nil
 }

@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -45,7 +46,7 @@ func TestCoordinatorMatchesSerial(t *testing.T) {
 			c := NewCoordinator(ds, pre.Queue, NewMetrics(n))
 			for _, k := range []int{1, 7} {
 				want, _ := core.Run(alg, ds, k, pre)
-				got, _, err := c.Run(alg, k, localBackends(ds, n))
+				got, _, err := c.Run(context.Background(), alg, k, localBackends(ds, n), RunOptions{})
 				if err != nil {
 					t.Fatalf("%v n=%d k=%d: %v", alg, n, k, err)
 				}
@@ -60,11 +61,11 @@ func TestCoordinatorMatchesSerial(t *testing.T) {
 // fingerprint guard.
 func TestRemoteBackends(t *testing.T) {
 	ds := testDataset(500)
-	resolve := func(name string) (*data.Dataset, bool) {
+	resolve := func(name string) (*data.Dataset, uint64, bool) {
 		if name != "d" {
-			return nil, false
+			return nil, 0, false
 		}
-		return ds, true
+		return ds, 1, true
 	}
 	peers := make([]*httptest.Server, 2)
 	for i := range peers {
@@ -84,7 +85,7 @@ func TestRemoteBackends(t *testing.T) {
 	c := NewCoordinator(ds, pre.Queue, NewMetrics(n))
 	for _, alg := range []core.Algorithm{core.AlgNaive, core.AlgUBB, core.AlgIBIG} {
 		want, _ := core.Run(alg, ds, 6, pre)
-		got, st, err := c.Run(alg, 6, backends)
+		got, st, err := c.Run(context.Background(), alg, 6, backends, RunOptions{})
 		if err != nil {
 			t.Fatalf("%v: %v", alg, err)
 		}
@@ -99,13 +100,13 @@ func TestRemoteBackends(t *testing.T) {
 	bad := make([]Backend, n)
 	copy(bad, backends)
 	bad[1] = NewRemote(nil, peers[1].URL, "d", ds.Len()/n, 2*ds.Len()/n, 0xdeadbeef)
-	if _, _, err := c.Run(core.AlgIBIG, 6, bad); err == nil {
+	if _, _, err := c.Run(context.Background(), core.AlgIBIG, 6, bad, RunOptions{}); err == nil {
 		t.Fatal("expected a fingerprint-mismatch error")
 	}
 
 	// Unknown dataset: 404 surfaces as an error.
 	bad[1] = NewRemote(nil, peers[1].URL, "nope", ds.Len()/n, 2*ds.Len()/n, 0)
-	if _, _, err := c.Run(core.AlgIBIG, 6, bad); err == nil {
+	if _, _, err := c.Run(context.Background(), core.AlgIBIG, 6, bad, RunOptions{}); err == nil {
 		t.Fatal("expected an unknown-dataset error")
 	}
 }
@@ -120,12 +121,12 @@ func TestLocalBoundsResidualCap(t *testing.T) {
 	for i := range cands {
 		cands[i] = ds.Obj(i * 7)
 	}
-	exact, err := l.Partial(&Request{Alg: core.AlgIBIG, Mode: ModeScores, Cands: cands})
+	exact, err := l.Partial(context.Background(), &Request{Alg: core.AlgIBIG, Mode: ModeScores, Cands: cands})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, residual := range []int{-5, 0, 3, 50, 1000} {
-		bounds, err := l.Partial(&Request{Alg: core.AlgIBIG, Mode: ModeBounds, Tau: residual, Residual: residual, Cands: cands})
+		bounds, err := l.Partial(context.Background(), &Request{Alg: core.AlgIBIG, Mode: ModeBounds, Tau: residual, Residual: residual, Cands: cands})
 		if err != nil {
 			t.Fatal(err)
 		}

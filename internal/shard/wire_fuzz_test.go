@@ -1,0 +1,203 @@
+package shard
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/data"
+)
+
+// fuzzPeer builds a Peer over a small fixed dataset; the resolver knows one
+// dataset "d" at epoch 1.
+func fuzzPeer(tb testing.TB) (*Peer, *data.Dataset) {
+	tb.Helper()
+	ds := testDataset(120)
+	return NewPeer(func(name string) (*data.Dataset, uint64, bool) {
+		if name != "d" {
+			return nil, 0, false
+		}
+		return ds, 1, true
+	}), ds
+}
+
+// validWireRequest is a well-formed full-range scores request for ds.
+func validWireRequest(ds *data.Dataset) WireRequest {
+	obj := ds.Obj(0)
+	vals := make([]float64, ds.Dim())
+	for d := 0; d < ds.Dim(); d++ {
+		if obj.Mask&(1<<uint(d)) != 0 {
+			vals[d] = obj.Values[d]
+		}
+	}
+	return WireRequest{
+		Dataset:     "d",
+		From:        0,
+		To:          ds.Len(),
+		Fingerprint: ds.Slice(0, ds.Len()).Fingerprint(),
+		Algorithm:   "ibig",
+		Mode:        "scores",
+		Candidates:  []WireCandidate{{Values: vals, Mask: obj.Mask}},
+	}
+}
+
+func mustJSON(tb testing.TB, v any) []byte {
+	tb.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return b
+}
+
+// FuzzShardWire throws arbitrary bytes at the peer's query endpoint. The
+// contract under fuzz: never panic, never answer 5xx to a malformed body
+// (bad input is the coordinator's bug, reported as 4xx), and always answer
+// JSON.
+func FuzzShardWire(f *testing.F) {
+	peer, ds := fuzzPeer(f)
+
+	valid := validWireRequest(ds)
+	f.Add(mustJSON(f, valid))
+
+	wrongDim := valid
+	wrongDim.Candidates = []WireCandidate{{Values: []float64{1}, Mask: 1}}
+	f.Add(mustJSON(f, wrongDim))
+
+	maskBeyond := valid
+	maskBeyond.Candidates = []WireCandidate{{Values: make([]float64, ds.Dim()), Mask: 1 << 40}}
+	f.Add(mustJSON(f, maskBeyond))
+
+	noMask := valid
+	noMask.Candidates = []WireCandidate{{Values: make([]float64, ds.Dim()), Mask: 0}}
+	f.Add(mustJSON(f, noMask))
+
+	negRange := valid
+	negRange.From, negRange.To = -3, 5
+	f.Add(mustJSON(f, negRange))
+
+	inverted := valid
+	inverted.From, inverted.To = 100, 10
+	f.Add(mustJSON(f, inverted))
+
+	badFP := valid
+	badFP.Fingerprint = 0xdeadbeef
+	f.Add(mustJSON(f, badFP))
+
+	unknownDS := valid
+	unknownDS.Dataset = "nope"
+	f.Add(mustJSON(f, unknownDS))
+
+	badAlg := valid
+	badAlg.Algorithm = "quantum"
+	f.Add(mustJSON(f, badAlg))
+
+	badMode := valid
+	badMode.Mode = "vibes"
+	f.Add(mustJSON(f, badMode))
+
+	f.Add([]byte(`{"dataset":"d","from":0,"to":10,"unknown_field":true}`))
+	f.Add(mustJSON(f, valid)[:20]) // truncated JSON
+	f.Add([]byte(`{`))
+	f.Add([]byte(``))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(`{"candidates":[{"v":[1e309],"m":18446744073709551615}]}`))
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req := httptest.NewRequest(http.MethodPost, "/v1/shard/query", bytes.NewReader(body))
+		rec := httptest.NewRecorder()
+		peer.ServeHTTP(rec, req)
+		resp := rec.Result()
+		defer resp.Body.Close()
+		if resp.StatusCode >= 500 {
+			t.Fatalf("status %d for body %q — malformed input must be a 4xx", resp.StatusCode, body)
+		}
+		out, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !json.Valid(out) {
+			t.Fatalf("non-JSON answer %q for body %q", out, body)
+		}
+	})
+}
+
+// TestPeerBodyCap checks the request-size guard: a body past maxWireBodyBytes
+// is refused with 413 before the decoder inflates it.
+func TestPeerBodyCap(t *testing.T) {
+	peer, _ := fuzzPeer(t)
+	huge := `{"dataset":"` + strings.Repeat("x", maxWireBodyBytes+1024) + `"}`
+	req := httptest.NewRequest(http.MethodPost, "/v1/shard/query", strings.NewReader(huge))
+	rec := httptest.NewRecorder()
+	peer.ServeHTTP(rec, req)
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d, want 413", rec.Code)
+	}
+}
+
+// TestPeerCandidateCap checks the batch guard: more candidates than any
+// legitimate scatter window is a 400, not unbounded work.
+func TestPeerCandidateCap(t *testing.T) {
+	peer, ds := fuzzPeer(t)
+	req := validWireRequest(ds)
+	cand := req.Candidates[0]
+	req.Candidates = make([]WireCandidate, maxWireCandidates+1)
+	for i := range req.Candidates {
+		req.Candidates[i] = cand
+	}
+	hr := httptest.NewRequest(http.MethodPost, "/v1/shard/query", bytes.NewReader(mustJSON(t, req)))
+	rec := httptest.NewRecorder()
+	peer.ServeHTTP(rec, hr)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", rec.Code)
+	}
+}
+
+// TestPeerHealthEndpoint pins the health wire answer the replica sets
+// quarantine on.
+func TestPeerHealthEndpoint(t *testing.T) {
+	peer, ds := fuzzPeer(t)
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/shard/health", peer.ServeHealth)
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/v1/shard/health?dataset=d&from=0&to=60")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200", resp.StatusCode)
+	}
+	var h WireHealth
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Rows != 60 || h.Fingerprint != ds.Slice(0, 60).Fingerprint() || h.Epoch != 1 {
+		t.Fatalf("health answer %+v does not match the slice", h)
+	}
+
+	for _, bad := range []string{
+		"?dataset=d&from=-1&to=5",
+		"?dataset=d&from=9&to=3",
+		"?dataset=d&from=0&to=99999",
+		"?dataset=nope&from=0&to=5",
+		"?dataset=d&from=x&to=5",
+		"",
+	} {
+		resp, err := http.Get(ts.URL + "/v1/shard/health" + bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode < 400 || resp.StatusCode >= 500 {
+			t.Fatalf("query %q: status %d, want 4xx", bad, resp.StatusCode)
+		}
+	}
+}

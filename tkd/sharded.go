@@ -1,27 +1,49 @@
 package tkd
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/data"
 	"repro/internal/shard"
 )
 
 // ShardMetrics is a snapshot of a sharded dataset's scatter-gather counters:
-// fan-out calls, τ push-down prunes and per-shard latency histograms.
+// fan-out calls, τ push-down prunes, retries, hedges, degraded answers and
+// per-shard latency histograms.
 type ShardMetrics = shard.Snapshot
+
+// ShardPolicy tunes a sharded dataset's fault tolerance: retry attempts and
+// backoff, hedging, attempt timeouts and circuit-breaker thresholds. See
+// shard.Policy for the fields.
+type ShardPolicy = shard.Policy
+
+// BreakerState is a replica circuit breaker's position (closed, open or
+// half-open).
+type BreakerState = shard.BreakerState
+
+// DefaultShardPolicy returns the serving defaults (3 attempts, 5ms..250ms
+// jittered backoff, hedging on observed p99, breakers opening after 5
+// consecutive failures for 1s).
+func DefaultShardPolicy() ShardPolicy { return shard.DefaultPolicy() }
 
 // ShardOption configures Shard.
 type ShardOption func(*shardConfig)
 
 type shardConfig struct {
-	shards int
-	peers  []string
-	client *http.Client
+	shards         int
+	peers          [][]string // replica URL groups; shard i → peers[i % len]
+	client         *http.Client
+	policy         ShardPolicy
+	policySet      bool
+	healthInterval time.Duration
+	peerTimeout    time.Duration
 }
 
 // WithShards splits the dataset into n row-range shards (default 2, minimum
@@ -31,17 +53,57 @@ func WithShards(n int) ShardOption {
 }
 
 // WithShardPeers serves the shards from remote tkdserver peers instead of
-// in-process: shard i goes to urls[i % len(urls)]. Every peer must have the
-// same dataset registered under the same name the coordinator uses — peers
-// verify a per-shard content fingerprint on every call, so a divergent peer
-// fails the query instead of corrupting it.
+// in-process: shard i goes to urls[i % len(urls)]. Each entry is one
+// shard's replica set — either a single base URL or several separated by
+// '|' ("http://a:8080|http://b:8080"), in which case the shard's reads
+// load-balance across the replicas with per-replica circuit breakers,
+// retries and optional hedging (see WithShardPolicy). Every peer must have
+// the same dataset registered under the same name the coordinator uses —
+// peers verify a per-shard content fingerprint on every call, so a
+// divergent replica fails (and is quarantined) instead of corrupting the
+// merge.
 func WithShardPeers(urls ...string) ShardOption {
-	return func(c *shardConfig) { c.peers = urls }
+	return func(c *shardConfig) {
+		c.peers = c.peers[:0]
+		for _, u := range urls {
+			var group []string
+			for _, r := range strings.Split(u, "|") {
+				if r = strings.TrimSpace(r); r != "" {
+					group = append(group, r)
+				}
+			}
+			if len(group) > 0 {
+				c.peers = append(c.peers, group)
+			}
+		}
+	}
 }
 
 // WithShardClient overrides the HTTP client used to reach peers.
 func WithShardClient(client *http.Client) ShardOption {
 	return func(c *shardConfig) { c.client = client }
+}
+
+// WithShardPolicy overrides the fault-tolerance policy applied to every
+// shard's replica set (default DefaultShardPolicy).
+func WithShardPolicy(p ShardPolicy) ShardOption {
+	return func(c *shardConfig) { c.policy, c.policySet = p, true }
+}
+
+// WithShardHealthChecks starts a background health probe per shard replica
+// set, every interval: replicas whose fingerprint diverges from the
+// coordinator's expectation are quarantined (breaker tripped) until they
+// catch up, without spending query attempts discovering it. 0 (the
+// default) disables the probes. Call Close to stop them.
+func WithShardHealthChecks(interval time.Duration) ShardOption {
+	return func(c *shardConfig) { c.healthInterval = interval }
+}
+
+// WithShardPeerTimeout bounds one peer round trip when no WithShardClient
+// was given (default shard.DefaultRemoteTimeout, 30s). Per-query deadlines
+// via WithContext apply on top, per call.
+func WithShardPeerTimeout(d time.Duration) ShardOption {
+	return func(c *shardConfig) { c.peerTimeout = d }
 }
 
 // ShardedDataset serves TKD queries over one dataset split into N row-range
@@ -60,12 +122,14 @@ func WithShardClient(client *http.Client) ShardOption {
 // before running. Queries in flight keep the shard set they started with;
 // nobody blocks anybody, mirroring the single-process epoch/RCU contract.
 type ShardedDataset struct {
-	src    *Dataset
-	name   string // dataset name on peers (remote topologies)
-	n      int
-	peers  []string
-	client *http.Client
-	met    *shard.Metrics
+	src            *Dataset
+	name           string // dataset name on peers (remote topologies)
+	n              int
+	peers          [][]string
+	client         *http.Client
+	policy         ShardPolicy
+	healthInterval time.Duration
+	met            *shard.Metrics
 
 	mu  sync.Mutex
 	cur atomic.Pointer[shardSet]
@@ -81,6 +145,17 @@ type shardSet struct {
 	coord *shard.Coordinator
 	from  []int // shard i covers rows [from[i], from[i+1])
 	slots []atomic.Pointer[backendBox]
+}
+
+// close stops every slot's background machinery (replica-set health
+// loops). Queries in flight on the set keep working — close only retires
+// goroutines.
+func (s *shardSet) close() {
+	for i := range s.slots {
+		if rs, ok := s.slots[i].Load().b.(*shard.ReplicaSet); ok {
+			rs.Close()
+		}
+	}
 }
 
 // backendBox boxes the Backend interface value for atomic swapping
@@ -101,20 +176,25 @@ func (s *shardSet) backends() []shard.Backend {
 // recorded so a topology can add peers later). The source dataset is shared,
 // not copied: mutations through src publish epochs the sharded view follows.
 func Shard(src *Dataset, name string, opts ...ShardOption) (*ShardedDataset, error) {
-	cfg := shardConfig{shards: 2}
+	cfg := shardConfig{shards: 2, policy: DefaultShardPolicy()}
 	for _, o := range opts {
 		o(&cfg)
 	}
 	if cfg.shards < 1 {
 		return nil, fmt.Errorf("tkd: shard count must be >= 1, got %d", cfg.shards)
 	}
+	if cfg.client == nil && len(cfg.peers) > 0 && cfg.peerTimeout > 0 {
+		cfg.client = &http.Client{Timeout: cfg.peerTimeout}
+	}
 	return &ShardedDataset{
-		src:    src,
-		name:   name,
-		n:      cfg.shards,
-		peers:  cfg.peers,
-		client: cfg.client,
-		met:    shard.NewMetrics(cfg.shards),
+		src:            src,
+		name:           name,
+		n:              cfg.shards,
+		peers:          cfg.peers,
+		client:         cfg.client,
+		policy:         cfg.policy,
+		healthInterval: cfg.healthInterval,
+		met:            shard.NewMetrics(cfg.shards),
 	}, nil
 }
 
@@ -158,12 +238,20 @@ func (sd *ShardedDataset) set() *shardSet {
 		ns.from[i], ns.from[i+1] = lo, hi
 		ns.slots[i].Store(&backendBox{b: sd.buildBackend(ds, i, lo, hi, budget)})
 	}
+	old := sd.cur.Load()
 	sd.cur.Store(ns)
+	if old != nil {
+		// Retire the old epoch's health loops; in-flight queries on the old
+		// set are unaffected (close never touches the query path).
+		old.close()
+	}
 	return ns
 }
 
 // buildBackend constructs shard i over rows [lo, hi): an in-process Local,
-// or a Remote pointing at the peer the shard is assigned to.
+// or a replica set of Remotes pointing at the peer group the shard is
+// assigned to (retry/hedge/breaker semantics apply even to a single-peer
+// group — one replica is just the degenerate set).
 func (sd *ShardedDataset) buildBackend(ds *data.Dataset, i, lo, hi int, budget int64) shard.Backend {
 	slice := ds.Slice(lo, hi)
 	if len(sd.peers) == 0 {
@@ -173,7 +261,19 @@ func (sd *ShardedDataset) buildBackend(ds *data.Dataset, i, lo, hi int, budget i
 		}
 		return l
 	}
-	return shard.NewRemote(sd.client, sd.peers[i%len(sd.peers)], sd.name, lo, hi, slice.Fingerprint())
+	group := sd.peers[i%len(sd.peers)]
+	fp := slice.Fingerprint()
+	replicas := make([]shard.Backend, len(group))
+	for r, u := range group {
+		replicas[r] = shard.NewRemote(sd.client, u, sd.name, lo, hi, fp)
+	}
+	rs, err := shard.NewReplicaSet(i, replicas, sd.policy, sd.met)
+	if err != nil {
+		// Unreachable: all replicas were built from the same slice identity.
+		return replicas[0]
+	}
+	rs.StartHealthChecks(sd.healthInterval)
+	return rs
 }
 
 // perShardBudget splits the dataset-level cache budget evenly.
@@ -196,7 +296,10 @@ func (sd *ShardedDataset) ReloadShard(i int) error {
 	if i < 0 || i >= len(s.slots) {
 		return fmt.Errorf("tkd: shard %d out of range [0,%d)", i, len(s.slots))
 	}
-	s.slots[i].Store(&backendBox{b: sd.buildBackend(s.data, i, s.from[i], s.from[i+1], sd.perShardBudget())})
+	old := s.slots[i].Swap(&backendBox{b: sd.buildBackend(s.data, i, s.from[i], s.from[i+1], sd.perShardBudget())})
+	if rs, ok := old.b.(*shard.ReplicaSet); ok {
+		rs.Close()
+	}
 	return nil
 }
 
@@ -215,16 +318,30 @@ func (sd *ShardedDataset) TopK(k int, opts ...Option) (Result, error) {
 	for _, o := range opts {
 		o(&cfg)
 	}
+	ctx := cfg.ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	s := sd.set()
 	if s.data.Len() == 0 {
 		return Result{}, fmt.Errorf("tkd: empty dataset")
 	}
-	res, st, err := s.coord.Run(cfg.alg, k, s.backends())
+	var outcome shard.Outcome
+	res, st, err := s.coord.Run(ctx, cfg.alg, k, s.backends(),
+		shard.RunOptions{AllowPartial: cfg.allowPartial, Outcome: &outcome})
 	if err != nil {
 		return Result{}, err
 	}
 	if cfg.stats != nil {
 		*cfg.stats = st
+	}
+	if cfg.degradation != nil {
+		*cfg.degradation = Degradation{
+			Degraded:    outcome.Degraded,
+			CoveredRows: outcome.CoveredRows,
+			TotalRows:   outcome.TotalRows,
+			DownShards:  outcome.DownShards,
+		}
 	}
 	return res, nil
 }
@@ -257,9 +374,36 @@ func (sd *ShardedDataset) PrepareFor(algs ...Algorithm) {
 }
 
 // Metrics snapshots the scatter-gather counters (fan-out, τ push-downs,
-// per-shard latency histograms). Counters survive epoch swaps and shard
-// reloads.
+// retries, hedges, degraded answers, per-shard latency histograms).
+// Counters survive epoch swaps and shard reloads.
 func (sd *ShardedDataset) Metrics() ShardMetrics { return sd.met.Snapshot() }
+
+// ReplicaStates snapshots every shard's replica breaker states, in shard
+// order: nil for a shard not served by a replica set (in-process Locals),
+// one BreakerState per replica otherwise. The serving layer renders these
+// as the tkd_shard_breaker_state / tkd_shard_replicas_healthy gauges.
+func (sd *ShardedDataset) ReplicaStates() [][]BreakerState {
+	s := sd.cur.Load()
+	if s == nil {
+		return nil
+	}
+	out := make([][]BreakerState, len(s.slots))
+	for i := range s.slots {
+		if rs, ok := s.slots[i].Load().b.(*shard.ReplicaSet); ok {
+			out[i] = rs.States()
+		}
+	}
+	return out
+}
+
+// Close stops the background machinery (replica health-check loops) of the
+// current shard set. Queries keep working; call it when retiring the
+// dataset so the goroutines do not outlive it.
+func (sd *ShardedDataset) Close() {
+	if s := sd.cur.Load(); s != nil {
+		s.close()
+	}
+}
 
 // ---- the Dataset query surface, for the serving layer ----
 

@@ -39,6 +39,7 @@
 package tkd
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -464,12 +465,15 @@ func (d *Dataset) Score(i int) int { return core.Score(d.view(), i) }
 type Option func(*queryConfig)
 
 type queryConfig struct {
-	alg     Algorithm
-	algSet  bool
-	bins    []int
-	stats   *Stats
-	btree   bool
-	workers int
+	alg          Algorithm
+	algSet       bool
+	bins         []int
+	stats        *Stats
+	btree        bool
+	workers      int
+	ctx          context.Context
+	allowPartial bool
+	degradation  *Degradation
 }
 
 // WithAlgorithm forces a specific algorithm (default IBIG).
@@ -521,6 +525,39 @@ func WithStats(st *Stats) Option {
 // only the keys inside the candidate's bin). Ignored for other algorithms.
 func WithBTreeRefinement() Option {
 	return func(c *queryConfig) { c.btree = true }
+}
+
+// WithContext bounds the query with ctx: cancellation or an expired
+// deadline aborts the work — including, on a sharded dataset, every
+// in-flight replica RPC — and TopK returns the context's error.
+func WithContext(ctx context.Context) Option {
+	return func(c *queryConfig) { c.ctx = ctx }
+}
+
+// Degradation reports how a WithAllowPartial query was answered. Degraded
+// false means full coverage — the answer is byte-identical to the ordinary
+// one; Degraded true means the scores count only CoveredRows of TotalRows
+// (the reachable row-ranges), exactly.
+type Degradation struct {
+	Degraded    bool
+	CoveredRows int
+	TotalRows   int
+	// DownShards lists the unreachable shard indices (empty unless Degraded).
+	DownShards []int
+}
+
+// WithAllowPartial opts one query into graceful degradation on a sharded
+// dataset: when every replica of some shard is down, the query answers
+// exactly over the live row-ranges instead of failing, and d (which may be
+// nil) receives the explicit coverage report. Without this option the
+// default is fail-closed — an unreachable shard fails the query with a
+// typed error, never a silently partial answer. Unsharded datasets have no
+// shards to lose; they always report full coverage.
+func WithAllowPartial(d *Degradation) Option {
+	return func(c *queryConfig) {
+		c.allowPartial = true
+		c.degradation = d
+	}
 }
 
 // needFor maps a query configuration to the artifacts it consumes.
@@ -689,6 +726,16 @@ func (d *Dataset) TopK(k int, opts ...Option) (Result, error) {
 	cfg := queryConfig{alg: IBIG, workers: 1}
 	for _, o := range opts {
 		o(&cfg)
+	}
+	if cfg.ctx != nil {
+		if err := cfg.ctx.Err(); err != nil {
+			return Result{}, err
+		}
+	}
+	if cfg.degradation != nil {
+		// An unsharded dataset has no shards to lose: coverage is always
+		// total. (AllowPartial itself is a no-op here.)
+		*cfg.degradation = Degradation{CoveredRows: d.Len(), TotalRows: d.Len()}
 	}
 	if cfg.bins != nil {
 		d.setBins(cfg.bins)
