@@ -20,6 +20,7 @@
 package repro_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -32,6 +33,7 @@ import (
 	"repro/internal/data"
 	"repro/internal/gen"
 	"repro/internal/impute"
+	"repro/internal/obs"
 	"repro/internal/skyband"
 )
 
@@ -297,6 +299,56 @@ func BenchmarkParallelIBIG(b *testing.B) {
 			}
 		}
 	}
+}
+
+// BenchmarkTraceOverhead pins the cost of the obs instrumentation points the
+// engine hot path runs per scheduling window: extract the span from a
+// context, open a child, stamp two attributes and a τ sample, close it.
+//
+//	off — tracing disabled (no span in the context): the per-window sequence
+//	      must stay allocation-free, which is what lets every engine call the
+//	      span API unconditionally. Gated at 0 allocs/op by benchdiff.
+//	on  — a live trace, measuring what an explain query actually pays.
+func BenchmarkTraceOverhead(b *testing.B) {
+	b.Run("off", func(b *testing.B) {
+		b.ReportAllocs()
+		ctx := context.Background()
+		for i := 0; i < b.N; i++ {
+			sp := obs.SpanFromContext(ctx)
+			w := sp.StartChild("window")
+			w.SetInt("window", int64(i))
+			w.SetInt("candidates", 64)
+			sp.SampleTau(i, 42)
+			w.End()
+		}
+	})
+	b.Run("on", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tr := obs.New("query")
+			ctx := obs.ContextWithSpan(context.Background(), tr.Root())
+			sp := obs.SpanFromContext(ctx)
+			w := sp.StartChild("window")
+			w.SetInt("window", int64(i))
+			w.SetInt("candidates", 64)
+			sp.SampleTau(i, 42)
+			w.End()
+			tr.Root().End()
+		}
+	})
+	// Whole-engine flavor: one UBB query over a small dataset with tracing
+	// off — the nil-span checks ride inside the measured region, so a
+	// regression that sneaks allocations into the disabled path moves this
+	// number too.
+	ds := benchSynthetic(gen.IND, func(c *gen.Config) { c.N = 300 })
+	queue := core.BuildMaxScoreQueue(ds)
+	pre := &core.Pre{Queue: queue}
+	b.Run("engine-off", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			core.RunWorkersTraced(core.AlgUBB, ds, 8, pre, 1, nil)
+		}
+	})
 }
 
 // BenchmarkFusedKernels isolates the word-level bitvec kernels the serial

@@ -60,6 +60,11 @@ func stripProcs(name string) string { return procSuffix.ReplaceAllString(name, "
 // "value unit" pairs.
 var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.+)$`)
 
+// benchCont matches a result line with the name elided — what test2json
+// emits for benchmarks since the stream attributes the line to a Test field
+// instead: just "iterations value unit ...".
+var benchCont = regexp.MustCompile(`^(\d+)\s+(.+)$`)
+
 // parseBenchOutput extracts benchmark results from plain -bench output.
 // Lines that are not benchmark results are ignored.
 func parseBenchOutput(r io.Reader) (map[string]BenchResult, error) {
@@ -73,9 +78,11 @@ func parseBenchOutput(r io.Reader) (map[string]BenchResult, error) {
 			// A test2json stream: unwrap the Output events and parse those.
 			testJSON = true
 		}
+		var evTest string
 		if testJSON {
 			var ev struct {
 				Action string `json:"Action"`
+				Test   string `json:"Test"`
 				Output string `json:"Output"`
 			}
 			if err := json.Unmarshal([]byte(line), &ev); err != nil {
@@ -84,15 +91,27 @@ func parseBenchOutput(r io.Reader) (map[string]BenchResult, error) {
 			if ev.Action != "output" {
 				continue
 			}
+			evTest = ev.Test
 			line = strings.TrimSuffix(ev.Output, "\n")
 		}
-		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
-		if m == nil {
+		var name, values string
+		if m := benchLine.FindStringSubmatch(strings.TrimSpace(line)); m != nil {
+			name, values = m[1], m[3]
+		} else if strings.HasPrefix(evTest, "Benchmark") {
+			// test2json splits the name from the numbers: the event's Test
+			// field carries the benchmark, the output line starts at the
+			// iteration count.
+			m := benchCont.FindStringSubmatch(strings.TrimSpace(line))
+			if m == nil {
+				continue
+			}
+			name, values = evTest, m[2]
+		} else {
 			continue
 		}
-		name := stripProcs(m[1])
+		name = stripProcs(name)
 		res := BenchResult{NsOp: -1, AllocsOp: -1}
-		fields := strings.Fields(m[3])
+		fields := strings.Fields(values)
 		for i := 0; i+1 < len(fields); i += 2 {
 			v, err := strconv.ParseFloat(fields[i], 64)
 			if err != nil {

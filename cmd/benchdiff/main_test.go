@@ -59,6 +59,29 @@ func TestParseTestJSONStream(t *testing.T) {
 	}
 }
 
+// TestParseTestJSONSplitEvents covers the stream shape go test -json emits
+// for benchmarks since Go attributes output to a Test field: the name event
+// and the numbers event arrive separately, with the result line starting at
+// the iteration count.
+func TestParseTestJSONSplitEvents(t *testing.T) {
+	stream := `{"Action":"start","Package":"repro"}
+{"Action":"run","Package":"repro","Test":"BenchmarkTraceOverhead/off"}
+{"Action":"output","Package":"repro","Test":"BenchmarkTraceOverhead/off","Output":"BenchmarkTraceOverhead/off\n"}
+{"Action":"output","Package":"repro","Test":"BenchmarkTraceOverhead/off","Output":"    1000\t        83.0 ns/op\t       0 B/op\t       0 allocs/op\n"}
+{"Action":"output","Package":"repro","Test":"BenchmarkTraceOverhead/off","Output":"--- BENCH: BenchmarkTraceOverhead/off-8\n"}
+{"Action":"output","Package":"repro","Output":"PASS\n"}
+{"Action":"pass","Package":"repro"}
+`
+	got, err := parseBenchOutput(strings.NewReader(stream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, ok := got["BenchmarkTraceOverhead/off"]
+	if !ok || res.NsOp != 83.0 || res.AllocsOp != 0 {
+		t.Fatalf("parsed %v", got)
+	}
+}
+
 func TestCompareVerdicts(t *testing.T) {
 	base := map[string]BenchResult{
 		"A": {NsOp: 100, AllocsOp: 2},

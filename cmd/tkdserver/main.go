@@ -45,8 +45,10 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -93,6 +95,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		peerTimeout = fs.Duration("peer-timeout", 30*time.Second, "per-request timeout for shard-peer round trips")
 		queryTO     = fs.Duration("query-timeout", 0, "default per-query deadline when the request carries no timeout_millis (0 = none)")
 		healthIvl   = fs.Duration("health-interval", 0, "period of the background replica health probes; divergent replicas are quarantined (0 = disabled)")
+		logFormat   = fs.String("log-format", "text", "structured log encoding: text or json")
+		slowQuery   = fs.Duration("slow-query", 0, "log queries slower than this at warn level with their trace ID (0 = disabled; the /v1/debug/queries ring is always on)")
+		debugAddr   = fs.String("debug-addr", "", "separate listen address for the net/http/pprof profiling endpoints (empty = pprof not served; keep this off any public interface)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -102,6 +107,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fs.PrintDefaults()
 		return 2
 	}
+	var handler slog.Handler
+	switch *logFormat {
+	case "text":
+		handler = slog.NewTextHandler(stdout, nil)
+	case "json":
+		handler = slog.NewJSONHandler(stdout, nil)
+	default:
+		fmt.Fprintf(stderr, "tkdserver: -log-format must be text or json, got %q\n", *logFormat)
+		return 2
+	}
+	logger := slog.New(handler)
 
 	var peers []string
 	if *peersFlag != "" {
@@ -127,19 +143,42 @@ func run(args []string, stdout, stderr io.Writer) int {
 		PeerTimeout:    *peerTimeout,
 		QueryTimeout:   *queryTO,
 		HealthInterval: *healthIvl,
-	}, stdout)
+		Logger:         logger,
+		SlowQuery:      *slowQuery,
+	}, logger)
 	if err != nil {
 		fmt.Fprintln(stderr, "tkdserver:", err)
 		return 1
 	}
 	defer srv.Close()
 
+	// The pprof endpoints go on their own listener, only when asked for:
+	// profiling data (heap contents, CPU samples) has no business on the
+	// query port.
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fmt.Fprintln(stderr, "tkdserver:", err)
+			return 1
+		}
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dsrv := &http.Server{Handler: dmux}
+		defer dsrv.Close()
+		go func() { _ = dsrv.Serve(dln) }()
+		logger.Info("pprof listening", "addr", dln.Addr().String())
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintln(stderr, "tkdserver:", err)
 		return 1
 	}
-	fmt.Fprintf(stdout, "tkdserver: listening on %s\n", ln.Addr())
+	logger.Info("listening", "addr", ln.Addr().String())
 
 	// Serve until a termination signal, then drain: the query service stops
 	// accepting (503) and finishes every queued scheduling window before
@@ -162,7 +201,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// Restore default signal handling immediately: a second SIGINT/SIGTERM
 	// during a slow drain kills the process instead of being swallowed.
 	stop()
-	fmt.Fprintln(stdout, "tkdserver: draining (signal received)")
+	logger.Info("draining", "reason", "signal received")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainWait)
 	defer cancel()
 	// Drain the schedulers (refuse new queries, finish queued windows)
@@ -175,21 +214,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 	select {
 	case <-drained:
 	case <-shutdownCtx.Done():
-		fmt.Fprintln(stderr, "tkdserver: drain timeout; abandoning queued work")
+		logger.Warn("drain timeout; abandoning queued work")
 		srv.Close()
 	}
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
-		fmt.Fprintln(stderr, "tkdserver: forced close:", err)
+		logger.Error("forced close", "err", err)
 		_ = httpSrv.Close()
 	}
-	fmt.Fprintln(stdout, "tkdserver: drained, bye")
+	logger.Info("drained, bye")
 	return 0
 }
 
 // buildServer loads every -dataset mapping into a fresh server, logging each
 // load (index construction dominates startup when no persisted index is
 // available, so the feedback matters).
-func buildServer(datasets []string, negate bool, cfg server.Config, stdout io.Writer) (*server.Server, error) {
+func buildServer(datasets []string, negate bool, cfg server.Config, logger *slog.Logger) (*server.Server, error) {
 	srv := server.New(cfg)
 	for _, spec := range datasets {
 		name, path, _ := strings.Cut(spec, "=")
@@ -202,7 +241,7 @@ func buildServer(datasets []string, negate bool, cfg server.Config, stdout io.Wr
 			srv.Close()
 			return nil, err
 		}
-		fmt.Fprintf(stdout, "tkdserver: loaded %s from %s in %.2fs\n", name, path, time.Since(start).Seconds())
+		logger.Info("dataset loaded", "dataset", name, "path", path, "seconds", time.Since(start).Seconds())
 	}
 	return srv, nil
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -14,6 +15,12 @@ import (
 	"repro/internal/server"
 	"repro/tkd"
 )
+
+// bufLogger is a text-format slog.Logger writing into out, mirroring what
+// run() builds for -log-format text.
+func bufLogger(out io.Writer) *slog.Logger {
+	return slog.New(slog.NewTextHandler(out, nil))
+}
 
 // writeTempCSV materializes a generated dataset as a datagen-format CSV.
 func writeTempCSV(t *testing.T, ds *tkd.Dataset) string {
@@ -39,12 +46,12 @@ func TestBuildServerServesLoadedCSV(t *testing.T) {
 	ds := tkd.GenerateIND(300, 4, 20, 0.2, 5)
 	path := writeTempCSV(t, ds)
 	var out bytes.Buffer
-	srv, err := buildServer([]string{"d1=" + path}, false, server.Config{}, &out)
+	srv, err := buildServer([]string{"d1=" + path}, false, server.Config{}, bufLogger(&out))
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer srv.Close()
-	if !strings.Contains(out.String(), "loaded d1") {
+	if !strings.Contains(out.String(), "dataset loaded") || !strings.Contains(out.String(), "dataset=d1") {
 		t.Fatalf("no load log:\n%s", out.String())
 	}
 
@@ -86,14 +93,14 @@ func TestIndexDirWarmRestart(t *testing.T) {
 	ixdir := filepath.Join(t.TempDir(), "ix")
 	cfg := server.Config{IndexDir: ixdir}
 
-	srv1, err := buildServer([]string{"d=" + path}, false, cfg, io.Discard)
+	srv1, err := buildServer([]string{"d=" + path}, false, cfg, slog.New(slog.DiscardHandler))
 	if err != nil {
 		t.Fatal(err)
 	}
 	srv1.Close()
 
 	var out bytes.Buffer
-	srv2, err := buildServer([]string{"d=" + path}, false, cfg, &out)
+	srv2, err := buildServer([]string{"d=" + path}, false, cfg, bufLogger(&out))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,7 +182,7 @@ func TestBuildServerRejectsEmptyName(t *testing.T) {
 	ds := tkd.GenerateIND(50, 3, 10, 0.1, 1)
 	path := writeTempCSV(t, ds)
 	var out bytes.Buffer
-	if _, err := buildServer([]string{"=" + path}, false, server.Config{}, &out); err == nil {
+	if _, err := buildServer([]string{"=" + path}, false, server.Config{}, bufLogger(&out)); err == nil {
 		t.Fatal("empty dataset name accepted")
 	}
 }

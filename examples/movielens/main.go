@@ -12,7 +12,8 @@ package main
 
 import (
 	"fmt"
-	"log"
+	"log/slog"
+	"os"
 
 	"repro/tkd"
 )
@@ -30,7 +31,7 @@ func main() {
 	var st tkd.Stats
 	res, err := ds.TopK(10, tkd.WithBins(2), tkd.WithStats(&st))
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	fmt.Println("top-10 most dominating movies:")
 	for rank, it := range res.Items {
@@ -44,7 +45,7 @@ func main() {
 	// paper's Fig. 18(a) observation.
 	var stUBB tkd.Stats
 	if _, err := ds.TopK(10, tkd.WithAlgorithm(tkd.UBB), tkd.WithStats(&stUBB)); err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	fmt.Printf("UBB work:  scored %d of %d movies (H1 pruned %d)\n",
 		stUBB.Scored, ds.Len(), stUBB.PrunedH1)
@@ -57,10 +58,16 @@ func main() {
 	}
 	items, err := ds.TopKMFD(5, weights, 0.5)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	fmt.Println("\ntop-5 under MFD-weighted scoring (λ=0.5):")
 	for rank, it := range items {
 		fmt.Printf("  %d. %-6s weighted score %.1f\n", rank+1, it.ID, it.Weight)
 	}
+}
+
+// fatal reports err through the structured logger and exits non-zero.
+func fatal(err error) {
+	slog.Error("example failed", "err", err)
+	os.Exit(1)
 }

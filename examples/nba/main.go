@@ -16,7 +16,8 @@ package main
 
 import (
 	"fmt"
-	"log"
+	"log/slog"
+	"os"
 
 	"repro/tkd"
 )
@@ -33,7 +34,7 @@ func main() {
 		var st tkd.Stats
 		res, err := ds.TopK(k, tkd.WithAlgorithm(alg), tkd.WithStats(&st))
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		fmt.Printf("  %-4v best=%s (score %d) | scored %d of %d, H1/H2/H3 pruned %d/%d/%d\n",
 			alg, res.Items[0].ID, res.Items[0].Score,
@@ -47,14 +48,20 @@ func main() {
 	for _, kk := range []int{4, 16} {
 		a, err := ds.TopK(kk)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		b, err := completed.TopK(kk)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		dj := tkd.JaccardDistance(a, b)
 		fmt.Printf("  k=%-3d Jaccard distance %.3f (shares >k/2 answers: %v)\n",
 			kk, dj, dj < 2.0/3)
 	}
+}
+
+// fatal reports err through the structured logger and exits non-zero.
+func fatal(err error) {
+	slog.Error("example failed", "err", err)
+	os.Exit(1)
 }

@@ -9,7 +9,8 @@ package main
 
 import (
 	"fmt"
-	"log"
+	"log/slog"
+	"os"
 
 	"repro/tkd"
 )
@@ -35,7 +36,7 @@ func main() {
 	}
 	for _, r := range rows {
 		if err := ds.Append(r.id, r.v...); err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 	}
 
@@ -45,7 +46,7 @@ func main() {
 	// A top-2 dominating query with the default algorithm (IBIG).
 	res, err := ds.TopK(2)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	fmt.Println("T2D answer:")
 	for rank, it := range res.Items {
@@ -58,7 +59,7 @@ func main() {
 		var st tkd.Stats
 		r, err := ds.TopK(2, tkd.WithAlgorithm(alg), tkd.WithStats(&st))
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		fmt.Printf("  %-5v -> %v (scored %d of %d objects; H1/H2/H3 pruned %d/%d/%d)\n",
 			alg, r.IDs(), st.Scored, ds.Len(), st.PrunedH1, st.PrunedH2, st.PrunedH3)
@@ -69,4 +70,10 @@ func main() {
 	fmt.Printf("  C2 dominates C1: %v\n", ds.Dominates(11, 10))
 	fmt.Printf("  C1 dominates C2: %v\n", ds.Dominates(10, 11))
 	fmt.Printf("  score(C2) = %d\n", ds.Score(11))
+}
+
+// fatal reports err through the structured logger and exits non-zero.
+func fatal(err error) {
+	slog.Error("example failed", "err", err)
+	os.Exit(1)
 }

@@ -14,7 +14,8 @@ package main
 
 import (
 	"fmt"
-	"log"
+	"log/slog"
+	"os"
 	"time"
 
 	"repro/tkd"
@@ -39,7 +40,7 @@ func main() {
 			tkd.WithBins(6, 10, 35, xi, xi),
 			tkd.WithStats(&st))
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		elapsed := time.Since(start)
 		fmt.Printf("ξ=%-5d best listing %-7s (score %5d) | total %.2fs | scored %d, H1/H2/H3 pruned %d/%d/%d\n",
@@ -50,7 +51,7 @@ func main() {
 	// Final answer set at the default (optimal) binning.
 	res, err := ds.TopK(k)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	fmt.Printf("\ntop-%d dominating listings:\n", k)
 	for rank, it := range res.Items {
@@ -65,4 +66,10 @@ func main() {
 		fmt.Printf("  %d. %-7s dominates %5d listings (%s, %s)\n",
 			rank+1, it.ID, it.Score, bedsStr, priceStr)
 	}
+}
+
+// fatal reports err through the structured logger and exits non-zero.
+func fatal(err error) {
+	slog.Error("example failed", "err", err)
+	os.Exit(1)
 }

@@ -6,6 +6,7 @@ import (
 	"repro/internal/bitmapidx"
 	"repro/internal/btree"
 	"repro/internal/data"
+	"repro/internal/obs"
 )
 
 // bigState carries the shared machinery of the BIG and IBIG algorithms: the
@@ -199,10 +200,14 @@ func IBIG(ds *data.Dataset, k int, ix *bitmapidx.Index, queue *MaxScoreQueue) (R
 }
 
 func bitmapRun(ds *data.Dataset, k int, ix *bitmapidx.Index, queue *MaxScoreQueue) (Result, Stats) {
-	return bitmapRunRefine(ds, k, ix, queue, RefineDirect, nil)
+	return bitmapRunRefine(ds, k, ix, queue, RefineDirect, nil, nil)
 }
 
-func bitmapRunRefine(ds *data.Dataset, k int, ix *bitmapidx.Index, queue *MaxScoreQueue, refine Refinement, trees []*btree.Tree) (Result, Stats) {
+// bitmapRunRefine is the serial BIG/IBIG main loop. sp, when non-nil,
+// receives τ trajectory samples at WindowSize granularity — matching the
+// parallel engine's sampling points, so explain output reads the same
+// whichever path served the query. A nil sp costs one branch per candidate.
+func bitmapRunRefine(ds *data.Dataset, k int, ix *bitmapidx.Index, queue *MaxScoreQueue, refine Refinement, trees []*btree.Tree, sp *obs.Span) (Result, Stats) {
 	if queue == nil {
 		queue = BuildMaxScoreQueue(ds)
 	}
@@ -213,8 +218,13 @@ func bitmapRunRefine(ds *data.Dataset, k int, ix *bitmapidx.Index, queue *MaxSco
 		state.tags = newEpochTags(ds.Len())
 	}
 	sc := newCandidateHeap(k)
-	for pos, idx := range queue.Order {
+	pos := 0
+	for p, idx := range queue.Order {
+		pos = p
 		tau := sc.tau()
+		if sp != nil && pos%WindowSize == 0 {
+			sp.SampleTau(pos, tau)
+		}
 		if tau >= 0 && queue.MaxScore[idx] <= tau {
 			st.PrunedH1 += len(queue.Order) - pos // Heuristic 1: early stop
 			break
@@ -237,6 +247,9 @@ func bitmapRunRefine(ds *data.Dataset, k int, ix *bitmapidx.Index, queue *MaxSco
 		}
 		st.Scored++
 		sc.offer(Item{Index: int(idx), ID: ds.Obj(int(idx)).ID, Score: score})
+	}
+	if sp != nil {
+		sp.SampleTau(pos, sc.tau())
 	}
 	return sc.result(), st
 }

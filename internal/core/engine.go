@@ -8,6 +8,7 @@ import (
 	"repro/internal/bitmapidx"
 	"repro/internal/btree"
 	"repro/internal/data"
+	"repro/internal/obs"
 )
 
 // The parallel query engine. The UBB/BIG/IBIG main loop walks the MaxScore
@@ -108,8 +109,11 @@ var slotPool = sync.Pool{
 }
 
 // engineRun is the batch-windowed parallel main loop shared by UBB, BIG and
-// IBIG. One scorer per worker; len(scorers) is the worker count.
-func engineRun(ds *data.Dataset, k int, queue *MaxScoreQueue, scorers []scorer) (Result, Stats) {
+// IBIG. One scorer per worker; len(scorers) is the worker count. sp, when
+// non-nil, receives one τ trajectory sample per window — recording happens
+// at window granularity (never per candidate), and a nil sp costs one
+// predictable branch per window, keeping the hot path allocation-free.
+func engineRun(ds *data.Dataset, k int, queue *MaxScoreQueue, scorers []scorer, sp *obs.Span) (Result, Stats) {
 	workers := len(scorers)
 	var st Stats
 	st.Workers = workers
@@ -161,6 +165,9 @@ func engineRun(ds *data.Dataset, k int, queue *MaxScoreQueue, scorers []scorer) 
 
 	for {
 		fr.SetTau(sc.tau())
+		if sp != nil {
+			sp.SampleTau(fr.Pos(), fr.Tau())
+		}
 		start, window, pruned, ok := fr.NextWindow(WindowSize)
 		if !ok {
 			// Heuristic 1 at window granularity: the queue is sorted by
@@ -207,6 +214,9 @@ func engineRun(ds *data.Dataset, k int, queue *MaxScoreQueue, scorers []scorer) 
 		}
 		wg.Wait()
 	}
+	if sp != nil {
+		sp.SampleTau(fr.Pos(), sc.tau())
+	}
 	for w := range wstats {
 		st.Comparisons += wstats[w].Comparisons
 	}
@@ -216,13 +226,13 @@ func engineRun(ds *data.Dataset, k int, queue *MaxScoreQueue, scorers []scorer) 
 // bitmapRunParallel runs BIG/IBIG across workers goroutines (<=0 selects
 // GOMAXPROCS; 1 falls back to the serial loop). The answer set is
 // byte-identical to the serial path's.
-func bitmapRunParallel(ds *data.Dataset, k int, ix *bitmapidx.Index, queue *MaxScoreQueue, refine Refinement, trees []*btree.Tree, workers int) (Result, Stats) {
+func bitmapRunParallel(ds *data.Dataset, k int, ix *bitmapidx.Index, queue *MaxScoreQueue, refine Refinement, trees []*btree.Tree, workers int, sp *obs.Span) (Result, Stats) {
 	if queue == nil {
 		queue = BuildMaxScoreQueue(ds)
 	}
 	workers = clampWorkers(workers, len(queue.Order))
 	if workers <= 1 {
-		return bitmapRunRefine(ds, k, ix, queue, refine, trees)
+		return bitmapRunRefine(ds, k, ix, queue, refine, trees, sp)
 	}
 	if refine == RefineBTree && trees == nil {
 		trees = BuildDimTrees(ds)
@@ -237,7 +247,7 @@ func bitmapRunParallel(ds *data.Dataset, k int, ix *bitmapidx.Index, queue *MaxS
 		}
 		scorers[w] = bigScorer{state: state, refine: refine}
 	}
-	return engineRun(ds, k, queue, scorers)
+	return engineRun(ds, k, queue, scorers, sp)
 }
 
 // BIGWorkers is BIG across a worker pool. workers <= 0 selects GOMAXPROCS;
@@ -246,19 +256,25 @@ func BIGWorkers(ds *data.Dataset, k int, ix *bitmapidx.Index, queue *MaxScoreQue
 	if ix.Binned() {
 		panic("core: BIG requires an unbinned index; use IBIG")
 	}
-	return bitmapRunParallel(ds, k, ix, queue, RefineDirect, nil, workers)
+	return bitmapRunParallel(ds, k, ix, queue, RefineDirect, nil, workers, nil)
 }
 
 // IBIGWorkers is IBIG across a worker pool.
 func IBIGWorkers(ds *data.Dataset, k int, ix *bitmapidx.Index, queue *MaxScoreQueue, workers int) (Result, Stats) {
-	return bitmapRunParallel(ds, k, ix, queue, RefineDirect, nil, workers)
+	return bitmapRunParallel(ds, k, ix, queue, RefineDirect, nil, workers, nil)
 }
 
 // IBIGBTreeWorkers is IBIG with the B+-tree Q−P refinement across a worker
 // pool. trees may be nil (built on the fly); the trees are shared read-only
 // by every worker.
 func IBIGBTreeWorkers(ds *data.Dataset, k int, ix *bitmapidx.Index, queue *MaxScoreQueue, trees []*btree.Tree, workers int) (Result, Stats) {
-	return bitmapRunParallel(ds, k, ix, queue, RefineBTree, trees, workers)
+	return bitmapRunParallel(ds, k, ix, queue, RefineBTree, trees, workers, nil)
+}
+
+// IBIGBTreeWorkersTraced is IBIGBTreeWorkers with τ trajectory sampling into
+// sp (nil behaves exactly like IBIGBTreeWorkers).
+func IBIGBTreeWorkersTraced(ds *data.Dataset, k int, ix *bitmapidx.Index, queue *MaxScoreQueue, trees []*btree.Tree, workers int, sp *obs.Span) (Result, Stats) {
+	return bitmapRunParallel(ds, k, ix, queue, RefineBTree, trees, workers, sp)
 }
 
 // NaiveWorkers is the exhaustive baseline across a worker pool, built on the
@@ -283,7 +299,7 @@ func NaiveWorkers(ds *data.Dataset, k int, workers int) (Result, Stats) {
 	for w := range scorers {
 		scorers[w] = ubbScorer{ds: ds}
 	}
-	return engineRun(ds, k, queue, scorers)
+	return engineRun(ds, k, queue, scorers, nil)
 }
 
 // UBBWorkers is UBB across a worker pool: exhaustive per-candidate scoring
@@ -294,11 +310,11 @@ func UBBWorkers(ds *data.Dataset, k int, queue *MaxScoreQueue, workers int) (Res
 	}
 	workers = clampWorkers(workers, len(queue.Order))
 	if workers <= 1 {
-		return UBB(ds, k, queue)
+		return ubbRun(ds, k, queue, nil)
 	}
 	scorers := make([]scorer, workers)
 	for w := range scorers {
 		scorers[w] = ubbScorer{ds: ds}
 	}
-	return engineRun(ds, k, queue, scorers)
+	return engineRun(ds, k, queue, scorers, nil)
 }

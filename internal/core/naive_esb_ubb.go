@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/data"
+	"repro/internal/obs"
 	"repro/internal/skyband"
 )
 
@@ -117,7 +118,7 @@ func ESBWorkers(ds *data.Dataset, k int, workers int) (Result, Stats) {
 	for w := range scorers {
 		scorers[w] = ubbScorer{ds: ds}
 	}
-	res, est := engineRun(ds, k, queue, scorers)
+	res, est := engineRun(ds, k, queue, scorers, nil)
 	est.Comparisons += st.Comparisons
 	est.PrunedSkyband = st.PrunedSkyband
 	return res, est
@@ -129,13 +130,25 @@ func ESBWorkers(ds *data.Dataset, k int, workers int) (Result, Stats) {
 // best score found so far (Heuristic 1). Everything after the cut-off is
 // pruned without being scored.
 func UBB(ds *data.Dataset, k int, queue *MaxScoreQueue) (Result, Stats) {
+	return ubbRun(ds, k, queue, nil)
+}
+
+// ubbRun is the serial UBB loop with optional τ trajectory sampling at
+// WindowSize granularity (sp may be nil).
+func ubbRun(ds *data.Dataset, k int, queue *MaxScoreQueue, sp *obs.Span) (Result, Stats) {
 	if queue == nil {
 		queue = BuildMaxScoreQueue(ds)
 	}
 	var st Stats
 	sc := newCandidateHeap(k)
-	for pos, idx := range queue.Order {
-		if tau := sc.tau(); tau >= 0 && queue.MaxScore[idx] <= tau {
+	pos := 0
+	for p, idx := range queue.Order {
+		pos = p
+		tau := sc.tau()
+		if sp != nil && pos%WindowSize == 0 {
+			sp.SampleTau(pos, tau)
+		}
+		if tau >= 0 && queue.MaxScore[idx] <= tau {
 			st.PrunedH1 += len(queue.Order) - pos // Heuristic 1: early stop
 			break
 		}
@@ -143,6 +156,9 @@ func UBB(ds *data.Dataset, k int, queue *MaxScoreQueue) (Result, Stats) {
 		st.Scored++
 		st.Comparisons += int64(ds.Len() - 1)
 		sc.offer(Item{Index: int(idx), ID: ds.Obj(int(idx)).ID, Score: Score(ds, int(idx))})
+	}
+	if sp != nil {
+		sp.SampleTau(pos, sc.tau())
 	}
 	return sc.result(), st
 }

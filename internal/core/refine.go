@@ -182,5 +182,5 @@ func IBIGBTree(ds *data.Dataset, k int, ix *bitmapidx.Index, queue *MaxScoreQueu
 	if trees == nil {
 		trees = BuildDimTrees(ds)
 	}
-	return bitmapRunRefine(ds, k, ix, queue, RefineBTree, trees)
+	return bitmapRunRefine(ds, k, ix, queue, RefineBTree, trees, nil)
 }

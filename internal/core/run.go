@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/bitmapidx"
 	"repro/internal/data"
+	"repro/internal/obs"
 )
 
 // Algorithm identifies one of the paper's TKD algorithms.
@@ -97,6 +98,16 @@ func Run(a Algorithm, ds *data.Dataset, k int, pre *Pre) (Result, Stats) {
 // the batch-windowed engine (UBB/BIG/IBIG/Naive) or ESB's bucket fan-out.
 // The answer set is identical to the serial run's.
 func RunWorkers(a Algorithm, ds *data.Dataset, k int, pre *Pre, workers int) (Result, Stats) {
+	return RunWorkersTraced(a, ds, k, pre, workers, nil)
+}
+
+// RunWorkersTraced is RunWorkers with tracing: the queue-driven algorithms
+// (UBB/BIG/IBIG) sample their τ trajectory into sp at window granularity.
+// sp may be nil, in which case this is exactly RunWorkers — the span hook
+// adds no allocation to the scoring hot path either way (Naive and ESB have
+// no MaxScore queue, hence no trajectory; their Stats still reach the span
+// through the caller).
+func RunWorkersTraced(a Algorithm, ds *data.Dataset, k int, pre *Pre, workers int, sp *obs.Span) (Result, Stats) {
 	if k <= 0 {
 		return Result{}, Stats{}
 	}
@@ -119,7 +130,15 @@ func RunWorkers(a Algorithm, ds *data.Dataset, k int, pre *Pre, workers int) (Re
 		if pre.Queue == nil {
 			pre.Queue = BuildMaxScoreQueue(ds)
 		}
-		return UBBWorkers(ds, k, pre.Queue, workers)
+		workers = clampWorkers(workers, len(pre.Queue.Order))
+		if workers <= 1 {
+			return ubbRun(ds, k, pre.Queue, sp)
+		}
+		scorers := make([]scorer, workers)
+		for w := range scorers {
+			scorers[w] = ubbScorer{ds: ds}
+		}
+		return engineRun(ds, k, pre.Queue, scorers, sp)
 	case AlgBIG:
 		if pre.Queue == nil {
 			pre.Queue = BuildMaxScoreQueue(ds)
@@ -127,7 +146,10 @@ func RunWorkers(a Algorithm, ds *data.Dataset, k int, pre *Pre, workers int) (Re
 		if pre.Bitmap == nil {
 			pre.Bitmap = bitmapidx.Build(ds, bitmapidx.Options{Codec: bitmapidx.Raw})
 		}
-		return BIGWorkers(ds, k, pre.Bitmap, pre.Queue, workers)
+		if pre.Bitmap.Binned() {
+			panic("core: BIG requires an unbinned index; use IBIG")
+		}
+		return bitmapRunParallel(ds, k, pre.Bitmap, pre.Queue, RefineDirect, nil, workers, sp)
 	case AlgIBIG:
 		if pre.Queue == nil {
 			pre.Queue = BuildMaxScoreQueue(ds)
@@ -136,7 +158,7 @@ func RunWorkers(a Algorithm, ds *data.Dataset, k int, pre *Pre, workers int) (Re
 			bins := []int{OptimalBins(ds.Len(), ds.MissingRate())}
 			pre.Binned = bitmapidx.Build(ds, bitmapidx.Options{Codec: bitmapidx.Concise, Bins: bins, Adaptive: true})
 		}
-		return IBIGWorkers(ds, k, pre.Binned, pre.Queue, workers)
+		return bitmapRunParallel(ds, k, pre.Binned, pre.Queue, RefineDirect, nil, workers, sp)
 	default:
 		panic(fmt.Sprintf("core: unknown algorithm %d", int(a)))
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -12,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/shard"
 	"repro/tkd"
@@ -91,10 +93,61 @@ type ChaosSoakResult struct {
 	Mismatches int // wrong answers — must be zero
 	Retries    int64
 	Hedges     int64
+	// RetrySpans / HedgeSpans count the retry waits and hedged replica
+	// attempts visible as spans in the coordinator's query log — the
+	// observability cross-check that injected faults actually surface in
+	// traces, not just in counters.
+	RetrySpans int
+	HedgeSpans int
 	Injected   shard.ChaosCounts
 	Wall       time.Duration
 	QPS        float64
 	P50, P99   time.Duration
+}
+
+// countFaultSpans walks one rendered trace tree, tallying retry spans and
+// hedged attempt spans.
+func countFaultSpans(sp *obs.SpanJSON, retries, hedges *int) {
+	if sp == nil {
+		return
+	}
+	switch sp.Name {
+	case "retry":
+		*retries++
+	case "attempt":
+		if h, ok := sp.Attrs["hedged"]; ok {
+			if v, isNum := h.(float64); isNum && v == 1 {
+				*hedges++
+			}
+		}
+	}
+	for _, c := range sp.Children {
+		countFaultSpans(c, retries, hedges)
+	}
+}
+
+// faultSpanCounts drains the coordinator's query-log traces and counts the
+// fault-handling spans the chaos schedule should have produced.
+func faultSpanCounts(baseURL string, n int) (retries, hedges int, err error) {
+	resp, err := http.Get(fmt.Sprintf("%s/v1/debug/queries?n=%d&trace=1", baseURL, n))
+	if err != nil {
+		return 0, 0, err
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Queries []struct {
+			Trace *obs.TraceJSON `json:"trace"`
+		} `json:"queries"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return 0, 0, err
+	}
+	for _, q := range out.Queries {
+		if q.Trace != nil {
+			countFaultSpans(q.Trace.Root, &retries, &hedges)
+		}
+	}
+	return retries, hedges, nil
 }
 
 // ChaosSoak runs the soak against a coordinator whose shards are replica
@@ -221,6 +274,12 @@ func ChaosSoak(cfg ChaosSoakConfig) (ChaosSoakResult, error) {
 		retries, hedges = m.Retries, m.Hedges
 	}
 	ops := cfg.Clients * cfg.OpsPerClient
+	// Every query is traced into the coordinator's ring log; the retries and
+	// hedges the policy fired must be visible there as spans.
+	retrySpans, hedgeSpans, err := faultSpanCounts(coordTS.URL, ops)
+	if err != nil {
+		return ChaosSoakResult{}, err
+	}
 	return ChaosSoakResult{
 		Clients:    cfg.Clients,
 		Shards:     cfg.Shards,
@@ -229,6 +288,8 @@ func ChaosSoak(cfg ChaosSoakConfig) (ChaosSoakResult, error) {
 		Mismatches: int(mismatches.Load()),
 		Retries:    retries,
 		Hedges:     hedges,
+		RetrySpans: retrySpans,
+		HedgeSpans: hedgeSpans,
 		Injected:   chaos.Counts(),
 		Wall:       wall,
 		QPS:        float64(ops) / wall.Seconds(),
@@ -250,11 +311,11 @@ func ServeChaos(s Scale, shards int, seed uint64) []Table {
 		Title: fmt.Sprintf("Chaos soak: %d clients × %d ops over %d shards × 2 replicas (N=%d, seed=%d, err=%.0f%% lat=%.0f%% stale=%.0f%% timeout=%.0f%%)",
 			cfg.Clients, cfg.OpsPerClient, cfg.Shards, cfg.N, cfg.Seed,
 			cfg.Chaos.ErrorP*100, cfg.Chaos.LatencyP*100, cfg.Chaos.StaleP*100, cfg.Chaos.TimeoutP*100),
-		Header: []string{"clients", "shards", "ops", "qps", "p50(ms)", "p99(ms)", "retries", "hedges", "injected(e/t/s/l)", "errors", "mismatches"},
+		Header: []string{"clients", "shards", "ops", "qps", "p50(ms)", "p99(ms)", "retries", "hedges", "retry_spans", "hedge_spans", "injected(e/t/s/l)", "errors", "mismatches"},
 	}
 	res, err := ChaosSoak(cfg)
 	if err != nil {
-		t.Rows = append(t.Rows, []string{"error", err.Error(), "", "", "", "", "", "", "", "", ""})
+		t.Rows = append(t.Rows, []string{"error", err.Error(), "", "", "", "", "", "", "", "", "", "", ""})
 		return []Table{t}
 	}
 	ms := func(d time.Duration) string { return fmt.Sprintf("%.3f", float64(d.Microseconds())/1000) }
@@ -273,6 +334,8 @@ func ServeChaos(s Scale, shards int, seed uint64) []Table {
 		ms(res.P99),
 		fmt.Sprint(res.Retries),
 		fmt.Sprint(res.Hedges),
+		fmt.Sprint(res.RetrySpans),
+		fmt.Sprint(res.HedgeSpans),
 		injected,
 		fmt.Sprint(res.Errors),
 		fmt.Sprint(res.Mismatches),

@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// QueryLog is the always-on slow-query memory: a fixed ring of the most
+// recent completed traces plus a small board of the slowest ones seen since
+// start. Entries hold the *Trace itself — completed traces are immutable —
+// and render to JSON only when a debug endpoint asks.
+type QueryLog struct {
+	mu   sync.Mutex
+	ring []QueryEntry
+	pos  int
+	n    int
+	slow []QueryEntry
+}
+
+// slowBoardSize caps the slowest-queries board.
+const slowBoardSize = 32
+
+// QueryEntry is one completed query in the log.
+type QueryEntry struct {
+	Time      time.Time
+	Dataset   string
+	K         int
+	Algorithm string
+	Duration  time.Duration
+	Err       string
+	Coalesced bool
+	Trace     *Trace
+}
+
+// NewQueryLog returns a log retaining the last size queries (minimum 16).
+func NewQueryLog(size int) *QueryLog {
+	if size < 16 {
+		size = 16
+	}
+	return &QueryLog{
+		ring: make([]QueryEntry, size),
+	}
+}
+
+// Add records a completed query. Nil-safe.
+func (l *QueryLog) Add(e QueryEntry) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.ring[l.pos] = e
+	l.pos = (l.pos + 1) % len(l.ring)
+	if l.n < len(l.ring) {
+		l.n++
+	}
+	// Keep the slow board sorted by descending duration; evict the fastest
+	// once full.
+	if len(l.slow) < slowBoardSize || e.Duration > l.slow[len(l.slow)-1].Duration {
+		i := sort.Search(len(l.slow), func(i int) bool { return l.slow[i].Duration < e.Duration })
+		l.slow = append(l.slow, QueryEntry{})
+		copy(l.slow[i+1:], l.slow[i:])
+		l.slow[i] = e
+		if len(l.slow) > slowBoardSize {
+			l.slow = l.slow[:slowBoardSize]
+		}
+	}
+}
+
+// Recent returns up to n most recent entries, newest first. Nil-safe.
+func (l *QueryLog) Recent(n int) []QueryEntry {
+	if l == nil || n <= 0 {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if n > l.n {
+		n = l.n
+	}
+	out := make([]QueryEntry, 0, n)
+	for i := 1; i <= n; i++ {
+		out = append(out, l.ring[(l.pos-i+len(l.ring))%len(l.ring)])
+	}
+	return out
+}
+
+// Slowest returns up to n slowest entries, slowest first. Nil-safe.
+func (l *QueryLog) Slowest(n int) []QueryEntry {
+	if l == nil || n <= 0 {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if n > len(l.slow) {
+		n = len(l.slow)
+	}
+	return append([]QueryEntry(nil), l.slow[:n]...)
+}

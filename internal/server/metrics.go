@@ -4,11 +4,14 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/shard"
 	"repro/tkd"
 )
@@ -46,14 +49,58 @@ func (h *histogram) observe(d time.Duration) {
 // write renders the histogram in Prometheus text form under name with a
 // dataset label.
 func (h *histogram) write(w io.Writer, name, dataset string) {
+	h.writeLabeled(w, name, "dataset", dataset)
+}
+
+// writeLabeled renders the histogram under name with one arbitrary label.
+func (h *histogram) writeLabeled(w io.Writer, name, label, value string) {
 	cum := int64(0)
 	for i, ub := range latencyBuckets {
 		cum += h.counts[i].Load()
-		fmt.Fprintf(w, "%s_bucket{dataset=%q,le=%q} %d\n", name, dataset, formatBound(ub), cum)
+		fmt.Fprintf(w, "%s_bucket{%s=%q,le=%q} %d\n", name, label, value, formatBound(ub), cum)
 	}
-	fmt.Fprintf(w, "%s_bucket{dataset=%q,le=\"+Inf\"} %d\n", name, dataset, h.total.Load())
-	fmt.Fprintf(w, "%s_sum{dataset=%q} %g\n", name, dataset, float64(h.sumNanos.Load())/float64(time.Second))
-	fmt.Fprintf(w, "%s_count{dataset=%q} %d\n", name, dataset, h.total.Load())
+	fmt.Fprintf(w, "%s_bucket{%s=%q,le=\"+Inf\"} %d\n", name, label, value, h.total.Load())
+	fmt.Fprintf(w, "%s_sum{%s=%q} %g\n", name, label, value, float64(h.sumNanos.Load())/float64(time.Second))
+	fmt.Fprintf(w, "%s_count{%s=%q} %d\n", name, label, value, h.total.Load())
+}
+
+// queryStages enumerates the tkd_query_stage_seconds labels in exposition
+// order. Each stage is fed from the trace spans of the same name — queue is
+// the scheduler wait, engine the algorithm run, scatter/gather the two shard
+// fan-out phases, retry the backoff waits between replica attempts.
+var queryStages = [...]string{"queue", "engine", "scatter", "gather", "retry"}
+
+// stageMetrics breaks query time down by pipeline stage, server-wide.
+type stageMetrics struct {
+	hists [len(queryStages)]histogram
+}
+
+// observeTrace folds one completed trace's span durations into the stage
+// histograms. Coalesced replies observe only their own queue wait: their
+// execution subtree is shared with (and already observed by) the hosting
+// query, so counting it again would double-book engine and shard time.
+func (m *stageMetrics) observeTrace(tr *obs.Trace, coalesced bool) {
+	tr.Walk(func(sp *obs.Span) {
+		name := sp.Name()
+		if coalesced && name != "queue" {
+			return
+		}
+		for i, stage := range queryStages {
+			if name == stage {
+				m.hists[i].observe(sp.Duration())
+				return
+			}
+		}
+	})
+}
+
+// write renders the per-stage histograms.
+func (m *stageMetrics) write(w io.Writer) {
+	fmt.Fprintf(w, "# HELP tkd_query_stage_seconds Query time by pipeline stage: scheduler queue wait, engine execution, shard scatter (bounds) and gather (scores) phases, and retry backoff waits.\n")
+	fmt.Fprintf(w, "# TYPE tkd_query_stage_seconds histogram\n")
+	for i, stage := range queryStages {
+		m.hists[i].writeLabeled(w, "tkd_query_stage_seconds", "stage", stage)
+	}
 }
 
 func formatBound(ub float64) string {
@@ -61,6 +108,16 @@ func formatBound(ub float64) string {
 		return "+Inf"
 	}
 	return fmt.Sprintf("%g", ub)
+}
+
+// buildVersion reports the main module's version as recorded in the build
+// info ("(devel)" for plain go-build binaries, a pseudo-version or tag for
+// module-aware installs; "unknown" when no build info is embedded).
+func buildVersion() string {
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		return bi.Main.Version
+	}
+	return "unknown"
 }
 
 // datasetMetrics aggregates one dataset's serving counters. Query counts are
@@ -131,9 +188,16 @@ func (m *datasetMetrics) queryTotal() int64 {
 func (s *Server) writeMetrics(w io.Writer) {
 	entries := s.reg.list()
 
+	fmt.Fprintf(w, "# HELP tkd_build_info Build metadata; the metric is always 1, the labels carry the information.\n")
+	fmt.Fprintf(w, "# TYPE tkd_build_info gauge\n")
+	fmt.Fprintf(w, "tkd_build_info{version=%q,go=%q,gomaxprocs=\"%d\"} 1\n",
+		buildVersion(), runtime.Version(), runtime.GOMAXPROCS(0))
+
 	fmt.Fprintf(w, "# HELP tkd_datasets Number of datasets resident in the registry.\n")
 	fmt.Fprintf(w, "# TYPE tkd_datasets gauge\n")
 	fmt.Fprintf(w, "tkd_datasets %d\n", len(entries))
+
+	s.stages.write(w)
 
 	capacity, inflight, waits := s.adm.snapshot()
 	fmt.Fprintf(w, "# HELP tkd_admission_worker_capacity Total worker goroutines the admission controller allows in flight.\n")

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/tkd"
 )
 
@@ -56,6 +57,8 @@ type request struct {
 	key   queryKey
 	ctx   context.Context // the waiter's deadline/disconnect signal
 	reply chan reply      // buffered(1); the scheduler never blocks on it
+	sp    *obs.Span       // the waiter's root span (nil = untraced)
+	enq   time.Time       // when the waiter entered the queue
 }
 
 // errDraining is returned to submits that race a drainStop; handlers map it
@@ -131,12 +134,13 @@ func (s *scheduler) stop() { s.drainStop() }
 // submit enqueues one query and waits for its reply; ctx cancellation (or
 // server shutdown) abandons the wait — the scheduler still finishes the
 // query for its window-mates and the buffered reply channel is collected by
-// the garbage collector.
-func (s *scheduler) submit(ctx context.Context, key queryKey) (reply, error) {
+// the garbage collector. sp, when non-nil, receives the queue-wait span and
+// the execution subtree.
+func (s *scheduler) submit(ctx context.Context, key queryKey, sp *obs.Span) (reply, error) {
 	if s.draining.Load() {
 		return reply{}, errDraining
 	}
-	req := &request{key: key, ctx: ctx, reply: make(chan reply, 1)}
+	req := &request{key: key, ctx: ctx, reply: make(chan reply, 1), sp: sp, enq: time.Now()}
 	s.rw.RLock()
 	if s.draining.Load() {
 		s.rw.RUnlock()
@@ -280,19 +284,34 @@ func (s *scheduler) serve(batch []*request) {
 			}(r.ctx)
 		}
 		start := time.Now()
+		// Every waiter records its own queue wait — from enqueue to the moment
+		// its group starts executing (window collection plus earlier groups).
+		// The execution itself runs once, as a subtree of the first traced
+		// waiter's trace; the other waiters adopt the completed subtree by
+		// reference, so a coalesced reply's trace still shows exactly what ran.
+		var exec *obs.Span
+		for _, r := range reqs {
+			r.sp.ChildAt("queue", r.enq, start)
+			if exec == nil {
+				exec = r.sp.StartChild("execute")
+			}
+		}
+		exec.SetInt("batch", int64(len(reqs)))
+		exec.SetInt("granted", int64(granted))
 		var st tkd.Stats
 		var deg tkd.Degradation
 		opts := []tkd.Option{
 			tkd.WithAlgorithm(key.Alg),
 			tkd.WithWorkers(granted),
 			tkd.WithStats(&st),
-			tkd.WithContext(execCtx),
+			tkd.WithContext(obs.ContextWithSpan(execCtx, exec)),
 		}
 		if key.AllowPartial {
 			opts = append(opts, tkd.WithAllowPartial(&deg))
 		}
 		res, err := s.ds.TopK(key.K, opts...)
 		elapsed := time.Since(start)
+		exec.End()
 		close(execDone)
 		cancel()
 		s.adm.release(granted)
@@ -300,7 +319,14 @@ func (s *scheduler) serve(batch []*request) {
 		if n := len(reqs) - 1; n > 0 {
 			s.met.coalesced.Add(int64(n))
 		}
+		adopted := false
 		for i, r := range reqs {
+			if r.sp != nil && exec != nil {
+				if adopted {
+					r.sp.Adopt(exec)
+				}
+				adopted = true
+			}
 			r.reply <- reply{
 				res:       res,
 				st:        st,

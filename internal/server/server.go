@@ -35,14 +35,17 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/data"
+	"repro/internal/obs"
 	"repro/internal/shard"
 	"repro/tkd"
 )
@@ -98,6 +101,16 @@ type Config struct {
 	// carries no timeout_millis of its own; <= 0 means no server-imposed
 	// deadline.
 	QueryTimeout time.Duration
+	// Logger receives the server's structured logs (slow-query warnings,
+	// lifecycle events); nil discards them.
+	Logger *slog.Logger
+	// SlowQuery is the duration past which a completed query is logged at
+	// warn level with its trace ID; <= 0 disables slow-query logging. The
+	// in-memory query log (GET /v1/debug/queries) is always on regardless.
+	SlowQuery time.Duration
+	// QueryLogSize is how many recent queries the in-memory ring retains for
+	// GET /v1/debug/queries; <= 0 defaults to 256.
+	QueryLogSize int
 }
 
 // Server is the HTTP query service. Create with New, register datasets with
@@ -109,6 +122,9 @@ type Server struct {
 	mux       *http.ServeMux
 	peer      *shard.Peer
 	life      lifecycleMetrics
+	stages    stageMetrics
+	qlog      *obs.QueryLog
+	log       *slog.Logger
 	draining  atomic.Bool
 	done      chan struct{}
 	closeOnce sync.Once
@@ -122,14 +138,23 @@ func New(cfg Config) *Server {
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = 1 << 20
 	}
+	if cfg.QueryLogSize <= 0 {
+		cfg.QueryLogSize = 256
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.DiscardHandler)
+	}
 	s := &Server{
 		cfg:  cfg,
 		adm:  newAdmission(cfg.MaxWorkers),
 		reg:  newRegistry(),
 		mux:  http.NewServeMux(),
+		qlog: obs.NewQueryLog(cfg.QueryLogSize),
+		log:  cfg.Logger,
 		done: make(chan struct{}),
 	}
 	s.peer = shard.NewPeer(s.resolveShardData)
+	s.peer.SetQueryLog(s.qlog)
 	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
 	s.mux.Handle("POST /v1/shard/query", s.peer)
 	s.mux.HandleFunc("GET /v1/shard/health", s.peer.ServeHealth)
@@ -139,6 +164,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("DELETE /v1/datasets/{name}", s.handleEvict)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /v1/debug/queries", s.handleDebugQueries)
 	return s
 }
 
@@ -424,6 +450,11 @@ type QueryRequest struct {
 	// row-ranges and say so, instead of failing with 503. Ignored for
 	// unsharded datasets (they are always fully covered).
 	AllowPartial bool `json:"allow_partial,omitempty"`
+	// Explain returns the query's completed trace tree inline in the
+	// response: scheduler queue wait, engine execution with the paper's
+	// pruning counters and τ trajectory, and — on sharded datasets — the
+	// per-window scatter/gather fan-out down to individual replica attempts.
+	Explain bool `json:"explain,omitempty"`
 }
 
 // QueryItem is one ranked answer object.
@@ -470,6 +501,9 @@ type QueryResponse struct {
 	Degraded    bool `json:"degraded,omitempty"`
 	CoveredRows int  `json:"covered_rows,omitempty"`
 	TotalRows   int  `json:"total_rows,omitempty"`
+	// Trace is the completed trace tree, present only when the request asked
+	// for "explain": true (the response is byte-identical without it).
+	Trace *obs.TraceJSON `json:"trace,omitempty"`
 }
 
 // DatasetInfo is one GET /v1/datasets row.
@@ -578,12 +612,23 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		defer cancel()
 	}
 
+	// Every query is traced — the ring-buffer query log is always on, and a
+	// nil-span fast path costs nothing further down. An incoming W3C
+	// traceparent header is adopted (this query becomes a child of the
+	// caller's trace); a malformed or absent header is ignored, never a 4xx.
+	tr := obs.Adopt(r.Header.Get("traceparent"), "query")
+	root := tr.Root()
+	root.SetStr("dataset", req.Dataset)
+	root.SetInt("k", int64(req.K))
+	root.SetStr("algorithm", alg.String())
+
 	start := time.Now()
-	rep, err := e.sch.submit(ctx, queryKey{K: req.K, Alg: alg, Workers: req.Workers, AllowPartial: req.AllowPartial})
+	rep, err := e.sch.submit(ctx, queryKey{K: req.K, Alg: alg, Workers: req.Workers, AllowPartial: req.AllowPartial}, root)
 	if err != nil {
 		// Scheduler-path failure: the deadline fired (or the client left)
 		// while the query waited or ran for its window-mates, or the
 		// scheduler is draining/shut down.
+		s.finishQuery(tr, &req, alg, start, false, err)
 		status := http.StatusServiceUnavailable
 		if errors.Is(err, context.DeadlineExceeded) {
 			status = http.StatusGatewayTimeout
@@ -606,9 +651,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		case errors.As(rep.err, new(*shard.Unavailable)):
 			status = http.StatusServiceUnavailable
 		}
+		s.finishQuery(tr, &req, alg, start, rep.coalesced, rep.err)
 		writeJSON(w, status, errorResponse{Error: rep.err.Error()})
 		return
 	}
+	s.finishQuery(tr, &req, alg, start, rep.coalesced, nil)
 	items := make([]QueryItem, len(rep.res.Items))
 	for i, it := range rep.res.Items {
 		items[i] = QueryItem{Rank: i + 1, Index: it.Index, ID: it.ID, Score: it.Score}
@@ -640,7 +687,106 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		resp.CoveredRows = rep.deg.CoveredRows
 		resp.TotalRows = rep.deg.TotalRows
 	}
+	if req.Explain {
+		resp.Trace = tr.JSON()
+	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// finishQuery closes out one query's trace: end the root span, fold the span
+// durations into the per-stage histograms, record the query in the always-on
+// ring log, and emit the slow-query warning when the configured threshold is
+// exceeded. A coalesced reply shares another query's execution subtree, so
+// only its own queue wait feeds the stage histograms — the shared engine,
+// scatter, gather and retry spans are observed once, on the hosting query.
+func (s *Server) finishQuery(tr *obs.Trace, req *QueryRequest, alg core.Algorithm, start time.Time, coalesced bool, qerr error) {
+	root := tr.Root()
+	root.End()
+	elapsed := time.Since(start)
+	s.stages.observeTrace(tr, coalesced)
+	entry := obs.QueryEntry{
+		Time:      start,
+		Dataset:   req.Dataset,
+		K:         req.K,
+		Algorithm: alg.String(),
+		Duration:  elapsed,
+		Coalesced: coalesced,
+		Trace:     tr,
+	}
+	if qerr != nil {
+		entry.Err = qerr.Error()
+	}
+	s.qlog.Add(entry)
+	if s.cfg.SlowQuery > 0 && elapsed >= s.cfg.SlowQuery {
+		s.log.Warn("slow query",
+			"trace_id", tr.ID().String(),
+			"dataset", req.Dataset,
+			"k", req.K,
+			"algorithm", alg.String(),
+			"duration_ms", float64(elapsed.Microseconds())/1000,
+			"coalesced", coalesced,
+			"err", entry.Err,
+		)
+	}
+}
+
+// debugQueryEntry is one GET /v1/debug/queries row.
+type debugQueryEntry struct {
+	Time       time.Time      `json:"time"`
+	Dataset    string         `json:"dataset"`
+	K          int            `json:"k,omitempty"`
+	Algorithm  string         `json:"algorithm"`
+	DurationMS float64        `json:"duration_ms"`
+	Err        string         `json:"err,omitempty"`
+	Coalesced  bool           `json:"coalesced,omitempty"`
+	TraceID    string         `json:"trace_id,omitempty"`
+	Trace      *obs.TraceJSON `json:"trace,omitempty"`
+}
+
+// handleDebugQueries serves the in-memory query log: the most recent queries
+// (default), or the slowest since boot with ?sort=slow. ?n bounds the row
+// count (default 20) and ?trace=1 includes each entry's full trace tree.
+func (s *Server) handleDebugQueries(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	n := 20
+	if v := q.Get("n"); v != "" {
+		parsed, err := strconv.Atoi(v)
+		if err != nil || parsed <= 0 {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "n must be a positive integer"})
+			return
+		}
+		n = parsed
+	}
+	var entries []obs.QueryEntry
+	switch q.Get("sort") {
+	case "", "recent":
+		entries = s.qlog.Recent(n)
+	case "slow":
+		entries = s.qlog.Slowest(n)
+	default:
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "sort must be recent or slow"})
+		return
+	}
+	withTrace := q.Get("trace") == "1" || q.Get("trace") == "true"
+	out := make([]debugQueryEntry, len(entries))
+	for i, e := range entries {
+		out[i] = debugQueryEntry{
+			Time:       e.Time,
+			Dataset:    e.Dataset,
+			K:          e.K,
+			Algorithm:  e.Algorithm,
+			DurationMS: float64(e.Duration.Microseconds()) / 1000,
+			Err:        e.Err,
+			Coalesced:  e.Coalesced,
+		}
+		if e.Trace != nil {
+			out[i].TraceID = e.Trace.ID().String()
+		}
+		if withTrace {
+			out[i].Trace = e.Trace.JSON()
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"queries": out})
 }
 
 func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/data"
+	"repro/internal/obs"
 	"repro/internal/skyband"
 )
 
@@ -47,7 +48,19 @@ func (c *Coordinator) maxScoreQueue() *core.MaxScoreQueue {
 // the per-shard result vectors, indexed by position in live. Residuals
 // carries the per-live-shard pushed-down thresholds for ModeBounds (nil on
 // the exact phase).
+//
+// In a trace the fan-out is one phase span — "scatter" for the bounds phase,
+// "gather" for the exact-score phase, matching the stage histogram labels —
+// with one "shard" child per live backend, each carrying whatever replica
+// attempts happen beneath it.
 func (c *Coordinator) scatter(ctx context.Context, backends []Backend, live []int, req Request, residuals []int) ([][]int32, error) {
+	phase := "gather"
+	if req.Mode == ModeBounds {
+		phase = "scatter"
+	}
+	psp := obs.SpanFromContext(ctx).StartChild(phase)
+	psp.SetInt("candidates", int64(len(req.Cands)))
+	psp.SetInt("shards", int64(len(live)))
 	results := make([][]int32, len(live))
 	errs := make([]error, len(live))
 	var wg sync.WaitGroup
@@ -59,16 +72,23 @@ func (c *Coordinator) scatter(ctx context.Context, backends []Backend, live []in
 			if residuals != nil {
 				r.Residual = residuals[i]
 			}
+			ssp := psp.StartChild("shard")
+			ssp.SetInt("shard", int64(s))
 			t0 := time.Now()
-			res, err := b.Partial(ctx, &r)
+			res, err := b.Partial(obs.ContextWithSpan(ctx, ssp), &r)
 			c.met.observeShard(s, time.Since(t0))
 			if err == nil && len(res) != len(req.Cands) {
 				err = fmt.Errorf("shard %d returned %d results for %d candidates", s, len(res), len(req.Cands))
 			}
+			if err != nil {
+				ssp.SetStr("error", err.Error())
+			}
+			ssp.End()
 			results[i], errs[i] = res, err
 		}(i, s, backends[s])
 	}
 	wg.Wait()
+	psp.End()
 	c.met.addFanout(len(live))
 	return results, errors.Join(errs...)
 }
@@ -246,11 +266,24 @@ func (c *Coordinator) runOnce(ctx context.Context, alg core.Algorithm, k int, ba
 	totals := make([]int, 0, core.WindowSize)
 	pos := 0
 
+	// sp is the engine span riding ctx (nil when tracing is off): it receives
+	// the τ trajectory at window granularity — the sharded counterpart of the
+	// serial engine's sampling — and one "window" child per batch under which
+	// the scatter/gather phases nest.
+	sp := obs.SpanFromContext(ctx)
+
 	for {
 		if err := ctx.Err(); err != nil {
 			return core.Result{}, st, err
 		}
 		tau := heap.Tau()
+		if sp != nil {
+			if useQueue {
+				sp.SampleTau(fr.Pos(), tau)
+			} else {
+				sp.SampleTau(pos, tau)
+			}
+		}
 		var window []int32
 		if useQueue {
 			fr.SetTau(tau)
@@ -269,6 +302,11 @@ func (c *Coordinator) runOnce(ctx context.Context, alg core.Algorithm, k int, ba
 			pos = end
 		}
 		st.Windows++
+		wsp := sp.StartChild("window")
+		wsp.SetInt("window", int64(st.Windows))
+		wsp.SetInt("tau", int64(tau))
+		wsp.SetInt("candidates", int64(len(window)))
+		wctx := obs.ContextWithSpan(ctx, wsp)
 
 		cands = cands[:0]
 		keep = keep[:0]
@@ -305,8 +343,9 @@ func (c *Coordinator) runOnce(ctx context.Context, alg core.Algorithm, k int, ba
 				}
 			}
 			if len(probe) > 0 {
-				bounds, err := c.scatter(ctx, backends, live, Request{Alg: alg, Mode: ModeBounds, Tau: tau, Cands: probe}, residuals)
+				bounds, err := c.scatter(wctx, backends, live, Request{Alg: alg, Mode: ModeBounds, Tau: tau, Cands: probe}, residuals)
 				if err != nil {
+					wsp.End()
 					return core.Result{}, st, err
 				}
 				pruned := 0
@@ -336,8 +375,9 @@ func (c *Coordinator) runOnce(ctx context.Context, alg core.Algorithm, k int, ba
 		var scores [][]int32
 		if len(survivors) > 0 {
 			var err error
-			scores, err = c.scatter(ctx, backends, live, Request{Alg: alg, Mode: ModeScores, Tau: tau, Cands: survivors}, nil)
+			scores, err = c.scatter(wctx, backends, live, Request{Alg: alg, Mode: ModeScores, Tau: tau, Cands: survivors}, nil)
 			if err != nil {
+				wsp.End()
 				return core.Result{}, st, err
 			}
 		}
@@ -362,6 +402,14 @@ func (c *Coordinator) runOnce(ctx context.Context, alg core.Algorithm, k int, ba
 			heap.Offer(core.Item{Index: int(id), ID: c.ds.Obj(int(id)).ID, Score: totals[li]})
 			li++
 		}
+		wsp.End()
+	}
+	if sp != nil {
+		endPos := pos
+		if useQueue {
+			endPos = fr.Pos()
+		}
+		sp.SampleTau(endPos, heap.Tau())
 	}
 	return heap.Result(), st, nil
 }

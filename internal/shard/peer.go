@@ -7,8 +7,10 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"time"
 
 	"repro/internal/data"
+	"repro/internal/obs"
 )
 
 // Peer is the shard-protocol server side: it answers /v1/shard/query against
@@ -27,6 +29,11 @@ type Peer struct {
 
 	mu     sync.Mutex
 	locals map[peerKey]*peerEntry
+
+	// qlog, when set, records every shard sub-query this peer serves, so the
+	// peer's own GET /v1/debug/queries shows coordinator traffic alongside
+	// direct client queries — correlated by the propagated trace ID.
+	qlog *obs.QueryLog
 }
 
 type peerKey struct {
@@ -44,6 +51,10 @@ type peerEntry struct {
 func NewPeer(resolve func(name string) (*data.Dataset, uint64, bool)) *Peer {
 	return &Peer{resolve: resolve, locals: make(map[peerKey]*peerEntry)}
 }
+
+// SetQueryLog attaches the ring buffer shard sub-queries are recorded into.
+// Call before serving; nil (the default) disables recording.
+func (p *Peer) SetQueryLog(q *obs.QueryLog) { p.qlog = q }
 
 // local returns the warm Local for the request's range, rebuilding when the
 // dataset's epoch moved underneath it. Building a fresh entry also sweeps
@@ -120,8 +131,18 @@ const maxWireBodyBytes = 8 << 20
 // far below what lets one request monopolize a peer.
 const maxWireCandidates = 16384
 
-// ServeHTTP handles POST /v1/shard/query.
+// ServeHTTP handles POST /v1/shard/query. When the request carries a valid
+// W3C traceparent header the call is traced under the propagated trace ID and
+// the response reports the peer-side span summary; a malformed or absent
+// header only disables tracing — it never fails the request.
 func (p *Peer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	started := time.Now()
+	var tr *obs.Trace
+	if tp := r.Header.Get("traceparent"); tp != "" {
+		if _, _, ok := obs.ParseTraceparent(tp); ok {
+			tr = obs.Adopt(tp, "shard")
+		}
+	}
 	var req WireRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxWireBodyBytes))
 	dec.DisallowUnknownFields()
@@ -172,13 +193,52 @@ func (p *Peer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	root := tr.Root()
+	root.SetStr("dataset", req.Dataset)
+	root.SetStr("mode", req.Mode)
+	root.SetInt("from", int64(req.From))
+	root.SetInt("to", int64(req.To))
+	root.SetInt("candidates", int64(len(cands)))
 	results, err := local.Partial(r.Context(), &Request{Alg: alg, Mode: mode, Tau: req.Tau, Residual: req.Residual, Cands: cands})
+	root.End()
+	p.record(tr, &req, time.Since(started), err)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
+	out := WireResponse{Results: results}
+	if tr != nil {
+		out.Trace = &obs.RemoteSummary{
+			TraceID:   tr.ID().String(),
+			SpanID:    root.ID().String(),
+			ServiceUS: time.Since(started).Microseconds(),
+			Rows:      local.Rows(),
+			Results:   len(results),
+		}
+	}
 	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(WireResponse{Results: results})
+	_ = json.NewEncoder(w).Encode(out)
+}
+
+// record adds one served shard sub-query to the peer's query log, when one is
+// attached. Sub-queries have no k of their own; the algorithm column carries
+// the wire algorithm plus the phase so bounds and score batches are told
+// apart in /v1/debug/queries.
+func (p *Peer) record(tr *obs.Trace, req *WireRequest, d time.Duration, err error) {
+	if p.qlog == nil {
+		return
+	}
+	e := obs.QueryEntry{
+		Time:      time.Now(),
+		Dataset:   req.Dataset,
+		Algorithm: req.Algorithm + "/" + req.Mode,
+		Duration:  d,
+		Trace:     tr,
+	}
+	if err != nil {
+		e.Err = err.Error()
+	}
+	p.qlog.Add(e)
 }
 
 // ServeHealth handles GET /v1/shard/health?dataset=NAME&from=A&to=B: the

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/data"
+	"repro/internal/obs"
 )
 
 // The wire protocol: POST {peer}/v1/shard/query with a WireRequest, answered
@@ -42,9 +43,14 @@ type WireRequest struct {
 	Candidates  []WireCandidate `json:"candidates"`
 }
 
-// WireResponse is the answer: one entry per candidate.
+// WireResponse is the answer: one entry per candidate. Trace, when present,
+// is the peer-side span summary of the call — stamped whenever the request
+// carried a valid traceparent header — letting the coordinator's trace show
+// remote service time next to the wire round trip. Older peers simply omit
+// it; the decoder tolerates both directions.
 type WireResponse struct {
-	Results []int32 `json:"results"`
+	Results []int32            `json:"results"`
+	Trace   *obs.RemoteSummary `json:"trace,omitempty"`
 }
 
 // WireError is the JSON error body of a non-200 answer.
@@ -161,6 +167,12 @@ func (r *Remote) Partial(ctx context.Context, req *Request) ([]int32, error) {
 		return nil, fmt.Errorf("shard: peer %s: %w", r.baseURL, err)
 	}
 	hreq.Header.Set("Content-Type", "application/json")
+	sp := obs.SpanFromContext(ctx)
+	if tp := sp.Traceparent(); tp != "" {
+		// Cross-process propagation: the peer adopts this trace ID, so its
+		// own slow-query log correlates with the coordinator's.
+		hreq.Header.Set("traceparent", tp)
+	}
 	resp, err := r.client.Do(hreq)
 	if err != nil {
 		// Surface the context's own error so callers can tell a dead query
@@ -184,6 +196,7 @@ func (r *Remote) Partial(ctx context.Context, req *Request) ([]int32, error) {
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 		return nil, fmt.Errorf("shard: peer %s: decoding response: %w", r.baseURL, err)
 	}
+	sp.SetRemote(out.Trace)
 	return out.Results, nil
 }
 

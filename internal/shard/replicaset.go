@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // HealthInfo is a replica's answer to a health probe: what it would serve
@@ -77,8 +79,9 @@ const (
 
 // replica pairs one backend with its circuit breaker.
 type replica struct {
-	b  Backend
-	br *breaker
+	idx int
+	b   Backend
+	br  *breaker
 }
 
 // ReplicaSet serves one shard from N equivalent replicas behind the plain
@@ -128,7 +131,7 @@ func NewReplicaSet(shard int, backends []Backend, pol Policy, met *Metrics) (*Re
 			return nil, fmt.Errorf("shard: replica %d of shard %d serves rows=%d fp=%x, want rows=%d fp=%x",
 				i, shard, b.Rows(), b.Fingerprint(), rs.rows, rs.fp)
 		}
-		rs.reps[i] = &replica{b: b, br: newBreaker(pol.BreakerThreshold, pol.BreakerCooldown, nil)}
+		rs.reps[i] = &replica{idx: i, b: b, br: newBreaker(pol.BreakerThreshold, pol.BreakerCooldown, nil)}
 	}
 	return rs, nil
 }
@@ -206,9 +209,17 @@ func (rs *ReplicaSet) Partial(ctx context.Context, req *Request) ([]int32, error
 			// there is nothing transient to wait out.
 			continue
 		}
+		// The backoff wait is its own span: in a trace it reads as dead time
+		// attributable to retries, and the server folds it into the "retry"
+		// stage histogram.
+		rsp := obs.SpanFromContext(ctx).StartChild("retry")
+		rsp.SetInt("attempt", int64(attempt))
+		rsp.SetStr("error", err.Error())
 		select {
 		case <-time.After(rs.pol.backoff(attempt, jitter)):
+			rsp.End()
 		case <-ctx.Done():
+			rsp.End()
 			return nil, ctx.Err()
 		}
 	}
@@ -228,12 +239,12 @@ type callResult struct {
 func (rs *ReplicaSet) once(ctx context.Context, r *replica, req *Request) ([]int32, error) {
 	d := rs.hedgeDelay()
 	if d <= 0 || len(rs.reps) < 2 {
-		return rs.call(ctx, r, req)
+		return rs.call(ctx, r, req, false)
 	}
 	cctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	ch := make(chan callResult, 2) // buffered: a losing call never blocks
-	go func() { res, err := rs.call(cctx, r, req); ch <- callResult{res, err} }()
+	go func() { res, err := rs.call(cctx, r, req, false); ch <- callResult{res, err} }()
 	timer := time.NewTimer(d)
 	defer timer.Stop()
 	pending := 1
@@ -257,7 +268,7 @@ func (rs *ReplicaSet) once(ctx context.Context, r *replica, req *Request) ([]int
 					rs.met.addHedge()
 				}
 				pending++
-				go func() { res, err := rs.call(cctx, r2, req); ch <- callResult{res, err} }()
+				go func() { res, err := rs.call(cctx, r2, req, true); ch <- callResult{res, err} }()
 			}
 		case <-ctx.Done():
 			return nil, ctx.Err()
@@ -296,13 +307,26 @@ var errAttemptTimeout = errors.New("shard: replica attempt timed out")
 // context expiry is returned as the context's error and does not count
 // against the replica; an attempt-timeout expiry does — that is the slow
 // replica the timeout exists to cut loose.
-func (rs *ReplicaSet) call(ctx context.Context, r *replica, req *Request) ([]int32, error) {
+//
+// Each call is an "attempt" span under whatever span rides ctx (the
+// coordinator's per-shard span), recording the replica index, the breaker
+// state at dispatch, and whether the call was a hedge — so a trace shows
+// exactly which replica answered and why others were tried.
+func (rs *ReplicaSet) call(ctx context.Context, r *replica, req *Request, hedged bool) ([]int32, error) {
+	sp := obs.SpanFromContext(ctx).StartChild("attempt")
+	sp.SetInt("replica", int64(r.idx))
+	sp.SetStr("breaker", r.br.snapshot().String())
+	if hedged {
+		sp.SetInt("hedged", 1)
+	}
+	defer sp.End()
 	actx := ctx
 	if rs.pol.AttemptTimeout > 0 {
 		var cancel context.CancelFunc
 		actx, cancel = context.WithTimeout(ctx, rs.pol.AttemptTimeout)
 		defer cancel()
 	}
+	actx = obs.ContextWithSpan(actx, sp)
 	t0 := time.Now()
 	res, err := r.b.Partial(actx, req)
 	if err == nil {
@@ -313,6 +337,7 @@ func (rs *ReplicaSet) call(ctx context.Context, r *replica, req *Request) ([]int
 	if ctx.Err() != nil {
 		// The query itself is dead (deadline, client disconnect, or the
 		// hedge race was decided) — not the replica's fault.
+		sp.SetStr("error", ctx.Err().Error())
 		return nil, ctx.Err()
 	}
 	if actx.Err() != nil {
@@ -321,6 +346,7 @@ func (rs *ReplicaSet) call(ctx context.Context, r *replica, req *Request) ([]int
 		// own deadline.
 		err = fmt.Errorf("%w (%v)", errAttemptTimeout, rs.pol.AttemptTimeout)
 	}
+	sp.SetStr("error", err.Error())
 	if isStale(err) {
 		r.br.trip()
 	} else {

@@ -39,7 +39,7 @@ func validWireRequest(ds *data.Dataset) WireRequest {
 		From:        0,
 		To:          ds.Len(),
 		Fingerprint: ds.Slice(0, ds.Len()).Fingerprint(),
-		Algorithm:   "ibig",
+		Algorithm:   "IBIG",
 		Mode:        "scores",
 		Candidates:  []WireCandidate{{Values: vals, Mask: obj.Mask}},
 	}
@@ -54,68 +54,89 @@ func mustJSON(tb testing.TB, v any) []byte {
 	return b
 }
 
-// FuzzShardWire throws arbitrary bytes at the peer's query endpoint. The
-// contract under fuzz: never panic, never answer 5xx to a malformed body
-// (bad input is the coordinator's bug, reported as 4xx), and always answer
-// JSON.
+// FuzzShardWire throws arbitrary bytes at the peer's query endpoint, paired
+// with arbitrary traceparent header values. The contract under fuzz: never
+// panic, never answer 5xx to a malformed body (bad input is the coordinator's
+// bug, reported as 4xx), always answer JSON — and the traceparent header
+// never changes the status (a malformed header means "untraced", not 4xx).
 func FuzzShardWire(f *testing.F) {
 	peer, ds := fuzzPeer(f)
 
 	valid := validWireRequest(ds)
-	f.Add(mustJSON(f, valid))
+	validBody := mustJSON(f, valid)
+	f.Add(validBody, "")
 
 	wrongDim := valid
 	wrongDim.Candidates = []WireCandidate{{Values: []float64{1}, Mask: 1}}
-	f.Add(mustJSON(f, wrongDim))
+	f.Add(mustJSON(f, wrongDim), "")
 
 	maskBeyond := valid
 	maskBeyond.Candidates = []WireCandidate{{Values: make([]float64, ds.Dim()), Mask: 1 << 40}}
-	f.Add(mustJSON(f, maskBeyond))
+	f.Add(mustJSON(f, maskBeyond), "")
 
 	noMask := valid
 	noMask.Candidates = []WireCandidate{{Values: make([]float64, ds.Dim()), Mask: 0}}
-	f.Add(mustJSON(f, noMask))
+	f.Add(mustJSON(f, noMask), "")
 
 	negRange := valid
 	negRange.From, negRange.To = -3, 5
-	f.Add(mustJSON(f, negRange))
+	f.Add(mustJSON(f, negRange), "")
 
 	inverted := valid
 	inverted.From, inverted.To = 100, 10
-	f.Add(mustJSON(f, inverted))
+	f.Add(mustJSON(f, inverted), "")
 
 	badFP := valid
 	badFP.Fingerprint = 0xdeadbeef
-	f.Add(mustJSON(f, badFP))
+	f.Add(mustJSON(f, badFP), "")
 
 	unknownDS := valid
 	unknownDS.Dataset = "nope"
-	f.Add(mustJSON(f, unknownDS))
+	f.Add(mustJSON(f, unknownDS), "")
 
 	badAlg := valid
 	badAlg.Algorithm = "quantum"
-	f.Add(mustJSON(f, badAlg))
+	f.Add(mustJSON(f, badAlg), "")
 
 	badMode := valid
 	badMode.Mode = "vibes"
-	f.Add(mustJSON(f, badMode))
+	f.Add(mustJSON(f, badMode), "")
 
-	f.Add([]byte(`{"dataset":"d","from":0,"to":10,"unknown_field":true}`))
-	f.Add(mustJSON(f, valid)[:20]) // truncated JSON
-	f.Add([]byte(`{`))
-	f.Add([]byte(``))
-	f.Add([]byte(`null`))
-	f.Add([]byte(`[1,2,3]`))
-	f.Add([]byte(`{"candidates":[{"v":[1e309],"m":18446744073709551615}]}`))
+	f.Add([]byte(`{"dataset":"d","from":0,"to":10,"unknown_field":true}`), "")
+	f.Add(validBody[:20], "") // truncated JSON
+	f.Add([]byte(`{`), "")
+	f.Add([]byte(``), "")
+	f.Add([]byte(`null`), "")
+	f.Add([]byte(`[1,2,3]`), "")
+	f.Add([]byte(`{"candidates":[{"v":[1e309],"m":18446744073709551615}]}`), "")
 
-	f.Fuzz(func(t *testing.T, body []byte) {
+	// Traceparent seeds: the W3C spec example, format mutations, and junk.
+	const goodTP = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	f.Add(validBody, goodTP)
+	f.Add(validBody, goodTP+"-congo=t61rcWkgMzE")                               // future extension field
+	f.Add(validBody, "ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01") // reserved version
+	f.Add(validBody, "00-00000000000000000000000000000000-00f067aa0ba902b7-01") // zero trace ID
+	f.Add(validBody, "00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01") // zero span ID
+	f.Add(validBody, strings.ToUpper(goodTP))
+	f.Add(validBody, goodTP[:30])
+	f.Add(validBody, "not-a-traceparent")
+	f.Add(validBody, strings.Repeat("0", 1000))
+	f.Add(validBody, "00-zzzz2f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+
+	f.Fuzz(func(t *testing.T, body []byte, traceparent string) {
 		req := httptest.NewRequest(http.MethodPost, "/v1/shard/query", bytes.NewReader(body))
+		if traceparent != "" {
+			req.Header.Set("Traceparent", traceparent)
+		}
 		rec := httptest.NewRecorder()
 		peer.ServeHTTP(rec, req)
 		resp := rec.Result()
 		defer resp.Body.Close()
 		if resp.StatusCode >= 500 {
 			t.Fatalf("status %d for body %q — malformed input must be a 4xx", resp.StatusCode, body)
+		}
+		if bytes.Equal(body, validBody) && resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d for a valid body with traceparent %q — the header must never fail a request", resp.StatusCode, traceparent)
 		}
 		out, err := io.ReadAll(resp.Body)
 		if err != nil {

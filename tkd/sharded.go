@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/data"
+	"repro/internal/obs"
 	"repro/internal/shard"
 )
 
@@ -326,12 +327,27 @@ func (sd *ShardedDataset) TopK(k int, opts ...Option) (Result, error) {
 	if s.data.Len() == 0 {
 		return Result{}, fmt.Errorf("tkd: empty dataset")
 	}
+	// The engine span wraps the whole scatter-gather run; the coordinator
+	// reads it back out of the context for its window spans and τ samples.
+	eng := cfg.engineSpan(k, s.data.Len())
+	eng.SetInt("shards", int64(sd.n))
+	if eng != nil {
+		ctx = obs.ContextWithSpan(ctx, eng)
+	}
 	var outcome shard.Outcome
 	res, st, err := s.coord.Run(ctx, cfg.alg, k, s.backends(),
 		shard.RunOptions{AllowPartial: cfg.allowPartial, Outcome: &outcome})
 	if err != nil {
+		eng.SetStr("error", err.Error())
+		eng.End()
 		return Result{}, err
 	}
+	stampStats(eng, st)
+	if outcome.Degraded {
+		eng.SetInt("degraded", 1)
+		eng.SetInt("covered_rows", int64(outcome.CoveredRows))
+	}
+	eng.End()
 	if cfg.stats != nil {
 		*cfg.stats = st
 	}

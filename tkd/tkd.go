@@ -53,6 +53,7 @@ import (
 	"repro/internal/data"
 	"repro/internal/gen"
 	"repro/internal/impute"
+	"repro/internal/obs"
 	"repro/internal/skyband"
 )
 
@@ -474,6 +475,7 @@ type queryConfig struct {
 	ctx          context.Context
 	allowPartial bool
 	degradation  *Degradation
+	trace        *obs.Span
 }
 
 // WithAlgorithm forces a specific algorithm (default IBIG).
@@ -532,6 +534,20 @@ func WithBTreeRefinement() Option {
 // in-flight replica RPC — and TopK returns the context's error.
 func WithContext(ctx context.Context) Option {
 	return func(c *queryConfig) { c.ctx = ctx }
+}
+
+// Span is a trace span of the obs tracing spine; a nil *Span disables
+// tracing, at the cost of one nil check per window on the query path.
+type Span = obs.Span
+
+// WithTrace records the query's execution under sp as an "engine" child
+// span: the algorithm run, its pruning Stats (H1/H2/H3 counts, comparisons,
+// windows) and the τ-threshold trajectory at window granularity. sp may be
+// nil (tracing off). A span carried by the WithContext context is used when
+// this option is absent, which is how the serving layer threads one trace
+// through scheduler, engine and shard fan-out.
+func WithTrace(sp *Span) Option {
+	return func(c *queryConfig) { c.trace = sp }
 }
 
 // Degradation reports how a WithAllowPartial query was answered. Degraded
@@ -745,17 +761,51 @@ func (d *Dataset) TopK(k int, opts ...Option) (Result, error) {
 		return Result{}, fmt.Errorf("tkd: empty dataset")
 	}
 	a := s.ensure(needFor(cfg.alg, cfg.btree), d)
+	eng := cfg.engineSpan(k, s.ds.Len())
 	var res Result
 	var st Stats
 	if cfg.alg == IBIG && cfg.btree {
-		res, st = core.IBIGBTreeWorkers(s.ds, k, a.binned, a.queue, a.trees, cfg.workers)
+		res, st = core.IBIGBTreeWorkersTraced(s.ds, k, a.binned, a.queue, a.trees, cfg.workers, eng)
 	} else {
-		res, st = core.RunWorkers(cfg.alg, s.ds, k, a.pre(), cfg.workers)
+		res, st = core.RunWorkersTraced(cfg.alg, s.ds, k, a.pre(), cfg.workers, eng)
 	}
+	stampStats(eng, st)
+	eng.End()
 	if cfg.stats != nil {
 		*cfg.stats = st
 	}
 	return res, nil
+}
+
+// engineSpan opens the "engine" child span a traced query executes under:
+// the explicit WithTrace span wins, else a span riding the WithContext
+// context, else nil (tracing off — every span call below no-ops).
+func (cfg *queryConfig) engineSpan(k, rows int) *obs.Span {
+	sp := cfg.trace
+	if sp == nil && cfg.ctx != nil {
+		sp = obs.SpanFromContext(cfg.ctx)
+	}
+	eng := sp.StartChild("engine")
+	eng.SetStr("algorithm", cfg.alg.String())
+	eng.SetInt("k", int64(k))
+	eng.SetInt("rows", int64(rows))
+	return eng
+}
+
+// stampStats records the paper's pruning counters on the engine span.
+func stampStats(sp *obs.Span, st Stats) {
+	if sp == nil {
+		return
+	}
+	sp.SetInt("candidates", int64(st.Candidates))
+	sp.SetInt("scored", int64(st.Scored))
+	sp.SetInt("pruned_h1", int64(st.PrunedH1))
+	sp.SetInt("pruned_h2", int64(st.PrunedH2))
+	sp.SetInt("pruned_h3", int64(st.PrunedH3))
+	sp.SetInt("pruned_skyband", int64(st.PrunedSkyband))
+	sp.SetInt("comparisons", st.Comparisons)
+	sp.SetInt("windows", int64(st.Windows))
+	sp.SetInt("workers", int64(st.Workers))
 }
 
 // Project returns a new dataset restricted to the given dimensions, in the
