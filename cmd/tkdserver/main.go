@@ -23,6 +23,14 @@
 // request's timeout_millis) propagate through the scheduler into in-flight
 // shard RPCs.
 //
+// Replica groups stay in lockstep without out-of-band dataset distribution:
+// -follow http://leader:8080 starts a follower that discovers the leader's
+// datasets, fetches each published epoch over GET /v1/datasets/{name}/epoch
+// (data, fingerprint and — for unsharded leaders — the built index, in one
+// validated stream) and publishes it locally under the leader's epoch
+// number. A follower needs no -dataset flags; reloading the leader rolls
+// every follower automatically.
+//
 // Usage:
 //
 //	tkdserver -dataset nba=nba.csv -dataset movies=movies.csv
@@ -32,6 +40,7 @@
 //	tkdserver -dataset big=big.csv -shards 2 \
 //	    -peers 'http://a:8080|http://b:8080,http://c:8080|http://d:8080' \
 //	    -health-interval 5s -query-timeout 2s                              # replicated shards
+//	tkdserver -addr :8081 -follow http://leader:8080                       # replication follower
 //
 // Endpoints: POST /v1/query, GET/POST /v1/datasets, POST
 // /v1/datasets/{name}/reload, DELETE /v1/datasets/{name}, GET /healthz,
@@ -98,12 +107,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		logFormat   = fs.String("log-format", "text", "structured log encoding: text or json")
 		slowQuery   = fs.Duration("slow-query", 0, "log queries slower than this at warn level with their trace ID (0 = disabled; the /v1/debug/queries ring is always on)")
 		debugAddr   = fs.String("debug-addr", "", "separate listen address for the net/http/pprof profiling endpoints (empty = pprof not served; keep this off any public interface)")
+		follow      = fs.String("follow", "", "base URL of a leader tkdserver to follow: its datasets are discovered, fetched over the epoch stream endpoint and kept in lockstep through every reload (a follower needs no -dataset flags of its own)")
+		followIvl   = fs.Duration("follow-interval", 2*time.Second, "leader poll period in follower mode (polls are conditional and cheap)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	if len(datasets) == 0 {
-		fmt.Fprintln(stderr, "tkdserver: at least one -dataset name=path is required")
+	if len(datasets) == 0 && *follow == "" {
+		fmt.Fprintln(stderr, "tkdserver: at least one -dataset name=path is required (or -follow a leader)")
 		fs.PrintDefaults()
 		return 2
 	}
@@ -145,6 +156,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		HealthInterval: *healthIvl,
 		Logger:         logger,
 		SlowQuery:      *slowQuery,
+		Follow:         *follow,
+		FollowInterval: *followIvl,
 	}, logger)
 	if err != nil {
 		fmt.Fprintln(stderr, "tkdserver:", err)

@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// boardSorted reports whether the slow board is sorted slowest-first.
+func boardSorted(entries []QueryEntry) bool {
+	for i := 1; i < len(entries); i++ {
+		if entries[i].Duration > entries[i-1].Duration {
+			return false
+		}
+	}
+	return true
+}
+
+func TestQueryLogSlowBoardFillsSorted(t *testing.T) {
+	l := NewQueryLog(16)
+	// Insert out of order; the board must come back sorted descending.
+	for _, ms := range []int{5, 1, 9, 3, 7, 2, 8, 4, 6, 10} {
+		l.Add(QueryEntry{Dataset: fmt.Sprintf("d%d", ms), Duration: time.Duration(ms) * time.Millisecond})
+	}
+	got := l.Slowest(slowBoardSize)
+	if len(got) != 10 {
+		t.Fatalf("board holds %d entries, want 10", len(got))
+	}
+	if !boardSorted(got) {
+		t.Fatalf("board not sorted descending: %v", got)
+	}
+	if got[0].Duration != 10*time.Millisecond || got[9].Duration != time.Millisecond {
+		t.Fatalf("board endpoints %v .. %v, want 10ms .. 1ms", got[0].Duration, got[9].Duration)
+	}
+}
+
+func TestQueryLogSlowBoardEvictsExactlyAtCapacity(t *testing.T) {
+	l := NewQueryLog(16)
+	for i := 1; i <= slowBoardSize; i++ {
+		l.Add(QueryEntry{Duration: time.Duration(i) * time.Millisecond})
+	}
+	if got := l.Slowest(slowBoardSize + 8); len(got) != slowBoardSize {
+		t.Fatalf("board holds %d entries at capacity, want %d", len(got), slowBoardSize)
+	}
+	// The very next slower entry must evict the current fastest (1ms) and
+	// leave the board still exactly at capacity, still sorted.
+	l.Add(QueryEntry{Duration: time.Duration(slowBoardSize+1) * time.Millisecond})
+	got := l.Slowest(slowBoardSize + 8)
+	if len(got) != slowBoardSize {
+		t.Fatalf("board grew past capacity: %d entries", len(got))
+	}
+	if !boardSorted(got) {
+		t.Fatal("board not sorted after eviction at capacity")
+	}
+	if got[0].Duration != time.Duration(slowBoardSize+1)*time.Millisecond {
+		t.Fatalf("slowest entry %v, want %v", got[0].Duration, time.Duration(slowBoardSize+1)*time.Millisecond)
+	}
+	for _, e := range got {
+		if e.Duration == time.Millisecond {
+			t.Fatal("fastest entry survived an eviction at exact capacity")
+		}
+	}
+}
+
+func TestQueryLogSlowBoardDuplicateAtBoundary(t *testing.T) {
+	l := NewQueryLog(16)
+	for i := 1; i <= slowBoardSize; i++ {
+		l.Add(QueryEntry{Dataset: "orig", Duration: time.Duration(i) * time.Millisecond})
+	}
+	// A duplicate of the board's current minimum is not strictly slower, so
+	// it must be rejected — admitting ties at the boundary would let equal
+	// durations churn the board forever.
+	l.Add(QueryEntry{Dataset: "dup", Duration: time.Millisecond})
+	got := l.Slowest(slowBoardSize)
+	if len(got) != slowBoardSize {
+		t.Fatalf("board holds %d entries after boundary duplicate, want %d", len(got), slowBoardSize)
+	}
+	if last := got[len(got)-1]; last.Dataset != "orig" || last.Duration != time.Millisecond {
+		t.Fatalf("boundary duplicate replaced the original: %+v", last)
+	}
+
+	// A duplicate of an interior duration IS slower than the minimum: it
+	// enters next to its twin, evicting the fastest, and the board stays
+	// sorted and bounded.
+	l.Add(QueryEntry{Dataset: "dup", Duration: time.Duration(slowBoardSize) * time.Millisecond})
+	got = l.Slowest(slowBoardSize)
+	if len(got) != slowBoardSize {
+		t.Fatalf("board holds %d entries after interior duplicate, want %d", len(got), slowBoardSize)
+	}
+	if !boardSorted(got) {
+		t.Fatal("board not sorted after inserting a duplicate duration")
+	}
+	if got[0].Duration != got[1].Duration || got[0].Duration != time.Duration(slowBoardSize)*time.Millisecond {
+		t.Fatalf("duplicate slowest durations not adjacent at the top: %v, %v", got[0].Duration, got[1].Duration)
+	}
+	if last := got[len(got)-1].Duration; last != 2*time.Millisecond {
+		t.Fatalf("fastest after eviction is %v, want 2ms", last)
+	}
+}
+
+func TestQueryLogRecentWrapsRing(t *testing.T) {
+	l := NewQueryLog(16)
+	for i := 0; i < 20; i++ { // wraps the 16-slot ring
+		l.Add(QueryEntry{K: i})
+	}
+	got := l.Recent(16)
+	if len(got) != 16 {
+		t.Fatalf("recent returned %d entries, want 16", len(got))
+	}
+	for i, e := range got {
+		if want := 19 - i; e.K != want {
+			t.Fatalf("recent[%d].K = %d, want %d (newest first)", i, e.K, want)
+		}
+	}
+}
+
+func TestQueryLogNilSafe(t *testing.T) {
+	var l *QueryLog
+	l.Add(QueryEntry{Duration: time.Second}) // must not panic
+	if got := l.Recent(5); got != nil {
+		t.Fatalf("nil log Recent = %v, want nil", got)
+	}
+	if got := l.Slowest(5); got != nil {
+		t.Fatalf("nil log Slowest = %v, want nil", got)
+	}
+}

@@ -1,0 +1,332 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+	"repro/tkd"
+)
+
+// Follower protocol. A follower tkdserver polls its leader's dataset list
+// and keeps a local replica of every leader dataset through the epoch
+// stream endpoint (GET /v1/datasets/{name}/epoch): each poll sends the
+// fingerprint it already serves, the leader answers 304 when the follower
+// is current, and ships the full epoch stream — data, epoch number,
+// fingerprint, and (for unsharded leaders) the binned index — when it is
+// not. An imported epoch is validated end to end (header fingerprint
+// against the rebuilt data, index stream against its own checksums) before
+// being published locally as an RCU epoch swap under the leader's epoch
+// number, so a replica group behind one leader converges to identical
+// bytes and identical epoch numbering without any out-of-band dataset
+// distribution.
+//
+// Divergence stays the fingerprint's job: a follower that lags reports a
+// stale epoch but a matching fingerprint to the replica-set health probe
+// and keeps serving; only content divergence quarantines. The epoch lag is
+// surfaced per dataset as tkd_follower_epoch_lag on /metrics.
+
+// follower is the sync loop. It lives for the server's lifetime: started
+// from New when Config.Follow is set, stopped from Close.
+type follower struct {
+	s        *Server
+	leader   string
+	interval time.Duration
+	client   *http.Client
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	syncs      atomic.Int64 // epochs applied
+	syncErrors atomic.Int64 // failed poll/fetch/import attempts
+}
+
+func newFollower(s *Server, leader string, interval time.Duration, client *http.Client) *follower {
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &follower{
+		s:        s,
+		leader:   strings.TrimSuffix(leader, "/"),
+		interval: interval,
+		client:   client,
+		ctx:      ctx,
+		cancel:   cancel,
+	}
+}
+
+func (f *follower) start() {
+	f.wg.Add(1)
+	go func() {
+		defer f.wg.Done()
+		// Sync immediately so a freshly started follower is serving as soon
+		// as the leader is reachable, then settle into the poll cadence.
+		f.syncAll()
+		t := time.NewTicker(f.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-f.ctx.Done():
+				return
+			case <-f.s.done:
+				return
+			case <-t.C:
+				f.syncAll()
+			}
+		}
+	}()
+}
+
+func (f *follower) stop() {
+	f.cancel()
+	f.wg.Wait()
+}
+
+// syncAll discovers the leader's datasets and syncs each one. Discovery
+// failure (leader down, mid-restart) is an error counted and logged, not a
+// fatal condition — the follower keeps serving what it has and retries on
+// the next tick.
+func (f *follower) syncAll() {
+	names, err := f.listLeader()
+	if err != nil {
+		f.syncErrors.Add(1)
+		f.s.log.Warn("follower: leader dataset discovery failed", "leader", f.leader, "err", err)
+		return
+	}
+	for _, name := range names {
+		f.syncDataset(name)
+	}
+}
+
+func (f *follower) listLeader() ([]string, error) {
+	req, err := http.NewRequestWithContext(f.ctx, http.MethodGet, f.leader+"/v1/datasets", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := f.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("leader answered %s", resp.Status)
+	}
+	var body struct {
+		Datasets []DatasetInfo `json:"datasets"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(body.Datasets))
+	for _, d := range body.Datasets {
+		names = append(names, d.Name)
+	}
+	return names, nil
+}
+
+// syncDataset runs one dataset's sync attempt under a trace and records it
+// in the query log when something happened (an epoch applied, or an
+// error) — steady-state 304 polls stay out of the ring so they cannot
+// crowd out real queries.
+func (f *follower) syncDataset(name string) {
+	start := time.Now()
+	tr := obs.New("follower-sync")
+	root := tr.Root()
+	root.SetStr("dataset", name)
+	applied, err := f.syncOne(name, root)
+	root.End()
+	if err != nil {
+		f.syncErrors.Add(1)
+		f.s.log.Warn("follower: sync failed", "dataset", name, "leader", f.leader, "err", err)
+	} else if applied {
+		f.syncs.Add(1)
+	}
+	if applied || err != nil {
+		entry := obs.QueryEntry{
+			Time:      start,
+			Dataset:   name,
+			Algorithm: "follower/sync",
+			Duration:  time.Since(start),
+			Trace:     tr,
+		}
+		if err != nil {
+			entry.Err = err.Error()
+		}
+		f.s.qlog.Add(entry)
+	}
+}
+
+// syncOne brings one dataset level with the leader. applied reports
+// whether a new epoch was imported and published (false for the
+// steady-state "already current" answer).
+func (f *follower) syncOne(name string, sp *obs.Span) (applied bool, err error) {
+	e, resident := f.s.reg.get(name)
+
+	poll := sp.StartChild("poll")
+	req, err := http.NewRequestWithContext(f.ctx, http.MethodGet,
+		f.leader+"/v1/datasets/"+url.PathEscape(name)+"/epoch", nil)
+	if err != nil {
+		poll.End()
+		return false, err
+	}
+	if resident {
+		// Conditional fetch: the leader answers 304 with no body when the
+		// follower already serves these bytes.
+		req.Header.Set("X-TKD-Have-Fingerprint", fmt.Sprintf("%016x", e.ds.Fingerprint()))
+	}
+	resp, err := f.client.Do(req)
+	if err != nil {
+		poll.End()
+		return false, err
+	}
+	defer resp.Body.Close()
+	leaderEpoch, _ := strconv.ParseUint(resp.Header.Get("X-TKD-Epoch"), 10, 64)
+	poll.SetInt("leader_epoch", int64(leaderEpoch))
+	poll.End()
+
+	switch resp.StatusCode {
+	case http.StatusNotModified:
+		// Already serving the leader's bytes. Adopt the entry into following
+		// mode (a dataset pre-loaded from the same CSV converges here without
+		// ever transferring it) and track the leader's numbering.
+		if resident && leaderEpoch > 0 {
+			e.followed.Store(true)
+			e.leaderSeen.Store(leaderEpoch)
+			e.leaderEpoch.Store(leaderEpoch)
+		}
+		return false, nil
+	case http.StatusOK:
+		// fall through to import
+	default:
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return false, fmt.Errorf("leader answered %s: %s", resp.Status, strings.TrimSpace(string(msg)))
+	}
+	// The leader has an epoch we don't: record it as seen before the
+	// transfer so the lag gauge is honest while the import runs.
+	if resident && leaderEpoch > 0 {
+		e.followed.Store(true)
+		e.leaderSeen.Store(leaderEpoch)
+	}
+
+	imp := sp.StartChild("import")
+	fresh, epoch, err := tkd.ImportEpoch(resp.Body)
+	imp.End()
+	if err != nil {
+		return false, err
+	}
+
+	pub := sp.StartChild("publish")
+	defer pub.End()
+	pub.SetInt("epoch", int64(epoch))
+	if !resident {
+		if err := f.s.registerFollowed(name, fresh, epoch); err != nil {
+			return false, err
+		}
+		return true, nil
+	}
+	switch d := e.ds.(type) {
+	case *tkd.Dataset:
+		// The binned index came over the stream; finish the remaining IBIG
+		// artifacts off to the side, then swap under the leader's number.
+		fresh.PrepareFor(tkd.IBIG)
+		d.ReplaceFromAt(fresh, epoch)
+		// Persist the shipped index so a restart warms from disk instead of
+		// re-fetching. A cache error is a cold restart, not a sync failure.
+		if c, err := newIndexCache(f.s.cfg.IndexDir); err == nil && c != nil {
+			if err := c.save(name, d); err != nil {
+				f.s.life.indexCacheErrors.Add(1)
+			}
+		}
+	case *tkd.ShardedDataset:
+		// Mirror handleReload's sharded path: swap first (the shard topology
+		// keys to the new epoch), then warm the local shards against it.
+		d.ReplaceFromAt(fresh, epoch)
+		if _, err := f.s.warmPrepare(name, d); err != nil {
+			f.s.life.indexCacheErrors.Add(1)
+		}
+	default:
+		return false, fmt.Errorf("dataset %q cannot accept an epoch swap", name)
+	}
+	e.followed.Store(true)
+	e.leaderSeen.Store(epoch)
+	e.leaderEpoch.Store(epoch)
+	return true, nil
+}
+
+// registerFollowed installs a dataset discovered on the leader: the normal
+// register path (cache budget, scheduler, sharding wrap when the follower
+// itself coordinates shards), then the follower bookkeeping.
+func (s *Server) registerFollowed(name string, ds *tkd.Dataset, epoch uint64) error {
+	if _, err := s.register(name, ds, "", false); err != nil {
+		return err
+	}
+	if e, ok := s.reg.get(name); ok {
+		e.followed.Store(true)
+		e.leaderSeen.Store(epoch)
+		e.leaderEpoch.Store(epoch)
+	}
+	return nil
+}
+
+// handleEpochStream serves GET /v1/datasets/{name}/epoch: one published
+// epoch of a resident dataset in tkd's epoch stream format, with the epoch
+// number and fingerprint duplicated into response headers so followers can
+// track lag without parsing the body. A request carrying
+// X-TKD-Have-Fingerprint equal to the current fingerprint gets 304 and no
+// body — the steady-state poll costs a header exchange.
+func (s *Server) handleEpochStream(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	e, ok := s.reg.get(name)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("unknown dataset %q", name)})
+		return
+	}
+	var (
+		src          *tkd.Dataset
+		includeIndex bool
+	)
+	switch d := e.ds.(type) {
+	case *tkd.Dataset:
+		// Unsharded leader: ship the binned index along so followers skip
+		// the dominant preprocessing cost.
+		src, includeIndex = d, true
+	case *tkd.ShardedDataset:
+		// A sharded coordinator has no dataset-level index to offer — its
+		// indexes are per shard. Followers rebuild or warm-load their own.
+		src, includeIndex = d.Source(), false
+	default:
+		writeJSON(w, http.StatusNotImplemented, errorResponse{
+			Error: fmt.Sprintf("dataset %q does not support epoch export", name)})
+		return
+	}
+	x := src.ExportEpoch()
+	fp := x.Fingerprint()
+	w.Header().Set("X-TKD-Epoch", strconv.FormatUint(x.Epoch(), 10))
+	w.Header().Set("X-TKD-Fingerprint", fmt.Sprintf("%016x", fp))
+	if have := r.Header.Get("X-TKD-Have-Fingerprint"); have != "" {
+		if h, err := strconv.ParseUint(have, 16, 64); err == nil && h == fp {
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	if err := x.Write(w, includeIndex); err != nil {
+		// Headers are gone; all we can do is abort the stream (the import
+		// side will fail its checks) and surface the event in the log.
+		s.log.Warn("epoch stream aborted", "dataset", name, "err", err)
+	}
+}

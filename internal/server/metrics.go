@@ -233,6 +233,29 @@ func (s *Server) writeMetrics(w io.Writer) {
 	fmt.Fprintf(w, "# TYPE tkd_index_cache_errors_total counter\n")
 	fmt.Fprintf(w, "tkd_index_cache_errors_total %d\n", s.life.indexCacheErrors.Load())
 
+	// Follower replication counters, present only in follower mode.
+	if s.fol != nil {
+		fmt.Fprintf(w, "# HELP tkd_follower_syncs_total Leader epochs imported and published by the follower sync loop.\n")
+		fmt.Fprintf(w, "# TYPE tkd_follower_syncs_total counter\n")
+		fmt.Fprintf(w, "tkd_follower_syncs_total %d\n", s.fol.syncs.Load())
+		fmt.Fprintf(w, "# HELP tkd_follower_sync_errors_total Failed leader poll, fetch or import attempts.\n")
+		fmt.Fprintf(w, "# TYPE tkd_follower_sync_errors_total counter\n")
+		fmt.Fprintf(w, "tkd_follower_sync_errors_total %d\n", s.fol.syncErrors.Load())
+		fmt.Fprintf(w, "# HELP tkd_follower_epoch_lag Leader epochs observed but not yet applied, by dataset (0 = converged).\n")
+		fmt.Fprintf(w, "# TYPE tkd_follower_epoch_lag gauge\n")
+		for _, e := range entries {
+			if !e.followed.Load() {
+				continue
+			}
+			seen, applied := e.leaderSeen.Load(), e.leaderEpoch.Load()
+			var lag uint64
+			if seen > applied {
+				lag = seen - applied
+			}
+			fmt.Fprintf(w, "tkd_follower_epoch_lag{dataset=%q} %d\n", e.name, lag)
+		}
+	}
+
 	fmt.Fprintf(w, "# HELP tkd_queries_total Queries served, by dataset and algorithm.\n")
 	fmt.Fprintf(w, "# TYPE tkd_queries_total counter\n")
 	for _, e := range entries {

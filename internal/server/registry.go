@@ -5,6 +5,7 @@ import (
 	"os"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/tkd"
 )
@@ -48,6 +49,15 @@ type entry struct {
 	// reloadMu serializes reloads of this entry so two concurrent reload
 	// requests cannot interleave their build-and-swap sequences.
 	reloadMu sync.Mutex
+
+	// Follower bookkeeping, written only by the follower sync loop.
+	// followed marks an entry kept in lockstep with a replication leader;
+	// leaderSeen is the leader epoch last observed on the wire and
+	// leaderEpoch the one last applied locally — their difference is the
+	// follower's epoch lag for this dataset.
+	followed    atomic.Bool
+	leaderSeen  atomic.Uint64
+	leaderEpoch atomic.Uint64
 }
 
 // errDuplicate marks a name collision; handlers map it to 409 Conflict.

@@ -111,6 +111,21 @@ type Config struct {
 	// QueryLogSize is how many recent queries the in-memory ring retains for
 	// GET /v1/debug/queries; <= 0 defaults to 256.
 	QueryLogSize int
+	// Follow makes this server a replication follower of the leader
+	// tkdserver at the given base URL: the leader's datasets are discovered,
+	// fetched over GET /v1/datasets/{name}/epoch and kept in lockstep — each
+	// new leader epoch is imported, validated by fingerprint, and published
+	// locally as an RCU epoch swap under the leader's epoch number. Empty
+	// (the default) disables following.
+	Follow string
+	// FollowInterval is the leader poll period in follower mode; <= 0
+	// defaults to 2s. Polls are conditional (If-fingerprint-matches answers
+	// 304 with no body), so short intervals are cheap.
+	FollowInterval time.Duration
+	// FollowClient overrides the HTTP client used to reach the leader
+	// (tests and the chaos harness inject transports here); nil builds a
+	// default client.
+	FollowClient *http.Client
 }
 
 // Server is the HTTP query service. Create with New, register datasets with
@@ -125,6 +140,7 @@ type Server struct {
 	stages    stageMetrics
 	qlog      *obs.QueryLog
 	log       *slog.Logger
+	fol       *follower
 	draining  atomic.Bool
 	done      chan struct{}
 	closeOnce sync.Once
@@ -165,6 +181,11 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /v1/debug/queries", s.handleDebugQueries)
+	s.mux.HandleFunc("GET /v1/datasets/{name}/epoch", s.handleEpochStream)
+	if cfg.Follow != "" {
+		s.fol = newFollower(s, cfg.Follow, cfg.FollowInterval, cfg.FollowClient)
+		s.fol.start()
+	}
 	return s
 }
 
@@ -204,13 +225,26 @@ func (s *Server) resolveShardData(name string) (*data.Dataset, uint64, bool) {
 	if !ok {
 		return nil, 0, false
 	}
+	var (
+		ds    *data.Dataset
+		epoch uint64
+	)
 	switch d := e.ds.(type) {
 	case *tkd.Dataset:
-		return d.ShardData(), d.Epoch(), true
+		ds, epoch = d.ShardData(), d.Epoch()
 	case *tkd.ShardedDataset:
-		return d.Source().ShardData(), d.Epoch(), true
+		ds, epoch = d.Source().ShardData(), d.Epoch()
+	default:
+		return nil, 0, false
 	}
-	return nil, 0, false
+	// A followed entry reports the leader's epoch numbering: a dataset
+	// adopted into following mid-life (pre-loaded from the same CSV) has a
+	// lower local counter for the very same bytes, and health probes should
+	// see the fleet-wide number, not this process's publish count.
+	if le := e.leaderEpoch.Load(); le > epoch {
+		epoch = le
+	}
+	return ds, epoch, true
 }
 
 // LoadCSVFile reads a datagen-format CSV and registers it under name.
@@ -394,6 +428,9 @@ func (s *Server) warmPrepareSharded(name string, sd *tkd.ShardedDataset, ixc *in
 func (s *Server) Close() {
 	s.closeOnce.Do(func() {
 		close(s.done)
+		if s.fol != nil {
+			s.fol.stop()
+		}
 		// Retire the replica-set health loops of every sharded resident so
 		// their goroutines do not outlive the server.
 		for _, e := range s.reg.list() {
@@ -521,6 +558,13 @@ type DatasetInfo struct {
 	// Source is the CSV path reloads rebuild from; empty for datasets
 	// registered in-process.
 	Source string `json:"source,omitempty"`
+	// Followed marks a dataset kept in lockstep with a replication leader by
+	// this server's follower sync loop; LeaderEpoch is the leader epoch last
+	// applied and LeaderSeen the one last observed (their difference is the
+	// sync lag). Absent on servers that follow nothing.
+	Followed    bool   `json:"followed,omitempty"`
+	LeaderEpoch uint64 `json:"leader_epoch,omitempty"`
+	LeaderSeen  uint64 `json:"leader_seen,omitempty"`
 }
 
 // RegisterRequest is the POST /v1/datasets body: register a datagen-format
@@ -807,6 +851,11 @@ func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 		if sd, ok := e.ds.(*tkd.ShardedDataset); ok {
 			infos[i].Shards = sd.ShardCount()
 		}
+		if e.followed.Load() {
+			infos[i].Followed = true
+			infos[i].LeaderEpoch = e.leaderEpoch.Load()
+			infos[i].LeaderSeen = e.leaderSeen.Load()
+		}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"datasets": infos})
 }
@@ -898,12 +947,13 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		// (or warm-load, for an unchanged file) against it. Queries racing
 		// the warm-up block briefly on the shard-set build; none fail.
 		e.ds.ReplaceFrom(fresh)
-		// The swap is live from here on: the peer cache must drop the
-		// retired epoch's slices now, and the response must report the
-		// reload as served even if the warm-up below hits a cache problem
-		// (claiming failure for an epoch that already took effect would be
-		// worse than a cold cache — which is all a warm-up error means).
-		s.peer.Evict(name)
+		// The swap is live from here on. The peer cache rebuilds lazily on
+		// the next scatter call (retaining the pre-reload epoch as the
+		// one-epoch grace for coordinators still mid-query on it), and the
+		// response must report the reload as served even if the warm-up
+		// below hits a cache problem (claiming failure for an epoch that
+		// already took effect would be worse than a cold cache — which is
+		// all a warm-up error means).
 		warm, err = s.warmPrepare(name, e.ds)
 		if err != nil {
 			s.life.indexCacheErrors.Add(1)
@@ -918,10 +968,10 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		e.ds.ReplaceFrom(fresh)
-		// Peers may have cached slices of the pre-reload epoch; drop them
-		// (the lazy sweep only runs if another shard query for this name
-		// ever arrives).
-		s.peer.Evict(name)
+		// Coordinators holding cached slices of the pre-reload epoch keep
+		// getting them for one more epoch: the peer cache rebuilds on the
+		// next scatter call and retains the retired epoch as its grace
+		// predecessor, so their in-flight queries finish instead of 409ing.
 	}
 	e.met.reloads.Add(1)
 	writeJSON(w, http.StatusOK, ReloadResponse{

@@ -45,6 +45,13 @@ type peerEntry struct {
 	identity *data.Dataset // the epoch the entry was built from
 	fp       uint64
 	local    *Local
+
+	// prev is the range's retired predecessor, kept exactly one epoch deep:
+	// a reload on this peer must not fail scatter calls from coordinators
+	// whose queries are still in flight on the pre-reload epoch — "in-flight
+	// queries finish on the old epoch" has to hold across processes, not
+	// just within one. Replaced on the next reload, dropped by Evict.
+	prev *peerEntry
 }
 
 // NewPeer wraps a resolver.
@@ -57,42 +64,54 @@ func NewPeer(resolve func(name string) (*data.Dataset, uint64, bool)) *Peer {
 func (p *Peer) SetQueryLog(q *obs.QueryLog) { p.qlog = q }
 
 // local returns the warm Local for the request's range, rebuilding when the
-// dataset's epoch moved underneath it. Building a fresh entry also sweeps
-// the dataset's stale ones — ranges keyed to older epochs (a reload that
-// changed the row count changes the coordinator's shard boundaries, so the
-// old keys would otherwise pin their slices and indexes forever).
-func (p *Peer) local(ds *data.Dataset, key peerKey) (*Local, uint64) {
+// dataset's epoch moved underneath it — the replaced entry is retained as
+// the new one's prev, so wantFP can still select the retired epoch (a
+// coordinator mid-query when this peer reloaded). Building a fresh entry
+// also sweeps the dataset's stale ones — ranges keyed to older epochs (a
+// reload that changed the row count changes the coordinator's shard
+// boundaries, so the old keys would otherwise pin their slices and indexes
+// forever).
+func (p *Peer) local(ds *data.Dataset, key peerKey, wantFP uint64) (*Local, uint64) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if e, ok := p.locals[key]; ok && e.identity == ds {
-		return e.local, e.fp
-	}
-	live := 0
-	for k, e := range p.locals {
-		if k.name != key.name {
-			continue
-		}
-		if e.identity != ds {
-			delete(p.locals, k)
-		} else {
-			live++
-		}
-	}
-	if live >= maxRangesPerDataset {
-		// More distinct ranges than any sane coordinator topology implies —
-		// a misconfigured second coordinator or a client probing ranges.
-		// Each entry can hold a full index over its slice, so reset the
-		// dataset's cache instead of letting it grow without bound; a
-		// legitimate coordinator simply rebuilds its few ranges.
-		for k := range p.locals {
-			if k.name == key.name {
+	e, ok := p.locals[key]
+	if !ok || e.identity != ds {
+		live := 0
+		for k, o := range p.locals {
+			if k.name != key.name || k == key {
+				continue
+			}
+			if o.identity != ds {
 				delete(p.locals, k)
+			} else {
+				live++
 			}
 		}
+		if live >= maxRangesPerDataset {
+			// More distinct ranges than any sane coordinator topology implies —
+			// a misconfigured second coordinator or a client probing ranges.
+			// Each entry can hold a full index over its slice, so reset the
+			// dataset's cache instead of letting it grow without bound; a
+			// legitimate coordinator simply rebuilds its few ranges.
+			for k := range p.locals {
+				if k.name == key.name {
+					delete(p.locals, k)
+				}
+			}
+			e, ok = nil, false
+		}
+		l := NewLocal(ds.Slice(key.from, key.to))
+		fresh := &peerEntry{identity: ds, fp: l.Fingerprint(), local: l}
+		if ok {
+			e.prev = nil // one epoch of history, never a chain
+			fresh.prev = e
+		}
+		p.locals[key] = fresh
+		e = fresh
 	}
-	l := NewLocal(ds.Slice(key.from, key.to))
-	e := &peerEntry{identity: ds, fp: l.Fingerprint(), local: l}
-	p.locals[key] = e
+	if wantFP != 0 && wantFP != e.fp && e.prev != nil && e.prev.fp == wantFP {
+		return e.prev.local, e.prev.fp
+	}
 	return e.local, e.fp
 }
 
@@ -178,11 +197,12 @@ func (p *Peer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "range [%d,%d) out of bounds for %d rows", req.From, req.To, ds.Len())
 		return
 	}
-	local, fp := p.local(ds, peerKey{name: req.Dataset, from: req.From, to: req.To})
+	local, fp := p.local(ds, peerKey{name: req.Dataset, from: req.From, to: req.To}, req.Fingerprint)
 	if fp != req.Fingerprint {
-		// The coordinator and this peer disagree on the shard's contents —
-		// a lagging reload or a different source file. Refusing keeps the
-		// merge exact; the coordinator surfaces the error to the client.
+		// The coordinator and this peer disagree on the shard's contents
+		// beyond the one-epoch grace the cache retains — a lagging reload or
+		// a different source file. Refusing keeps the merge exact; the
+		// coordinator surfaces the error to the client.
 		writeError(w, http.StatusConflict,
 			"shard fingerprint mismatch for %q[%d:%d): peer has %x, coordinator wants %x",
 			req.Dataset, req.From, req.To, fp, req.Fingerprint)
@@ -270,7 +290,9 @@ func (p *Peer) ServeHealth(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "range [%d,%d) out of bounds for %d rows", from, to, ds.Len())
 		return
 	}
-	local, fp := p.local(ds, peerKey{name: name, from: from, to: to})
+	// Probes always report the current epoch (wantFP 0): health is about
+	// what the peer serves now, never the retained grace epoch.
+	local, fp := p.local(ds, peerKey{name: name, from: from, to: to}, 0)
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(WireHealth{
 		Dataset:     name,

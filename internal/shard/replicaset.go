@@ -82,6 +82,12 @@ type replica struct {
 	idx int
 	b   Backend
 	br  *breaker
+
+	// epoch is the replica's last health-reported epoch counter. It is
+	// observability, not a correctness key: the fingerprint decides
+	// quarantine (see probeAll), the epoch only shows how far a replication
+	// follower trails its leader.
+	epoch atomic.Uint64
 }
 
 // ReplicaSet serves one shard from N equivalent replicas behind the plain
@@ -154,11 +160,27 @@ func (rs *ReplicaSet) States() []BreakerState {
 	return out
 }
 
+// ReplicaEpochs snapshots each replica's last health-reported epoch
+// counter, in replica order (zero until the first successful probe). The
+// serving layer renders these next to the breaker states so an operator can
+// see a follower catching up — distinct from divergence, which the
+// fingerprint decides.
+func (rs *ReplicaSet) ReplicaEpochs() []uint64 {
+	out := make([]uint64, len(rs.reps))
+	for i, r := range rs.reps {
+		out[i] = r.epoch.Load()
+	}
+	return out
+}
+
 // pick returns the next replica whose breaker admits a call, round-robin,
 // skipping exclude. ok is false when every admissible replica is exhausted.
 func (rs *ReplicaSet) pick(exclude *replica) (*replica, bool) {
 	n := len(rs.reps)
-	start := int(rs.next.Add(1))
+	// Reduce the counter in uint64 space before converting: a plain
+	// int(Add(1)) goes negative once the counter passes MaxInt and a
+	// negative start makes (start+i)%n a negative index.
+	start := int(rs.next.Add(1) % uint64(n))
 	for i := 0; i < n; i++ {
 		r := rs.reps[(start+i)%n]
 		if r == exclude {
@@ -228,14 +250,40 @@ func (rs *ReplicaSet) Partial(ctx context.Context, req *Request) ([]int32, error
 
 // callResult carries one replica call's outcome through the hedge race.
 type callResult struct {
-	res []int32
-	err error
+	res    []int32
+	err    error
+	hedged bool
+}
+
+// classifyPair ranks the two failures of a lost hedge race for attribution:
+// a stale 409 wins (Partial must quarantine-and-switch), then a retryable
+// error (Partial must back off and retry), then the primary's error. Without
+// this ranking the returned error — and therefore whether Partial retries,
+// switches replicas or fails the query fast — would depend on which of the
+// two calls happened to land first.
+func classifyPair(primary, hedge error) error {
+	switch {
+	case hedge == nil:
+		return primary
+	case primary == nil:
+		return hedge
+	case isStale(primary):
+		return primary
+	case isStale(hedge):
+		return hedge
+	case retryable(primary):
+		return primary
+	case retryable(hedge):
+		return hedge
+	}
+	return primary
 }
 
 // once runs one attempt: a call on r, optionally hedged on a second replica
 // when r is slow. The first success wins and cancels the loser; when both
-// fail, the primary's error is reported (it drove the breaker bookkeeping
-// either way).
+// fail, the errors are classified deterministically (stale, then retryable,
+// then the primary's) so the caller's retry decision never depends on the
+// race between the two failure paths.
 func (rs *ReplicaSet) once(ctx context.Context, r *replica, req *Request) ([]int32, error) {
 	d := rs.hedgeDelay()
 	if d <= 0 || len(rs.reps) < 2 {
@@ -244,11 +292,11 @@ func (rs *ReplicaSet) once(ctx context.Context, r *replica, req *Request) ([]int
 	cctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	ch := make(chan callResult, 2) // buffered: a losing call never blocks
-	go func() { res, err := rs.call(cctx, r, req, false); ch <- callResult{res, err} }()
+	go func() { res, err := rs.call(cctx, r, req, false); ch <- callResult{res, err, false} }()
 	timer := time.NewTimer(d)
 	defer timer.Stop()
 	pending := 1
-	var firstErr error
+	var primaryErr, hedgeErr error
 	for {
 		select {
 		case o := <-ch:
@@ -256,11 +304,13 @@ func (rs *ReplicaSet) once(ctx context.Context, r *replica, req *Request) ([]int
 			if o.err == nil {
 				return o.res, nil
 			}
-			if firstErr == nil {
-				firstErr = o.err
+			if o.hedged {
+				hedgeErr = o.err
+			} else {
+				primaryErr = o.err
 			}
 			if pending == 0 {
-				return nil, firstErr
+				return nil, classifyPair(primaryErr, hedgeErr)
 			}
 		case <-timer.C:
 			if r2, ok := rs.pick(r); ok {
@@ -268,7 +318,7 @@ func (rs *ReplicaSet) once(ctx context.Context, r *replica, req *Request) ([]int
 					rs.met.addHedge()
 				}
 				pending++
-				go func() { res, err := rs.call(cctx, r2, req, true); ch <- callResult{res, err} }()
+				go func() { res, err := rs.call(cctx, r2, req, true); ch <- callResult{res, err, true} }()
 			}
 		case <-ctx.Done():
 			return nil, ctx.Err()
@@ -294,7 +344,16 @@ func (rs *ReplicaSet) hedgeDelay() time.Duration {
 	for i := range rs.lat.counts {
 		sl.Buckets[i] = rs.lat.counts[i].Load()
 	}
-	return time.Duration(sl.Quantile(0.99) * float64(time.Second))
+	d := time.Duration(sl.Quantile(0.99) * float64(time.Second))
+	// A degenerate distribution — observations concentrated in the overflow
+	// tail — resolves to the histogram's last bucket bound (seconds), a
+	// trigger so late it silently disables hedging. The attempt timeout is
+	// the natural ceiling: past it the primary call is cut loose anyway, so
+	// a hedge that has not fired by then never will.
+	if rs.pol.AttemptTimeout > 0 && d > rs.pol.AttemptTimeout {
+		d = rs.pol.AttemptTimeout
+	}
+	return d
 }
 
 // errAttemptTimeout marks an attempt-timeout expiry. Deliberately NOT a
@@ -381,9 +440,19 @@ func (rs *ReplicaSet) StartHealthChecks(interval time.Duration) {
 	}()
 }
 
+// minProbeTimeout floors the health-probe deadline. The probe is bounded by
+// the check interval so loops cannot pile up, but an aggressive cadence must
+// not shrink the deadline below what a loaded-yet-healthy replica needs to
+// answer — a probe that times out counts as a failure, and misclassifying
+// slow-but-correct replicas would flap their breakers under load.
+const minProbeTimeout = 250 * time.Millisecond
+
 // probeAll health-checks every replica once, bounding each probe by the
-// check interval.
+// check interval (but never less than minProbeTimeout).
 func (rs *ReplicaSet) probeAll(timeout time.Duration) {
+	if timeout < minProbeTimeout {
+		timeout = minProbeTimeout
+	}
 	for _, r := range rs.reps {
 		hc, ok := r.b.(HealthChecker)
 		if !ok {
@@ -397,14 +466,25 @@ func (rs *ReplicaSet) probeAll(timeout time.Duration) {
 			return
 		default:
 		}
+		if err == nil {
+			r.epoch.Store(hi.Epoch)
+		}
 		switch {
 		case err != nil:
 			r.br.onFailure()
 		case hi.Fingerprint != rs.fp || hi.Rows != rs.rows:
-			// Lagging or divergent replica: quarantine it rather than let
-			// queries discover the 409 one scatter call at a time.
+			// Divergent replica: quarantine it rather than let queries
+			// discover the 409 one scatter call at a time.
 			r.br.trip()
 		default:
+			// The replica serves exactly the expected bytes, so admit it —
+			// even when its epoch counter trails the others'. A replication
+			// follower that re-published identical data under an older epoch
+			// number is catching up, not divergent; quarantining on epoch
+			// alone would take half a replica group out on every rolling
+			// no-op reload. onSuccess closes an open breaker unconditionally,
+			// which is also the re-admission path: a follower quarantined
+			// during a reload comes back the moment its fingerprint converges.
 			r.br.onSuccess()
 		}
 	}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -19,8 +20,9 @@ type fakeReplica struct {
 	calls   atomic.Int64
 	partial func(ctx context.Context, req *Request) ([]int32, error)
 
-	healthFP atomic.Uint64 // 0 = report fp (healthy)
-	probes   atomic.Int64
+	healthFP    atomic.Uint64 // 0 = report fp (healthy)
+	healthEpoch atomic.Uint64
+	probes      atomic.Int64
 }
 
 func (f *fakeReplica) Rows() int           { return f.rows }
@@ -37,7 +39,7 @@ func (f *fakeReplica) Health(ctx context.Context) (HealthInfo, error) {
 	if fp == 0 {
 		fp = f.fp
 	}
-	return HealthInfo{Rows: f.rows, Fingerprint: fp}, nil
+	return HealthInfo{Rows: f.rows, Fingerprint: fp, Epoch: f.healthEpoch.Load()}, nil
 }
 
 func okReplica() *fakeReplica {
@@ -56,6 +58,19 @@ func hangReplica() *fakeReplica {
 	return &fakeReplica{rows: 10, fp: 42, partial: func(ctx context.Context, req *Request) ([]int32, error) {
 		<-ctx.Done()
 		return nil, ctx.Err()
+	}}
+}
+
+// slowFailReplica fails with err after d (or the context's cancellation,
+// whichever comes first) — the slow side of a hedge race.
+func slowFailReplica(err error, d time.Duration) *fakeReplica {
+	return &fakeReplica{rows: 10, fp: 42, partial: func(ctx context.Context, req *Request) ([]int32, error) {
+		select {
+		case <-time.After(d):
+			return nil, err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
 	}}
 }
 
@@ -355,6 +370,111 @@ func TestReplicaSetCloseStopsHealthLoop(t *testing.T) {
 	if _, err := rs.Partial(context.Background(), testReq()); err != nil {
 		t.Fatalf("query after Close: %v", err)
 	}
+}
+
+func TestReplicaSetPickCounterWrap(t *testing.T) {
+	rs, err := NewReplicaSet(0, []Backend{okReplica(), okReplica(), okReplica()}, noHedge(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seed the round-robin counter at the int boundary: the next Add(1)
+	// crosses into territory where a plain int() conversion goes negative,
+	// which used to make (start+i)%n a negative index and panic pick.
+	rs.next.Store(math.MaxInt64)
+	for i := 0; i < 10; i++ {
+		r, ok := rs.pick(nil)
+		if !ok || r == nil {
+			t.Fatalf("pick %d failed with all breakers closed", i)
+		}
+	}
+	rs.next.Store(math.MaxUint64 - 2) // and across the uint64 wrap itself
+	for i := 0; i < 10; i++ {
+		if _, err := rs.Partial(context.Background(), testReq()); err != nil {
+			t.Fatalf("call %d across counter wrap: %v", i, err)
+		}
+	}
+}
+
+func TestReplicaSetHedgeErrorAttributionDeterministic(t *testing.T) {
+	stale := &PeerError{URL: "x", Status: statusConflict, Msg: "fingerprint mismatch"}
+	badReq := &PeerError{URL: "x", Status: 400, Msg: "bad request"}
+	// Whichever side of the race carries the 409 and whichever call lands
+	// first, the stale error must win attribution: it is the one that tells
+	// Partial to quarantine-and-switch instead of failing the query fast.
+	cases := []struct {
+		name           string
+		primary, hedge error
+	}{
+		{"fast hedge carries the 409", badReq, stale},
+		{"slow primary carries the 409", stale, badReq},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			primary := slowFailReplica(tc.primary, 30*time.Millisecond)
+			hedge := failReplica(tc.hedge)
+			pol := Policy{MaxAttempts: 1, Hedge: true, HedgeAfter: 2 * time.Millisecond}
+			rs, err := NewReplicaSet(0, []Backend{primary, hedge}, pol, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, err = rs.once(context.Background(), rs.reps[0], testReq())
+			var pe *PeerError
+			if !errors.As(err, &pe) || pe.Status != statusConflict {
+				t.Fatalf("lost hedge race returned %v, want the 409", err)
+			}
+			if hedge.calls.Load() == 0 {
+				t.Fatal("hedge never fired; the race was not exercised")
+			}
+		})
+	}
+}
+
+func TestReplicaSetHedgeDelayClampsDegenerateP99(t *testing.T) {
+	pol := Policy{MaxAttempts: 2, Hedge: true, AttemptTimeout: 20 * time.Millisecond}
+	rs, err := NewReplicaSet(0, []Backend{okReplica(), okReplica()}, pol, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Concentrate every observation in the histogram's overflow tail: the
+	// p99 resolves to the last bucket bound (seconds), a hedge trigger so
+	// late it would never fire within the attempt timeout.
+	for i := 0; i < 25; i++ {
+		rs.lat.observe(10 * time.Second)
+	}
+	if d := rs.hedgeDelay(); d != pol.AttemptTimeout {
+		t.Fatalf("hedgeDelay = %v with a degenerate p99, want the %v attempt timeout", d, pol.AttemptTimeout)
+	}
+}
+
+func TestReplicaSetHealthProbeTracksEpochs(t *testing.T) {
+	a, b := okReplica(), okReplica()
+	a.healthEpoch.Store(7)
+	b.healthEpoch.Store(5) // same fingerprint, older epoch: a follower catching up
+	pol := noHedge()
+	pol.BreakerCooldown = time.Hour // only the probes may change breaker state
+	rs, err := NewReplicaSet(0, []Backend{a, b}, pol, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+	rs.StartHealthChecks(2 * time.Millisecond)
+	waitFor(t, "replica epochs recorded", func() bool {
+		es := rs.ReplicaEpochs()
+		return es[0] == 7 && es[1] == 5
+	})
+	// A stale epoch with a matching fingerprint is lag, not divergence: both
+	// replicas must keep serving.
+	if st := rs.States(); st[0] != BreakerClosed || st[1] != BreakerClosed {
+		t.Fatalf("breakers %v with matching fingerprints, want both closed", st)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := rs.Partial(context.Background(), testReq()); err != nil {
+			t.Fatalf("query with a lagging replica: %v", err)
+		}
+	}
+	// The lagging replica converges; the probe reflects it.
+	b.healthEpoch.Store(7)
+	waitFor(t, "replica b epoch converged", func() bool { return rs.ReplicaEpochs()[1] == 7 })
 }
 
 // waitFor polls cond for up to 2s.

@@ -1,0 +1,178 @@
+package tkd
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/bitmapidx"
+	"repro/internal/data"
+)
+
+// Epoch replication: a leader exports one published epoch as a single
+// self-validating stream — the frozen data plus the serialized binned
+// index, both taken from the same snapshot — and a follower imports it into
+// a fresh Dataset that publishes under the leader's epoch number. The
+// follower then swaps it in with ReplaceFromAt, completing an RCU epoch
+// swap whose number and fingerprint match the leader's, which is what lets
+// a replica group's health probes read convergence straight off the epoch
+// and fingerprint counters.
+//
+// Stream layout (all integers little-endian):
+//
+//	magic [8]byte  "TKDEPO1\n"
+//	epoch uint64   the snapshot's epoch number (never 0: 0 marks "unpublished")
+//	fp    uint64   data fingerprint, verified against the rebuilt data on import
+//	flags uint8    bit 0: an index section follows the data
+//	dlen  uint64   data section length in bytes
+//	data  []byte   the dataset in WriteCSV form
+//	index []byte   (optional) the SaveIndex stream, self-checksummed and
+//	               fingerprint-keyed — Import validates it against the
+//	               rebuilt data exactly like the persisted-index cache does
+//
+// Everything after the fixed header is verifiable: the data section must
+// hash to fp, and the index section carries bitmapidx's own CRC, shape and
+// fingerprint checks. A torn or corrupted transfer therefore fails the
+// import; it can never publish wrong bytes.
+
+// epochMagic versions the epoch stream; bump it to make old leaders and new
+// followers mutually unintelligible instead of subtly wrong.
+var epochMagic = [8]byte{'T', 'K', 'D', 'E', 'P', 'O', '1', '\n'}
+
+// maxEpochData bounds the data section an import will buffer (the in-memory
+// engine cannot serve datasets anywhere near this large anyway).
+const maxEpochData = 1 << 32
+
+// EpochExport pins one published epoch of a dataset for replication: the
+// epoch number, the data fingerprint and a Write method that streams both
+// data and index from that same snapshot, immune to concurrent reloads.
+type EpochExport struct {
+	d *Dataset
+	s *snapshot
+}
+
+// ExportEpoch pins the current published epoch for export. The returned
+// handle stays valid — and internally consistent — however many epochs are
+// published after it.
+func (d *Dataset) ExportEpoch() *EpochExport {
+	return &EpochExport{d: d, s: d.current()}
+}
+
+// Epoch returns the pinned epoch's number.
+func (x *EpochExport) Epoch() uint64 { return x.s.epoch }
+
+// Fingerprint returns the pinned epoch's data fingerprint.
+func (x *EpochExport) Fingerprint() uint64 { return x.s.ds.Fingerprint() }
+
+// Write streams the pinned epoch. includeIndex controls the index section:
+// a leader serving the dataset unsharded includes its binned index (built
+// here if the epoch never needed it yet) so followers skip the dominant
+// preprocessing cost; a sharded leader has no dataset-level index to offer
+// and sends data only.
+func (x *EpochExport) Write(w io.Writer, includeIndex bool) error {
+	var buf bytes.Buffer
+	if err := x.s.ds.WriteCSV(&buf); err != nil {
+		return err
+	}
+	if _, err := w.Write(epochMagic[:]); err != nil {
+		return err
+	}
+	hdr := []any{x.s.epoch, x.Fingerprint()}
+	for _, v := range hdr {
+		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	var flags uint8
+	if includeIndex {
+		flags |= 1
+	}
+	if err := binary.Write(w, binary.LittleEndian, flags); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint64(buf.Len())); err != nil {
+		return err
+	}
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		return err
+	}
+	if includeIndex {
+		a := x.s.ensure(needBinned, x.d)
+		return a.binned.Save(w)
+	}
+	return nil
+}
+
+// ImportEpoch reconstructs a Dataset from an ExportEpoch stream. The data
+// section is rebuilt and verified against the header fingerprint; an index
+// section, when present, is validated by bitmapidx's fingerprint-keyed load
+// against the rebuilt data and installed for the first publish (so the
+// import never triggers an index rebuild). The returned dataset's first
+// published epoch carries the stream's epoch number; a follower hands both
+// to ReplaceFromAt to complete the swap. On any error nothing is returned —
+// a corrupt stream cannot produce a partially imported dataset.
+func ImportEpoch(r io.Reader) (*Dataset, uint64, error) {
+	var magic [8]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, 0, fmt.Errorf("tkd: epoch stream header: %w", err)
+	}
+	if magic != epochMagic {
+		return nil, 0, fmt.Errorf("tkd: not an epoch stream (bad magic %q)", magic[:])
+	}
+	var epoch, fp, dlen uint64
+	var flags uint8
+	for _, v := range []any{&epoch, &fp} {
+		if err := binary.Read(r, binary.LittleEndian, v); err != nil {
+			return nil, 0, fmt.Errorf("tkd: epoch stream header: %w", err)
+		}
+	}
+	if err := binary.Read(r, binary.LittleEndian, &flags); err != nil {
+		return nil, 0, fmt.Errorf("tkd: epoch stream header: %w", err)
+	}
+	if err := binary.Read(r, binary.LittleEndian, &dlen); err != nil {
+		return nil, 0, fmt.Errorf("tkd: epoch stream header: %w", err)
+	}
+	if epoch == 0 {
+		return nil, 0, fmt.Errorf("tkd: epoch stream carries no published epoch")
+	}
+	if dlen == 0 || dlen > maxEpochData {
+		return nil, 0, fmt.Errorf("tkd: epoch stream data section of %d bytes is out of range", dlen)
+	}
+	// Buffer the data section whole: the CSV reader must not consume a byte
+	// of the index section that follows it.
+	raw := make([]byte, dlen)
+	if _, err := io.ReadFull(r, raw); err != nil {
+		return nil, 0, fmt.Errorf("tkd: epoch stream data section: %w", err)
+	}
+	ds, err := data.ReadCSV(bytes.NewReader(raw))
+	if err != nil {
+		return nil, 0, fmt.Errorf("tkd: epoch stream data section: %w", err)
+	}
+	if got := ds.Fingerprint(); got != fp {
+		return nil, 0, fmt.Errorf("tkd: epoch stream data fingerprint %016x does not match header %016x", got, fp)
+	}
+	fresh := wrap(ds)
+	// First publish numbers the epoch; pre-position the counter so it lands
+	// on the leader's number.
+	fresh.epoch.Store(epoch - 1)
+	if flags&1 != 0 {
+		ix, err := bitmapidx.Load(r, ds)
+		if err != nil {
+			return nil, 0, fmt.Errorf("tkd: epoch stream index section: %w", err)
+		}
+		// Adopt the leader's index representation: the index is the leader's
+		// verbatim, and a follower that re-pinned a different codec would
+		// otherwise silently rebuild what it was just shipped.
+		switch {
+		case ix.Adaptive():
+			fresh.indexRep = AdaptiveIndex
+		case ix.CodecUsed() == bitmapidx.WAH:
+			fresh.indexRep = WAHIndex
+		default:
+			fresh.indexRep = ConciseIndex
+		}
+		fresh.pendingBinned = ix
+	}
+	return fresh, epoch, nil
+}

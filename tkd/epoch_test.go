@@ -1,0 +1,147 @@
+package tkd_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"reflect"
+	"testing"
+
+	"repro/tkd"
+)
+
+// exportStream publishes ds (via a query) and returns its epoch stream.
+func exportStream(t *testing.T, ds *tkd.Dataset, includeIndex bool) ([]byte, *tkd.EpochExport) {
+	t.Helper()
+	if _, err := ds.TopK(5); err != nil {
+		t.Fatal(err)
+	}
+	x := ds.ExportEpoch()
+	var buf bytes.Buffer
+	if err := x.Write(&buf, includeIndex); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), x
+}
+
+func TestEpochExportImportRoundTrip(t *testing.T) {
+	ds := tkd.GenerateIND(300, 4, 20, 0.2, 7)
+	raw, x := exportStream(t, ds, true)
+	if x.Epoch() != ds.Epoch() || x.Fingerprint() != ds.Fingerprint() {
+		t.Fatalf("export pins epoch=%d fp=%x, dataset has epoch=%d fp=%x",
+			x.Epoch(), x.Fingerprint(), ds.Epoch(), ds.Fingerprint())
+	}
+	fresh, epoch, err := tkd.ImportEpoch(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != x.Epoch() {
+		t.Fatalf("imported epoch %d, want %d", epoch, x.Epoch())
+	}
+	if fresh.Fingerprint() != ds.Fingerprint() {
+		t.Fatalf("imported fingerprint %x, want %x", fresh.Fingerprint(), ds.Fingerprint())
+	}
+	want, err := ds.TopK(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := fresh.TopK(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Items, want.Items) {
+		t.Fatalf("imported answer %v, want %v", got.Items, want.Items)
+	}
+	// The binned index rode the stream: serving the import must not have
+	// built one, and the first publish must land on the leader's number.
+	if n := fresh.IndexBuilds(); n != 0 {
+		t.Fatalf("import rebuilt the index %d times, want 0 (shipped in-stream)", n)
+	}
+	if fresh.Epoch() != epoch {
+		t.Fatalf("follower epoch %d after first publish, want the leader's %d", fresh.Epoch(), epoch)
+	}
+}
+
+func TestEpochStreamWithoutIndexSection(t *testing.T) {
+	ds := tkd.GenerateIND(200, 3, 15, 0.2, 11)
+	raw, _ := exportStream(t, ds, false)
+	fresh, _, err := tkd.ImportEpoch(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ds.TopK(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := fresh.TopK(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Items, want.Items) {
+		t.Fatalf("data-only import answers %v, want %v", got.Items, want.Items)
+	}
+	if fresh.IndexBuilds() == 0 {
+		t.Fatal("data-only stream cannot supply an index; a build was expected")
+	}
+}
+
+func TestEpochStreamCorruptionRejected(t *testing.T) {
+	ds := tkd.GenerateIND(200, 3, 15, 0.2, 13)
+	raw, _ := exportStream(t, ds, true)
+
+	corrupt := func(name string, mutate func(b []byte) []byte) {
+		b := mutate(append([]byte(nil), raw...))
+		if _, _, err := tkd.ImportEpoch(bytes.NewReader(b)); err == nil {
+			t.Errorf("%s: corrupt stream imported cleanly", name)
+		}
+	}
+	corrupt("bad magic", func(b []byte) []byte { b[0] ^= 0xFF; return b })
+	corrupt("zero epoch", func(b []byte) []byte {
+		binary.LittleEndian.PutUint64(b[8:], 0)
+		return b
+	})
+	// Flip the last digit of the data section (a value of the last row):
+	// either the CSV no longer parses or the rebuilt fingerprint misses the
+	// header — both must fail the import.
+	corrupt("flipped data byte", func(b []byte) []byte {
+		dlen := binary.LittleEndian.Uint64(b[25:])
+		for i := 33 + int(dlen) - 1; i >= 33; i-- {
+			if b[i] >= '0' && b[i] <= '9' {
+				b[i] ^= 0x01
+				return b
+			}
+		}
+		t.Fatal("no digit found in the data section")
+		return b
+	})
+	corrupt("truncated index section", func(b []byte) []byte { return b[:len(b)-16] })
+	corrupt("truncated header", func(b []byte) []byte { return b[:20] })
+	if _, _, err := tkd.ImportEpoch(bytes.NewReader(nil)); err == nil {
+		t.Error("empty stream imported cleanly")
+	}
+}
+
+func TestReplaceFromAtAlignsEpochNumbering(t *testing.T) {
+	d := tkd.GenerateIND(100, 3, 10, 0.2, 3)
+	if _, err := d.TopK(3); err != nil {
+		t.Fatal(err)
+	}
+	if d.Epoch() != 1 {
+		t.Fatalf("epoch %d after first publish, want 1", d.Epoch())
+	}
+	// A forward-assigned number moves the counter to the leader's value.
+	d.ReplaceFromAt(tkd.GenerateIND(100, 3, 10, 0.2, 4), 10)
+	if d.Epoch() != 10 {
+		t.Fatalf("epoch %d after ReplaceFromAt(10), want 10", d.Epoch())
+	}
+	// A number at or below the counter falls back to the ordinary bump:
+	// locally the counter stays strictly monotonic.
+	d.ReplaceFromAt(tkd.GenerateIND(100, 3, 10, 0.2, 5), 3)
+	if d.Epoch() != 11 {
+		t.Fatalf("epoch %d after non-forward ReplaceFromAt, want 11", d.Epoch())
+	}
+	// Plain ReplaceFrom continues from wherever the counter stands.
+	d.ReplaceFrom(tkd.GenerateIND(100, 3, 10, 0.2, 6))
+	if d.Epoch() != 12 {
+		t.Fatalf("epoch %d after ReplaceFrom, want 12", d.Epoch())
+	}
+}

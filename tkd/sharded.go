@@ -444,11 +444,27 @@ func (sd *ShardedDataset) Fingerprint() uint64 { return sd.src.Fingerprint() }
 func (sd *ShardedDataset) ReplaceFrom(src *Dataset) {
 	old := sd.cur.Load()
 	sd.src.ReplaceFrom(src)
-	if old != nil {
-		for i := range old.slots {
-			if l, ok := old.slots[i].Load().b.(*shard.Local); ok {
-				l.ReleaseCache()
-			}
+	sd.releaseRetired(old)
+}
+
+// ReplaceFromAt is ReplaceFrom with an externally assigned epoch number (see
+// Dataset.ReplaceFromAt) — a replication follower serving a sharded resident
+// publishes the leader's epoch through it.
+func (sd *ShardedDataset) ReplaceFromAt(src *Dataset, epoch uint64) {
+	old := sd.cur.Load()
+	sd.src.ReplaceFromAt(src, epoch)
+	sd.releaseRetired(old)
+}
+
+// releaseRetired drops the retired shard set's decompressed-column caches so
+// a swap returns its budget immediately.
+func (sd *ShardedDataset) releaseRetired(old *shardSet) {
+	if old == nil {
+		return
+	}
+	for i := range old.slots {
+		if l, ok := old.slots[i].Load().b.(*shard.Local); ok {
+			l.ReleaseCache()
 		}
 	}
 }

@@ -384,7 +384,18 @@ func (d *Dataset) Negate() {
 // queries finish on the old epoch; the old epoch's column cache is dropped
 // so its budget frees immediately. src is unaffected (the two datasets
 // share the frozen data copy-on-write).
-func (d *Dataset) ReplaceFrom(src *Dataset) {
+func (d *Dataset) ReplaceFrom(src *Dataset) { d.replaceFrom(src, 0) }
+
+// ReplaceFromAt is ReplaceFrom with an externally assigned epoch number —
+// the publish primitive of a replication follower. The swapped-in epoch is
+// numbered epoch when that moves the counter forward, so follower and
+// leader agree on epoch numbers and a health probe can read convergence off
+// the counter; a number at or below the current counter falls back to the
+// ordinary +1 bump, keeping the counter strictly monotonic locally.
+func (d *Dataset) ReplaceFromAt(src *Dataset, epoch uint64) { d.replaceFrom(src, epoch) }
+
+// replaceFrom implements ReplaceFrom/ReplaceFromAt; at == 0 means "next".
+func (d *Dataset) replaceFrom(src *Dataset, at uint64) {
 	if src == d {
 		return
 	}
@@ -392,7 +403,12 @@ func (d *Dataset) ReplaceFrom(src *Dataset) {
 	sa := ss.art.Load()
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	s := &snapshot{epoch: d.epoch.Add(1), ds: ss.ds, bins: ss.bins, rep: ss.rep}
+	next := d.epoch.Add(1)
+	if at > next {
+		d.epoch.Store(at)
+		next = at
+	}
+	s := &snapshot{epoch: next, ds: ss.ds, bins: ss.bins, rep: ss.rep}
 	na := *sa
 	if na.binned != nil {
 		if b := d.cacheBudget.Load(); b > 0 {
