@@ -79,7 +79,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("benchrunner", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		exp     = fs.String("exp", "all", "experiment: all, fig10, fig11, table3, fig12, table4, fig13..fig18, ablation, parallel, serve")
+		exp     = fs.String("exp", "all", "experiment: all, fig10, fig11, table3, fig12, table4, fig13..fig18, ablation, parallel, serve, kill")
 		scale   = fs.String("scale", "quick", "scale: quick, full, tiny")
 		format  = fs.String("format", "text", "output format: text, markdown")
 		out     = fs.String("o", "", "output file (default stdout)")
@@ -87,7 +87,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		workers = fs.Int("workers", 0, "worker count for the parallel experiment (0 = GOMAXPROCS)")
 		shards  = fs.Int("shards", 1, "shard count for the serve experiment (1 = unsharded)")
 		chaos   = fs.Bool("chaos", false, "run the serve experiment as a fault-injection soak: replicated remote shards behind a transport injecting seeded errors/timeouts/stale responses; answers must stay byte-identical")
-		seed    = fs.Uint64("seed", 1, "fault-schedule seed for -chaos")
+		seed    = fs.Uint64("seed", 1, "fault-schedule seed for -chaos and the kill experiment")
 		jsonOut = fs.String("json", "", "also write results as JSON with host/runtime info to this file")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -148,6 +148,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 			} else {
 				tables = experiments.ServeSharded(sc, *shards)
 			}
+		case "kill":
+			// Honour -seed: the kill schedule is deterministic per seed, so a
+			// CI matrix over seeds varies where the SIGKILL lands.
+			tables = experiments.KillLoad(sc, *seed)
 		default:
 			tables = spec.Run(sc)
 		}

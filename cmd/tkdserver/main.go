@@ -31,6 +31,12 @@
 // number. A follower needs no -dataset flags; reloading the leader rolls
 // every follower automatically.
 //
+// -waldir enables durable row ingest: POST /v1/datasets/{name}/append logs
+// rows to a per-dataset write-ahead log before acking (-fsync sets what the
+// ack means; "always" survives kill -9), folds them into published epochs at
+// -publish-interval cadence, and replays acked-but-unpublished rows on
+// restart. Reload and DELETE stay file-authoritative: both discard the WAL.
+//
 // Usage:
 //
 //	tkdserver -dataset nba=nba.csv -dataset movies=movies.csv
@@ -41,11 +47,13 @@
 //	    -peers 'http://a:8080|http://b:8080,http://c:8080|http://d:8080' \
 //	    -health-interval 5s -query-timeout 2s                              # replicated shards
 //	tkdserver -addr :8081 -follow http://leader:8080                       # replication follower
+//	tkdserver -dataset d=data.csv -waldir /var/lib/tkd/wal -fsync always   # durable ingest
 //
 // Endpoints: POST /v1/query, GET/POST /v1/datasets, POST
-// /v1/datasets/{name}/reload, DELETE /v1/datasets/{name}, GET /healthz,
-// GET /metrics. See the README's "Operating tkdserver" section for an
-// example curl session and the metrics glossary.
+// /v1/datasets/{name}/append, POST /v1/datasets/{name}/reload, DELETE
+// /v1/datasets/{name}, GET /healthz, GET /metrics. See the README's
+// "Operating tkdserver" section for an example curl session and the
+// metrics glossary.
 package main
 
 import (
@@ -65,6 +73,7 @@ import (
 	"time"
 
 	"repro/internal/server"
+	"repro/internal/wal"
 )
 
 // datasetFlag collects repeated -dataset name=path mappings.
@@ -109,6 +118,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		debugAddr   = fs.String("debug-addr", "", "separate listen address for the net/http/pprof profiling endpoints (empty = pprof not served; keep this off any public interface)")
 		follow      = fs.String("follow", "", "base URL of a leader tkdserver to follow: its datasets are discovered, fetched over the epoch stream endpoint and kept in lockstep through every reload (a follower needs no -dataset flags of its own)")
 		followIvl   = fs.Duration("follow-interval", 2*time.Second, "leader poll period in follower mode (polls are conditional and cheap)")
+		walDir      = fs.String("waldir", "", "directory for per-dataset write-ahead logs: enables POST /v1/datasets/{name}/append with crash recovery (empty = ingest disabled; ignored with -shards > 1 or -follow)")
+		fsyncPolicy = fs.String("fsync", "always", "when an append's WAL record is fsynced: always (ack = on disk), interval (ack = logged, fsynced on -fsync-interval), none (ack = handed to the OS)")
+		fsyncIvl    = fs.Duration("fsync-interval", 50*time.Millisecond, "WAL flush cadence under -fsync interval (a crash loses at most one interval of acked rows)")
+		publishIvl  = fs.Duration("publish-interval", 500*time.Millisecond, "cadence at which logged rows are folded into a published epoch (one index rebuild per batch)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -142,22 +155,31 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "tkdserver: -peers requires -shards > 1")
 		return 2
 	}
+	fsync, err := wal.ParsePolicy(*fsyncPolicy)
+	if err != nil {
+		fmt.Fprintln(stderr, "tkdserver:", err)
+		return 2
+	}
 
 	srv, err := buildServer(datasets, *negate, server.Config{
-		MaxWorkers:     *maxWorkers,
-		BatchWindow:    *window,
-		MaxBatch:       *maxBatch,
-		CacheBudget:    *cacheBudget,
-		IndexDir:       *indexDir,
-		Shards:         *shards,
-		ShardPeers:     peers,
-		PeerTimeout:    *peerTimeout,
-		QueryTimeout:   *queryTO,
-		HealthInterval: *healthIvl,
-		Logger:         logger,
-		SlowQuery:      *slowQuery,
-		Follow:         *follow,
-		FollowInterval: *followIvl,
+		MaxWorkers:      *maxWorkers,
+		BatchWindow:     *window,
+		MaxBatch:        *maxBatch,
+		CacheBudget:     *cacheBudget,
+		IndexDir:        *indexDir,
+		Shards:          *shards,
+		ShardPeers:      peers,
+		PeerTimeout:     *peerTimeout,
+		QueryTimeout:    *queryTO,
+		HealthInterval:  *healthIvl,
+		Logger:          logger,
+		SlowQuery:       *slowQuery,
+		Follow:          *follow,
+		FollowInterval:  *followIvl,
+		WALDir:          *walDir,
+		Fsync:           fsync,
+		FsyncInterval:   *fsyncIvl,
+		PublishInterval: *publishIvl,
 	}, logger)
 	if err != nil {
 		fmt.Fprintln(stderr, "tkdserver:", err)

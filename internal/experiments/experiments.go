@@ -152,6 +152,7 @@ func All() []Spec {
 		{"ablation", "Design-choice ablations: refinement strategy, column codec (not in the paper)", Ablation},
 		{"parallel", "Parallel engine: serial vs worker-pool query time and speedup (not in the paper)", Parallel},
 		{"serve", "Server soak: concurrent clients + hot reloads vs QPS and latency percentiles (not in the paper)", Serve},
+		{"kill", "Kill-under-load: SIGKILL tkdserver mid-ingest, restart, audit zero acked-row loss (not in the paper)", Kill},
 	}
 }
 

@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"os/exec"
+	"testing"
+)
+
+// TestKillUnderLoad is the crash-recovery acceptance gate run as a plain
+// test: a real tkdserver subprocess is SIGKILLed mid-ingest under
+// -fsync always and restarted, and every acked row must survive with the
+// recovered dataset answering byte-identically to a fresh load. The CI
+// crash-recovery job runs the same harness through benchrunner over a seed
+// matrix; this test keeps one seed in `go test ./...`.
+func TestKillUnderLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess kill harness in -short mode")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain not on PATH; cannot build tkdserver")
+	}
+	res, err := RunKillLoad(killLoadConfigFor(Tiny, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Acked == 0 {
+		t.Fatal("no rows were acked before the kills; the harness never got under load")
+	}
+	if res.Lost != 0 {
+		t.Fatalf("%d acked rows lost across %d kills (acked %d)", res.Lost, res.Kills, res.Acked)
+	}
+	if res.Mismatches != 0 {
+		t.Fatalf("%d recovery divergences (fingerprint or answers) across %d kills", res.Mismatches, res.Kills)
+	}
+	if res.Replayed == 0 {
+		t.Fatal("final restart replayed no WAL rows; recovery was never exercised")
+	}
+	t.Logf("kills=%d acked=%d inflight_kept=%d replayed=%d wall=%s",
+		res.Kills, res.Acked, res.InflightKept, res.Replayed, res.Wall)
+}

@@ -49,6 +49,13 @@ type follower struct {
 
 	syncs      atomic.Int64 // epochs applied
 	syncErrors atomic.Int64 // failed poll/fetch/import attempts
+
+	// namesMu guards names, the dataset names last discovered on the
+	// leader. The mutation handlers consult it to reject local writes
+	// (append/reload/re-register) against leader-managed datasets — it
+	// outlives eviction, which is what catches delete-then-recreate.
+	namesMu sync.Mutex
+	names   map[string]struct{}
 }
 
 func newFollower(s *Server, leader string, interval time.Duration, client *http.Client) *follower {
@@ -107,9 +114,26 @@ func (f *follower) syncAll() {
 		f.s.log.Warn("follower: leader dataset discovery failed", "leader", f.leader, "err", err)
 		return
 	}
+	set := make(map[string]struct{}, len(names))
+	for _, name := range names {
+		set[name] = struct{}{}
+	}
+	f.namesMu.Lock()
+	f.names = set
+	f.namesMu.Unlock()
 	for _, name := range names {
 		f.syncDataset(name)
 	}
+}
+
+// managed reports whether the leader serves name — true even if the local
+// replica was evicted, so a local re-register cannot shadow the leader's
+// dataset between sync ticks.
+func (f *follower) managed(name string) bool {
+	f.namesMu.Lock()
+	defer f.namesMu.Unlock()
+	_, ok := f.names[name]
+	return ok
 }
 
 func (f *follower) listLeader() ([]string, error) {

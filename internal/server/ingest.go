@@ -1,0 +1,457 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/url"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/wal"
+	"repro/tkd"
+)
+
+// Durable ingest. With Config.WALDir set, every unsharded leader dataset
+// gets a write-ahead log (one directory of segment files per dataset, see
+// internal/wal) and a POST /v1/datasets/{name}/append endpoint. An append
+// is logged — and, under the "always" fsync policy, fsynced — before it is
+// acked, then buffered; a background publisher folds the buffered rows into
+// the dataset on the Config.PublishInterval cadence as one epoch-RCU
+// publish, persists the rebuilt index, and records a checkpoint in the WAL
+// (row count covered, epoch number, data fingerprint). Startup recovery
+// replays the WAL on top of the source file: rows up to the last checkpoint
+// reconstruct the published state (the persisted index warm-loads when the
+// fingerprint still matches), rows beyond it are exactly the
+// acked-but-unpublished suffix and are republished as a fresh epoch before
+// the server starts answering. Followers need nothing new: a recovered
+// epoch ships over the same epoch-stream endpoint as any other publish.
+//
+// Sharded datasets and replication followers do not ingest: a follower's
+// data is the leader's (mutations there get a 409 pointing at the leader),
+// and a sharded coordinator would need a cross-shard commit protocol this
+// server does not have.
+
+// ingestState is one dataset's WAL-backed ingest side: the log, the rows
+// logged but not yet folded into a published epoch, and the row accounting
+// that drives checkpoints and the lag gauge. It hangs off the registry
+// entry; nil means ingest is not enabled for that dataset.
+type ingestState struct {
+	mu      sync.Mutex
+	log     *wal.Log
+	base    *tkd.Dataset
+	pending []wal.Row // logged, acked, not yet published
+	logged  uint64    // row records in the WAL (including recovered ones)
+	// published is the row count covered by the last durable checkpoint;
+	// logged - published is the replay the next crash would need.
+	published uint64
+
+	replayed int64 // rows replayed into the dataset at open, set once
+}
+
+// lag reports the rows a crash right now would have to replay.
+func (ing *ingestState) lag() uint64 {
+	ing.mu.Lock()
+	defer ing.mu.Unlock()
+	return ing.logged - ing.published
+}
+
+// ingestEnabled reports whether this server attaches WALs to the datasets
+// it registers: a WAL directory is configured and the server is neither a
+// replication follower (its data belongs to the leader) nor a shard
+// coordinator.
+func (s *Server) ingestEnabled() bool {
+	return s.cfg.WALDir != "" && s.cfg.Follow == "" && s.cfg.Shards <= 1
+}
+
+// walDir maps a dataset name to its WAL directory, escaping separators the
+// same way the index cache does so names cannot walk out of WALDir.
+func (s *Server) walDir(name string) string {
+	return filepath.Join(s.cfg.WALDir, url.PathEscape(name)+".wal")
+}
+
+func (s *Server) walOptions() wal.Options {
+	return wal.Options{
+		Policy:   s.cfg.Fsync,
+		Interval: s.cfg.FsyncInterval,
+		FS:       s.cfg.WALFS,
+	}
+}
+
+// openIngest opens (recovering if needed) the WAL behind name and replays
+// every recovered row into base. The caller has loaded base from its source
+// but not prepared it yet: replay happens before index warm-up, so the
+// index cache's fingerprint gate naturally decides between a warm load (no
+// unpublished suffix — the persisted index matches the checkpointed state)
+// and a rebuild. RestoreEpoch fast-forwards the epoch counter so the first
+// publish after recovery resumes the pre-crash numbering instead of
+// restarting at 1 — followers would otherwise see the counter jump
+// backwards under an already-shipped fingerprint.
+func (s *Server) openIngest(name string, base *tkd.Dataset) (*ingestState, error) {
+	l, rec, err := wal.Open(s.walDir(name), s.walOptions())
+	if err != nil {
+		return nil, fmt.Errorf("server: wal for %q: %w", name, err)
+	}
+	ing := &ingestState{log: l, base: base}
+	ing.logged = uint64(len(rec.Rows))
+	ing.replayed = int64(len(rec.Rows))
+	if rec.HasCheckpoint {
+		ing.published = rec.Checkpoint.Rows
+	}
+	for i, r := range rec.Rows {
+		if err := base.Append(r.ID, r.Values...); err != nil {
+			l.Close()
+			return nil, fmt.Errorf("server: wal replay of %q failed at row %d of %d (source file changed shape since the rows were acked? remove %s to discard them): %w",
+				name, i+1, len(rec.Rows), l.Dir(), err)
+		}
+	}
+	if rec.HasCheckpoint {
+		target := rec.Checkpoint.Epoch
+		if ing.logged > rec.Checkpoint.Rows {
+			// An acked-but-unpublished suffix exists: it publishes as the
+			// epoch after the checkpointed one.
+			target++
+		}
+		base.RestoreEpoch(target)
+	}
+	if len(rec.Rows) > 0 || rec.TruncatedBytes > 0 {
+		s.log.Info("wal recovered",
+			"dataset", name,
+			"rows", len(rec.Rows),
+			"published", ing.published,
+			"replaying", ing.logged-ing.published,
+			"truncated_bytes", rec.TruncatedBytes,
+			"segments", rec.Segments,
+		)
+	}
+	return ing, nil
+}
+
+// sealRecovery checkpoints the state just published by the post-replay
+// warm-up when recovery found acked-but-unpublished rows, so the next
+// restart warm-loads instead of replaying the same suffix again. A no-op
+// for a clean start (the recovered checkpoint already covers every row).
+func (ing *ingestState) sealRecovery(epoch, fingerprint uint64) error {
+	ing.mu.Lock()
+	defer ing.mu.Unlock()
+	if ing.logged == ing.published {
+		return nil
+	}
+	if err := ing.log.AppendCheckpoint(wal.Checkpoint{Rows: ing.logged, Epoch: epoch, Fingerprint: fingerprint}); err != nil {
+		return err
+	}
+	ing.published = ing.logged
+	return nil
+}
+
+// AppendRequest is the POST /v1/datasets/{name}/append body. Values must
+// match the dataset's dimensionality; null marks an unobserved dimension
+// (the CSV format's "-"), and every row needs at least one observed value.
+type AppendRequest struct {
+	Rows []AppendRow `json:"rows"`
+}
+
+// AppendRow is one ingested object on the wire.
+type AppendRow struct {
+	ID     string     `json:"id"`
+	Values []*float64 `json:"values"`
+}
+
+// AppendResponse is the POST /v1/datasets/{name}/append answer. Durable
+// reports what the ack means under the server's fsync policy: true means
+// the rows are on disk and survive kill -9, false means they are logged
+// (and will be fsynced by the interval flusher or the OS). Pending counts
+// the rows logged but not yet folded into a published epoch — they are
+// queryable after the next publish tick, and a restart replays them.
+type AppendResponse struct {
+	Dataset  string `json:"dataset"`
+	Appended int    `json:"appended"`
+	Durable  bool   `json:"durable"`
+	Pending  uint64 `json:"pending"`
+	Epoch    uint64 `json:"epoch"`
+}
+
+func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "server: shutting down"})
+		return
+	}
+	name := r.PathValue("name")
+	e, ok := s.reg.get(name)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("unknown dataset %q", name)})
+		return
+	}
+	if e.followed.Load() || (s.fol != nil && s.fol.managed(name)) {
+		writeJSON(w, http.StatusConflict, errorResponse{
+			Error:  fmt.Sprintf("dataset %q is replicated from a leader; append there", name),
+			Leader: s.cfg.Follow,
+		})
+		return
+	}
+	if e.ing == nil {
+		msg := fmt.Sprintf("ingest is not enabled for %q", name)
+		if s.cfg.WALDir == "" {
+			msg += " (start tkdserver with -waldir)"
+		} else if s.cfg.Shards > 1 {
+			msg += " (sharded datasets do not ingest)"
+		}
+		writeJSON(w, http.StatusConflict, errorResponse{Error: msg})
+		return
+	}
+	var req AppendRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("bad request body: %v", err)})
+		return
+	}
+	if len(req.Rows) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "rows must be non-empty"})
+		return
+	}
+	// Validate every row before logging any: a WAL record is an ack, and a
+	// row that cannot replay (wrong dimensionality, empty) must never
+	// become one.
+	dim := e.ds.Dim()
+	rows := make([]wal.Row, len(req.Rows))
+	for i, in := range req.Rows {
+		if in.ID == "" || len(in.ID) > 65535 {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("rows[%d]: id must be 1..65535 bytes", i)})
+			return
+		}
+		if len(in.Values) != dim {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("rows[%d]: got %d values, dataset has %d dimensions", i, len(in.Values), dim)})
+			return
+		}
+		vals := make([]float64, dim)
+		observed := false
+		for d, v := range in.Values {
+			if v == nil {
+				vals[d] = math.NaN()
+				continue
+			}
+			if math.IsNaN(*v) || math.IsInf(*v, 0) {
+				writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("rows[%d]: values[%d] must be finite (null marks a missing dimension)", i, d)})
+				return
+			}
+			vals[d] = *v
+			observed = true
+		}
+		if !observed {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("rows[%d]: at least one value must be observed", i)})
+			return
+		}
+		rows[i] = wal.Row{ID: in.ID, Values: vals}
+	}
+
+	tr := obs.Adopt(r.Header.Get("traceparent"), "ingest")
+	root := tr.Root()
+	root.SetStr("dataset", name)
+	root.SetInt("rows", int64(len(rows)))
+	start := time.Now()
+
+	ing := e.ing
+	walSp := root.StartChild("wal")
+	ing.mu.Lock()
+	var (
+		appended int
+		logErr   error
+	)
+	for _, row := range rows {
+		if logErr = ing.log.AppendRow(row); logErr != nil {
+			break
+		}
+		ing.pending = append(ing.pending, row)
+		ing.logged++
+		appended++
+	}
+	pending := ing.logged - ing.published
+	ing.mu.Unlock()
+	walSp.SetInt("rows", int64(appended))
+	walSp.End()
+	root.End()
+	s.stages.observeTrace(tr, false)
+	entry := obs.QueryEntry{
+		Time:      start,
+		Dataset:   name,
+		Algorithm: "ingest/append",
+		Duration:  time.Since(start),
+		Trace:     tr,
+	}
+	if logErr != nil {
+		entry.Err = logErr.Error()
+	}
+	s.qlog.Add(entry)
+	if logErr != nil {
+		// The log is poisoned: rows logged before the failure are (or will
+		// be, on restart) replayed, rows after it were never acked. The
+		// client must treat the whole batch as failed and retry against a
+		// healthy server.
+		writeJSON(w, http.StatusInternalServerError, errorResponse{
+			Error: fmt.Sprintf("wal append failed after %d of %d rows: %v", appended, len(rows), logErr)})
+		return
+	}
+	writeJSON(w, http.StatusOK, AppendResponse{
+		Dataset:  name,
+		Appended: appended,
+		Durable:  s.cfg.Fsync == wal.SyncAlways,
+		Pending:  pending,
+		Epoch:    e.ds.Epoch(),
+	})
+}
+
+// publishLoop is the background publisher: on every tick it folds each
+// dataset's pending rows into a fresh epoch. One goroutine serves every
+// dataset — publishes are index rebuilds, and running them sequentially
+// keeps the rebuild CPU bounded regardless of dataset count.
+func (s *Server) publishLoop() {
+	defer s.pubWG.Done()
+	ivl := s.cfg.PublishInterval
+	if ivl <= 0 {
+		ivl = 500 * time.Millisecond
+	}
+	t := time.NewTicker(ivl)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-t.C:
+			for _, e := range s.reg.list() {
+				if e.ing == nil {
+					continue
+				}
+				if _, err := s.publishPending(e); err != nil {
+					s.log.Warn("ingest publish failed", "dataset", e.name, "err", err)
+				}
+			}
+		}
+	}
+}
+
+// publishPending folds e's pending rows into a published epoch under the
+// reload lock, which serializes it against reloads and evictions (both
+// reshape the data and the WAL underneath a publish).
+func (s *Server) publishPending(e *entry) (int, error) {
+	e.reloadMu.Lock()
+	defer e.reloadMu.Unlock()
+	return s.publishPendingLocked(e)
+}
+
+// publishPendingLocked is publishPending for callers already holding
+// e.reloadMu (the reload handler flushes before swapping).
+func (s *Server) publishPendingLocked(e *entry) (int, error) {
+	ing := e.ing
+	ing.mu.Lock()
+	rows := ing.pending
+	ing.pending = nil
+	logged := ing.logged
+	lg := ing.log
+	ing.mu.Unlock()
+	if len(rows) == 0 {
+		return 0, nil
+	}
+	start := time.Now()
+	tr := obs.New("ingest-publish")
+	root := tr.Root()
+	root.SetStr("dataset", e.name)
+	root.SetInt("rows", int64(len(rows)))
+
+	pub := root.StartChild("publish")
+	for i, r := range rows {
+		if err := ing.base.Append(r.ID, r.Values...); err != nil {
+			// Cannot happen for rows the append handler validated; if it
+			// does (the dataset changed shape underneath us) the rows stay
+			// safe in the WAL and a restart retries the replay.
+			pub.End()
+			root.End()
+			return i, fmt.Errorf("folding row %d of %d: %w", i+1, len(rows), err)
+		}
+	}
+	ing.base.PrepareFor(tkd.IBIG)
+	epoch := ing.base.Epoch()
+	pub.SetInt("epoch", int64(epoch))
+	pub.End()
+
+	// Persist the rebuilt index so a restart warm-loads it; an error is a
+	// cold restart, not a failed publish.
+	if c, err := newIndexCache(s.cfg.IndexDir); err == nil && c != nil {
+		if err := c.save(e.name, ing.base); err != nil {
+			s.life.indexCacheErrors.Add(1)
+		}
+	}
+
+	// The checkpoint fsyncs regardless of policy: it declares the first
+	// `logged` rows covered by this epoch, and that claim must not outrun
+	// the disk. Failure is survivable — the rows are published and in the
+	// WAL, so a restart merely replays them again.
+	cpSp := root.StartChild("wal")
+	cpErr := lg.AppendCheckpoint(wal.Checkpoint{Rows: logged, Epoch: epoch, Fingerprint: ing.base.Fingerprint()})
+	cpSp.End()
+	if cpErr == nil {
+		ing.mu.Lock()
+		if logged > ing.published {
+			ing.published = logged
+		}
+		ing.mu.Unlock()
+	}
+	root.End()
+	s.stages.observeTrace(tr, false)
+	entry := obs.QueryEntry{
+		Time:      start,
+		Dataset:   e.name,
+		Algorithm: "ingest/publish",
+		Duration:  time.Since(start),
+		Trace:     tr,
+	}
+	if cpErr != nil {
+		entry.Err = cpErr.Error()
+	}
+	s.qlog.Add(entry)
+	return len(rows), cpErr
+}
+
+// flushIngest publishes every dataset's pending rows and forces a final
+// fsync — the drain path, so a graceful shutdown never drops rows it acked
+// under a lazy fsync policy.
+func (s *Server) flushIngest() {
+	for _, e := range s.reg.list() {
+		if e.ing == nil {
+			continue
+		}
+		if _, err := s.publishPending(e); err != nil {
+			s.log.Warn("ingest flush failed", "dataset", e.name, "err", err)
+		}
+		if err := e.ing.log.Sync(); err != nil {
+			s.log.Warn("ingest final fsync failed", "dataset", e.name, "err", err)
+		}
+	}
+}
+
+// resetIngestLocked discards e's WAL and starts a fresh one. The reload
+// path calls it after swapping in the rebuilt source file: a reload
+// declares the file authoritative, so previously ingested rows — published
+// or still pending — are intentionally discarded rather than replayed on
+// top of data that no longer matches them. Caller holds e.reloadMu.
+func (s *Server) resetIngestLocked(e *entry) error {
+	ing := e.ing
+	ing.mu.Lock()
+	defer ing.mu.Unlock()
+	if err := ing.log.Remove(); err != nil {
+		return err
+	}
+	fresh, _, err := wal.Open(s.walDir(e.name), s.walOptions())
+	if err != nil {
+		// The old log is gone and no new one opened: appends now fail
+		// (ErrClosed) instead of acking rows nothing persists.
+		return err
+	}
+	ing.log = fresh
+	ing.pending = nil
+	ing.logged, ing.published = 0, 0
+	return nil
+}

@@ -67,8 +67,9 @@ func (h *histogram) writeLabeled(w io.Writer, name, label, value string) {
 // queryStages enumerates the tkd_query_stage_seconds labels in exposition
 // order. Each stage is fed from the trace spans of the same name — queue is
 // the scheduler wait, engine the algorithm run, scatter/gather the two shard
-// fan-out phases, retry the backoff waits between replica attempts.
-var queryStages = [...]string{"queue", "engine", "scatter", "gather", "retry"}
+// fan-out phases, retry the backoff waits between replica attempts, wal the
+// write-ahead log time of ingest appends and publish checkpoints.
+var queryStages = [...]string{"queue", "engine", "scatter", "gather", "retry", "wal"}
 
 // stageMetrics breaks query time down by pipeline stage, server-wide.
 type stageMetrics struct {
@@ -96,7 +97,7 @@ func (m *stageMetrics) observeTrace(tr *obs.Trace, coalesced bool) {
 
 // write renders the per-stage histograms.
 func (m *stageMetrics) write(w io.Writer) {
-	fmt.Fprintf(w, "# HELP tkd_query_stage_seconds Query time by pipeline stage: scheduler queue wait, engine execution, shard scatter (bounds) and gather (scores) phases, and retry backoff waits.\n")
+	fmt.Fprintf(w, "# HELP tkd_query_stage_seconds Query time by pipeline stage: scheduler queue wait, engine execution, shard scatter (bounds) and gather (scores) phases, retry backoff waits, and WAL write/fsync time.\n")
 	fmt.Fprintf(w, "# TYPE tkd_query_stage_seconds histogram\n")
 	for i, stage := range queryStages {
 		m.hists[i].writeLabeled(w, "tkd_query_stage_seconds", "stage", stage)
@@ -232,6 +233,36 @@ func (s *Server) writeMetrics(w io.Writer) {
 	fmt.Fprintf(w, "# HELP tkd_index_cache_errors_total Persisted-index cache files that failed to read or write (each degraded to a rebuild).\n")
 	fmt.Fprintf(w, "# TYPE tkd_index_cache_errors_total counter\n")
 	fmt.Fprintf(w, "tkd_index_cache_errors_total %d\n", s.life.indexCacheErrors.Load())
+
+	// Durable-ingest WAL counters, present only for WAL-backed datasets.
+	var walEntries []*entry
+	for _, e := range entries {
+		if e.ing != nil {
+			walEntries = append(walEntries, e)
+		}
+	}
+	if len(walEntries) > 0 {
+		fmt.Fprintf(w, "# HELP tkd_wal_appends_total Row records appended to the ingest WAL since boot, by dataset.\n")
+		fmt.Fprintf(w, "# TYPE tkd_wal_appends_total counter\n")
+		for _, e := range walEntries {
+			fmt.Fprintf(w, "tkd_wal_appends_total{dataset=%q} %d\n", e.name, e.ing.log.Appends())
+		}
+		fmt.Fprintf(w, "# HELP tkd_wal_fsyncs_total Fsyncs issued by the ingest WAL since boot, by dataset.\n")
+		fmt.Fprintf(w, "# TYPE tkd_wal_fsyncs_total counter\n")
+		for _, e := range walEntries {
+			fmt.Fprintf(w, "tkd_wal_fsyncs_total{dataset=%q} %d\n", e.name, e.ing.log.Fsyncs())
+		}
+		fmt.Fprintf(w, "# HELP tkd_wal_replayed_rows_total Acked rows crash recovery replayed from the WAL at startup, by dataset.\n")
+		fmt.Fprintf(w, "# TYPE tkd_wal_replayed_rows_total counter\n")
+		for _, e := range walEntries {
+			fmt.Fprintf(w, "tkd_wal_replayed_rows_total{dataset=%q} %d\n", e.name, e.ing.replayed)
+		}
+		fmt.Fprintf(w, "# HELP tkd_wal_lag_rows Rows logged (and acked) but not yet folded into a published epoch, by dataset — what a crash right now would replay.\n")
+		fmt.Fprintf(w, "# TYPE tkd_wal_lag_rows gauge\n")
+		for _, e := range walEntries {
+			fmt.Fprintf(w, "tkd_wal_lag_rows{dataset=%q} %d\n", e.name, e.ing.lag())
+		}
+	}
 
 	// Follower replication counters, present only in follower mode.
 	if s.fol != nil {

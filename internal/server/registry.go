@@ -47,8 +47,15 @@ type entry struct {
 	negate bool
 
 	// reloadMu serializes reloads of this entry so two concurrent reload
-	// requests cannot interleave their build-and-swap sequences.
+	// requests cannot interleave their build-and-swap sequences. The ingest
+	// publisher takes it too: a publish folds pending rows into the live
+	// data and must not interleave with a reload's swap or an eviction's
+	// WAL removal.
 	reloadMu sync.Mutex
+
+	// ing is the WAL-backed ingest side; nil when ingest is not enabled
+	// for this dataset (no -waldir, sharded, or follower mode).
+	ing *ingestState
 
 	// Follower bookkeeping, written only by the follower sync loop.
 	// followed marks an entry kept in lockstep with a replication leader;

@@ -9,7 +9,8 @@
 //	GET    /v1/datasets               — resident datasets and their shapes
 //	POST   /v1/datasets               — {"name","path","negate"} registers a CSV at runtime
 //	POST   /v1/datasets/{name}/reload — rebuild from the source file, swap epochs, zero downtime
-//	DELETE /v1/datasets/{name}        — evict: drain the scheduler, release the cache
+//	POST   /v1/datasets/{name}/append — durable row ingest through the WAL (requires Config.WALDir)
+//	DELETE /v1/datasets/{name}        — evict: drain the scheduler, release the cache, remove the WAL
 //	GET    /healthz                   — liveness
 //	GET    /metrics                   — Prometheus text: query/latency/pruning/cache/lifecycle counters
 //
@@ -47,6 +48,7 @@ import (
 	"repro/internal/data"
 	"repro/internal/obs"
 	"repro/internal/shard"
+	"repro/internal/wal"
 	"repro/tkd"
 )
 
@@ -126,6 +128,25 @@ type Config struct {
 	// (tests and the chaos harness inject transports here); nil builds a
 	// default client.
 	FollowClient *http.Client
+	// WALDir enables durable ingest: every unsharded leader dataset gets a
+	// write-ahead log under this directory and accepts POST
+	// /v1/datasets/{name}/append. Startup recovery replays the log on top
+	// of the source file (see ingest.go). Empty disables ingest. Ignored in
+	// follower mode and when Shards > 1.
+	WALDir string
+	// Fsync selects when an append's WAL record is fsynced; the zero value
+	// (wal.SyncAlways) is the only policy whose ack means "survives kill -9".
+	Fsync wal.Policy
+	// FsyncInterval is the flush cadence under wal.SyncInterval; <= 0
+	// defaults to 50ms.
+	FsyncInterval time.Duration
+	// PublishInterval is the cadence at which logged rows are folded into a
+	// published epoch (one index rebuild per batch, not per row); <= 0
+	// defaults to 500ms.
+	PublishInterval time.Duration
+	// WALFS overrides WAL segment-file creation (the chaos harness injects
+	// write/fsync faults here); nil uses the operating system.
+	WALFS wal.FS
 }
 
 // Server is the HTTP query service. Create with New, register datasets with
@@ -143,6 +164,7 @@ type Server struct {
 	fol       *follower
 	draining  atomic.Bool
 	done      chan struct{}
+	pubWG     sync.WaitGroup // ingest publisher goroutine
 	closeOnce sync.Once
 }
 
@@ -182,9 +204,14 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /v1/debug/queries", s.handleDebugQueries)
 	s.mux.HandleFunc("GET /v1/datasets/{name}/epoch", s.handleEpochStream)
+	s.mux.HandleFunc("POST /v1/datasets/{name}/append", s.handleAppend)
 	if cfg.Follow != "" {
 		s.fol = newFollower(s, cfg.Follow, cfg.FollowInterval, cfg.FollowClient)
 		s.fol.start()
+	}
+	if s.ingestEnabled() {
+		s.pubWG.Add(1)
+		go s.publishLoop()
 	}
 	return s
 }
@@ -296,9 +323,31 @@ func (s *Server) register(name string, ds Queryable, path string, negate bool) (
 		}
 		ds = sharded
 	}
+	// Open the WAL and replay acked rows before warming: replay changes the
+	// data (and its fingerprint), so the index cache's fingerprint gate
+	// below decides correctly between warm-loading the checkpointed index
+	// and rebuilding over the replayed suffix.
+	var ing *ingestState
+	if base, ok := ds.(*tkd.Dataset); ok && s.ingestEnabled() {
+		ing, err = s.openIngest(name, base)
+		if err != nil {
+			return false, err
+		}
+	}
 	warm, err = s.warmPrepare(name, ds)
 	if err != nil {
+		if ing != nil {
+			ing.log.Close()
+		}
 		return false, err
+	}
+	if ing != nil {
+		// The warm-up above published the recovered state (replayed suffix
+		// included); checkpoint it so the next restart skips the replay. A
+		// failed checkpoint only costs that restart a replay.
+		if err := ing.sealRecovery(ds.Epoch(), ds.Fingerprint()); err != nil {
+			s.log.Warn("wal recovery checkpoint failed", "dataset", name, "err", err)
+		}
 	}
 	met := &datasetMetrics{}
 	sch := newScheduler(ds, s.adm, met, s.cfg.BatchWindow, s.cfg.MaxBatch, s.done)
@@ -309,9 +358,13 @@ func (s *Server) register(name string, ds Queryable, path string, negate bool) (
 		sch:    sch,
 		path:   path,
 		negate: negate,
+		ing:    ing,
 	}
 	if err := s.reg.add(e); err != nil {
 		sch.stop() // lost a registration race; don't leak the goroutine
+		if ing != nil {
+			ing.log.Close() // the resident entry owns the segment files
+		}
 		return false, err
 	}
 	return warm, nil
@@ -431,11 +484,16 @@ func (s *Server) Close() {
 		if s.fol != nil {
 			s.fol.stop()
 		}
+		// Join the ingest publisher before closing the WALs underneath it.
+		s.pubWG.Wait()
 		// Retire the replica-set health loops of every sharded resident so
 		// their goroutines do not outlive the server.
 		for _, e := range s.reg.list() {
 			if sd, ok := e.ds.(*tkd.ShardedDataset); ok {
 				sd.Close()
+			}
+			if e.ing != nil {
+				e.ing.log.Close()
 			}
 		}
 	})
@@ -458,6 +516,9 @@ func (s *Server) Shutdown() {
 		}(e)
 	}
 	wg.Wait()
+	// Flush, don't drop: rows acked into the WAL but not yet folded into an
+	// epoch are published and fsynced before the logs close.
+	s.flushIngest()
 	s.Close()
 }
 
@@ -565,6 +626,16 @@ type DatasetInfo struct {
 	Followed    bool   `json:"followed,omitempty"`
 	LeaderEpoch uint64 `json:"leader_epoch,omitempty"`
 	LeaderSeen  uint64 `json:"leader_seen,omitempty"`
+	// Ingest marks a dataset backed by the durable ingest WAL; FsyncPolicy
+	// is what an append ack means ("always" = on disk), WALAppends the row
+	// records logged since boot, WALLagRows the rows logged but not yet
+	// folded into a published epoch, and WALReplayedRows the rows crash
+	// recovery replayed at startup. Absent without -waldir.
+	Ingest          bool   `json:"ingest,omitempty"`
+	FsyncPolicy     string `json:"fsync_policy,omitempty"`
+	WALAppends      int64  `json:"wal_appends,omitempty"`
+	WALLagRows      uint64 `json:"wal_lag_rows,omitempty"`
+	WALReplayedRows int64  `json:"wal_replayed_rows,omitempty"`
 }
 
 // RegisterRequest is the POST /v1/datasets body: register a datagen-format
@@ -590,6 +661,11 @@ type ReloadResponse struct {
 
 type errorResponse struct {
 	Error string `json:"error"`
+	// Leader is the base URL of the replication leader, set on the 409
+	// answered when a local mutation (append, reload, re-register) targets
+	// a follower-managed dataset — the redirect for clients that followed a
+	// stale address.
+	Leader string `json:"leader,omitempty"`
 }
 
 // ---- handlers ----
@@ -856,6 +932,13 @@ func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 			infos[i].LeaderEpoch = e.leaderEpoch.Load()
 			infos[i].LeaderSeen = e.leaderSeen.Load()
 		}
+		if e.ing != nil {
+			infos[i].Ingest = true
+			infos[i].FsyncPolicy = s.cfg.Fsync.String()
+			infos[i].WALAppends = e.ing.log.Appends()
+			infos[i].WALLagRows = e.ing.lag()
+			infos[i].WALReplayedRows = e.ing.replayed
+		}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"datasets": infos})
 }
@@ -874,6 +957,17 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	}
 	if req.Name == "" || req.Path == "" {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "name and path are required"})
+		return
+	}
+	// A follower must not let a local file shadow a leader dataset — not
+	// even after a local DELETE (the delete-then-recreate path): the sync
+	// loop would fight the local copy forever, or worse, adopt it. The
+	// name-set check covers evicted entries the registry no longer knows.
+	if s.fol != nil && s.fol.managed(req.Name) {
+		writeJSON(w, http.StatusConflict, errorResponse{
+			Error:  fmt.Sprintf("dataset %q is replicated from a leader; register it there", req.Name),
+			Leader: s.cfg.Follow,
+		})
 		return
 	}
 	start := time.Now()
@@ -911,6 +1005,16 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	e, ok := s.reg.get(name)
 	if !ok {
 		writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("unknown dataset %q", name)})
+		return
+	}
+	if e.followed.Load() || (s.fol != nil && s.fol.managed(name)) {
+		// Reloading a follower's replica from a local file would fork it
+		// from the leader until the next sync overwrote it — a mutation
+		// that belongs on the leader.
+		writeJSON(w, http.StatusConflict, errorResponse{
+			Error:  fmt.Sprintf("dataset %q is replicated from a leader; reload it there", name),
+			Leader: s.cfg.Follow,
+		})
 		return
 	}
 	if e.path == "" {
@@ -973,6 +1077,17 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		// next scatter call and retains the retired epoch as its grace
 		// predecessor, so their in-flight queries finish instead of 409ing.
 	}
+	if e.ing != nil {
+		// A reload declares the source file authoritative: rows ingested
+		// through the WAL (published or pending) are intentionally
+		// discarded, so the log restarts empty — replaying them on top of
+		// data they were never validated against would be corruption, not
+		// durability.
+		if err := s.resetIngestLocked(e); err != nil {
+			s.log.Warn("wal reset after reload failed; appends disabled until restart",
+				"dataset", name, "err", err)
+		}
+	}
 	e.met.reloads.Add(1)
 	writeJSON(w, http.StatusOK, ReloadResponse{
 		Dataset:     name,
@@ -999,6 +1114,17 @@ func (s *Server) handleEvict(w http.ResponseWriter, r *http.Request) {
 	e.ds.ReleaseCache()
 	if sd, ok := e.ds.(*tkd.ShardedDataset); ok {
 		sd.Close()
+	}
+	if e.ing != nil {
+		// The WAL dies with the dataset: acked-but-unpublished rows are
+		// discarded (DELETE is the explicit discard), and the segments must
+		// not resurrect the dataset if the name is ever registered again.
+		// The reload lock orders this after any in-flight publish.
+		e.reloadMu.Lock()
+		if err := e.ing.log.Remove(); err != nil {
+			s.log.Warn("wal removal on evict failed", "dataset", name, "err", err)
+		}
+		e.reloadMu.Unlock()
 	}
 	s.peer.Evict(name)
 	s.life.evictions.Add(1)

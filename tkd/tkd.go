@@ -366,6 +366,34 @@ func (d *Dataset) Append(id string, values ...float64) error {
 	return err
 }
 
+// RestoreEpoch fast-forwards the epoch counter so the next published epoch
+// is numbered at least n. It is the crash-recovery primitive: a restarted
+// leader that replayed its write-ahead log resumes the epoch numbering its
+// followers and health probes already track, instead of restarting from 1
+// and reading as a massive regression. When a snapshot is already current
+// it is retired (its binned index carries over to the republish), so the
+// restored number takes effect on the very next query. A counter already
+// at or past n is left alone.
+func (d *Dataset) RestoreEpoch(n uint64) {
+	if n == 0 {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.epoch.Load() >= n {
+		return
+	}
+	if s := d.cur.Load(); s != nil {
+		// Republish the same bytes under the restored number: keep the
+		// built binned index for the pending publish, drop the snapshot.
+		if a := s.art.Load(); a.binned != nil {
+			d.pendingBinned = a.binned
+		}
+		d.cur.Store(nil)
+	}
+	d.epoch.Store(n - 1) // publishLocked's Add(1) lands the next epoch on n
+}
+
 // Negate flips every observed value's sign, converting larger-is-better
 // data to the library's smaller-is-better convention. Cached indexes are
 // invalidated; concurrent queries finish on the pre-Negate epoch.
