@@ -35,6 +35,7 @@ import (
 	"repro/internal/impute"
 	"repro/internal/obs"
 	"repro/internal/skyband"
+	"repro/tkd"
 )
 
 // benchSynthetic builds a Table-2-default dataset at bench scale.
@@ -643,6 +644,68 @@ func BenchmarkAblationESBvsGlobalSkyband(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			skyband.GlobalKSkyband(ds, 16)
+		}
+	})
+}
+
+// BenchmarkDeltaPublish measures the incremental publish path against the
+// rebuild it replaces: folding a 64-row append into a warm 20k-row dataset
+// by patching the binned index and re-deriving the MaxScore queue, vs
+// appending and rebuilding both artifacts from scratch. The benchdiff gate
+// holds the delta path to its O(delta)-ish budget.
+func BenchmarkDeltaPublish(b *testing.B) {
+	const n, dim, card, batch = 20_000, 5, 64, 64
+	mkRows := func(seed int64) []tkd.Row {
+		rng := rand.New(rand.NewSource(seed))
+		rows := make([]tkd.Row, batch)
+		for i := range rows {
+			vals := make([]float64, dim)
+			for d := range vals {
+				vals[d] = float64(rng.Intn(card))
+			}
+			rows[i] = tkd.Row{ID: fmt.Sprintf("d%d-%d", seed, i), Values: vals}
+		}
+		return rows
+	}
+	mk := func() *tkd.Dataset {
+		ds := tkd.GenerateIND(n, dim, card, 0.02, 31)
+		ds.PrepareFor(tkd.IBIG)
+		return ds
+	}
+	b.Run("delta", func(b *testing.B) {
+		b.StopTimer()
+		ds := mk()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if i > 0 && i%64 == 0 {
+				ds = mk() // keep the base near 20k rows
+			}
+			rows := mkRows(int64(i))
+			b.StartTimer()
+			patched, err := ds.AppendRows(rows)
+			b.StopTimer()
+			if err != nil || !patched {
+				b.Fatalf("patched=%v err=%v", patched, err)
+			}
+		}
+	})
+	b.Run("rebuild", func(b *testing.B) {
+		b.StopTimer()
+		ds := mk()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if i > 0 && i%64 == 0 {
+				ds = mk()
+			}
+			rows := mkRows(int64(i))
+			b.StartTimer()
+			for _, r := range rows {
+				if err := ds.Append(r.ID, r.Values...); err != nil {
+					b.Fatal(err)
+				}
+			}
+			ds.PrepareFor(tkd.IBIG)
+			b.StopTimer()
 		}
 	})
 }

@@ -1,0 +1,91 @@
+package bitmapidx
+
+import "repro/internal/bitvec"
+
+// Standing-query bounds. A standing top-k subscription re-evaluates only
+// when a published delta *could* change the answer; these two bounds make
+// that check cheap. Both are conservative (never under-count), so a
+// skip decision based on them is sound.
+
+// StandingEntryBound returns an upper bound on the dominance score of obj
+// that excludes incomparable objects. The plain Heuristic 2 bound |∩Qi|−1
+// counts every object missing all of obj's observed dimensions — such
+// objects pass every range-encoded column yet are incomparable with obj and
+// can never be dominated by it. Since the all-missing intersection is a
+// subset of ∩Qi, the comparability-masked bound is
+//
+//	|∩Qi| − |∩ missᵢ| − 1   over obj's observed dimensions i,
+//
+// using each dimension's last column (no bin reaches past the worst bucket,
+// so only rows missing the dimension survive it). For an appended row p the
+// bound says whether p can possibly enter a standing answer whose k-th
+// score is τ: StandingEntryBound(p) < τ means it cannot.
+func (c *Cursor) StandingEntryBound(obj int) int {
+	refs := c.buildRefs(obj)
+	if len(refs) == 0 {
+		return c.ix.ds.Len() - 1
+	}
+	qcnt := c.intersectRefs(refs)
+	// Rewrite the refs in place to each dimension's missing column; the
+	// Q-count above is already taken.
+	for i := range refs {
+		refs[i].qb = int32(len(c.ix.dims[refs[i].d].cols) - 1)
+	}
+	misscnt := c.intersectRefs(refs)
+	return qcnt - misscnt - 1
+}
+
+// intersectRefs counts |∩ cols(refs)| through the index's representation
+// dispatch (fused dense cascade for Raw, the mixed-representation paths
+// otherwise).
+func (c *Cursor) intersectRefs(refs []qref) int {
+	if c.ix.codec == Raw {
+		return bitvec.IntersectCount(c.qCols(refs)...)
+	}
+	cnt, _ := c.intersectQAbove(refs, noTau)
+	return cnt
+}
+
+// DominatorCeil returns an upper bound on the number of objects that could
+// dominate obj: comparable objects whose value rank is ≤ obj's on every
+// shared observed dimension (Definition 1 without the strictness clause, so
+// ties over-count — which is the safe direction). A zero ceiling for an
+// appended row p proves no existing object's score changed: scores only
+// count dominated objects, so appending p perturbs exactly the objects
+// dominating it.
+//
+// The scan reads the precomputed rank table directly — value-rank granular,
+// not bin granular, so a row below a dimension's previous minimum is
+// dominated through that dimension by nobody even though it shares bin 0
+// with other values. Cost is O(N) with a couple of word ops per object,
+// comparable to a single column intersection.
+func (ix *Index) DominatorCeil(obj int) int {
+	pm := ix.ds.Obj(obj).Mask
+	pr := ix.ranks[obj]
+	count := 0
+	n := ix.ds.Len()
+	for q := 0; q < n; q++ {
+		if q == obj {
+			continue
+		}
+		m := ix.ds.Obj(q).Mask & pm
+		if m == 0 {
+			continue
+		}
+		qr := ix.ranks[q]
+		ok := true
+		for d := 0; m != 0; d, m = d+1, m>>1 {
+			if m&1 == 0 {
+				continue
+			}
+			if qr[d] > pr[d] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			count++
+		}
+	}
+	return count
+}

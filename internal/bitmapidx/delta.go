@@ -1,0 +1,224 @@
+package bitmapidx
+
+import (
+	"repro/internal/bitvec"
+	"repro/internal/data"
+)
+
+// AppendRows builds the index of next — old's dataset plus delta appended
+// rows — by patching old's columns instead of rebuilding them, in
+// O(compressed words + delta · columns) instead of O(N · columns).
+//
+// Precondition: next's first old.Dataset().Len() rows are exactly old's
+// dataset (the caller constructs next by extending the indexed dataset; the
+// serving layer additionally fingerprint-checks the result against the
+// epoch it publishes). old is not modified and stays fully queryable — the
+// patched index shares no mutable state with it, so in-flight readers of
+// the previous epoch are unaffected.
+//
+// The patch keeps old's frozen bin layout: appended rows whose value already
+// exists keep that value's bin, and a brand-new distinct value is assigned
+// the bin of its predecessor old value (bin 0 below every old value, the
+// last bin above). The resulting rank→bin map stays monotone non-decreasing,
+// which is the only property the binned query algorithms rely on — the
+// bin-granular [Qi]/[Pi] columns remain supersets/subsets of the true
+// candidate sets and the IBIG refinement computes exact scores — so answers
+// are identical to a from-scratch build even though the bin boundaries drift
+// from the Eq. (3)–(4) equi-depth optimum. Each column also keeps old's
+// physical representation (only the compressed columns' run-native flag is
+// re-measured); the equi-depth re-bin and the density-driven representation
+// re-pick are deferred to the next full rebuild (reload).
+//
+// It reports false — and the caller falls back to a full rebuild — when the
+// patch cannot preserve semantics: next is not a strict row extension, the
+// index is unbinned (value-rank columns shift on any insertion, so BIG
+// semantics require a rebuild), or a dimension with no observed values in
+// old gains one (there is no bin structure to extend).
+func AppendRows(old *Index, next *data.Dataset) (*Index, bool) {
+	oldN := old.ds.Len()
+	n := next.Len()
+	delta := n - oldN
+	dim := old.ds.Dim()
+	if delta <= 0 || next.Dim() != dim || !old.binned {
+		return nil, false
+	}
+
+	// Per-dimension view of the appended rows: sorted distinct values with
+	// counts, plus the missing count.
+	type dimDelta struct {
+		vals []float64
+		cnt  []int
+		miss int
+	}
+	deltas := make([]dimDelta, dim)
+	{
+		sub := next.Slice(oldN, n)
+		for d, st := range sub.Stats() {
+			deltas[d] = dimDelta{vals: st.Distinct, cnt: st.CountPerValue, miss: st.MissingCount}
+		}
+	}
+
+	// Merge each dimension's stats and derive, in one two-pointer walk: the
+	// merged rank→bin map (old ranks keep their bin, new values inherit their
+	// predecessor's) and the rank shift of every old rank (its merged rank is
+	// oldRank + shift[oldRank]).
+	merged := make([]data.DimStats, dim)
+	r2bs := make([][]int, dim)
+	shifts := make([][]int32, dim)
+	for d := 0; d < dim; d++ {
+		st := &old.stats[d]
+		dd := &deltas[d]
+		ci := st.Cardinality()
+		if ci == 0 && len(dd.vals) > 0 {
+			return nil, false
+		}
+		oldR2B := old.dims[d].rankToBucket
+		m := data.DimStats{
+			Distinct:      make([]float64, 0, ci+len(dd.vals)),
+			CountPerValue: make([]int, 0, ci+len(dd.vals)),
+			MissingCount:  st.MissingCount + dd.miss,
+		}
+		r2b := make([]int, 0, ci+len(dd.vals))
+		sh := make([]int32, ci)
+		ins := 0
+		for i, j := 0, 0; i < ci || j < len(dd.vals); {
+			switch {
+			case j >= len(dd.vals) || (i < ci && st.Distinct[i] < dd.vals[j]):
+				sh[i] = int32(ins)
+				m.Distinct = append(m.Distinct, st.Distinct[i])
+				m.CountPerValue = append(m.CountPerValue, st.CountPerValue[i])
+				r2b = append(r2b, oldR2B[i])
+				i++
+			case i < ci && st.Distinct[i] == dd.vals[j]:
+				sh[i] = int32(ins)
+				m.Distinct = append(m.Distinct, st.Distinct[i])
+				m.CountPerValue = append(m.CountPerValue, st.CountPerValue[i]+dd.cnt[j])
+				r2b = append(r2b, oldR2B[i])
+				i++
+				j++
+			default:
+				m.Distinct = append(m.Distinct, dd.vals[j])
+				m.CountPerValue = append(m.CountPerValue, dd.cnt[j])
+				b := 0
+				if i > 0 {
+					b = oldR2B[i-1]
+				}
+				r2b = append(r2b, b)
+				ins++
+				j++
+			}
+		}
+		merged[d] = m
+		r2bs[d] = r2b
+		shifts[d] = sh
+	}
+
+	// Rank table over one fresh flat backing: old rows shift by the number of
+	// new distinct values inserted below them, appended rows look up their
+	// merged rank. A fresh backing (rather than extending old.ranks) keeps
+	// the patched index free of aliasing with the live one.
+	flat := make([]int32, n*dim)
+	ranks := make([][]int32, n)
+	for i := range ranks {
+		ranks[i] = flat[i*dim : (i+1)*dim : (i+1)*dim]
+	}
+	for i := 0; i < oldN; i++ {
+		or := old.ranks[i]
+		nr := ranks[i]
+		for d := 0; d < dim; d++ {
+			r := or[d]
+			if r >= 0 {
+				r += shifts[d][r]
+			}
+			nr[d] = r
+		}
+	}
+	for i := oldN; i < n; i++ {
+		o := next.Obj(i)
+		nr := ranks[i]
+		for d := 0; d < dim; d++ {
+			if !o.Observed(d) {
+				nr[d] = -1
+				continue
+			}
+			r := merged[d].Rank(o.Values[d])
+			if r < 0 {
+				return nil, false
+			}
+			nr[d] = int32(r)
+		}
+	}
+
+	ix := &Index{
+		ds:       next,
+		stats:    merged,
+		dims:     make([]dimIndex, dim),
+		codec:    old.codec,
+		binned:   true,
+		adaptive: old.adaptive,
+		ranks:    ranks,
+		ones:     bitvec.NewOnes(n),
+	}
+
+	// Patch the columns: each column's new tail is the delta rows' bits under
+	// the same range-encoded rule (bit j set iff bin(row oldN+j) >= b or
+	// missing), produced by the same peel-off pass as buildDim but over delta
+	// bits, then appended through the representation's extend path.
+	deltaOnes := bitvec.NewOnes(delta)
+	cur := bitvec.New(delta)
+	for d := 0; d < dim; d++ {
+		oldDi := &old.dims[d]
+		buckets := len(oldDi.cols) - 1
+		di := dimIndex{cols: make([]column, buckets+1), rankToBucket: r2bs[d]}
+		di.cols[0] = extendColumn(&oldDi.cols[0], deltaOnes, oldN)
+		byBucket := make([][]int32, buckets)
+		for j := 0; j < delta; j++ {
+			if r := ranks[oldN+j][d]; r >= 0 {
+				b := r2bs[d][r]
+				byBucket[b] = append(byBucket[b], int32(j))
+			}
+		}
+		cur.SetAll()
+		for b := 1; b <= buckets; b++ {
+			for _, id := range byBucket[b-1] {
+				cur.Clear(int(id))
+			}
+			di.cols[b] = extendColumn(&oldDi.cols[b], cur, oldN)
+		}
+		ix.dims[d] = di
+	}
+	ix.initColCache()
+	return ix, true
+}
+
+// extendColumn appends extra's bits (the delta rows' tail) to a frozen
+// column, without mutating it: dense columns word-copy into a longer vector
+// (the trimmed-tail invariant guarantees the straddling word's padding is
+// clean), sparse columns append the new ids (all beyond the old rows, so the
+// list stays sorted), and compressed columns go through the codec's
+// O(words + delta) Extend. The column keeps its representation; only the
+// run-native flag of compressed columns is re-measured for the new length.
+func extendColumn(old *column, extra *bitvec.Vector, oldN int) column {
+	switch old.kind {
+	case kindDense:
+		v := bitvec.New(oldN + extra.Len())
+		copy(v.Words(), old.dense.Words())
+		extra.ForEach(func(j int) bool {
+			v.Set(oldN + j)
+			return true
+		})
+		return column{kind: kindDense, dense: v}
+	case kindSparse:
+		ids := make([]int32, 0, len(old.ids)+extra.Count())
+		ids = append(ids, old.ids...)
+		extra.ForEach(func(j int) bool {
+			ids = append(ids, int32(oldN+j))
+			return true
+		})
+		return column{kind: kindSparse, ids: ids}
+	case kindWAH:
+		return newWAHColumn(old.wah.Extend(extra))
+	default:
+		return newConciseColumn(old.conc.Extend(extra))
+	}
+}

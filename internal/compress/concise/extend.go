@@ -1,0 +1,66 @@
+package concise
+
+import (
+	"repro/internal/bitvec"
+	"repro/internal/compress/codec"
+)
+
+// Extend returns a new bitmap whose logical bits are the receiver's followed
+// by extra's. The receiver is not modified (its word slice may be shared with
+// live readers), and the cost is O(compressed words + extra bits): the common
+// prefix is a word copy, only the partial tail group is re-coded.
+//
+// The format invariant Extend relies on (and preserves): the padding bits of
+// a partial tail group are zero, so bits appended into that group land on
+// clean space. Compress and And both produce zero padding.
+func (b *Bitmap) Extend(extra *bitvec.Vector) *Bitmap {
+	out := &Bitmap{
+		nbits: b.nbits + extra.Len(),
+		words: append(make([]uint32, 0, len(b.words)+codec.NumGroups(extra.Len())+1), b.words...),
+	}
+	cur, nb := uint32(0), 0
+	if rem := b.nbits % codec.GroupBits; rem != 0 {
+		cur, nb = out.popTail(rem), rem
+	}
+	for i := 0; i < extra.Len(); i++ {
+		if extra.Get(i) {
+			cur |= 1 << uint(nb)
+		}
+		nb++
+		if nb == codec.GroupBits {
+			out.appendGroup(cur)
+			cur, nb = 0, 0
+		}
+	}
+	if nb > 0 {
+		out.appendGroup(cur)
+	}
+	return out
+}
+
+// popTail removes the final (partial, rem-bit) group from the word stream and
+// returns its payload masked to rem bits. A sequence word covering more than
+// one group gives up only its last group — which is a pure fill, since any
+// flipped bit lives in the sequence's first group.
+func (b *Bitmap) popTail(rem int) uint32 {
+	n := len(b.words)
+	last := b.words[n-1]
+	var payload uint32
+	if last&literalFlag != 0 {
+		payload = last & codec.GroupMask
+		b.words = b.words[:n-1]
+	} else {
+		if last&seqOneFlag != 0 {
+			payload = codec.GroupMask
+		}
+		if last&counterMask > 0 {
+			b.words[n-1] = last - 1
+		} else {
+			if pos := (last & posMask) >> posShift; pos > 0 {
+				payload ^= 1 << (pos - 1)
+			}
+			b.words = b.words[:n-1]
+		}
+	}
+	return payload & (uint32(1)<<uint(rem) - 1)
+}

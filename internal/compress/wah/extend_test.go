@@ -1,0 +1,89 @@
+package wah
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitvec"
+)
+
+// concat builds the dense concatenation of a and b.
+func concat(a, b *bitvec.Vector) *bitvec.Vector {
+	out := bitvec.New(a.Len() + b.Len())
+	for i := 0; i < a.Len(); i++ {
+		out.SetBool(i, a.Get(i))
+	}
+	for i := 0; i < b.Len(); i++ {
+		out.SetBool(a.Len()+i, b.Get(i))
+	}
+	return out
+}
+
+// TestExtendDifferential checks Extend against Compress of the dense
+// concatenation across lengths straddling group boundaries and densities
+// that produce literal, 0-fill, 1-fill and mixed tails — and that the
+// receiver is left untouched (its words may be shared with live readers).
+func TestExtendDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	lens := []int{0, 1, 30, 31, 32, 61, 62, 63, 93, 100, 310, 1000}
+	extras := []int{0, 1, 7, 31, 64, 200}
+	for _, n := range lens {
+		for _, e := range extras {
+			for _, density := range []float64{0, 0.02, 0.5, 0.98, 1} {
+				base := randomVector(rng, n, density)
+				extra := randomVector(rng, e, density)
+				bm := Compress(base)
+				wordsBefore := append([]uint32(nil), bm.words...)
+				got := bm.Extend(extra)
+				want := Compress(concat(base, extra))
+				if !got.Decompress().Equal(want.Decompress()) {
+					t.Fatalf("n=%d e=%d density=%g: Extend bits diverge from Compress(concat)", n, e, density)
+				}
+				if got.NBits() != n+e {
+					t.Fatalf("n=%d e=%d: NBits=%d", n, e, got.NBits())
+				}
+				if got.Count() != want.Count() {
+					t.Fatalf("n=%d e=%d density=%g: Count %d != %d", n, e, density, got.Count(), want.Count())
+				}
+				if bm.nbits != n || len(bm.words) != len(wordsBefore) {
+					t.Fatalf("n=%d e=%d: Extend mutated the receiver header", n, e)
+				}
+				for i, w := range bm.words {
+					if w != wordsBefore[i] {
+						t.Fatalf("n=%d e=%d: Extend mutated receiver word %d", n, e, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestExtendFillTails pins the popTail arms explicitly: partial tails covered
+// by multi-group fills, single-group fills, and literals.
+func TestExtendFillTails(t *testing.T) {
+	cases := []struct {
+		name string
+		base func() *bitvec.Vector
+	}{
+		{"zeroFillTail", func() *bitvec.Vector { return bitvec.New(100) }},
+		{"oneFillTail", func() *bitvec.Vector { return bitvec.NewOnes(100) }},
+		{"singleGroupZero", func() *bitvec.Vector { return bitvec.New(40) }},
+		{"singleGroupOnes", func() *bitvec.Vector { return bitvec.NewOnes(40) }},
+		{"literalTail", func() *bitvec.Vector {
+			v := bitvec.New(40)
+			v.Set(35)
+			return v
+		}},
+	}
+	extra := bitvec.New(64)
+	for i := 0; i < 64; i += 3 {
+		extra.Set(i)
+	}
+	for _, tc := range cases {
+		base := tc.base()
+		want := Compress(concat(base, extra))
+		if ext := Compress(base).Extend(extra); !ext.Decompress().Equal(want.Decompress()) {
+			t.Errorf("%s: Extend diverges from Compress(concat)", tc.name)
+		}
+	}
+}

@@ -72,6 +72,68 @@ func BuildMaxScoreQueue(ds *data.Dataset) *MaxScoreQueue {
 	return q
 }
 
+// BuildMaxScoreQueueFromIndex computes the identical queue from an existing
+// bitmap index, without building B+-trees: the index already holds sorted
+// per-dimension stats and every object's value rank, so |Ti(o)| falls out of
+// a suffix-sum over CountPerValue —
+//
+//	|Ti(o)| = Σ_{r ≥ rank(o,i)} N_ir − 1 + |Si|,
+//
+// which equals the B+-tree's CountGE(o[i]) − 1 + |Si| exactly. The sort is
+// the same stable descending order, so the result is byte-identical to
+// BuildMaxScoreQueue's — the incremental publish path (bitmapidx.AppendRows)
+// uses this to refresh the queue in O(N·d) without the O(N·lgN) tree build.
+func BuildMaxScoreQueueFromIndex(ix *bitmapidx.Index) *MaxScoreQueue {
+	ds, stats := ix.Dataset(), ix.Stats()
+	n, dim := ds.Len(), ds.Dim()
+	// suffix[d][r] = number of objects with value rank ≥ r in dimension d.
+	suffix := make([][]int, dim)
+	for d := 0; d < dim; d++ {
+		counts := stats[d].CountPerValue
+		s := make([]int, len(counts)+1)
+		for r := len(counts) - 1; r >= 0; r-- {
+			s[r] = s[r+1] + counts[r]
+		}
+		suffix[d] = s
+	}
+	q := &MaxScoreQueue{
+		Order:    make([]int32, n),
+		MaxScore: make([]int, n),
+	}
+	for i := 0; i < n; i++ {
+		best := n // |Ti| = |S| for unobserved dimensions
+		for d := 0; d < dim && best > 0; d++ {
+			r := ix.Rank(i, d)
+			if r < 0 {
+				continue
+			}
+			if ti := suffix[d][r] - 1 + stats[d].MissingCount; ti < best {
+				best = ti
+			}
+		}
+		q.MaxScore[i] = best
+		q.Order[i] = int32(i)
+	}
+	// The queue order (MaxScore descending, ties by ascending index) is a
+	// total order over bounds that live in [0, n], so a counting sort
+	// reproduces the comparison sort's exact permutation in O(N) — this is
+	// what keeps the whole rebuild out of O(N·lgN) on the incremental
+	// publish path.
+	pos := make([]int32, n+2)
+	for i := 0; i < n; i++ {
+		pos[n-q.MaxScore[i]+1]++
+	}
+	for s := 1; s <= n+1; s++ {
+		pos[s] += pos[s-1]
+	}
+	for i := 0; i < n; i++ {
+		s := n - q.MaxScore[i]
+		q.Order[pos[s]] = int32(i)
+		pos[s]++
+	}
+	return q
+}
+
 // OptimalBins evaluates the paper's Eq. (8): the bin count ξ minimizing the
 // space×time product for n objects at missing rate sigma. The formula lives
 // in bitmapidx (so Build can default to it); this re-export keeps the core

@@ -1,0 +1,29 @@
+package core_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/bitmapidx"
+	"repro/internal/core"
+	"repro/internal/gen"
+)
+
+// TestMaxScoreQueueFromIndexIdentical: the tree-free builder must reproduce
+// BuildMaxScoreQueue byte for byte — same bounds, same stable order — across
+// the generator regimes, since the incremental publish path swaps one for
+// the other without re-verifying answers.
+func TestMaxScoreQueueFromIndexIdentical(t *testing.T) {
+	for _, cfg := range randomConfigs(4200) {
+		ds := gen.Synthetic(cfg)
+		ix := bitmapidx.Build(ds, bitmapidx.Options{Codec: bitmapidx.Concise, Bins: []int{4}, Adaptive: true})
+		want := core.BuildMaxScoreQueue(ds)
+		got := core.BuildMaxScoreQueueFromIndex(ix)
+		if !reflect.DeepEqual(got.MaxScore, want.MaxScore) {
+			t.Fatalf("cfg=%+v: MaxScore bounds diverge", cfg)
+		}
+		if !reflect.DeepEqual(got.Order, want.Order) {
+			t.Fatalf("cfg=%+v: queue order diverges", cfg)
+		}
+	}
+}

@@ -87,7 +87,12 @@ type KillLoadResult struct {
 	// Replayed is the WAL row count crash recovery replayed at the final
 	// restart (everything ever logged, since checkpoints don't truncate).
 	Replayed int64
-	Wall     time.Duration
+	// DeltaPublishes counts index-patching publishes observed in the victim
+	// processes while the append load ran: proof the audited recoveries
+	// covered WAL checkpoints written by delta-published epochs, not only
+	// full rebuilds.
+	DeltaPublishes int64
+	Wall           time.Duration
 }
 
 // RunKillLoad builds tkdserver, then loops: start the server, audit the
@@ -227,10 +232,20 @@ func RunKillLoad(cfg KillLoadConfig) (KillLoadResult, error) {
 			delay += time.Duration(rng.Int63n(int64(span)))
 		}
 		timer := time.AfterFunc(delay, proc.kill)
+		var roundDeltas int64
 		for appended := 0; ; appended++ {
 			if appended > 20000 {
 				// Safety valve: the timer should long since have fired.
 				proc.kill()
+			}
+			if appended%25 == 24 {
+				// Sample the publish-mode counters while the victim is
+				// alive, so the kill provably lands on a process whose WAL
+				// checkpoints cover delta-patched epochs. Poll errors near
+				// the kill are expected and carry no information.
+				if inf, err := killDatasetInfo(hc, baseURL); err == nil && inf.DeltaPublishes > roundDeltas {
+					roundDeltas = inf.DeltaPublishes
+				}
 			}
 			row := killRowFor(next, cfg.Dim)
 			if err := postKillAppend(hc, baseURL, row); err != nil {
@@ -249,6 +264,7 @@ func RunKillLoad(cfg KillLoadConfig) (KillLoadResult, error) {
 			next++
 		}
 		timer.Stop()
+		res.DeltaPublishes += roundDeltas
 		proc.wait()
 	}
 
@@ -467,11 +483,11 @@ func KillLoad(s Scale, seed uint64) []Table {
 	t := Table{
 		Title: fmt.Sprintf("Kill-under-load: %d SIGKILLs mid-ingest, fsync=always (base N=%d, dim=%d, seed=%d, kill after %s..%s)",
 			cfg.Kills, cfg.BaseN, cfg.Dim, cfg.Seed, cfg.KillAfterMin, cfg.KillAfterMax),
-		Header: []string{"seed", "kills", "rows_acked", "inflight_kept", "rows_lost", "mismatches", "replayed_rows", "wall(s)"},
+		Header: []string{"seed", "kills", "rows_acked", "inflight_kept", "rows_lost", "mismatches", "replayed_rows", "delta_publishes", "wall(s)"},
 	}
 	res, err := RunKillLoad(cfg)
 	if err != nil {
-		t.Rows = append(t.Rows, []string{"error", err.Error(), "", "", "", "", "", ""})
+		t.Rows = append(t.Rows, []string{"error", err.Error(), "", "", "", "", "", "", ""})
 		return []Table{t}
 	}
 	t.Rows = append(t.Rows, []string{
@@ -482,6 +498,7 @@ func KillLoad(s Scale, seed uint64) []Table {
 		fmt.Sprint(res.Lost),
 		fmt.Sprint(res.Mismatches),
 		fmt.Sprint(res.Replayed),
+		fmt.Sprint(res.DeltaPublishes),
 		fmt.Sprintf("%.1f", res.Wall.Seconds()),
 	})
 	return []Table{t}

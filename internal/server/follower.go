@@ -49,6 +49,7 @@ type follower struct {
 
 	syncs      atomic.Int64 // epochs applied
 	syncErrors atomic.Int64 // failed poll/fetch/import attempts
+	deltaSyncs atomic.Int64 // epochs applied from a delta stream (subset of syncs)
 
 	// namesMu guards names, the dataset names last discovered on the
 	// leader. The mutation handlers consult it to reject local writes
@@ -211,6 +212,12 @@ func (f *follower) syncOne(name string, sp *obs.Span) (applied bool, err error) 
 		// Conditional fetch: the leader answers 304 with no body when the
 		// follower already serves these bytes.
 		req.Header.Set("X-TKD-Have-Fingerprint", fmt.Sprintf("%016x", e.ds.Fingerprint()))
+		if _, ok := e.ds.(*tkd.Dataset); ok {
+			// Advertise our epoch too: a delta-shipping leader whose append
+			// lineage covers it answers with just the rows appended since
+			// (X-TKD-Delta: 1) instead of the full stream.
+			req.Header.Set("X-TKD-Have-Epoch", strconv.FormatUint(e.ds.Epoch(), 10))
+		}
 	}
 	resp, err := f.client.Do(req)
 	if err != nil {
@@ -244,6 +251,10 @@ func (f *follower) syncOne(name string, sp *obs.Span) (applied bool, err error) 
 	if resident && leaderEpoch > 0 {
 		e.followed.Store(true)
 		e.leaderSeen.Store(leaderEpoch)
+	}
+
+	if resp.Header.Get("X-TKD-Delta") == "1" {
+		return f.applyDelta(name, e, resp.Body, sp)
 	}
 
 	imp := sp.StartChild("import")
@@ -288,6 +299,54 @@ func (f *follower) syncOne(name string, sp *obs.Span) (applied bool, err error) 
 	e.followed.Store(true)
 	e.leaderSeen.Store(epoch)
 	e.leaderEpoch.Store(epoch)
+	// A full import replaces everything; standing queries re-evaluate
+	// unconditionally.
+	f.s.notifyStanding(e, 0)
+	return true, nil
+}
+
+// applyDelta folds a leader's epoch delta — the rows appended since the
+// epoch this follower advertised — into the resident replica through the
+// same patch-publish path local ingest uses. The delta's fingerprint is
+// verified against the extended data before anything publishes, so a bad or
+// misdirected delta leaves the replica untouched; the next poll (whose
+// advertised state is then unchanged) retries, and a leader whose lineage no
+// longer covers us falls back to the full stream on its own.
+func (f *follower) applyDelta(name string, e *entry, body io.Reader, sp *obs.Span) (bool, error) {
+	d, ok := e.ds.(*tkd.Dataset)
+	if !ok {
+		return false, fmt.Errorf("leader sent an epoch delta for %q but the local replica cannot patch", name)
+	}
+	imp := sp.StartChild("import")
+	dx, err := tkd.ReadEpochDelta(body)
+	imp.End()
+	if err != nil {
+		return false, err
+	}
+	pub := sp.StartChild("publish")
+	defer pub.End()
+	pub.SetInt("epoch", int64(dx.Epoch))
+	pub.SetInt("delta_rows", int64(dx.Rows()))
+	if patched, err := d.ApplyEpochDelta(dx); err != nil {
+		return false, fmt.Errorf("applying epoch delta for %q: %w", name, err)
+	} else if patched {
+		pub.SetStr("mode", "delta")
+	} else {
+		pub.SetStr("mode", "rebuild") // cold local index; rows still applied
+	}
+	// Persist the patched index so a restart warms from disk, exactly as the
+	// full-stream path does. A cache error is a cold restart, not a failure.
+	if c, err := newIndexCache(f.s.cfg.IndexDir); err == nil && c != nil {
+		if err := c.save(name, d); err != nil {
+			f.s.life.indexCacheErrors.Add(1)
+		}
+	}
+	e.followed.Store(true)
+	e.leaderSeen.Store(dx.Epoch)
+	e.leaderEpoch.Store(dx.Epoch)
+	f.deltaSyncs.Add(1)
+	// The delta is append-shaped, so the τ-check applies on replicas too.
+	f.s.notifyStanding(e, dx.Rows())
 	return true, nil
 }
 
@@ -312,45 +371,93 @@ func (s *Server) registerFollowed(name string, ds *tkd.Dataset, epoch uint64) er
 // track lag without parsing the body. A request carrying
 // X-TKD-Have-Fingerprint equal to the current fingerprint gets 304 and no
 // body — the steady-state poll costs a header exchange.
+//
+// Under Config.DeltaShip a follower that also advertises its current epoch
+// (X-TKD-Have-Epoch) may instead get the delta form — just the rows
+// appended since that epoch, marked by an X-TKD-Delta: 1 response header —
+// when the leader's append lineage proves the follower's state is a strict
+// prefix of the current one. Any doubt (stale base, divergent fingerprint,
+// non-append mutation since) silently falls back to the full stream, so a
+// delta-speaking follower is never worse off than a full-stream one.
 func (s *Server) handleEpochStream(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	e, ok := s.reg.get(name)
 	if !ok {
-		writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("unknown dataset %q", name)})
+		writeError(w, r, http.StatusNotFound, errDatasetNotFound, "unknown dataset %q", name)
 		return
 	}
 	var (
 		src          *tkd.Dataset
+		unsharded    *tkd.Dataset
 		includeIndex bool
 	)
 	switch d := e.ds.(type) {
 	case *tkd.Dataset:
 		// Unsharded leader: ship the binned index along so followers skip
 		// the dominant preprocessing cost.
-		src, includeIndex = d, true
+		src, unsharded, includeIndex = d, d, true
 	case *tkd.ShardedDataset:
 		// A sharded coordinator has no dataset-level index to offer — its
 		// indexes are per shard. Followers rebuild or warm-load their own.
 		src, includeIndex = d.Source(), false
 	default:
-		writeJSON(w, http.StatusNotImplemented, errorResponse{
-			Error: fmt.Sprintf("dataset %q does not support epoch export", name)})
+		writeError(w, r, http.StatusNotImplemented, errEpochExportUnsupported,
+			"dataset %q does not support epoch export", name)
 		return
 	}
 	x := src.ExportEpoch()
 	fp := x.Fingerprint()
-	w.Header().Set("X-TKD-Epoch", strconv.FormatUint(x.Epoch(), 10))
-	w.Header().Set("X-TKD-Fingerprint", fmt.Sprintf("%016x", fp))
+	haveFP, haveFPOK := uint64(0), false
 	if have := r.Header.Get("X-TKD-Have-Fingerprint"); have != "" {
-		if h, err := strconv.ParseUint(have, 16, 64); err == nil && h == fp {
-			w.WriteHeader(http.StatusNotModified)
-			return
+		if h, err := strconv.ParseUint(have, 16, 64); err == nil {
+			haveFP, haveFPOK = h, true
 		}
 	}
+	if haveFPOK && haveFP == fp {
+		w.Header().Set("X-TKD-Epoch", strconv.FormatUint(x.Epoch(), 10))
+		w.Header().Set("X-TKD-Fingerprint", fmt.Sprintf("%016x", fp))
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	if s.cfg.DeltaShip && unsharded != nil && haveFPOK {
+		if have := r.Header.Get("X-TKD-Have-Epoch"); have != "" {
+			if haveEpoch, err := strconv.ParseUint(have, 10, 64); err == nil && haveEpoch > 0 {
+				if dx, ok := unsharded.ExportEpochDelta(haveEpoch, haveFP); ok {
+					w.Header().Set("X-TKD-Epoch", strconv.FormatUint(dx.Epoch(), 10))
+					w.Header().Set("X-TKD-Fingerprint", fmt.Sprintf("%016x", dx.Fingerprint()))
+					w.Header().Set("X-TKD-Delta", "1")
+					w.Header().Set("Content-Type", "application/octet-stream")
+					cw := &countingWriter{w: w}
+					err := dx.Write(cw)
+					s.life.deltaShips.Add(1)
+					s.life.deltaShipBytes.Add(cw.n)
+					if err != nil {
+						s.log.Warn("epoch delta stream aborted", "dataset", name, "err", err)
+					}
+					return
+				}
+			}
+		}
+	}
+	w.Header().Set("X-TKD-Epoch", strconv.FormatUint(x.Epoch(), 10))
+	w.Header().Set("X-TKD-Fingerprint", fmt.Sprintf("%016x", fp))
 	w.Header().Set("Content-Type", "application/octet-stream")
 	if err := x.Write(w, includeIndex); err != nil {
 		// Headers are gone; all we can do is abort the stream (the import
 		// side will fail its checks) and surface the event in the log.
 		s.log.Warn("epoch stream aborted", "dataset", name, "err", err)
 	}
+}
+
+// countingWriter counts the bytes an epoch delta actually put on the wire,
+// feeding the tkd_epoch_delta_ship_bytes_total counter.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
 }

@@ -8,6 +8,7 @@ import (
 	"net/url"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
@@ -21,7 +22,9 @@ import (
 // is logged — and, under the "always" fsync policy, fsynced — before it is
 // acked, then buffered; a background publisher folds the buffered rows into
 // the dataset on the Config.PublishInterval cadence as one epoch-RCU
-// publish, persists the rebuilt index, and records a checkpoint in the WAL
+// publish (patching the previous epoch's index in place under
+// Config.DeltaPublish, rebuilding it otherwise), persists the resulting
+// index, and records a checkpoint in the WAL
 // (row count covered, epoch number, data fingerprint). Startup recovery
 // replays the WAL on top of the source file: rows up to the last checkpoint
 // reconstruct the published state (the persisted index warm-loads when the
@@ -50,6 +53,13 @@ type ingestState struct {
 	published uint64
 
 	replayed int64 // rows replayed into the dataset at open, set once
+
+	// Publish-path accounting: how many publishes patched the previous
+	// epoch's index in place (Config.DeltaPublish) versus rebuilt it from
+	// scratch. Exposed per dataset in /v1/datasets and /metrics; the kill
+	// harness audits deltaPublishes to prove recovery covers patched epochs.
+	deltaPublishes   atomic.Int64
+	rebuildPublishes atomic.Int64
 }
 
 // lag reports the rows a crash right now would have to replay.
@@ -176,20 +186,18 @@ type AppendResponse struct {
 
 func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
-		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "server: shutting down"})
+		writeError(w, r, http.StatusServiceUnavailable, errDraining, "server: shutting down")
 		return
 	}
 	name := r.PathValue("name")
 	e, ok := s.reg.get(name)
 	if !ok {
-		writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("unknown dataset %q", name)})
+		writeError(w, r, http.StatusNotFound, errDatasetNotFound, "unknown dataset %q", name)
 		return
 	}
 	if e.followed.Load() || (s.fol != nil && s.fol.managed(name)) {
-		writeJSON(w, http.StatusConflict, errorResponse{
-			Error:  fmt.Sprintf("dataset %q is replicated from a leader; append there", name),
-			Leader: s.cfg.Follow,
-		})
+		writeFollowerReadonly(w, r, s.cfg.Follow,
+			"dataset %q is replicated from a leader; append there", name)
 		return
 	}
 	if e.ing == nil {
@@ -199,18 +207,18 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 		} else if s.cfg.Shards > 1 {
 			msg += " (sharded datasets do not ingest)"
 		}
-		writeJSON(w, http.StatusConflict, errorResponse{Error: msg})
+		writeError(w, r, http.StatusConflict, errIngestDisabled, "%s", msg)
 		return
 	}
 	var req AppendRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("bad request body: %v", err)})
+		writeError(w, r, http.StatusBadRequest, errBadRequest, "bad request body: %v", err)
 		return
 	}
 	if len(req.Rows) == 0 {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "rows must be non-empty"})
+		writeError(w, r, http.StatusBadRequest, errBadRequest, "rows must be non-empty")
 		return
 	}
 	// Validate every row before logging any: a WAL record is an ack, and a
@@ -220,11 +228,11 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 	rows := make([]wal.Row, len(req.Rows))
 	for i, in := range req.Rows {
 		if in.ID == "" || len(in.ID) > 65535 {
-			writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("rows[%d]: id must be 1..65535 bytes", i)})
+			writeError(w, r, http.StatusBadRequest, errBadRequest, "rows[%d]: id must be 1..65535 bytes", i)
 			return
 		}
 		if len(in.Values) != dim {
-			writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("rows[%d]: got %d values, dataset has %d dimensions", i, len(in.Values), dim)})
+			writeError(w, r, http.StatusBadRequest, errBadRequest, "rows[%d]: got %d values, dataset has %d dimensions", i, len(in.Values), dim)
 			return
 		}
 		vals := make([]float64, dim)
@@ -235,14 +243,14 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 				continue
 			}
 			if math.IsNaN(*v) || math.IsInf(*v, 0) {
-				writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("rows[%d]: values[%d] must be finite (null marks a missing dimension)", i, d)})
+				writeError(w, r, http.StatusBadRequest, errBadRequest, "rows[%d]: values[%d] must be finite (null marks a missing dimension)", i, d)
 				return
 			}
 			vals[d] = *v
 			observed = true
 		}
 		if !observed {
-			writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("rows[%d]: at least one value must be observed", i)})
+			writeError(w, r, http.StatusBadRequest, errBadRequest, "rows[%d]: at least one value must be observed", i)
 			return
 		}
 		rows[i] = wal.Row{ID: in.ID, Values: vals}
@@ -291,8 +299,8 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 		// be, on restart) replayed, rows after it were never acked. The
 		// client must treat the whole batch as failed and retry against a
 		// healthy server.
-		writeJSON(w, http.StatusInternalServerError, errorResponse{
-			Error: fmt.Sprintf("wal append failed after %d of %d rows: %v", appended, len(rows), logErr)})
+		writeErrorTrace(w, tr.ID(), http.StatusInternalServerError, errWALFailed,
+			"wal append failed after %d of %d rows: %v", appended, len(rows), logErr)
 		return
 	}
 	writeJSON(w, http.StatusOK, AppendResponse{
@@ -362,17 +370,39 @@ func (s *Server) publishPendingLocked(e *entry) (int, error) {
 	root.SetInt("rows", int64(len(rows)))
 
 	pub := root.StartChild("publish")
-	for i, r := range rows {
-		if err := ing.base.Append(r.ID, r.Values...); err != nil {
+	patched := false
+	if s.cfg.DeltaPublish {
+		tk := make([]tkd.Row, len(rows))
+		for i, r := range rows {
+			tk[i] = tkd.Row{ID: r.ID, Values: r.Values}
+		}
+		var err error
+		if patched, err = ing.base.AppendRows(tk); err != nil {
 			// Cannot happen for rows the append handler validated; if it
-			// does (the dataset changed shape underneath us) the rows stay
-			// safe in the WAL and a restart retries the replay.
+			// does (the dataset changed shape underneath us) the batch is
+			// rejected whole, the rows stay safe in the WAL, and a restart
+			// retries the replay.
 			pub.End()
 			root.End()
-			return i, fmt.Errorf("folding row %d of %d: %w", i+1, len(rows), err)
+			return 0, fmt.Errorf("folding %d rows: %w", len(rows), err)
 		}
+	} else {
+		for i, r := range rows {
+			if err := ing.base.Append(r.ID, r.Values...); err != nil {
+				pub.End()
+				root.End()
+				return i, fmt.Errorf("folding row %d of %d: %w", i+1, len(rows), err)
+			}
+		}
+		ing.base.PrepareFor(tkd.IBIG)
 	}
-	ing.base.PrepareFor(tkd.IBIG)
+	if patched {
+		ing.deltaPublishes.Add(1)
+		pub.SetStr("mode", "delta")
+	} else {
+		ing.rebuildPublishes.Add(1)
+		pub.SetStr("mode", "rebuild")
+	}
 	epoch := ing.base.Epoch()
 	pub.SetInt("epoch", int64(epoch))
 	pub.End()
@@ -392,6 +422,11 @@ func (s *Server) publishPendingLocked(e *entry) (int, error) {
 	cpSp := root.StartChild("wal")
 	cpErr := lg.AppendCheckpoint(wal.Checkpoint{Rows: logged, Epoch: epoch, Fingerprint: ing.base.Fingerprint()})
 	cpSp.End()
+
+	// The epoch is live regardless of how the checkpoint fared — wake the
+	// standing queries. The batch length lets the τ-check skip the engine
+	// when none of the folded rows can touch a full top-k answer.
+	s.notifyStanding(e, len(rows))
 	if cpErr == nil {
 		ing.mu.Lock()
 		if logged > ing.published {

@@ -422,14 +422,16 @@ func TestFollowerRejectsLocalMutations(t *testing.T) {
 			t.Fatalf("%s answered %d (%s), want 409", what, code, raw)
 		}
 		var er struct {
-			Error  string `json:"error"`
-			Leader string `json:"leader"`
+			Error server.ErrorBody `json:"error"`
 		}
 		if err := json.Unmarshal(raw, &er); err != nil {
 			t.Fatal(err)
 		}
-		if er.Leader != lts.URL {
-			t.Fatalf("%s: leader = %q, want %q", what, er.Leader, lts.URL)
+		if er.Error.Code != "follower_readonly" {
+			t.Fatalf("%s: code = %q, want follower_readonly", what, er.Error.Code)
+		}
+		if er.Error.Leader != lts.URL {
+			t.Fatalf("%s: leader = %q, want %q", what, er.Error.Leader, lts.URL)
 		}
 	}
 	assert409("append", http.MethodPost, "/v1/datasets/d/append", server.AppendRequest{Rows: ingestTestRows()})

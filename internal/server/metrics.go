@@ -68,8 +68,9 @@ func (h *histogram) writeLabeled(w io.Writer, name, label, value string) {
 // order. Each stage is fed from the trace spans of the same name — queue is
 // the scheduler wait, engine the algorithm run, scatter/gather the two shard
 // fan-out phases, retry the backoff waits between replica attempts, wal the
-// write-ahead log time of ingest appends and publish checkpoints.
-var queryStages = [...]string{"queue", "engine", "scatter", "gather", "retry", "wal"}
+// write-ahead log time of ingest appends and publish checkpoints, publish
+// the epoch-fold time of the ingest publisher (index patch or rebuild).
+var queryStages = [...]string{"queue", "engine", "scatter", "gather", "retry", "wal", "publish"}
 
 // stageMetrics breaks query time down by pipeline stage, server-wide.
 type stageMetrics struct {
@@ -97,7 +98,7 @@ func (m *stageMetrics) observeTrace(tr *obs.Trace, coalesced bool) {
 
 // write renders the per-stage histograms.
 func (m *stageMetrics) write(w io.Writer) {
-	fmt.Fprintf(w, "# HELP tkd_query_stage_seconds Query time by pipeline stage: scheduler queue wait, engine execution, shard scatter (bounds) and gather (scores) phases, retry backoff waits, and WAL write/fsync time.\n")
+	fmt.Fprintf(w, "# HELP tkd_query_stage_seconds Query time by pipeline stage: scheduler queue wait, engine execution, shard scatter (bounds) and gather (scores) phases, retry backoff waits, WAL write/fsync time, and ingest publish (epoch fold) time.\n")
 	fmt.Fprintf(w, "# TYPE tkd_query_stage_seconds histogram\n")
 	for i, stage := range queryStages {
 		m.hists[i].writeLabeled(w, "tkd_query_stage_seconds", "stage", stage)
@@ -150,6 +151,8 @@ type lifecycleMetrics struct {
 	indexWarmLoads   atomic.Int64 // binned indexes restored from the IndexDir cache
 	indexBuilds      atomic.Int64 // binned indexes built from scratch
 	indexCacheErrors atomic.Int64 // unreadable/unwritable cache files (each degraded to a rebuild)
+	deltaShips       atomic.Int64 // epoch deltas served to followers instead of full streams
+	deltaShipBytes   atomic.Int64 // bytes those delta bodies put on the wire
 }
 
 // record folds one finished execution into the counters. served is the
@@ -233,6 +236,25 @@ func (s *Server) writeMetrics(w io.Writer) {
 	fmt.Fprintf(w, "# HELP tkd_index_cache_errors_total Persisted-index cache files that failed to read or write (each degraded to a rebuild).\n")
 	fmt.Fprintf(w, "# TYPE tkd_index_cache_errors_total counter\n")
 	fmt.Fprintf(w, "tkd_index_cache_errors_total %d\n", s.life.indexCacheErrors.Load())
+	fmt.Fprintf(w, "# HELP tkd_epoch_delta_ships_total Epoch-stream requests answered with a rows-since delta instead of the full stream.\n")
+	fmt.Fprintf(w, "# TYPE tkd_epoch_delta_ships_total counter\n")
+	fmt.Fprintf(w, "tkd_epoch_delta_ships_total %d\n", s.life.deltaShips.Load())
+	fmt.Fprintf(w, "# HELP tkd_epoch_delta_ship_bytes_total Bytes those delta bodies put on the wire.\n")
+	fmt.Fprintf(w, "# TYPE tkd_epoch_delta_ship_bytes_total counter\n")
+	fmt.Fprintf(w, "tkd_epoch_delta_ship_bytes_total %d\n", s.life.deltaShipBytes.Load())
+
+	fmt.Fprintf(w, "# HELP tkd_standing_subscribers Standing-query subscribers connected right now.\n")
+	fmt.Fprintf(w, "# TYPE tkd_standing_subscribers gauge\n")
+	fmt.Fprintf(w, "tkd_standing_subscribers %d\n", s.standing.subscribers.Load())
+	fmt.Fprintf(w, "# HELP tkd_standing_evals_total Standing-query engine re-evaluations actually run.\n")
+	fmt.Fprintf(w, "# TYPE tkd_standing_evals_total counter\n")
+	fmt.Fprintf(w, "tkd_standing_evals_total %d\n", s.standing.evals.Load())
+	fmt.Fprintf(w, "# HELP tkd_standing_tau_skips_total Standing-query re-evaluations skipped because the tau-check proved the appended rows could not change the answer.\n")
+	fmt.Fprintf(w, "# TYPE tkd_standing_tau_skips_total counter\n")
+	fmt.Fprintf(w, "tkd_standing_tau_skips_total %d\n", s.standing.tauSkips.Load())
+	fmt.Fprintf(w, "# HELP tkd_standing_events_total Standing-query answer changes broadcast to subscribers.\n")
+	fmt.Fprintf(w, "# TYPE tkd_standing_events_total counter\n")
+	fmt.Fprintf(w, "tkd_standing_events_total %d\n", s.standing.events.Load())
 
 	// Durable-ingest WAL counters, present only for WAL-backed datasets.
 	var walEntries []*entry
@@ -262,6 +284,12 @@ func (s *Server) writeMetrics(w io.Writer) {
 		for _, e := range walEntries {
 			fmt.Fprintf(w, "tkd_wal_lag_rows{dataset=%q} %d\n", e.name, e.ing.lag())
 		}
+		fmt.Fprintf(w, "# HELP tkd_ingest_publishes_total Ingest publishes since boot, by dataset and mode: delta patched the previous epoch's index in place, rebuild built it from scratch.\n")
+		fmt.Fprintf(w, "# TYPE tkd_ingest_publishes_total counter\n")
+		for _, e := range walEntries {
+			fmt.Fprintf(w, "tkd_ingest_publishes_total{dataset=%q,mode=\"delta\"} %d\n", e.name, e.ing.deltaPublishes.Load())
+			fmt.Fprintf(w, "tkd_ingest_publishes_total{dataset=%q,mode=\"rebuild\"} %d\n", e.name, e.ing.rebuildPublishes.Load())
+		}
 	}
 
 	// Follower replication counters, present only in follower mode.
@@ -272,6 +300,9 @@ func (s *Server) writeMetrics(w io.Writer) {
 		fmt.Fprintf(w, "# HELP tkd_follower_sync_errors_total Failed leader poll, fetch or import attempts.\n")
 		fmt.Fprintf(w, "# TYPE tkd_follower_sync_errors_total counter\n")
 		fmt.Fprintf(w, "tkd_follower_sync_errors_total %d\n", s.fol.syncErrors.Load())
+		fmt.Fprintf(w, "# HELP tkd_follower_delta_syncs_total Leader epochs applied from a rows-since delta stream (a subset of tkd_follower_syncs_total).\n")
+		fmt.Fprintf(w, "# TYPE tkd_follower_delta_syncs_total counter\n")
+		fmt.Fprintf(w, "tkd_follower_delta_syncs_total %d\n", s.fol.deltaSyncs.Load())
 		fmt.Fprintf(w, "# HELP tkd_follower_epoch_lag Leader epochs observed but not yet applied, by dataset (0 = converged).\n")
 		fmt.Fprintf(w, "# TYPE tkd_follower_epoch_lag gauge\n")
 		for _, e := range entries {

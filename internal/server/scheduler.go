@@ -61,10 +61,10 @@ type request struct {
 	enq   time.Time       // when the waiter entered the queue
 }
 
-// errDraining is returned to submits that race a drainStop; handlers map it
+// errSchedulerDraining is returned to submits that race a drainStop; handlers map it
 // to 503 so clients retry elsewhere (or see the eviction as a 404 on the
 // next attempt).
-var errDraining = fmt.Errorf("server: dataset is draining")
+var errSchedulerDraining = fmt.Errorf("server: dataset is draining")
 
 type scheduler struct {
 	ds       Queryable
@@ -106,7 +106,7 @@ func newScheduler(ds Queryable, adm *admission, met *datasetMetrics, window time
 }
 
 // drainStop retires the scheduler gracefully: new submits are refused with
-// errDraining, submits already past the check finish enqueueing, and the
+// errSchedulerDraining, submits already past the check finish enqueueing, and the
 // loop serves every queued request before its goroutine exits. Safe to call
 // multiple times and concurrently; it returns once the loop is gone (or the
 // server was torn down via Close).
@@ -138,13 +138,13 @@ func (s *scheduler) stop() { s.drainStop() }
 // the execution subtree.
 func (s *scheduler) submit(ctx context.Context, key queryKey, sp *obs.Span) (reply, error) {
 	if s.draining.Load() {
-		return reply{}, errDraining
+		return reply{}, errSchedulerDraining
 	}
 	req := &request{key: key, ctx: ctx, reply: make(chan reply, 1), sp: sp, enq: time.Now()}
 	s.rw.RLock()
 	if s.draining.Load() {
 		s.rw.RUnlock()
-		return reply{}, errDraining
+		return reply{}, errSchedulerDraining
 	}
 	select {
 	case s.in <- req:

@@ -147,6 +147,21 @@ type Config struct {
 	// WALFS overrides WAL segment-file creation (the chaos harness injects
 	// write/fsync faults here); nil uses the operating system.
 	WALFS wal.FS
+
+	// DeltaPublish folds an ingest batch into the previous epoch's index by
+	// column patching (tkd.AppendRows) instead of rebuilding it from
+	// scratch — O(batch) instead of O(dataset) per publish. The patched
+	// artifacts are equivalence-checked by construction (identical
+	// fingerprints, identical answers); a publish that cannot patch (cold
+	// index, shape change) transparently falls back to the rebuild. False
+	// keeps the legacy rebuild-every-publish behavior.
+	DeltaPublish bool
+	// DeltaShip lets the epoch-stream endpoint answer a follower that
+	// advertises its current epoch (X-TKD-Have-Epoch) with just the rows
+	// appended since — the follower patches its own index — instead of the
+	// full dataset+index stream. Falls back to the full stream whenever the
+	// follower's base is stale, divergent, or unknown.
+	DeltaShip bool
 }
 
 // Server is the HTTP query service. Create with New, register datasets with
@@ -162,10 +177,46 @@ type Server struct {
 	qlog      *obs.QueryLog
 	log       *slog.Logger
 	fol       *follower
+	standing  *standingRegistry
 	draining  atomic.Bool
 	done      chan struct{}
 	pubWG     sync.WaitGroup // ingest publisher goroutine
 	closeOnce sync.Once
+}
+
+// Route describes one entry of the public API surface.
+type Route struct {
+	Method  string `json:"method"`
+	Pattern string `json:"pattern"`
+	Summary string `json:"summary"`
+}
+
+// apiRoutes is the canonical API surface: New registers exactly these
+// routes (and panics on a table/handler mismatch, so the two cannot drift),
+// and the docs-conformance test holds README.md to the same table.
+var apiRoutes = []Route{
+	{"POST", "/v1/query", "Top-k query, dataset named in the body (deprecated: use the dataset-scoped route)"},
+	{"POST", "/v1/datasets/{name}/query", "Top-k query against the named dataset"},
+	{"POST", "/v1/datasets/{name}/subscribe", "Standing top-k subscription (SSE or long-poll)"},
+	{"GET", "/v1/datasets", "List resident datasets"},
+	{"GET", "/v1/datasets/{name}", "Detail view of one resident dataset"},
+	{"POST", "/v1/datasets", "Register a dataset from a CSV file"},
+	{"POST", "/v1/datasets/{name}/reload", "Hot-swap the dataset from its source file"},
+	{"DELETE", "/v1/datasets/{name}", "Evict the dataset"},
+	{"POST", "/v1/datasets/{name}/append", "Append rows through the write-ahead log"},
+	{"GET", "/v1/datasets/{name}/epoch", "Epoch stream for followers (full or delta)"},
+	{"GET", "/v1/debug/queries", "Recent queries with their traces"},
+	{"GET", "/healthz", "Liveness probe"},
+	{"GET", "/metrics", "Prometheus metrics"},
+	{"POST", "/v1/shard/query", "Internal shard scatter RPC"},
+	{"GET", "/v1/shard/health", "Internal shard health RPC"},
+}
+
+// Routes returns the public API surface, one entry per registered route.
+func Routes() []Route {
+	out := make([]Route, len(apiRoutes))
+	copy(out, apiRoutes)
+	return out
 }
 
 // New returns an empty server.
@@ -191,20 +242,37 @@ func New(cfg Config) *Server {
 		log:  cfg.Logger,
 		done: make(chan struct{}),
 	}
+	s.standing = newStandingRegistry()
 	s.peer = shard.NewPeer(s.resolveShardData)
 	s.peer.SetQueryLog(s.qlog)
-	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
-	s.mux.Handle("POST /v1/shard/query", s.peer)
-	s.mux.HandleFunc("GET /v1/shard/health", s.peer.ServeHealth)
-	s.mux.HandleFunc("GET /v1/datasets", s.handleDatasets)
-	s.mux.HandleFunc("POST /v1/datasets", s.handleRegister)
-	s.mux.HandleFunc("POST /v1/datasets/{name}/reload", s.handleReload)
-	s.mux.HandleFunc("DELETE /v1/datasets/{name}", s.handleEvict)
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
-	s.mux.HandleFunc("GET /v1/debug/queries", s.handleDebugQueries)
-	s.mux.HandleFunc("GET /v1/datasets/{name}/epoch", s.handleEpochStream)
-	s.mux.HandleFunc("POST /v1/datasets/{name}/append", s.handleAppend)
+	handlers := map[string]http.Handler{
+		"POST /v1/query":                     http.HandlerFunc(s.handleQuery),
+		"POST /v1/datasets/{name}/query":     http.HandlerFunc(s.handleDatasetQuery),
+		"POST /v1/datasets/{name}/subscribe": http.HandlerFunc(s.handleSubscribe),
+		"GET /v1/datasets":                   http.HandlerFunc(s.handleDatasets),
+		"GET /v1/datasets/{name}":            http.HandlerFunc(s.handleDatasetInfo),
+		"POST /v1/datasets":                  http.HandlerFunc(s.handleRegister),
+		"POST /v1/datasets/{name}/reload":    http.HandlerFunc(s.handleReload),
+		"DELETE /v1/datasets/{name}":         http.HandlerFunc(s.handleEvict),
+		"POST /v1/datasets/{name}/append":    http.HandlerFunc(s.handleAppend),
+		"GET /v1/datasets/{name}/epoch":      http.HandlerFunc(s.handleEpochStream),
+		"GET /v1/debug/queries":              http.HandlerFunc(s.handleDebugQueries),
+		"GET /healthz":                       http.HandlerFunc(s.handleHealthz),
+		"GET /metrics":                       http.HandlerFunc(s.handleMetrics),
+		"POST /v1/shard/query":               s.peer,
+		"GET /v1/shard/health":               http.HandlerFunc(s.peer.ServeHealth),
+	}
+	if len(handlers) != len(apiRoutes) {
+		panic("server: route table and handler map disagree")
+	}
+	for _, rt := range apiRoutes {
+		key := rt.Method + " " + rt.Pattern
+		h, ok := handlers[key]
+		if !ok {
+			panic("server: route without handler: " + key)
+		}
+		s.mux.Handle(key, h)
+	}
 	if cfg.Follow != "" {
 		s.fol = newFollower(s, cfg.Follow, cfg.FollowInterval, cfg.FollowClient)
 		s.fol.start()
@@ -636,6 +704,11 @@ type DatasetInfo struct {
 	WALAppends      int64  `json:"wal_appends,omitempty"`
 	WALLagRows      uint64 `json:"wal_lag_rows,omitempty"`
 	WALReplayedRows int64  `json:"wal_replayed_rows,omitempty"`
+	// DeltaPublishes counts the publishes that patched the previous epoch's
+	// index in place (Config.DeltaPublish) and RebuildPublishes the ones
+	// that rebuilt it from scratch. Absent without -waldir.
+	DeltaPublishes   int64 `json:"delta_publishes,omitempty"`
+	RebuildPublishes int64 `json:"rebuild_publishes,omitempty"`
 }
 
 // RegisterRequest is the POST /v1/datasets body: register a datagen-format
@@ -659,15 +732,6 @@ type ReloadResponse struct {
 	Seconds   float64 `json:"seconds"`
 }
 
-type errorResponse struct {
-	Error string `json:"error"`
-	// Leader is the base URL of the replication leader, set on the 409
-	// answered when a local mutation (append, reload, re-register) targets
-	// a follower-managed dataset — the redirect for clients that followed a
-	// stale address.
-	Leader string `json:"leader,omitempty"`
-}
-
 // ---- handlers ----
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -678,24 +742,47 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
+// handleQuery serves the legacy body-addressed POST /v1/query (the dataset
+// named in the body). POST /v1/datasets/{name}/query is the resource-style
+// spelling of the same query; both run serveQuery.
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	s.serveQuery(w, r, "")
+}
+
+// handleDatasetQuery serves POST /v1/datasets/{name}/query: the same body
+// as /v1/query with the dataset taken from the path.
+func (s *Server) handleDatasetQuery(w http.ResponseWriter, r *http.Request) {
+	s.serveQuery(w, r, r.PathValue("name"))
+}
+
+func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, pathDataset string) {
 	if s.draining.Load() {
-		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "server: shutting down"})
+		writeError(w, r, http.StatusServiceUnavailable, errDraining, "server: shutting down")
 		return
 	}
 	var req QueryRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("bad request body: %v", err)})
+		writeError(w, r, http.StatusBadRequest, errBadRequest, "bad request body: %v", err)
 		return
 	}
+	if pathDataset != "" {
+		// Resource route: the path names the dataset. A body that names a
+		// different one is a contradiction, not a tiebreak.
+		if req.Dataset != "" && req.Dataset != pathDataset {
+			writeError(w, r, http.StatusBadRequest, errBadRequest,
+				"body dataset %q contradicts path dataset %q", req.Dataset, pathDataset)
+			return
+		}
+		req.Dataset = pathDataset
+	}
 	if req.K <= 0 {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "k must be positive"})
+		writeError(w, r, http.StatusBadRequest, errBadRequest, "k must be positive")
 		return
 	}
 	if req.Workers < 0 {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "workers must be >= 0"})
+		writeError(w, r, http.StatusBadRequest, errBadRequest, "workers must be >= 0")
 		return
 	}
 	alg := core.AlgIBIG
@@ -703,17 +790,17 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		var err error
 		alg, err = core.ParseAlgorithm(req.Algorithm)
 		if err != nil {
-			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+			writeError(w, r, http.StatusBadRequest, errBadRequest, "%v", err)
 			return
 		}
 	}
 	if req.TimeoutMillis < 0 {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "timeout_millis must be >= 0"})
+		writeError(w, r, http.StatusBadRequest, errBadRequest, "timeout_millis must be >= 0")
 		return
 	}
 	e, ok := s.reg.get(req.Dataset)
 	if !ok {
-		writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("unknown dataset %q", req.Dataset)})
+		writeError(w, r, http.StatusNotFound, errDatasetNotFound, "unknown dataset %q", req.Dataset)
 		return
 	}
 
@@ -749,30 +836,30 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		// while the query waited or ran for its window-mates, or the
 		// scheduler is draining/shut down.
 		s.finishQuery(tr, &req, alg, start, false, err)
-		status := http.StatusServiceUnavailable
+		status, code := http.StatusServiceUnavailable, errDraining
 		if errors.Is(err, context.DeadlineExceeded) {
-			status = http.StatusGatewayTimeout
+			status, code = http.StatusGatewayTimeout, errDeadlineExceeded
 			e.met.deadlineExceeded.Add(1)
 		}
-		writeJSON(w, status, errorResponse{Error: err.Error()})
+		writeErrorTrace(w, tr.ID(), status, code, "%v", err)
 		return
 	}
 	if rep.err != nil {
 		// Execution failure: classify — deadline expiry is the client's
 		// budget (504), a shard with no usable replica is the serving
 		// tier's outage (503, retryable elsewhere), the rest are 500s.
-		status := http.StatusInternalServerError
+		status, code := http.StatusInternalServerError, errInternal
 		switch {
 		case errors.Is(rep.err, context.DeadlineExceeded):
-			status = http.StatusGatewayTimeout
+			status, code = http.StatusGatewayTimeout, errDeadlineExceeded
 			e.met.deadlineExceeded.Add(1)
 		case errors.Is(rep.err, context.Canceled):
-			status = http.StatusServiceUnavailable
+			status, code = http.StatusServiceUnavailable, errDraining
 		case errors.As(rep.err, new(*shard.Unavailable)):
-			status = http.StatusServiceUnavailable
+			status, code = http.StatusServiceUnavailable, errDegradedUnavailable
 		}
 		s.finishQuery(tr, &req, alg, start, rep.coalesced, rep.err)
-		writeJSON(w, status, errorResponse{Error: rep.err.Error()})
+		writeErrorTrace(w, tr.ID(), status, code, "%v", rep.err)
 		return
 	}
 	s.finishQuery(tr, &req, alg, start, rep.coalesced, nil)
@@ -872,7 +959,7 @@ func (s *Server) handleDebugQueries(w http.ResponseWriter, r *http.Request) {
 	if v := q.Get("n"); v != "" {
 		parsed, err := strconv.Atoi(v)
 		if err != nil || parsed <= 0 {
-			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "n must be a positive integer"})
+			writeError(w, r, http.StatusBadRequest, errBadRequest, "n must be a positive integer")
 			return
 		}
 		n = parsed
@@ -884,7 +971,7 @@ func (s *Server) handleDebugQueries(w http.ResponseWriter, r *http.Request) {
 	case "slow":
 		entries = s.qlog.Slowest(n)
 	default:
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "sort must be recent or slow"})
+		writeError(w, r, http.StatusBadRequest, errBadRequest, "sort must be recent or slow")
 		return
 	}
 	withTrace := q.Get("trace") == "1" || q.Get("trace") == "true"
@@ -909,54 +996,73 @@ func (s *Server) handleDebugQueries(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"queries": out})
 }
 
+func (s *Server) datasetInfo(e *entry) DatasetInfo {
+	info := DatasetInfo{
+		Name:        e.name,
+		Objects:     e.ds.Len(),
+		Dims:        e.ds.Dim(),
+		MissingRate: e.ds.MissingRate(),
+		Queries:     e.met.queryTotal(),
+		CacheBytes:  e.ds.CacheStats().Bytes,
+		Epoch:       e.ds.Epoch(),
+		Reloads:     e.met.reloads.Load(),
+		Source:      e.path,
+	}
+	if sd, ok := e.ds.(*tkd.ShardedDataset); ok {
+		info.Shards = sd.ShardCount()
+	}
+	if e.followed.Load() {
+		info.Followed = true
+		info.LeaderEpoch = e.leaderEpoch.Load()
+		info.LeaderSeen = e.leaderSeen.Load()
+	}
+	if e.ing != nil {
+		info.Ingest = true
+		info.FsyncPolicy = s.cfg.Fsync.String()
+		info.WALAppends = e.ing.log.Appends()
+		info.WALLagRows = e.ing.lag()
+		info.WALReplayedRows = e.ing.replayed
+		info.DeltaPublishes = e.ing.deltaPublishes.Load()
+		info.RebuildPublishes = e.ing.rebuildPublishes.Load()
+	}
+	return info
+}
+
 func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 	entries := s.reg.list()
 	infos := make([]DatasetInfo, len(entries))
 	for i, e := range entries {
-		infos[i] = DatasetInfo{
-			Name:        e.name,
-			Objects:     e.ds.Len(),
-			Dims:        e.ds.Dim(),
-			MissingRate: e.ds.MissingRate(),
-			Queries:     e.met.queryTotal(),
-			CacheBytes:  e.ds.CacheStats().Bytes,
-			Epoch:       e.ds.Epoch(),
-			Reloads:     e.met.reloads.Load(),
-			Source:      e.path,
-		}
-		if sd, ok := e.ds.(*tkd.ShardedDataset); ok {
-			infos[i].Shards = sd.ShardCount()
-		}
-		if e.followed.Load() {
-			infos[i].Followed = true
-			infos[i].LeaderEpoch = e.leaderEpoch.Load()
-			infos[i].LeaderSeen = e.leaderSeen.Load()
-		}
-		if e.ing != nil {
-			infos[i].Ingest = true
-			infos[i].FsyncPolicy = s.cfg.Fsync.String()
-			infos[i].WALAppends = e.ing.log.Appends()
-			infos[i].WALLagRows = e.ing.lag()
-			infos[i].WALReplayedRows = e.ing.replayed
-		}
+		infos[i] = s.datasetInfo(e)
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"datasets": infos})
 }
 
+// handleDatasetInfo is the single-resource view of one dataset — the same
+// shape as one element of GET /v1/datasets, without fetching the fleet.
+func (s *Server) handleDatasetInfo(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	e, ok := s.reg.get(name)
+	if !ok {
+		writeError(w, r, http.StatusNotFound, errDatasetNotFound, "unknown dataset %q", name)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.datasetInfo(e))
+}
+
 func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
-		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "server: shutting down"})
+		writeError(w, r, http.StatusServiceUnavailable, errDraining, "server: shutting down")
 		return
 	}
 	var req RegisterRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("bad request body: %v", err)})
+		writeError(w, r, http.StatusBadRequest, errBadRequest, "bad request body: %v", err)
 		return
 	}
 	if req.Name == "" || req.Path == "" {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "name and path are required"})
+		writeError(w, r, http.StatusBadRequest, errBadRequest, "name and path are required")
 		return
 	}
 	// A follower must not let a local file shadow a leader dataset — not
@@ -964,25 +1070,23 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	// loop would fight the local copy forever, or worse, adopt it. The
 	// name-set check covers evicted entries the registry no longer knows.
 	if s.fol != nil && s.fol.managed(req.Name) {
-		writeJSON(w, http.StatusConflict, errorResponse{
-			Error:  fmt.Sprintf("dataset %q is replicated from a leader; register it there", req.Name),
-			Leader: s.cfg.Follow,
-		})
+		writeFollowerReadonly(w, r, s.cfg.Follow,
+			"dataset %q is replicated from a leader; register it there", req.Name)
 		return
 	}
 	start := time.Now()
 	ds, err := loadCSV(req.Path, req.Negate)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		writeError(w, r, http.StatusBadRequest, errBadRequest, "%v", err)
 		return
 	}
 	warm, err := s.register(req.Name, ds, req.Path, req.Negate)
 	if err != nil {
-		status := http.StatusBadRequest
+		status, code := http.StatusBadRequest, errBadRequest
 		if errors.Is(err, errDuplicate) {
-			status = http.StatusConflict
+			status, code = http.StatusConflict, errDatasetExists
 		}
-		writeJSON(w, status, errorResponse{Error: err.Error()})
+		writeError(w, r, status, code, "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, ReloadResponse{
@@ -998,28 +1102,26 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
-		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "server: shutting down"})
+		writeError(w, r, http.StatusServiceUnavailable, errDraining, "server: shutting down")
 		return
 	}
 	name := r.PathValue("name")
 	e, ok := s.reg.get(name)
 	if !ok {
-		writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("unknown dataset %q", name)})
+		writeError(w, r, http.StatusNotFound, errDatasetNotFound, "unknown dataset %q", name)
 		return
 	}
 	if e.followed.Load() || (s.fol != nil && s.fol.managed(name)) {
 		// Reloading a follower's replica from a local file would fork it
 		// from the leader until the next sync overwrote it — a mutation
 		// that belongs on the leader.
-		writeJSON(w, http.StatusConflict, errorResponse{
-			Error:  fmt.Sprintf("dataset %q is replicated from a leader; reload it there", name),
-			Leader: s.cfg.Follow,
-		})
+		writeFollowerReadonly(w, r, s.cfg.Follow,
+			"dataset %q is replicated from a leader; reload it there", name)
 		return
 	}
 	if e.path == "" {
-		writeJSON(w, http.StatusConflict, errorResponse{
-			Error: fmt.Sprintf("dataset %q was registered in-process; no source file to reload from", name)})
+		writeError(w, r, http.StatusConflict, errNotReloadable,
+			"dataset %q was registered in-process; no source file to reload from", name)
 		return
 	}
 	e.reloadMu.Lock()
@@ -1028,7 +1130,7 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	// removed the entry, and reloading an evicted dataset would rebuild its
 	// index cache and report success for a name that now 404s.
 	if cur, ok := s.reg.get(name); !ok || cur != e {
-		writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("dataset %q was evicted", name)})
+		writeError(w, r, http.StatusNotFound, errDatasetNotFound, "dataset %q was evicted", name)
 		return
 	}
 	start := time.Now()
@@ -1036,12 +1138,12 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	// side; queries keep flowing on the current epoch the whole time.
 	fresh, err := loadCSV(e.path, e.negate)
 	if err != nil {
-		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		writeError(w, r, http.StatusInternalServerError, errInternal, "%v", err)
 		return
 	}
 	if fresh.Len() == 0 {
-		writeJSON(w, http.StatusInternalServerError, errorResponse{
-			Error: fmt.Sprintf("reload of %q from %s produced an empty dataset", name, e.path)})
+		writeError(w, r, http.StatusInternalServerError, errInternal,
+			"reload of %q from %s produced an empty dataset", name, e.path)
 		return
 	}
 	var warm bool
@@ -1068,7 +1170,7 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		// side, then swap — ReplaceFrom carries the warm artifacts over.
 		warm, err = s.warmPrepare(name, fresh)
 		if err != nil {
-			writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+			writeError(w, r, http.StatusInternalServerError, errInternal, "%v", err)
 			return
 		}
 		e.ds.ReplaceFrom(fresh)
@@ -1089,6 +1191,9 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	e.met.reloads.Add(1)
+	// The swap may have changed any answer: force standing queries to
+	// re-evaluate (no delta shape to reason about).
+	s.notifyStanding(e, 0)
 	writeJSON(w, http.StatusOK, ReloadResponse{
 		Dataset:     name,
 		Epoch:       e.ds.Epoch(),
@@ -1104,7 +1209,7 @@ func (s *Server) handleEvict(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	e, ok := s.reg.remove(name)
 	if !ok {
-		writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("unknown dataset %q", name)})
+		writeError(w, r, http.StatusNotFound, errDatasetNotFound, "unknown dataset %q", name)
 		return
 	}
 	// Drain: requests already accepted (or racing the removal) get served;
@@ -1127,6 +1232,7 @@ func (s *Server) handleEvict(w http.ResponseWriter, r *http.Request) {
 		e.reloadMu.Unlock()
 	}
 	s.peer.Evict(name)
+	s.standing.dropDataset(name)
 	s.life.evictions.Add(1)
 	writeJSON(w, http.StatusOK, map[string]any{"evicted": name, "epoch": e.ds.Epoch()})
 }

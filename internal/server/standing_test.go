@@ -1,0 +1,271 @@
+package server_test
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+	"repro/tkd"
+)
+
+// standingFixture is the partitioned dataset the τ-check tests pin: group A
+// observes dims {0,1} with mutually incomparable values (all scores 0),
+// group B observes dims {2,3} forming a chain b0 < b1 < … < b7. Smaller
+// values dominate, so b0 dominates the rest of the chain and the standing
+// top-3 is b0(7), b1(6), b2(5) with τ = 5.
+func standingFixture(t *testing.T) *tkd.Dataset {
+	t.Helper()
+	nan := math.NaN()
+	ds := tkd.NewDataset(4)
+	for i := 0; i < 8; i++ {
+		if err := ds.Append(fmt.Sprintf("a%d", i), float64(i), float64(8-i), nan, nan); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		if err := ds.Append(fmt.Sprintf("b%d", i), nan, nan, float64(1+i), float64(1+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ds
+}
+
+// scrapeMetric fetches /metrics and returns one un-labelled metric.
+func scrapeMetric(t *testing.T, url, name string) float64 {
+	t.Helper()
+	code, body := doJSON(t, http.MethodGet, url+"/metrics", nil)
+	if code != http.StatusOK {
+		t.Fatalf("GET /metrics answered %d", code)
+	}
+	for _, line := range strings.Split(string(body), "\n") {
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+			if err != nil {
+				t.Fatalf("metric %s: %v", name, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("metric %s not found", name)
+	return 0
+}
+
+func subscribePoll(t *testing.T, url string, req server.SubscribeRequest) server.StandingEvent {
+	t.Helper()
+	code, body := doJSON(t, http.MethodPost, url+"/v1/datasets/d/subscribe", req)
+	if code != http.StatusOK {
+		t.Fatalf("subscribe answered %d: %s", code, body)
+	}
+	var ev server.StandingEvent
+	if err := json.Unmarshal(body, &ev); err != nil {
+		t.Fatal(err)
+	}
+	return ev
+}
+
+// TestStandingSubscription is the long-poll end-to-end: the first poll
+// materialises the answer, an irrelevant append is proven away by the
+// τ-check without waking anyone, and an append that takes the lead pushes a
+// new version to the parked poller.
+func TestStandingSubscription(t *testing.T) {
+	d := newIngestDirs(t, standingFixture(t))
+	cfg := ingestConfig(d, 20*time.Millisecond)
+	cfg.DeltaPublish = true
+	s, ts := startIngestServer(t, cfg, d)
+	defer func() { ts.Close(); s.Close() }()
+
+	ev := subscribePoll(t, ts.URL, server.SubscribeRequest{K: 3})
+	if ev.Version == 0 || len(ev.Items) != 3 {
+		t.Fatalf("initial poll: version %d, %d items", ev.Version, len(ev.Items))
+	}
+	for i, want := range []struct {
+		id    string
+		score int
+	}{{"b0", 7}, {"b1", 6}, {"b2", 5}} {
+		if ev.Items[i].ID != want.id || ev.Items[i].Score != want.score {
+			t.Fatalf("initial answer[%d] = %s/%d, want %s/%d",
+				i, ev.Items[i].ID, ev.Items[i].Score, want.id, want.score)
+		}
+	}
+
+	// Park a poller waiting for the version after the snapshot, then append
+	// a row the τ-check can dismiss: a new maximum in dim 3 (it dominates
+	// nobody, entry bound below τ) that is also a new minimum in dim 2 (no
+	// existing object gains a dominator, so no score moves). The poll must
+	// time out on the same version.
+	parked := make(chan server.StandingEvent, 1)
+	go func() {
+		parked <- subscribePoll(t, ts.URL, server.SubscribeRequest{
+			K: 3, AfterVersion: ev.Version, WaitMillis: 1500,
+		})
+	}()
+	waitFor(t, "poller parked", func() bool {
+		return scrapeMetric(t, ts.URL, "tkd_standing_subscribers") >= 1
+	})
+	appendRows(t, ts.URL, []server.AppendRow{{ID: "p", Values: []*float64{nil, nil, fptr(0.5), fptr(42)}}})
+	waitFor(t, "irrelevant append published", func() bool {
+		return datasetInfo(t, ts.URL).Objects == 17
+	})
+	got := <-parked
+	if got.Version != ev.Version {
+		t.Fatalf("irrelevant append advanced the answer to version %d (items %v)", got.Version, got.Items)
+	}
+	if skips := scrapeMetric(t, ts.URL, "tkd_standing_tau_skips_total"); skips < 1 {
+		t.Fatalf("tau skips = %v, want >= 1 (the irrelevant append must be proven away, not re-evaluated)", skips)
+	}
+
+	// Now a relevant append: q undercuts the whole B chain in both dims,
+	// dominating all eight rows, and must surface as the new rank-1.
+	go func() {
+		parked <- subscribePoll(t, ts.URL, server.SubscribeRequest{
+			K: 3, AfterVersion: ev.Version, WaitMillis: 10000,
+		})
+	}()
+	waitFor(t, "poller parked again", func() bool {
+		return scrapeMetric(t, ts.URL, "tkd_standing_subscribers") >= 1
+	})
+	appendRows(t, ts.URL, []server.AppendRow{{ID: "q", Values: []*float64{nil, nil, fptr(0.25), fptr(0.25)}}})
+	got = <-parked
+	if got.Version <= ev.Version {
+		t.Fatalf("relevant append did not advance the version: %d", got.Version)
+	}
+	// q dominates the eight chain rows and the p appended above: score 9.
+	if len(got.Items) != 3 || got.Items[0].ID != "q" || got.Items[0].Score != 9 {
+		t.Fatalf("new answer = %+v, want q/9 at rank 1", got.Items)
+	}
+}
+
+// TestStandingSSE streams the subscription over server-sent events: the
+// connect snapshot arrives immediately, and a top-k-changing append pushes
+// a second event on the open connection.
+func TestStandingSSE(t *testing.T) {
+	d := newIngestDirs(t, standingFixture(t))
+	cfg := ingestConfig(d, 20*time.Millisecond)
+	cfg.DeltaPublish = true
+	s, ts := startIngestServer(t, cfg, d)
+	defer func() { ts.Close(); s.Close() }()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		ts.URL+"/v1/datasets/d/subscribe", strings.NewReader(`{"k":3}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("subscribe answered %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+
+	// readEvent scans the stream to the next `data:` line.
+	sc := bufio.NewScanner(resp.Body)
+	readEvent := func() server.StandingEvent {
+		t.Helper()
+		for sc.Scan() {
+			if data, ok := strings.CutPrefix(sc.Text(), "data: "); ok {
+				var ev server.StandingEvent
+				if err := json.Unmarshal([]byte(data), &ev); err != nil {
+					t.Fatal(err)
+				}
+				return ev
+			}
+		}
+		t.Fatalf("stream ended: %v", sc.Err())
+		return server.StandingEvent{}
+	}
+
+	first := readEvent()
+	if len(first.Items) != 3 || first.Items[0].ID != "b0" {
+		t.Fatalf("connect snapshot = %+v", first.Items)
+	}
+
+	appendRows(t, ts.URL, []server.AppendRow{{ID: "q", Values: []*float64{nil, nil, fptr(0.25), fptr(0.25)}}})
+	second := readEvent()
+	if second.Version <= first.Version {
+		t.Fatalf("pushed event version %d not after %d", second.Version, first.Version)
+	}
+	if len(second.Items) != 3 || second.Items[0].ID != "q" {
+		t.Fatalf("pushed answer = %+v, want q at rank 1", second.Items)
+	}
+}
+
+// TestStandingSubscribersShareOneQuery: two subscribers on the same
+// (dataset, k, algorithm) ride one standing query — a publish evaluates the
+// engine once, not per subscriber.
+func TestStandingSubscribersShareOneQuery(t *testing.T) {
+	d := newIngestDirs(t, standingFixture(t))
+	cfg := ingestConfig(d, 20*time.Millisecond)
+	cfg.DeltaPublish = true
+	s, ts := startIngestServer(t, cfg, d)
+	defer func() { ts.Close(); s.Close() }()
+
+	seed := subscribePoll(t, ts.URL, server.SubscribeRequest{K: 3})
+
+	results := make(chan server.StandingEvent, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			results <- subscribePoll(t, ts.URL, server.SubscribeRequest{
+				K: 3, AfterVersion: seed.Version, WaitMillis: 10000,
+			})
+		}()
+	}
+	waitFor(t, "both pollers parked", func() bool {
+		return scrapeMetric(t, ts.URL, "tkd_standing_subscribers") >= 2
+	})
+	// Baseline after both are parked: the seed poll released its standing
+	// query on return, so the first parked poller re-materialised it.
+	evalsBefore := scrapeMetric(t, ts.URL, "tkd_standing_evals_total")
+	appendRows(t, ts.URL, []server.AppendRow{{ID: "q", Values: []*float64{nil, nil, fptr(0.25), fptr(0.25)}}})
+	for i := 0; i < 2; i++ {
+		ev := <-results
+		if ev.Version <= seed.Version || ev.Items[0].ID != "q" {
+			t.Fatalf("subscriber %d: version %d items %+v", i, ev.Version, ev.Items)
+		}
+	}
+	if evals := scrapeMetric(t, ts.URL, "tkd_standing_evals_total"); evals != evalsBefore+1 {
+		t.Fatalf("publish ran %v evaluations for 2 subscribers, want exactly 1", evals-evalsBefore)
+	}
+}
+
+// TestStandingEvictCloses: evicting the dataset ends the subscription with
+// a final closed=true event instead of hanging the poller.
+func TestStandingEvictCloses(t *testing.T) {
+	d := newIngestDirs(t, standingFixture(t))
+	cfg := ingestConfig(d, time.Hour)
+	s, ts := startIngestServer(t, cfg, d)
+	defer func() { ts.Close(); s.Close() }()
+
+	seed := subscribePoll(t, ts.URL, server.SubscribeRequest{K: 3})
+	parked := make(chan server.StandingEvent, 1)
+	go func() {
+		parked <- subscribePoll(t, ts.URL, server.SubscribeRequest{
+			K: 3, AfterVersion: seed.Version, WaitMillis: 10000,
+		})
+	}()
+	waitFor(t, "poller parked", func() bool {
+		return scrapeMetric(t, ts.URL, "tkd_standing_subscribers") >= 1
+	})
+	if code, body := doJSON(t, http.MethodDelete, ts.URL+"/v1/datasets/d", nil); code != http.StatusOK {
+		t.Fatalf("evict answered %d: %s", code, body)
+	}
+	ev := <-parked
+	if !ev.Closed {
+		t.Fatalf("poller woke without closed: %+v", ev)
+	}
+}

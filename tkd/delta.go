@@ -1,0 +1,382 @@
+package tkd
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/bitmapidx"
+	"repro/internal/core"
+	"repro/internal/data"
+)
+
+// Incremental epoch publication. AppendRows folds a batch of new objects
+// into the previous epoch's artifacts instead of rebuilding them: the binned
+// bitmap index is column-patched (bitmapidx.AppendRows) and the MaxScore
+// queue recomputed tree-free from the patched index, so a small append
+// publishes in O(delta · columns + N·d) instead of the O(N · columns)
+// rebuild — with answers identical to a from-scratch build. The Dataset
+// additionally keeps an append lineage (epoch → row count → fingerprint) so
+// a replication leader can ship only the rows a follower is missing; any
+// non-append mutation cuts the lineage and followers fall back to a full
+// epoch transfer.
+
+// Row is one object of an AppendRows batch; Missing (NaN) marks unobserved
+// values.
+type Row struct {
+	ID     string
+	Values []float64
+}
+
+// maxLineage bounds the append lineage ring. A follower more than this many
+// append-publishes behind full-syncs instead; at the serving layer's publish
+// cadence that means "offline for a while", where a full transfer is the
+// right call anyway.
+const maxLineage = 16
+
+// epochRecord is one lineage entry: after epoch, the data was rows rows long
+// and hashed to fp.
+type epochRecord struct {
+	epoch uint64
+	rows  int
+	fp    uint64
+}
+
+// AppendRows appends a batch of objects and immediately publishes the next
+// epoch, incrementally when possible. It reports whether the publish was
+// incremental (the previous epoch's binned index was patched rather than
+// rebuilt); either way the new epoch's queue and binned index are ready when
+// the call returns, and queries in flight finish on the old epoch. On error
+// nothing is published and the dataset is unchanged.
+func (d *Dataset) AppendRows(rows []Row) (patched bool, err error) {
+	return d.appendRows(appendSpec{rows: rows})
+}
+
+// appendSpec parameterizes appendRows: at > 0 assigns the published epoch
+// number (the follower path); verify checks the appended data's fingerprint
+// against wantFP before publishing; requireBase demands the current epoch be
+// exactly (baseEpoch, baseFP) — the delta-apply precondition.
+type appendSpec struct {
+	rows        []Row
+	at          uint64
+	wantFP      uint64
+	verify      bool
+	baseEpoch   uint64
+	baseFP      uint64
+	requireBase bool
+}
+
+func (d *Dataset) appendRows(sp appendSpec) (patched bool, err error) {
+	if len(sp.rows) == 0 {
+		return false, nil
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+
+	base := d.cur.Load()
+	if sp.requireBase {
+		if base == nil || base.epoch != sp.baseEpoch {
+			return false, fmt.Errorf("tkd: delta base epoch %d does not match the current epoch", sp.baseEpoch)
+		}
+		if fp := d.epochFPLocked(base); fp != sp.baseFP {
+			return false, fmt.Errorf("tkd: delta base fingerprint %016x does not match %016x", sp.baseFP, fp)
+		}
+	}
+
+	if base == nil {
+		// Staging is dirty: publish it first so there is a frozen base to
+		// extend (and so a LoadIndex'd pending index becomes patchable).
+		base = d.publishLocked()
+	}
+
+	// Extend off to the side: a capacity-clamped view of the frozen rows plus
+	// the batch. Object headers are copied once (shallow — the frozen value
+	// slices are shared), the base rows themselves are never touched, and a
+	// mid-batch validation error discards the extension with no state change.
+	src := base.ds
+	next := src.Slice(0, src.Len())
+	for _, r := range sp.rows {
+		if _, err := next.Append(r.ID, r.Values); err != nil {
+			return false, err
+		}
+	}
+	fp := next.Fingerprint()
+	if sp.verify && fp != sp.wantFP {
+		return false, fmt.Errorf("tkd: appended data fingerprint %016x does not match expected %016x", fp, sp.wantFP)
+	}
+
+	// Incremental path: patch the published binned index and rebuild the
+	// MaxScore queue from it without touching B+-trees. The value-granular
+	// bitmap and trees (BIG-only artifacts) are dropped and rebuild lazily.
+	var ns *snapshot
+	if a := base.art.Load(); a.binned != nil {
+		if ix, ok := bitmapidx.AppendRows(a.binned, next); ok {
+			if b := d.cacheBudget.Load(); b > 0 {
+				ix.SetCacheBudget(b)
+			}
+			ns = &snapshot{ds: next, bins: base.bins, rep: base.rep}
+			ns.art.Store(&artifacts{queue: core.BuildMaxScoreQueueFromIndex(ix), binned: ix})
+			patched = true
+		}
+	}
+	if ns == nil {
+		ns = &snapshot{ds: next, bins: d.bins, rep: d.indexRep}
+		ns.art.Store(&artifacts{})
+	}
+	ns.epoch = d.nextEpochLocked(sp.at)
+	d.staging = next
+	d.shared = true
+	d.pendingBinned = nil
+	d.cur.Store(ns)
+	base.release(ns.art.Load().binned)
+	if !patched {
+		// Rebuild path: pay the artifact build now so the publish is complete
+		// either way, mirroring the patch path.
+		ns.ensure(needQueue|needBinned, d)
+	}
+	d.recordLineageLocked(base, ns.epoch, next.Len(), fp)
+	return patched, nil
+}
+
+// AppendImpact answers the standing-query skip test: could the `appended`
+// most recently added rows of the current epoch change a standing top-k
+// answer whose threshold (k-th ranked) score was tau at its last
+// evaluation? It reports affects=false only when the index proves, for every
+// new row p, that p cannot reach the answer (StandingEntryBound(p) < tau)
+// AND no existing object's score changed (DominatorCeil(p) == 0 — scores
+// count dominated objects, so appending p perturbs exactly the objects
+// dominating it). Both bounds are conservative, so a skip is sound. ok
+// reports whether the check could run at all; callers must re-evaluate when
+// it is false (no binned index resident, or the row accounting is off).
+func (d *Dataset) AppendImpact(appended, tau int) (affects, ok bool) {
+	s := d.cur.Load()
+	if s == nil {
+		return false, false
+	}
+	a := s.art.Load()
+	n := s.ds.Len()
+	if a == nil || a.binned == nil || a.binned.Dataset().Len() != n {
+		return false, false
+	}
+	if appended <= 0 || appended > n {
+		return false, false
+	}
+	c := a.binned.NewCursor()
+	for i := n - appended; i < n; i++ {
+		if c.StandingEntryBound(i) >= tau {
+			return true, true
+		}
+		if a.binned.DominatorCeil(i) > 0 {
+			return true, true
+		}
+	}
+	return false, true
+}
+
+// nextEpochLocked advances the epoch counter: at == 0 is the ordinary +1
+// bump, a larger at adopts the external (leader's) number, and an at at or
+// below the counter falls back to +1, keeping the counter strictly monotonic
+// locally.
+func (d *Dataset) nextEpochLocked(at uint64) uint64 {
+	next := d.epoch.Add(1)
+	if at > next {
+		d.epoch.Store(at)
+		next = at
+	}
+	return next
+}
+
+// epochFPLocked returns s's data fingerprint, served from the lineage when
+// the epoch is on record (the common delta-apply case) instead of an O(N)
+// rehash.
+func (d *Dataset) epochFPLocked(s *snapshot) uint64 {
+	for i := len(d.lineage) - 1; i >= 0; i-- {
+		if r := &d.lineage[i]; r.epoch == s.epoch && r.rows == s.ds.Len() {
+			return r.fp
+		}
+	}
+	return s.ds.Fingerprint()
+}
+
+// recordLineageLocked extends the append lineage with the just-published
+// epoch, seeding it with the base epoch when a new chain starts (so the base
+// itself is a valid delta starting point).
+func (d *Dataset) recordLineageLocked(base *snapshot, epoch uint64, rows int, fp uint64) {
+	if len(d.lineage) == 0 && base != nil {
+		d.lineage = append(d.lineage, epochRecord{epoch: base.epoch, rows: base.ds.Len(), fp: base.ds.Fingerprint()})
+	}
+	d.lineage = append(d.lineage, epochRecord{epoch: epoch, rows: rows, fp: fp})
+	if len(d.lineage) > maxLineage {
+		d.lineage = append(d.lineage[:0], d.lineage[len(d.lineage)-maxLineage:]...)
+	}
+}
+
+// clearLineageLocked cuts the append lineage; every mutation that is not an
+// append-publish calls it, so a lineage match proves the current data is a
+// strict row extension of the matched epoch.
+func (d *Dataset) clearLineageLocked() { d.lineage = nil }
+
+// ---- Delta epoch streams ----
+
+// A delta epoch stream ships only the rows appended since a base epoch the
+// follower already holds, plus enough identity to make applying it exactly
+// as safe as a full transfer:
+//
+//	magic     [8]byte  "TKDEPD1\n"
+//	baseEpoch uint64   the follower's base epoch
+//	baseFP    uint64   the base data fingerprint (apply refuses a divergent base)
+//	epoch     uint64   the epoch the delta produces
+//	fp        uint64   the produced data's fingerprint, verified before publishing
+//	dlen      uint64   rows section length in bytes
+//	rows      []byte   the appended rows in WriteCSV form
+//
+// No index section is shipped: the follower patches (or rebuilds) its own
+// index locally, and the answer-equivalence of a patched index makes the
+// result indistinguishable from having received the leader's. The final
+// fingerprint check runs before anything is published, so a torn or
+// mismatched delta can never install wrong bytes.
+
+// epochDeltaMagic versions the delta stream.
+var epochDeltaMagic = [8]byte{'T', 'K', 'D', 'E', 'P', 'D', '1', '\n'}
+
+// EpochDeltaExport pins the rows appended between a follower's base epoch
+// and the current one, ready to stream.
+type EpochDeltaExport struct {
+	baseEpoch, baseFP uint64
+	epoch, fp         uint64
+	rows              *data.Dataset // frozen view of the appended rows
+}
+
+// ExportEpochDelta pins a delta from (haveEpoch, haveFP) to the current
+// epoch. It reports false when the lineage cannot prove the current data is
+// a strict row extension of that base — the base epoch is unknown or too
+// old, its fingerprint diverges, or a non-append mutation intervened — in
+// which case the caller falls back to a full epoch export.
+func (d *Dataset) ExportEpochDelta(haveEpoch, haveFP uint64) (*EpochDeltaExport, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	cur := d.cur.Load()
+	if cur == nil || cur.epoch <= haveEpoch {
+		return nil, false
+	}
+	var haveRec, curRec *epochRecord
+	for i := range d.lineage {
+		switch r := &d.lineage[i]; r.epoch {
+		case haveEpoch:
+			haveRec = r
+		case cur.epoch:
+			curRec = r
+		}
+	}
+	if haveRec == nil || curRec == nil || haveRec.fp != haveFP {
+		return nil, false
+	}
+	if curRec.rows != cur.ds.Len() || haveRec.rows >= curRec.rows {
+		return nil, false
+	}
+	return &EpochDeltaExport{
+		baseEpoch: haveEpoch,
+		baseFP:    haveFP,
+		epoch:     cur.epoch,
+		fp:        curRec.fp,
+		rows:      cur.ds.Slice(haveRec.rows, curRec.rows),
+	}, true
+}
+
+// Epoch returns the epoch the delta produces when applied.
+func (x *EpochDeltaExport) Epoch() uint64 { return x.epoch }
+
+// Fingerprint returns the data fingerprint after the delta is applied.
+func (x *EpochDeltaExport) Fingerprint() uint64 { return x.fp }
+
+// Rows returns the number of appended rows the delta carries.
+func (x *EpochDeltaExport) Rows() int { return x.rows.Len() }
+
+// Write streams the pinned delta.
+func (x *EpochDeltaExport) Write(w io.Writer) error {
+	var buf bytes.Buffer
+	if err := x.rows.WriteCSV(&buf); err != nil {
+		return err
+	}
+	if _, err := w.Write(epochDeltaMagic[:]); err != nil {
+		return err
+	}
+	for _, v := range []uint64{x.baseEpoch, x.baseFP, x.epoch, x.fp, uint64(buf.Len())} {
+		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// EpochDelta is a parsed delta epoch stream.
+type EpochDelta struct {
+	BaseEpoch       uint64
+	BaseFingerprint uint64
+	Epoch           uint64
+	Fingerprint     uint64
+	rows            *data.Dataset
+}
+
+// Rows returns the number of appended rows the delta carries.
+func (x *EpochDelta) Rows() int { return x.rows.Len() }
+
+// ReadEpochDelta parses a stream written by EpochDeltaExport.Write.
+func ReadEpochDelta(r io.Reader) (*EpochDelta, error) {
+	var magic [8]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, fmt.Errorf("tkd: delta stream header: %w", err)
+	}
+	if magic != epochDeltaMagic {
+		return nil, fmt.Errorf("tkd: not a delta epoch stream (bad magic %q)", magic[:])
+	}
+	var baseEpoch, baseFP, epoch, fp, dlen uint64
+	for _, v := range []*uint64{&baseEpoch, &baseFP, &epoch, &fp, &dlen} {
+		if err := binary.Read(r, binary.LittleEndian, v); err != nil {
+			return nil, fmt.Errorf("tkd: delta stream header: %w", err)
+		}
+	}
+	if epoch == 0 || epoch <= baseEpoch {
+		return nil, fmt.Errorf("tkd: delta stream epoch %d does not advance base %d", epoch, baseEpoch)
+	}
+	if dlen == 0 || dlen > maxEpochData {
+		return nil, fmt.Errorf("tkd: delta stream rows section of %d bytes is out of range", dlen)
+	}
+	raw := make([]byte, dlen)
+	if _, err := io.ReadFull(r, raw); err != nil {
+		return nil, fmt.Errorf("tkd: delta stream rows section: %w", err)
+	}
+	rows, err := data.ReadCSV(bytes.NewReader(raw))
+	if err != nil {
+		return nil, fmt.Errorf("tkd: delta stream rows section: %w", err)
+	}
+	if rows.Len() == 0 {
+		return nil, fmt.Errorf("tkd: delta stream carries no rows")
+	}
+	return &EpochDelta{BaseEpoch: baseEpoch, BaseFingerprint: baseFP, Epoch: epoch, Fingerprint: fp, rows: rows}, nil
+}
+
+// ApplyEpochDelta appends the delta's rows and publishes at the delta's
+// epoch number. The current epoch must be exactly the delta's base (number
+// and fingerprint) and the resulting data must hash to the delta's
+// fingerprint — all verified before anything is published, so a stale or
+// divergent delta fails cleanly and the caller full-syncs instead. It
+// reports whether the publish patched the index incrementally.
+func (d *Dataset) ApplyEpochDelta(x *EpochDelta) (patched bool, err error) {
+	rows := make([]Row, x.rows.Len())
+	for i := range rows {
+		o := x.rows.Obj(i)
+		rows[i] = Row{ID: o.ID, Values: o.Values}
+	}
+	return d.appendRows(appendSpec{
+		rows:        rows,
+		at:          x.Epoch,
+		wantFP:      x.Fingerprint,
+		verify:      true,
+		baseEpoch:   x.BaseEpoch,
+		baseFP:      x.BaseFingerprint,
+		requireBase: true,
+	})
+}

@@ -1,0 +1,91 @@
+package tkd_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/tkd"
+)
+
+// speedupBatch builds an in-domain append batch at the acceptance scale.
+func speedupBatch(n, dim, card int, seed int64) []tkd.Row {
+	rng := rand.New(rand.NewSource(seed))
+	rows := make([]tkd.Row, n)
+	for i := range rows {
+		vals := make([]float64, dim)
+		for d := range vals {
+			if rng.Float64() < 0.02 {
+				vals[d] = tkd.Missing
+			} else {
+				vals[d] = float64(rng.Intn(card))
+			}
+		}
+		vals[rng.Intn(dim)] = float64(rng.Intn(card))
+		rows[i] = tkd.Row{ID: fmt.Sprintf("s%d-%d", seed, i), Values: vals}
+	}
+	return rows
+}
+
+// TestDeltaPublishSpeedup gates the point of the incremental path: at 20k
+// rows, publishing a 64-row append by patching must beat the append+rebuild
+// publish by at least 5x. (The observed ratio is far higher; 5x keeps the
+// gate robust on noisy CI hosts.) Correctness of the patched artifacts is
+// covered by the equivalence tests; this test only pins the asymptotics.
+func TestDeltaPublishSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("speedup gate skipped in -short mode")
+	}
+	const n, dim, card, batch = 20_000, 5, 64, 64
+	mk := func() *tkd.Dataset {
+		ds := tkd.GenerateIND(n, dim, card, 0.02, 31)
+		ds.PrepareFor(tkd.IBIG)
+		return ds
+	}
+
+	delta := testing.Benchmark(func(b *testing.B) {
+		b.StopTimer()
+		ds := mk()
+		for i := 0; i < b.N; i++ {
+			if i > 0 && i%64 == 0 {
+				ds = mk() // keep the base near 20k rows
+			}
+			rows := speedupBatch(batch, dim, card, int64(i))
+			b.StartTimer()
+			patched, err := ds.AppendRows(rows)
+			b.StopTimer()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !patched {
+				b.Fatal("append fell back to a rebuild")
+			}
+		}
+	})
+
+	rebuild := testing.Benchmark(func(b *testing.B) {
+		b.StopTimer()
+		ds := mk()
+		for i := 0; i < b.N; i++ {
+			if i > 0 && i%64 == 0 {
+				ds = mk()
+			}
+			rows := speedupBatch(batch, dim, card, int64(i))
+			b.StartTimer()
+			for _, r := range rows {
+				if err := ds.Append(r.ID, r.Values...); err != nil {
+					b.Fatal(err)
+				}
+			}
+			ds.PrepareFor(tkd.IBIG)
+			b.StopTimer()
+		}
+	})
+
+	dns, rns := delta.NsPerOp(), rebuild.NsPerOp()
+	t.Logf("delta publish %d ns/op, rebuild publish %d ns/op (%.1fx)",
+		dns, rns, float64(rns)/float64(dns))
+	if dns*5 > rns {
+		t.Fatalf("delta publish (%d ns/op) not 5x faster than rebuild (%d ns/op)", dns, rns)
+	}
+}

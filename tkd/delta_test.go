@@ -1,0 +1,401 @@
+package tkd_test
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/tkd"
+)
+
+// deltaBatch builds a deterministic append batch over (and beyond) the value
+// domain of a GenerateIND(c=...) dataset: in-domain duplicates plus values
+// below, between and above the existing grid, with some missing cells.
+func deltaBatch(tag string, n, dim, c int, seed int64) []tkd.Row {
+	rng := rand.New(rand.NewSource(seed))
+	rows := make([]tkd.Row, n)
+	for i := range rows {
+		vals := make([]float64, dim)
+		for d := range vals {
+			switch rng.Intn(6) {
+			case 0:
+				vals[d] = tkd.Missing
+			case 1:
+				vals[d] = -1 - rng.Float64() // below the domain
+			case 2:
+				vals[d] = float64(c) + rng.Float64()*3 // above the domain
+			case 3:
+				vals[d] = float64(rng.Intn(c)) + 0.5 // between grid values
+			default:
+				vals[d] = float64(rng.Intn(c)) // existing value
+			}
+		}
+		vals[rng.Intn(dim)] = float64(rng.Intn(c)) // ensure observed
+		rows[i] = tkd.Row{ID: fmt.Sprintf("%s%d", tag, i), Values: vals}
+	}
+	return rows
+}
+
+// rebuildFrom replays ds's current data plus the batch into a fresh dataset
+// and prepares it from scratch — the golden reference for a delta publish.
+func rebuildFrom(t *testing.T, ds *tkd.Dataset, rows []tkd.Row) *tkd.Dataset {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := ds.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	scratch, err := tkd.ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if err := scratch.Append(r.ID, r.Values...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	scratch.PrepareFor(tkd.IBIG)
+	return scratch
+}
+
+// TestAppendRowsPatchesAndMatchesRebuild is the golden crosscheck: a warm
+// dataset absorbs a batch through the incremental path (no index rebuild)
+// and must answer every query exactly like a from-scratch build — identical
+// fingerprint, identical ranked items.
+func TestAppendRowsPatchesAndMatchesRebuild(t *testing.T) {
+	ds := tkd.GenerateIND(600, 4, 16, 0.25, 42)
+	ds.PrepareFor(tkd.IBIG)
+	e0, b0 := ds.Epoch(), ds.IndexBuilds()
+
+	rows := deltaBatch("x", 40, 4, 16, 7)
+	patched, err := ds.AppendRows(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !patched {
+		t.Fatal("warm dataset did not take the incremental path")
+	}
+	if got := ds.Epoch(); got != e0+1 {
+		t.Fatalf("epoch %d, want %d", got, e0+1)
+	}
+	if got := ds.IndexBuilds(); got != b0 {
+		t.Fatalf("incremental publish rebuilt the index (%d -> %d builds)", b0, got)
+	}
+	if got, want := ds.Len(), 600+len(rows); got != want {
+		t.Fatalf("len %d, want %d", got, want)
+	}
+
+	scratch := rebuildFrom(t, ds, nil)
+	if ds.Fingerprint() != scratch.Fingerprint() {
+		t.Fatal("fingerprint diverges from a from-scratch rebuild")
+	}
+	for _, k := range []int{1, 10, 64} {
+		got, err := ds.TopK(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := scratch.TopK(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got.Items, want.Items) {
+			t.Fatalf("k=%d: patched answers diverge from rebuild:\n%v\n%v", k, got.Items, want.Items)
+		}
+	}
+	// The other algorithms rebuild their artifacts lazily on the new epoch
+	// and must agree too.
+	for _, alg := range []tkd.Algorithm{tkd.UBB, tkd.BIG} {
+		got, err := ds.TopK(10, tkd.WithAlgorithm(alg))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := scratch.TopK(10, tkd.WithAlgorithm(alg))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got.Items, want.Items) {
+			t.Fatalf("%v: patched answers diverge from rebuild", alg)
+		}
+	}
+}
+
+// TestAppendRowsChained: repeated small batches keep patching, each bumping
+// the epoch once, and the end state matches one big rebuild.
+func TestAppendRowsChained(t *testing.T) {
+	ds := tkd.GenerateIND(300, 3, 8, 0.2, 5)
+	ds.PrepareFor(tkd.IBIG)
+	b0 := ds.IndexBuilds()
+	var all []tkd.Row
+	for round := 0; round < 5; round++ {
+		rows := deltaBatch(fmt.Sprintf("r%d-", round), 10, 3, 8, int64(round))
+		all = append(all, rows...)
+		patched, err := ds.AppendRows(rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !patched {
+			t.Fatalf("round %d fell back to a rebuild", round)
+		}
+	}
+	if got := ds.IndexBuilds(); got != b0 {
+		t.Fatalf("chained appends rebuilt the index (%d -> %d builds)", b0, got)
+	}
+	fresh := tkd.GenerateIND(300, 3, 8, 0.2, 5)
+	for _, r := range all {
+		if err := fresh.Append(r.ID, r.Values...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fresh.PrepareFor(tkd.IBIG)
+	got, _ := ds.TopK(15)
+	want, _ := fresh.TopK(15)
+	if !reflect.DeepEqual(got.Items, want.Items) {
+		t.Fatal("chained patched answers diverge from rebuild")
+	}
+}
+
+// TestAppendRowsColdFallback: with no binned index built yet there is
+// nothing to patch; AppendRows publishes via the rebuild path and still
+// leaves the dataset fully prepared and correct.
+func TestAppendRowsColdFallback(t *testing.T) {
+	ds := tkd.GenerateIND(200, 3, 8, 0.2, 9)
+	rows := deltaBatch("x", 10, 3, 8, 3)
+	patched, err := ds.AppendRows(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if patched {
+		t.Fatal("cold dataset cannot have taken the incremental path")
+	}
+	if got, want := ds.Len(), 210; got != want {
+		t.Fatalf("len %d, want %d", got, want)
+	}
+	scratch := rebuildFrom(t, ds, nil)
+	got, _ := ds.TopK(10)
+	want, _ := scratch.TopK(10)
+	if !reflect.DeepEqual(got.Items, want.Items) {
+		t.Fatal("fallback publish answers diverge from rebuild")
+	}
+}
+
+// TestAppendRowsValidation: a bad row rejects the whole batch with no state
+// change.
+func TestAppendRowsValidation(t *testing.T) {
+	ds := tkd.GenerateIND(100, 3, 8, 0.2, 1)
+	ds.PrepareFor(tkd.IBIG)
+	e0, n0 := ds.Epoch(), ds.Len()
+	_, err := ds.AppendRows([]tkd.Row{
+		{ID: "good", Values: []float64{1, 2, 3}},
+		{ID: "bad", Values: []float64{tkd.Missing, tkd.Missing, tkd.Missing}},
+	})
+	if err == nil {
+		t.Fatal("all-missing row accepted")
+	}
+	if ds.Epoch() != e0 || ds.Len() != n0 {
+		t.Fatal("failed batch mutated the dataset")
+	}
+	if patched, err := ds.AppendRows(nil); err != nil || patched {
+		t.Fatal("empty batch should be a no-op")
+	}
+}
+
+// TestDeltaExportApply walks the replication path: a follower holding the
+// leader's epoch applies a delta stream and converges to the same epoch and
+// fingerprint, over a transfer carrying only the appended rows.
+func TestDeltaExportApply(t *testing.T) {
+	leader := tkd.GenerateIND(800, 4, 16, 0.2, 11)
+	leader.PrepareFor(tkd.IBIG)
+
+	// Full sync: follower imports the complete epoch stream.
+	var full bytes.Buffer
+	if err := leader.ExportEpoch().Write(&full, true); err != nil {
+		t.Fatal(err)
+	}
+	fullBytes := full.Len()
+	imported, ep, err := tkd.ImportEpoch(bytes.NewReader(full.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	follower := tkd.NewDataset(4)
+	follower.ReplaceFromAt(imported, ep)
+	haveEpoch, haveFP := follower.Epoch(), follower.Fingerprint()
+
+	// Leader appends; a delta from the follower's base must exist.
+	if _, err := leader.AppendRows(deltaBatch("x", 64, 4, 16, 13)); err != nil {
+		t.Fatal(err)
+	}
+	x, ok := leader.ExportEpochDelta(haveEpoch, haveFP)
+	if !ok {
+		t.Fatal("no delta available for the follower's base")
+	}
+	if x.Rows() != 64 {
+		t.Fatalf("delta carries %d rows, want 64", x.Rows())
+	}
+	var buf bytes.Buffer
+	if err := x.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() >= fullBytes {
+		t.Fatalf("delta stream (%d bytes) not smaller than full stream (%d bytes)", buf.Len(), fullBytes)
+	}
+
+	parsed, err := tkd.ReadEpochDelta(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	patched, err := follower.ApplyEpochDelta(parsed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !patched {
+		t.Fatal("follower with a warm imported index should patch, not rebuild")
+	}
+	if follower.Epoch() != leader.Epoch() {
+		t.Fatalf("epochs diverge: follower %d, leader %d", follower.Epoch(), leader.Epoch())
+	}
+	if follower.Fingerprint() != leader.Fingerprint() {
+		t.Fatal("fingerprints diverge after delta apply")
+	}
+	got, _ := follower.TopK(10)
+	want, _ := leader.TopK(10)
+	if !reflect.DeepEqual(got.Items, want.Items) {
+		t.Fatal("follower answers diverge from leader after delta apply")
+	}
+
+	// A second delta chains off the first.
+	haveEpoch, haveFP = follower.Epoch(), follower.Fingerprint()
+	if _, err := leader.AppendRows(deltaBatch("y", 8, 4, 16, 17)); err != nil {
+		t.Fatal(err)
+	}
+	x2, ok := leader.ExportEpochDelta(haveEpoch, haveFP)
+	if !ok {
+		t.Fatal("no chained delta available")
+	}
+	var buf2 bytes.Buffer
+	if err := x2.Write(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	parsed2, err := tkd.ReadEpochDelta(&buf2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := follower.ApplyEpochDelta(parsed2); err != nil {
+		t.Fatal(err)
+	}
+	if follower.Fingerprint() != leader.Fingerprint() {
+		t.Fatal("fingerprints diverge after chained delta")
+	}
+}
+
+// TestDeltaExportSpansEpochs: a follower several append-publishes behind
+// gets one delta covering all of them.
+func TestDeltaExportSpansEpochs(t *testing.T) {
+	leader := tkd.GenerateIND(200, 3, 8, 0.2, 19)
+	leader.PrepareFor(tkd.IBIG)
+	haveEpoch, haveFP := leader.Epoch(), leader.Fingerprint()
+	total := 0
+	for round := 0; round < 3; round++ {
+		rows := deltaBatch(fmt.Sprintf("r%d-", round), 5, 3, 8, int64(round))
+		total += len(rows)
+		if _, err := leader.AppendRows(rows); err != nil {
+			t.Fatal(err)
+		}
+	}
+	x, ok := leader.ExportEpochDelta(haveEpoch, haveFP)
+	if !ok {
+		t.Fatal("no delta spanning multiple publishes")
+	}
+	if x.Rows() != total {
+		t.Fatalf("delta carries %d rows, want %d", x.Rows(), total)
+	}
+	if x.Epoch() != leader.Epoch() || x.Fingerprint() != leader.Fingerprint() {
+		t.Fatal("delta does not land on the leader's current epoch")
+	}
+}
+
+// TestDeltaExportRefused pins every condition that must force a full sync.
+func TestDeltaExportRefused(t *testing.T) {
+	leader := tkd.GenerateIND(200, 3, 8, 0.2, 23)
+	leader.PrepareFor(tkd.IBIG)
+	base, baseFP := leader.Epoch(), leader.Fingerprint()
+	if _, err := leader.AppendRows(deltaBatch("x", 5, 3, 8, 1)); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, ok := leader.ExportEpochDelta(leader.Epoch(), leader.Fingerprint()); ok {
+		t.Error("delta to the current epoch itself must be refused")
+	}
+	if _, ok := leader.ExportEpochDelta(base, baseFP^1); ok {
+		t.Error("divergent base fingerprint must be refused")
+	}
+	if _, ok := leader.ExportEpochDelta(base+100, baseFP); ok {
+		t.Error("unknown base epoch must be refused")
+	}
+
+	// A non-append mutation cuts the lineage entirely.
+	if err := leader.Append("cut", 1, 2, 3); err != nil {
+		t.Fatal(err)
+	}
+	leader.PrepareFor(tkd.IBIG)
+	if _, ok := leader.ExportEpochDelta(base, baseFP); ok {
+		t.Error("lineage must be cut by a plain Append")
+	}
+
+	// ...and starts fresh from the next append-publish.
+	e, fp := leader.Epoch(), leader.Fingerprint()
+	if _, err := leader.AppendRows(deltaBatch("y", 5, 3, 8, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := leader.ExportEpochDelta(e, fp); !ok {
+		t.Error("fresh lineage should resume delta availability")
+	}
+}
+
+// TestApplyEpochDeltaRejectsDivergence: a follower whose base does not match
+// the delta's must refuse before publishing anything.
+func TestApplyEpochDeltaRejectsDivergence(t *testing.T) {
+	leader := tkd.GenerateIND(200, 3, 8, 0.2, 29)
+	leader.PrepareFor(tkd.IBIG)
+	base, baseFP := leader.Epoch(), leader.Fingerprint()
+	if _, err := leader.AppendRows(deltaBatch("x", 5, 3, 8, 3)); err != nil {
+		t.Fatal(err)
+	}
+	x, ok := leader.ExportEpochDelta(base, baseFP)
+	if !ok {
+		t.Fatal("no delta")
+	}
+	var buf bytes.Buffer
+	if err := x.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	divergent := tkd.GenerateIND(200, 3, 8, 0.2, 31) // different seed, same epoch count
+	divergent.PrepareFor(tkd.IBIG)
+	parsed, err := tkd.ReadEpochDelta(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e0 := divergent.Epoch()
+	if _, err := divergent.ApplyEpochDelta(parsed); err == nil {
+		t.Fatal("divergent follower accepted a delta")
+	}
+	if divergent.Epoch() != e0 {
+		t.Fatal("refused delta still published an epoch")
+	}
+
+	// Corrupting the rows section must trip the final fingerprint check.
+	// The flip lands a few bytes into the CSV (the header is 8 bytes of
+	// magic plus five uint64 fields), inside the first row's identifier.
+	clipped := append([]byte(nil), raw...)
+	clipped[8+5*8+2] ^= 1
+	parsed, err = tkd.ReadEpochDelta(bytes.NewReader(clipped))
+	if err == nil {
+		matching := tkd.GenerateIND(200, 3, 8, 0.2, 29)
+		matching.PrepareFor(tkd.IBIG)
+		if _, err := matching.ApplyEpochDelta(parsed); err == nil {
+			t.Fatal("corrupted delta rows accepted")
+		}
+	}
+}

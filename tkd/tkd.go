@@ -281,6 +281,10 @@ type Dataset struct {
 
 	cacheBudget  atomic.Int64 // SetCacheBudget value; 0 = bitmapidx default
 	binnedBuilds atomic.Int64 // binned-index constructions (LoadIndex does not count)
+
+	// lineage records recent append-only publishes (see delta.go); any other
+	// mutation clears it, cutting delta shipping back to full transfers.
+	lineage []epochRecord
 }
 
 // NewDataset returns an empty dataset with the given dimensionality
@@ -339,6 +343,7 @@ func (d *Dataset) invalidateLocked() {
 		old.release(nil)
 	}
 	d.pendingBinned = nil // bound to the outdated data
+	d.clearLineageLocked()
 }
 
 // Epoch returns the number of epochs published so far — a version counter
@@ -392,6 +397,7 @@ func (d *Dataset) RestoreEpoch(n uint64) {
 		d.cur.Store(nil)
 	}
 	d.epoch.Store(n - 1) // publishLocked's Add(1) lands the next epoch on n
+	d.clearLineageLocked()
 }
 
 // Negate flips every observed value's sign, converting larger-is-better
@@ -454,6 +460,7 @@ func (d *Dataset) replaceFrom(src *Dataset, at uint64) {
 	if old != nil {
 		old.release(na.binned)
 	}
+	d.clearLineageLocked()
 }
 
 // view returns a frozen view of the data for read-only accessors; like a
@@ -747,6 +754,7 @@ func (d *Dataset) setBins(bins []int) {
 	s.art.Store(&artifacts{queue: oa.queue, bitmap: oa.bitmap, trees: oa.trees})
 	d.cur.Store(s)
 	old.release(nil)
+	d.clearLineageLocked()
 }
 
 // SetIndexRepresentation selects how the binned bitmap index stores its
@@ -772,6 +780,7 @@ func (d *Dataset) SetIndexRepresentation(rep IndexRepresentation) {
 	s.art.Store(&artifacts{queue: oa.queue, bitmap: oa.bitmap, trees: oa.trees})
 	d.cur.Store(s)
 	old.release(nil)
+	d.clearLineageLocked()
 }
 
 // TopK answers the TKD query: the k objects with the highest scores, in
